@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Core List Mps_dfg Mps_frontend Mps_util Printf String Sys

@@ -1,0 +1,1 @@
+bench/csv_out.ml: Array Core List Mps_util Printf Unix

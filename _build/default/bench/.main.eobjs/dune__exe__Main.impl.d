@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Csv_out List Perf Sys Tables

@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Bechamel Benchmark Core Hashtbl Instance List Measure Printf Staged Test Time Toolkit

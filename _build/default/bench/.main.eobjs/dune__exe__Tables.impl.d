@@ -1,0 +1,1 @@
+bench/tables.ml: Array Core Lazy List Mps_util Printf String

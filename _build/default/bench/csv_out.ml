@@ -1,0 +1,116 @@
+(* CSV export of the headline experiment data, for external plotting:
+
+     dune exec bench/main.exe -- --csv     (writes results/*.csv)
+
+   Only the sweeps one would actually plot are exported: Table 7 for both
+   workloads, the span-limit sweep, and the Pdef sweep. *)
+
+module Csv = Mps_util.Csv
+module Dfg = Core.Dfg
+module Enumerate = Core.Enumerate
+module Classify = Core.Classify
+module Select = Core.Select
+module Random_select = Core.Random_select
+module Mp = Core.Multi_pattern
+module Schedule = Core.Schedule
+module Pg = Core.Paper_graphs
+module Dft = Core.Dft
+module Program = Core.Program
+
+let capacity = Pg.montium_capacity
+
+let table7_csv path g paper ~seed =
+  let cls = Classify.compute ~span_limit:1 ~capacity (Enumerate.make_ctx g) in
+  let rng = Core.Rng.create ~seed in
+  let csv =
+    Csv.create
+      ~header:
+        [ "pdef"; "random_paper"; "random_measured_mean"; "random_measured_sd";
+          "selected_paper"; "selected_measured" ]
+  in
+  List.iter
+    (fun (pdef, rp, sp) ->
+      let sel = Select.select ~pdef cls in
+      let sel_cycles = Schedule.cycles (Mp.schedule ~patterns:sel g).Mp.schedule in
+      let draws =
+        Random_select.trials rng ~runs:10 ~colors:(Dfg.colors g) ~capacity ~pdef
+      in
+      let samples =
+        Array.of_list
+          (List.map
+             (fun ps ->
+               float_of_int (Schedule.cycles (Mp.schedule ~patterns:ps g).Mp.schedule))
+             draws)
+      in
+      Csv.add_row csv
+        [
+          string_of_int pdef;
+          Printf.sprintf "%.1f" rp;
+          Printf.sprintf "%.2f" (Core.Mstats.mean samples);
+          Printf.sprintf "%.2f" (Core.Mstats.stddev samples);
+          string_of_int sp;
+          string_of_int sel_cycles;
+        ])
+    paper;
+  Csv.save ~path csv
+
+let span_sweep_csv path =
+  let csv =
+    Csv.create ~header:[ "workload"; "span_limit"; "antichains"; "patterns"; "cycles" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun span_limit ->
+          let cls =
+            Classify.compute ?span_limit ~budget:3_000_000 ~capacity
+              (Enumerate.make_ctx g)
+          in
+          let pats = Select.select ~pdef:4 cls in
+          Csv.add_row csv
+            [
+              name;
+              (match span_limit with None -> "inf" | Some l -> string_of_int l);
+              string_of_int (Classify.total_antichains cls);
+              string_of_int (Classify.pattern_count cls);
+              string_of_int (Schedule.cycles (Mp.schedule ~patterns:pats g).Mp.schedule);
+            ])
+        [ Some 0; Some 1; Some 2; Some 3; None ])
+    [
+      ("3dft", Pg.fig2_3dft ());
+      ("w5dft", Program.dfg (Dft.winograd5 ()));
+      ("fft8", Program.dfg (Dft.radix2_fft ~n:8));
+    ];
+  Csv.save ~path csv
+
+let pdef_sweep_csv path =
+  let csv = Csv.create ~header:[ "workload"; "pdef"; "cycles"; "configs" ] in
+  List.iter
+    (fun (name, g) ->
+      let cls = Classify.compute ~span_limit:1 ~capacity (Enumerate.make_ctx g) in
+      List.iter
+        (fun pdef ->
+          let pats = Select.select ~pdef cls in
+          let sched = (Mp.schedule ~patterns:pats g).Mp.schedule in
+          Csv.add_row csv
+            [
+              name;
+              string_of_int pdef;
+              string_of_int (Schedule.cycles sched);
+              string_of_int (List.length (Schedule.distinct_patterns sched));
+            ])
+        [ 1; 2; 3; 4; 5; 6; 8; 10; 12 ])
+    [ ("3dft", Pg.fig2_3dft ()); ("w5dft", Program.dfg (Dft.winograd5 ())) ];
+  Csv.save ~path csv
+
+let run_all () =
+  (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  table7_csv "results/table7_3dft.csv" (Pg.fig2_3dft ()) Pg.table7_3dft ~seed:42;
+  table7_csv "results/table7_5dft.csv"
+    (Program.dfg (Dft.winograd5 ()))
+    Pg.table7_5dft ~seed:43;
+  span_sweep_csv "results/span_sweep.csv";
+  pdef_sweep_csv "results/pdef_sweep.csv";
+  print_endline
+    "wrote results/table7_3dft.csv results/table7_5dft.csv results/span_sweep.csv \
+     results/pdef_sweep.csv"

@@ -1,0 +1,109 @@
+(* Bechamel micro-benchmarks: one Test.make per paper table (timing the code
+   that regenerates it) plus scaling benches for the expensive kernels
+   (antichain enumeration, classification, selection, scheduling). *)
+
+module Pg = Core.Paper_graphs
+module Dfg = Core.Dfg
+module Levels = Core.Levels
+module Pattern = Core.Pattern
+module Enumerate = Core.Enumerate
+module Classify = Core.Classify
+module Select = Core.Select
+module Mp = Core.Multi_pattern
+module Random_dag = Core.Random_dag
+module Dft = Core.Dft
+module Program = Core.Program
+open Bechamel
+open Toolkit
+
+let capacity = Pg.montium_capacity
+let dft3 = Pg.fig2_3dft ()
+let fig4 = Pg.fig4_small ()
+let w5dft = Program.dfg (Dft.winograd5 ())
+let dft3_classify = Classify.compute ~span_limit:1 ~capacity (Enumerate.make_ctx dft3)
+
+let section4_patterns =
+  let p1, p2 = Pg.section4_patterns in
+  [ Pattern.of_string p1; Pattern.of_string p2 ]
+
+(* One staged test per paper table: the work that regenerates it. *)
+let table_tests =
+  [
+    Test.make ~name:"table1:levels-3dft" (Staged.stage (fun () ->
+        ignore (Levels.compute dft3)));
+    Test.make ~name:"table2:trace-schedule-3dft" (Staged.stage (fun () ->
+        ignore (Mp.schedule ~trace:true ~patterns:section4_patterns dft3)));
+    Test.make ~name:"table3:schedule-3-pattern-sets" (Staged.stage (fun () ->
+        List.iter
+          (fun (pats, _) ->
+            ignore (Mp.schedule ~patterns:(List.map Pattern.of_string pats) dft3))
+          Pg.table3_pattern_sets));
+    Test.make ~name:"table4:classify-fig4" (Staged.stage (fun () ->
+        ignore
+          (Classify.compute ~keep_antichains:true ~capacity (Enumerate.make_ctx fig4))));
+    Test.make ~name:"table5:count-matrix-3dft" (Staged.stage (fun () ->
+        ignore
+          (Enumerate.count_matrix ~max_size:capacity ~max_span:4
+             (Enumerate.make_ctx dft3))));
+    Test.make ~name:"table6:frequencies-fig4" (Staged.stage (fun () ->
+        ignore (Classify.compute ~capacity (Enumerate.make_ctx fig4))));
+    Test.make ~name:"table7:select+schedule-3dft" (Staged.stage (fun () ->
+        let pats = Select.select ~pdef:4 dft3_classify in
+        ignore (Mp.schedule ~patterns:pats dft3)));
+  ]
+
+(* Scaling: the heavy kernels on growing random DAGs. *)
+let scaling_tests =
+  let graphs =
+    List.map
+      (fun (layers, width) ->
+        let params = { Random_dag.default_params with Random_dag.layers; width } in
+        let g = Random_dag.generate ~params ~seed:1 () in
+        (Printf.sprintf "%dn" (Dfg.node_count g), g))
+      [ (6, 6); (10, 10); (16, 12) ]
+  in
+  List.concat_map
+    (fun (tag, g) ->
+      [
+        Test.make
+          ~name:(Printf.sprintf "enumerate-span1-%s" tag)
+          (Staged.stage (fun () ->
+               ignore
+                 (Enumerate.count ~span_limit:1 ~max_size:capacity
+                    (Enumerate.make_ctx g))));
+        Test.make
+          ~name:(Printf.sprintf "pipeline-%s" tag)
+          (Staged.stage (fun () -> ignore (Core.Pipeline.run g)));
+      ])
+    graphs
+  @ [
+      Test.make ~name:"pipeline-w5dft"
+        (Staged.stage (fun () -> ignore (Core.Pipeline.run w5dft)));
+    ]
+
+let run_group name tests =
+  let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _clock tbl ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-40s %14.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
+        (List.sort compare rows))
+    merged
+
+let run_all () =
+  Printf.printf "\n=== Performance: per-table regeneration cost ===\n";
+  run_group "tables" table_tests;
+  Printf.printf "\n=== Performance: scaling on random DAGs ===\n";
+  run_group "scaling" scaling_tests

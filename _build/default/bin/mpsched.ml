@@ -1,0 +1,484 @@
+(* mpsched: command-line front door to the multi-pattern scheduling flow.
+
+   Subcommands mirror the compiler phases:
+
+     mpsched levels     GRAPH            -- ASAP/ALAP/Height table
+     mpsched antichains GRAPH            -- antichain counts per size/span
+     mpsched patterns   GRAPH            -- classified pattern pool
+     mpsched select     GRAPH            -- run the selection algorithm
+     mpsched schedule   GRAPH -p aabcc -p aaacc   -- multi-pattern scheduling
+     mpsched pipeline   GRAPH            -- select + schedule + config report
+     mpsched dot        GRAPH            -- DOT export
+     mpsched workload   NAME             -- dump a built-in workload as a graph file
+
+   GRAPH is a DFG text file ("node <name> <color>" / "edge <src> <dst>"
+   lines), or one of the built-in names (3dft, fig4, w3dft, w5dft, fft8,
+   dct8). *)
+
+module C = Core
+open Cmdliner
+
+let builtin_graphs =
+  [
+    ("3dft", fun () -> C.Paper_graphs.fig2_3dft ());
+    ("fig4", fun () -> C.Paper_graphs.fig4_small ());
+    ("w3dft", fun () -> C.Program.dfg (C.Dft.winograd3 ()));
+    ("w5dft", fun () -> C.Program.dfg (C.Dft.winograd5 ()));
+    ("fft8", fun () -> C.Program.dfg (C.Dft.radix2_fft ~n:8));
+    ("dct8", fun () -> C.Program.dfg (C.Kernels.dct8 ()));
+  ]
+
+let load_graph spec =
+  match List.assoc_opt spec builtin_graphs with
+  | Some f -> Ok (f ())
+  | None -> (
+      match C.Dfg_parse.load spec with
+      | g -> Ok g
+      | exception Sys_error m -> Error m
+      | exception C.Dfg_parse.Parse_error { line; message } ->
+          Error (Printf.sprintf "%s:%d: %s" spec line message)
+      | exception C.Dfg.Cycle names ->
+          Error (Printf.sprintf "%s: graph has a cycle: %s" spec (String.concat " -> " names)))
+
+let graph_arg =
+  let doc =
+    "Input graph: a DFG file, or a built-in name ("
+    ^ String.concat ", " (List.map fst builtin_graphs)
+    ^ ")."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
+
+let capacity_arg =
+  Arg.(
+    value
+    & opt int C.Paper_graphs.montium_capacity
+    & info [ "C"; "capacity" ] ~docv:"C" ~doc:"Number of parallel ALUs (pattern size).")
+
+let span_arg =
+  Arg.(
+    value
+    & opt (some int) (Some 1)
+    & info [ "s"; "span" ] ~docv:"SPAN"
+        ~doc:"Antichain span limit; negative means unlimited.")
+
+let span_of = function Some s when s < 0 -> None | other -> other
+
+let pdef_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "n"; "pdef" ] ~docv:"PDEF" ~doc:"Number of patterns to select.")
+
+let or_fail = function
+  | Ok x -> x
+  | Error m ->
+      prerr_endline ("mpsched: " ^ m);
+      exit 1
+
+(* --- levels --- *)
+
+let levels_cmd =
+  let run spec =
+    let g = or_fail (load_graph spec) in
+    let lv = C.Levels.compute g in
+    let t = C.Ascii_table.create ~header:[ "node"; "asap"; "alap"; "height"; "mobility" ] () in
+    List.iter
+      (fun i ->
+        C.Ascii_table.add_row t
+          [
+            C.Dfg.name g i;
+            string_of_int (C.Levels.asap lv i);
+            string_of_int (C.Levels.alap lv i);
+            string_of_int (C.Levels.height lv i);
+            string_of_int (C.Levels.mobility lv i);
+          ])
+      (C.Dfg.nodes g);
+    C.Ascii_table.print t;
+    Printf.printf "critical path: %d cycles\n" (C.Levels.lower_bound_cycles lv)
+  in
+  Cmd.v (Cmd.info "levels" ~doc:"ASAP/ALAP/Height analysis (paper Table 1)")
+    Term.(const run $ graph_arg)
+
+(* --- antichains --- *)
+
+let antichains_cmd =
+  let run spec capacity =
+    let g = or_fail (load_graph spec) in
+    let ctx = C.Enumerate.make_ctx g in
+    let lv = C.Enumerate.ctx_levels ctx in
+    let max_span = max 0 (C.Levels.asap_max lv) in
+    let m = C.Enumerate.count_matrix ~max_size:capacity ~max_span ctx in
+    let header =
+      "span limit" :: List.init capacity (fun s -> Printf.sprintf "size%d" (s + 1))
+    in
+    let t = C.Ascii_table.create ~header () in
+    for l = 0 to max_span do
+      C.Ascii_table.add_row t
+        (Printf.sprintf "<=%d" l
+        :: List.init capacity (fun s -> string_of_int m.(l).(s + 1)))
+    done;
+    C.Ascii_table.print t
+  in
+  Cmd.v
+    (Cmd.info "antichains" ~doc:"Antichain counts per size and span limit (Table 5)")
+    Term.(const run $ graph_arg $ capacity_arg)
+
+(* --- patterns --- *)
+
+let patterns_cmd =
+  let run spec capacity span =
+    let g = or_fail (load_graph spec) in
+    let cls =
+      C.Classify.compute ?span_limit:(span_of span) ~capacity (C.Enumerate.make_ctx g)
+    in
+    let t = C.Ascii_table.create ~header:[ "pattern"; "antichains" ] () in
+    C.Classify.fold
+      (fun p ~count ~freq:_ () ->
+        C.Ascii_table.add_row t [ C.Pattern.to_string p; string_of_int count ])
+      cls ();
+    C.Ascii_table.print t;
+    Printf.printf "%d patterns, %d antichains\n" (C.Classify.pattern_count cls)
+      (C.Classify.total_antichains cls)
+  in
+  Cmd.v
+    (Cmd.info "patterns" ~doc:"The classified pattern pool (§5.1)")
+    Term.(const run $ graph_arg $ capacity_arg $ span_arg)
+
+(* --- select --- *)
+
+let select_cmd =
+  let run spec capacity span pdef verbose =
+    let g = or_fail (load_graph spec) in
+    let cls =
+      C.Classify.compute ?span_limit:(span_of span) ~capacity (C.Enumerate.make_ctx g)
+    in
+    let report = C.Select.select_report ~pdef cls in
+    List.iteri
+      (fun i step ->
+        Printf.printf "%d: %s%s  (priority %.2f)\n" (i + 1)
+          (C.Pattern.to_string step.C.Select.chosen)
+          (if step.C.Select.fallback then " [fallback]" else "")
+          step.C.Select.priority;
+        if verbose then
+          List.iter
+            (fun (p, f) -> Printf.printf "     %-8s %.2f\n" (C.Pattern.to_string p) f)
+            step.C.Select.priorities)
+      report.C.Select.steps
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every candidate's priority.")
+  in
+  Cmd.v
+    (Cmd.info "select" ~doc:"Run the pattern selection algorithm (§5.2)")
+    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ verbose)
+
+(* --- schedule --- *)
+
+let schedule_cmd =
+  let run spec patterns trace =
+    let g = or_fail (load_graph spec) in
+    if patterns = [] then or_fail (Error "need at least one -p PATTERN");
+    let pats = List.map C.Pattern.of_string patterns in
+    match C.Multi_pattern.schedule ~trace ~patterns:pats g with
+    | exception C.Multi_pattern.Unschedulable colors ->
+        or_fail
+          (Error
+             (Printf.sprintf "patterns cannot cover colors: %s"
+                (String.concat ", " (List.map C.Color.to_string colors))))
+    | r ->
+        if trace then
+          Format.printf "%a@." (C.Multi_pattern.pp_trace g) r.C.Multi_pattern.trace;
+        Format.printf "%a@." (C.Schedule.pp g) r.C.Multi_pattern.schedule;
+        Printf.printf "%d cycles\n" (C.Schedule.cycles r.C.Multi_pattern.schedule)
+  in
+  let patterns =
+    Arg.(
+      value & opt_all string []
+      & info [ "p"; "pattern" ] ~docv:"PATTERN" ~doc:"Allowed pattern, e.g. aabcc (repeatable).")
+  in
+  let trace =
+    Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Print the per-cycle trace (Table 2).")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Multi-pattern list scheduling (§4)")
+    Term.(const run $ graph_arg $ patterns $ trace)
+
+(* --- pipeline --- *)
+
+let pipeline_cmd =
+  let run spec capacity span pdef cluster =
+    let g = or_fail (load_graph spec) in
+    let options =
+      {
+        C.Pipeline.default_options with
+        C.Pipeline.capacity;
+        span_limit = span_of span;
+        pdef;
+        cluster;
+      }
+    in
+    let t = C.Pipeline.run ~options g in
+    Format.printf "%a@." C.Pipeline.pp_summary t;
+    Format.printf "%a@." (C.Schedule.pp t.C.Pipeline.graph) t.C.Pipeline.schedule
+  in
+  let cluster =
+    Arg.(value & flag & info [ "cluster" ] ~doc:"Fuse multiply-accumulate pairs first.")
+  in
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Full flow: select, schedule, configuration report")
+    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ cluster)
+
+(* --- optimal --- *)
+
+let optimal_cmd =
+  let run spec patterns max_states =
+    let g = or_fail (load_graph spec) in
+    if patterns = [] then or_fail (Error "need at least one -p PATTERN");
+    let pats = List.map C.Pattern.of_string patterns in
+    match C.Optimal.schedule ~max_states ~patterns:pats g with
+    | exception C.Multi_pattern.Unschedulable colors ->
+        or_fail
+          (Error
+             (Printf.sprintf "patterns cannot cover colors: %s"
+                (String.concat ", " (List.map C.Color.to_string colors))))
+    | o ->
+        Format.printf "%a@." (C.Schedule.pp g) o.C.Optimal.schedule;
+        Printf.printf "%d cycles (%s, %d states explored); list heuristic: %d\n"
+          o.C.Optimal.cycles
+          (if o.C.Optimal.proven_optimal then "proven optimal" else "state cap hit")
+          o.C.Optimal.explored_states
+          (C.Multi_pattern.cycles ~patterns:pats g)
+  in
+  let patterns =
+    Arg.(
+      value & opt_all string []
+      & info [ "p"; "pattern" ] ~docv:"PATTERN" ~doc:"Allowed pattern (repeatable).")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-states" ] ~docv:"N" ~doc:"Branch-and-bound state cap.")
+  in
+  Cmd.v
+    (Cmd.info "optimal" ~doc:"Exact minimum-cycle schedule by branch and bound")
+    Term.(const run $ graph_arg $ patterns $ max_states)
+
+(* --- anneal --- *)
+
+let anneal_cmd =
+  let run spec capacity span pdef iterations seed =
+    let g = or_fail (load_graph spec) in
+    let cls =
+      C.Classify.compute ?span_limit:(span_of span) ~capacity (C.Enumerate.make_ctx g)
+    in
+    let rng = C.Rng.create ~seed in
+    let o = C.Annealing.search ~iterations rng ~pdef cls in
+    Printf.printf "patterns: %s\n"
+      (String.concat " " (List.map C.Pattern.to_string o.C.Annealing.patterns));
+    Printf.printf "%d cycles after %d schedule evaluations (%s the heuristic)\n"
+      o.C.Annealing.cycles o.C.Annealing.evaluations
+      (if o.C.Annealing.improved then "improved on" else "matched")
+  in
+  let iterations =
+    Arg.(value & opt int 2000 & info [ "i"; "iterations" ] ~docv:"N" ~doc:"Annealing steps.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "anneal" ~doc:"Simulated-annealing pattern-set search")
+    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ iterations $ seed)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run spec capacity =
+    let g = or_fail (load_graph spec) in
+    let lv = C.Levels.compute g in
+    let p = C.Posets.analyze g in
+    Printf.printf "%d nodes, %d edges, colors: %s\n" (C.Dfg.node_count g)
+      (C.Dfg.edge_count g)
+      (String.concat " "
+         (List.map
+            (fun (c, k) -> Printf.sprintf "%s=%d" (C.Color.to_string c) k)
+            (C.Dfg.color_counts g)));
+    Printf.printf "critical path: %d cycles\n" (C.Levels.lower_bound_cycles lv);
+    Format.printf "%a@." (C.Posets.pp g) p;
+    Printf.printf "capacity-%d lower bound: %d cycles\n" capacity
+      (C.Posets.lower_bound_cycles p ~capacity);
+    if C.Posets.width p <= capacity then
+      Printf.printf
+        "width <= %d: the ALU count never binds; only the color mix matters\n"
+        capacity
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Structural analysis: width (Dilworth), covers (Mirsky), bounds")
+    Term.(const run $ graph_arg $ capacity_arg)
+
+(* --- stream --- *)
+
+let stream_cmd =
+  let run spec patterns pdef span capacity =
+    let g = or_fail (load_graph spec) in
+    let patterns =
+      if patterns <> [] then List.map C.Pattern.of_string patterns
+      else begin
+        let cls =
+          C.Classify.compute ?span_limit:(span_of span) ~capacity
+            (C.Enumerate.make_ctx g)
+        in
+        C.Select.select ~pdef cls
+      end
+    in
+    let loop = C.Loop_graph.make g [] in
+    Printf.printf "patterns: %s\n"
+      (String.concat " " (List.map C.Pattern.to_string patterns));
+    Printf.printf "single-shot: %d cycles; MII: %d\n"
+      (C.Multi_pattern.cycles ~patterns g)
+      (C.Loop_graph.mii loop ~patterns);
+    match C.Modulo.schedule ~patterns loop with
+    | m ->
+        Printf.printf "pipelined: II = %d (one result every %d cycles), latency %d\n"
+          m.C.Modulo.ii m.C.Modulo.ii m.C.Modulo.makespan;
+        Array.iteri
+          (fun s p -> Printf.printf "  slot %d: %s\n" s (C.Pattern.to_string p))
+          m.C.Modulo.slot_patterns
+    | exception C.Modulo.No_schedule { tried_up_to } ->
+        or_fail (Error (Printf.sprintf "no modulo schedule up to II=%d" tried_up_to))
+  in
+  let patterns =
+    Arg.(
+      value & opt_all string []
+      & info [ "p"; "pattern" ] ~docv:"PATTERN"
+          ~doc:"Allowed pattern (repeatable); defaults to running selection.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Software-pipeline the graph as a streaming loop (modulo scheduling)")
+    Term.(const run $ graph_arg $ patterns $ pdef_arg $ span_arg $ capacity_arg)
+
+(* --- codegen --- *)
+
+let builtin_programs =
+  [
+    ("w3dft", fun () -> C.Dft.winograd3 ());
+    ("w5dft", fun () -> C.Dft.winograd5 ());
+    ("fft8", fun () -> C.Dft.radix2_fft ~n:8);
+    ("dct8", fun () -> C.Kernels.dct8 ());
+    ("ofdm4", fun () -> C.Ofdm.receiver ~n:4);
+    ("bitonic8", fun () -> C.Sorting.bitonic ~n:8);
+  ]
+
+let load_program spec =
+  match List.assoc_opt spec builtin_programs with
+  | Some f -> Ok (f ())
+  | None -> (
+      match C.Program_text.load spec with
+      | p -> Ok p
+      | exception Sys_error m -> Error m
+      | exception C.Program_text.Parse_error { line; message } ->
+          Error (Printf.sprintf "%s:%d: %s" spec line message))
+
+let codegen_cmd =
+  let run name pdef out =
+    match load_program name with
+    | Error m ->
+        or_fail
+          (Error
+             (Printf.sprintf
+                "%s (PROGRAM is a .prog file or one of: %s)"
+                m
+                (String.concat ", " (List.map fst builtin_programs))))
+    | Ok _ as loaded -> (
+        let f () = Result.get_ok loaded in
+        let prog = f () in
+        let options = { C.Pipeline.default_options with C.Pipeline.pdef } in
+        match C.Pipeline.map_program ~options prog with
+        | Error m -> or_fail (Error m)
+        | Ok mapped -> (
+            match
+              C.Codegen.generate prog mapped.C.Pipeline.pipeline.C.Pipeline.schedule
+                mapped.C.Pipeline.allocation
+            with
+            | Error m -> or_fail (Error m)
+            | Ok listing -> (
+                match out with
+                | None -> print_string listing
+                | Some path ->
+                    C.Dot.write_file ~path listing;
+                    Printf.printf "wrote %s\n" path)))
+  in
+  let prog_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc:"A .prog file or built-in program.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Emit the Montium configuration listing for a mapped program")
+    Term.(const run $ prog_arg $ pdef_arg $ out)
+
+(* --- program dump --- *)
+
+let program_cmd =
+  let run name =
+    match load_program name with
+    | Ok p -> print_string (C.Program_text.to_string p)
+    | Error m -> or_fail (Error m)
+  in
+  let prog_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc:"A .prog file or built-in program.")
+  in
+  Cmd.v
+    (Cmd.info "program" ~doc:"Dump a program in the textual .prog format")
+    Term.(const run $ prog_arg)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let run spec out =
+    let g = or_fail (load_graph spec) in
+    let dot = C.Dot.to_dot ~levels:(C.Levels.compute g) g in
+    match out with
+    | None -> print_string dot
+    | Some path ->
+        C.Dot.write_file ~path dot;
+        Printf.printf "wrote %s\n" path
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Graphviz export (Figures 2 and 4)") Term.(const run $ graph_arg $ out)
+
+(* --- workload --- *)
+
+let workload_cmd =
+  let run name =
+    match List.assoc_opt name builtin_graphs with
+    | Some f -> print_string (C.Dfg_parse.to_string (f ()))
+    | None ->
+        or_fail
+          (Error
+             (Printf.sprintf "unknown workload %s (have: %s)" name
+                (String.concat ", " (List.map fst builtin_graphs))))
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Built-in workload.")
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Dump a built-in workload in the DFG text format")
+    Term.(const run $ name_arg)
+
+let () =
+  let info =
+    Cmd.info "mpsched" ~version:"1.0.0"
+      ~doc:"Multi-pattern scheduling and pattern selection for the Montium (IPDPS 2006)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            levels_cmd; antichains_cmd; patterns_cmd; select_cmd; schedule_cmd;
+            optimal_cmd; anneal_cmd; codegen_cmd; stream_cmd; analyze_cmd;
+            pipeline_cmd; dot_cmd; workload_cmd; program_cmd;
+          ]))

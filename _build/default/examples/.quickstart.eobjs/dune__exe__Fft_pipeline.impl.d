@@ -1,0 +1,1 @@
+examples/fft_pipeline.ml: Array Core Format List Printf String

@@ -1,0 +1,1 @@
+examples/montium_mapping.ml: Array Core Format List Printf String

@@ -1,0 +1,1 @@
+examples/montium_mapping.mli:

@@ -1,0 +1,1 @@
+examples/ofdm_receiver.ml: Array Core Float Format List Printf String

@@ -1,0 +1,1 @@
+examples/ofdm_receiver.mli:

@@ -1,0 +1,1 @@
+examples/streaming.ml: Core Format List Printf String

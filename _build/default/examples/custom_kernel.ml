@@ -1,0 +1,57 @@
+(* Writing your own kernel through the expression frontend:
+
+     dune exec examples/custom_kernel.exe
+
+   A 4-tap FIR filter is written as plain arithmetic expressions; the
+   frontend lowers it to a DFG (sharing common subexpressions), and the
+   usual flow maps it to the tile.  This is the path a user takes for a
+   kernel the library does not ship. *)
+
+module C = Core
+
+let () =
+  (* y[n] = 0.25*x[n] + 0.5*x[n-1] + 0.5*x[n-2] + 0.25*x[n-3], 4 outputs.
+     The window holds 7 samples, newest last. *)
+  let taps = [ 0.25; 0.5; 0.5; 0.25 ] in
+  let y n =
+    (* pair each tap with the window index it reads *)
+    let terms = List.mapi (fun k c -> (c, n + 3 - k)) taps in
+    let open C.Expr in
+    let x i = var (Printf.sprintf "x%d" i) in
+    match List.map (fun (c, i) -> const c * x i) terms with
+    | first :: rest -> List.fold_left ( + ) first rest
+    | [] -> assert false
+  in
+  let bindings = List.init 4 (fun n -> (Printf.sprintf "y%d" n, y n)) in
+  let prog = C.Lower.lower bindings in
+  let g = C.Program.dfg prog in
+  Printf.printf "lowered FIR: %d ops, %d edges, inputs: %s\n" (C.Dfg.node_count g)
+    (C.Dfg.edge_count g)
+    (String.concat " " (C.Program.inputs prog));
+
+  (* Map with a small pattern budget and report what the tile would load. *)
+  let options = { C.Pipeline.default_options with C.Pipeline.pdef = 3 } in
+  (match C.Pipeline.map_program ~options prog with
+  | Error m -> failwith m
+  | Ok mapped ->
+      let p = mapped.C.Pipeline.pipeline in
+      Format.printf "%a@." C.Pipeline.pp_summary p;
+      (* run it on a step input and compare with the reference FIR *)
+      let window = [| 0.0; 0.0; 0.0; 1.0; 1.0; 1.0; 1.0 |] in
+      let env name =
+        match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+        | Some i when name.[0] = 'x' -> window.(i)
+        | _ -> raise Not_found
+      in
+      (match C.Pipeline.verify mapped ~env with
+      | Ok () -> print_endline "tile simulation matches the reference evaluator"
+      | Error m -> failwith m);
+      let out, _ =
+        C.Simulator.run prog p.C.Pipeline.schedule mapped.C.Pipeline.allocation ~env
+      in
+      let want = C.Kernels.fir_reference ~taps window in
+      List.iter
+        (fun (name, v) ->
+          let i = int_of_string (String.sub name 1 (String.length name - 1)) in
+          Printf.printf "%s = %6.3f (reference %6.3f)\n" name v want.(i))
+        (List.sort compare out))

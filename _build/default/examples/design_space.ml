@@ -1,0 +1,58 @@
+(* Design-space exploration: how many patterns does a kernel need?
+
+     dune exec examples/design_space.exe
+
+   Sweeps Pdef and the antichain span limit over several kernels and
+   prints cycles, configuration-table size, and the gap to the
+   resource-unconstrained lower bound — the numbers an architect looks at
+   when sizing the Montium's 32-entry configuration memory. *)
+
+module C = Core
+
+let workloads =
+  [
+    ("3dft", C.Paper_graphs.fig2_3dft ());
+    ("w5dft", C.Program.dfg (C.Dft.winograd5 ()));
+    ("fft8", C.Program.dfg (C.Dft.radix2_fft ~n:8));
+    ("dct8", C.Program.dfg (C.Kernels.dct8 ()));
+  ]
+
+let () =
+  let t =
+    C.Ascii_table.create
+      ~header:[ "workload"; "span"; "Pdef"; "cycles"; "lower bound"; "configs"; "antichains" ]
+      ()
+  in
+  List.iter
+    (fun (name, g) ->
+      let lower = C.Levels.lower_bound_cycles (C.Levels.compute g) in
+      List.iter
+        (fun span_limit ->
+          List.iter
+            (fun pdef ->
+              let options =
+                {
+                  C.Pipeline.default_options with
+                  C.Pipeline.pdef;
+                  span_limit;
+                  enumeration_budget = Some 3_000_000;
+                }
+              in
+              let r = C.Pipeline.run ~options g in
+              C.Ascii_table.add_row t
+                [
+                  name;
+                  (match span_limit with None -> "inf" | Some s -> string_of_int s);
+                  string_of_int pdef;
+                  string_of_int r.C.Pipeline.cycles;
+                  string_of_int lower;
+                  string_of_int r.C.Pipeline.config.C.Config_space.table_size;
+                  string_of_int r.C.Pipeline.antichains
+                  ^ (if r.C.Pipeline.truncated then "+" else "");
+                ])
+            [ 1; 2; 4; 8 ])
+        [ Some 0; Some 1; Some 2 ];
+      C.Ascii_table.add_separator t)
+    workloads;
+  C.Ascii_table.print t;
+  print_endline "(antichain counts marked '+' hit the enumeration budget)"

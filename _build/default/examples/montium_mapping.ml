@@ -1,0 +1,54 @@
+(* Inside the tile: what the datapath does cycle by cycle.
+
+     dune exec examples/montium_mapping.exe
+
+   Maps an 8-point FFT onto the Montium and prints the ALU assignment per
+   cycle, the configuration table the sequencer would hold, datapath
+   traffic, the energy breakdown, and the effect of shrinking the tile. *)
+
+module C = Core
+
+let () =
+  let prog = C.Dft.radix2_fft ~n:8 in
+  let g = C.Program.dfg prog in
+  Printf.printf "8-point FFT: %d ops\n\n" (C.Dfg.node_count g);
+  match C.Pipeline.map_program prog with
+  | Error m -> failwith m
+  | Ok mapped ->
+      let p = mapped.C.Pipeline.pipeline in
+      let sched = p.C.Pipeline.schedule in
+      let alloc = mapped.C.Pipeline.allocation in
+      (* per-cycle ALU occupancy map *)
+      let alus = C.Tile.default.C.Tile.alu_count in
+      Printf.printf "cycle  pattern   %s\n"
+        (String.concat " " (List.init alus (fun a -> Printf.sprintf "ALU%d " a)));
+      for c = 0 to C.Schedule.cycles sched - 1 do
+        let row = Array.make alus "-    " in
+        List.iter
+          (fun i -> row.(C.Allocation.alu_of alloc i) <- Printf.sprintf "%-5s" (C.Dfg.name g i))
+          (C.Schedule.nodes_at sched c);
+        Printf.printf "%5d  %-8s  %s\n" (c + 1)
+          (C.Pattern.to_string (C.Schedule.pattern_at sched c))
+          (String.concat " " (Array.to_list row))
+      done;
+      Format.printf "@.%a@." C.Config_space.pp p.C.Pipeline.config;
+      let s = C.Allocation.stats alloc in
+      Printf.printf
+        "\ndatapath: %d bus transfers (peak %d/cycle of %d), %d spills, peak regs %d of %d\n"
+        s.C.Allocation.bus_transfers s.C.Allocation.peak_bus_use
+        C.Tile.default.C.Tile.bus_count s.C.Allocation.spills
+        s.C.Allocation.peak_registers C.Tile.default.C.Tile.registers_per_alu;
+      Format.printf "%a@." C.Energy.pp mapped.C.Pipeline.energy;
+
+      (* shrink the register files until allocation has to spill *)
+      print_newline ();
+      List.iter
+        (fun regs ->
+          let tile = { C.Tile.default with C.Tile.registers_per_alu = regs } in
+          match C.Allocation.allocate ~tile prog sched with
+          | Ok a ->
+              let s = C.Allocation.stats a in
+              Printf.printf "registers/ALU = %2d: %d spills, peak regs %d\n" regs
+                s.C.Allocation.spills s.C.Allocation.peak_registers
+          | Error m -> Printf.printf "registers/ALU = %2d: allocation fails (%s)\n" regs m)
+        [ 16; 8; 4; 2; 1 ]

@@ -1,0 +1,60 @@
+(* One configuration table, many kernels:
+
+     dune exec examples/multi_kernel.exe
+
+   A realistic application runs a whole suite of kernels on the tile, all
+   sharing the 32-entry pattern table.  Compare three ways of choosing the
+   shared patterns: jointly (Shared.select), borrowing the set tuned for
+   one kernel, and random. *)
+
+module C = Core
+
+let () =
+  let kernels =
+    [
+      C.Shared.kernel ~span_limit:1 ~label:"3dft" (C.Paper_graphs.fig2_3dft ());
+      C.Shared.kernel ~span_limit:1 ~label:"w5dft" (C.Program.dfg (C.Dft.winograd5 ()));
+      C.Shared.kernel ~span_limit:1 ~label:"fir8x4"
+        (C.Program.dfg
+           (C.Kernels.fir ~taps:(List.init 8 (fun i -> 0.5 /. float_of_int (i + 1))) ~block:4));
+      C.Shared.kernel ~span_limit:1 ~label:"dct8" (C.Program.dfg (C.Kernels.dct8 ()));
+    ]
+  in
+  let pdef = 4 in
+  let total patterns =
+    List.fold_left
+      (fun acc k ->
+        match C.Multi_pattern.schedule ~patterns k.C.Shared.graph with
+        | r -> acc + C.Schedule.cycles r.C.Multi_pattern.schedule
+        | exception C.Multi_pattern.Unschedulable _ -> acc + 999)
+      0 kernels
+  in
+  let shared = C.Shared.select ~pdef kernels in
+  Printf.printf "jointly selected (%s):\n"
+    (String.concat " " (List.map C.Pattern.to_string shared.C.Shared.patterns));
+  List.iter
+    (fun (label, cycles) -> Printf.printf "  %-8s %3d cycles\n" label cycles)
+    shared.C.Shared.per_kernel_cycles;
+  Printf.printf "  total    %3d cycles\n\n" shared.C.Shared.total_cycles;
+
+  List.iter
+    (fun donor ->
+      let borrowed = C.Select.select ~pdef donor.C.Shared.classify in
+      Printf.printf "borrowed from %-8s (%s): total %3d cycles\n" donor.C.Shared.label
+        (String.concat " " (List.map C.Pattern.to_string borrowed))
+        (total borrowed))
+    kernels;
+
+  let rng = C.Rng.create ~seed:5 in
+  let union_colors =
+    List.concat_map (fun k -> C.Dfg.colors k.C.Shared.graph) kernels
+    |> List.sort_uniq C.Color.compare
+  in
+  let random_totals =
+    List.init 10 (fun _ ->
+        float_of_int
+          (total (C.Random_select.select rng ~colors:union_colors ~capacity:5 ~pdef)))
+  in
+  Printf.printf "\nrandom shared sets: total %.1f +/- %.1f cycles (10 draws)\n"
+    (C.Mstats.mean (Array.of_list random_totals))
+    (C.Mstats.stddev (Array.of_list random_totals))

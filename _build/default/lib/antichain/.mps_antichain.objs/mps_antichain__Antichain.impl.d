@@ -1,0 +1,1 @@
+lib/antichain/antichain.ml: Format Int List Mps_dfg Mps_pattern

@@ -1,0 +1,1 @@
+lib/antichain/antichain.mli: Format Mps_dfg Mps_pattern

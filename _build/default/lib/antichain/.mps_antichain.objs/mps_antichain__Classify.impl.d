@@ -1,0 +1,1 @@
+lib/antichain/classify.ml: Antichain Array Enumerate Format List Mps_dfg Mps_pattern

@@ -1,0 +1,1 @@
+lib/antichain/classify.mli: Antichain Enumerate Format Mps_dfg Mps_pattern

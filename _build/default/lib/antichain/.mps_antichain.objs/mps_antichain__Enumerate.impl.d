@@ -1,0 +1,1 @@
+lib/antichain/enumerate.ml: Antichain Array List Mps_dfg Mps_util Option

@@ -1,0 +1,1 @@
+lib/antichain/enumerate.mli: Antichain Mps_dfg

@@ -1,0 +1,1 @@
+lib/antichain/posets.ml: Array Format List Mps_dfg Mps_util String

@@ -1,0 +1,1 @@
+lib/antichain/posets.mli: Format Mps_dfg

@@ -1,0 +1,71 @@
+module Dfg = Mps_dfg.Dfg
+module Pattern = Mps_pattern.Pattern
+
+type entry = {
+  mutable count : int;
+  freq : int array;
+  mutable kept : Antichain.t list; (* reversed *)
+}
+
+type t = {
+  graph : Dfg.t;
+  capacity : int;
+  span_limit : int option;
+  entries : entry Pattern.Map.t;
+  total : int;
+  truncated : bool;
+}
+
+let compute ?span_limit ?budget ?(keep_antichains = false) ~capacity ctx =
+  let graph = Enumerate.ctx_graph ctx in
+  let n = Dfg.node_count graph in
+  let entries = ref Pattern.Map.empty in
+  let total = ref 0 in
+  let classify a =
+    incr total;
+    let p = Antichain.pattern graph a in
+    let e =
+      match Pattern.Map.find_opt p !entries with
+      | Some e -> e
+      | None ->
+          let e = { count = 0; freq = Array.make n 0; kept = [] } in
+          entries := Pattern.Map.add p e !entries;
+          e
+    in
+    e.count <- e.count + 1;
+    List.iter (fun i -> e.freq.(i) <- e.freq.(i) + 1) (Antichain.nodes a);
+    if keep_antichains then e.kept <- a :: e.kept
+  in
+  let truncated =
+    match Enumerate.iter ?span_limit ?budget ~max_size:capacity ctx ~f:classify with
+    | () -> false
+    | exception Enumerate.Budget_exhausted -> true
+  in
+  { graph; capacity; span_limit; entries = !entries; total = !total; truncated }
+
+let truncated t = t.truncated
+
+let graph t = t.graph
+let capacity t = t.capacity
+let span_limit t = t.span_limit
+let patterns t = List.map fst (Pattern.Map.bindings t.entries)
+let pattern_count t = Pattern.Map.cardinal t.entries
+let find t p = Pattern.Map.find_opt p t.entries
+let count t p = match find t p with Some e -> e.count | None -> 0
+
+let node_frequency t p =
+  match find t p with
+  | Some e -> Array.copy e.freq
+  | None -> Array.make (Dfg.node_count t.graph) 0
+
+let frequency t p n = match find t p with Some e -> e.freq.(n) | None -> 0
+let antichains t p = match find t p with Some e -> List.rev e.kept | None -> []
+let total_antichains t = t.total
+
+let fold f t acc =
+  Pattern.Map.fold (fun p e acc -> f p ~count:e.count ~freq:e.freq acc) t.entries acc
+
+let pp_table ppf t =
+  Pattern.Map.iter
+    (fun p e -> Format.fprintf ppf "%a: %d antichains@." Pattern.pp p e.count)
+    t.entries

@@ -1,0 +1,69 @@
+(** Classification of antichains by pattern, and node frequencies (§5.1–5.2).
+
+    Enumerated antichains are grouped by their pattern (the bag of their
+    nodes' colors).  For each pattern p̄ the classification keeps:
+
+    - the number of its antichains;
+    - the node-frequency vector h(p̄) where h(p̄,n) is the number of
+      antichains of p̄ containing node n — "the flexibility to schedule the
+      node n by the pattern p̄";
+    - optionally the antichains themselves (Table 4 prints them; large
+      graphs should not keep them).
+
+    The classification is the input to the selection algorithm (§5.2). *)
+
+type t
+
+val compute :
+  ?span_limit:int ->
+  ?budget:int ->
+  ?keep_antichains:bool ->
+  capacity:int ->
+  Enumerate.ctx ->
+  t
+(** Enumerates antichains of size 1..[capacity] with span ≤ [span_limit]
+    (default unlimited) and classifies them.  [keep_antichains] defaults to
+    [false].  [budget] caps the enumeration (see {!Enumerate.iter}); when it
+    triggers, the classification covers only the visited prefix and
+    {!truncated} reports it — selection on a truncated pool is still sound
+    (the color-condition fallback guarantees coverage) but no longer sees
+    every pattern. *)
+
+val truncated : t -> bool
+(** Whether the enumeration budget cut the classification short. *)
+
+val graph : t -> Mps_dfg.Dfg.t
+val capacity : t -> int
+val span_limit : t -> int option
+
+val patterns : t -> Mps_pattern.Pattern.t list
+(** All patterns that have at least one antichain, sorted. *)
+
+val pattern_count : t -> int
+
+val count : t -> Mps_pattern.Pattern.t -> int
+(** Number of antichains of the pattern (0 if the pattern never occurs). *)
+
+val node_frequency : t -> Mps_pattern.Pattern.t -> int array
+(** The vector h(p̄), indexed by node id; an all-zero vector if the pattern
+    never occurs.  Fresh copy: safe to mutate. *)
+
+val frequency : t -> Mps_pattern.Pattern.t -> int -> int
+(** h(p̄, n). *)
+
+val antichains : t -> Mps_pattern.Pattern.t -> Antichain.t list
+(** The pattern's antichains in enumeration order; [] unless
+    [keep_antichains] was set. *)
+
+val total_antichains : t -> int
+
+val fold :
+  (Mps_pattern.Pattern.t -> count:int -> freq:int array -> 'a -> 'a) ->
+  t ->
+  'a ->
+  'a
+(** Folds over patterns in sorted order.  [freq] is the internal vector:
+    read-only. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** "pattern: antichain count" lines, the §5.1 classification shape. *)

@@ -1,0 +1,108 @@
+module Dfg = Mps_dfg.Dfg
+module Levels = Mps_dfg.Levels
+module Reachability = Mps_dfg.Reachability
+module Bitset = Mps_util.Bitset
+
+type ctx = {
+  graph : Dfg.t;
+  levels : Levels.t;
+  reach : Reachability.t;
+}
+
+let make_ctx graph =
+  { graph; levels = Levels.compute graph; reach = Reachability.compute graph }
+
+let ctx_graph ctx = ctx.graph
+let ctx_levels ctx = ctx.levels
+let ctx_reachability ctx = ctx.reach
+
+exception Budget_exhausted
+
+(* The span of a growing set is tracked incrementally: adding a node can only
+   raise max(ASAP) and lower min(ALAP), so span never shrinks along a branch
+   and a limit violation prunes the whole subtree. *)
+let iter_spanned ?span_limit ?budget ~max_size ctx ~f =
+  if max_size < 1 then invalid_arg "Enumerate.iter: max_size must be >= 1";
+  (match span_limit with
+  | Some l when l < 0 -> invalid_arg "Enumerate.iter: negative span_limit"
+  | _ -> ());
+  (match budget with
+  | Some b when b < 0 -> invalid_arg "Enumerate.iter: negative budget"
+  | _ -> ());
+  let remaining = ref (Option.value budget ~default:max_int) in
+  let f ~span nodes =
+    if !remaining = 0 then raise Budget_exhausted;
+    decr remaining;
+    f ~span nodes
+  in
+  let n = Dfg.node_count ctx.graph in
+  let lv = ctx.levels in
+  let within_limit span =
+    match span_limit with None -> true | Some l -> span <= l
+  in
+  (* chosen is kept reversed; emitted antichains are re-reversed, hence
+     increasing. *)
+  let rec extend chosen size compat max_asap min_alap last ~span =
+    match Bitset.first_from compat (last + 1) with
+    | None -> ()
+    | Some j ->
+        let asap_j = Levels.asap lv j and alap_j = Levels.alap lv j in
+        let max_asap' = max max_asap asap_j in
+        let min_alap' = min min_alap alap_j in
+        let span' = max 0 (max_asap' - min_alap') in
+        if within_limit span' then begin
+          let chosen' = j :: chosen in
+          f ~span:span' (List.rev chosen');
+          if size + 1 < max_size then begin
+            let compat' = Bitset.copy compat in
+            Bitset.inter_into ~dst:compat' (Reachability.parallel_set ctx.reach j);
+            extend chosen' (size + 1) compat' max_asap' min_alap' j ~span:span'
+          end
+        end;
+        (* Continue with the next candidate at this depth whether or not j
+           survived the span check: a later node may have milder levels. *)
+        extend chosen size compat max_asap min_alap j ~span
+  in
+  for i = 0 to n - 1 do
+    let chosen = [ i ] in
+    f ~span:0 chosen;
+    if max_size > 1 then
+      extend chosen 1
+        (Bitset.copy (Reachability.parallel_set ctx.reach i))
+        (Levels.asap lv i) (Levels.alap lv i) i ~span:0
+  done
+
+let iter ?span_limit ?budget ~max_size ctx ~f =
+  iter_spanned ?span_limit ?budget ~max_size ctx ~f:(fun ~span:_ nodes ->
+      f (Antichain.of_nodes_unchecked nodes))
+
+let all ?span_limit ~max_size ctx =
+  let acc = ref [] in
+  iter ?span_limit ~max_size ctx ~f:(fun a -> acc := a :: !acc);
+  List.rev !acc
+
+let count ?span_limit ~max_size ctx =
+  let c = ref 0 in
+  iter_spanned ?span_limit ~max_size ctx ~f:(fun ~span:_ _ -> incr c);
+  !c
+
+let count_by_size ?span_limit ~max_size ctx =
+  let counts = Array.make (max_size + 1) 0 in
+  iter_spanned ?span_limit ~max_size ctx ~f:(fun ~span:_ nodes ->
+      let s = List.length nodes in
+      counts.(s) <- counts.(s) + 1);
+  counts
+
+let count_matrix ~max_size ~max_span ctx =
+  let exact = Array.make_matrix (max_span + 1) (max_size + 1) 0 in
+  iter_spanned ~span_limit:max_span ~max_size ctx ~f:(fun ~span nodes ->
+      let s = List.length nodes in
+      exact.(span).(s) <- exact.(span).(s) + 1);
+  (* Prefix-sum over span so row l counts span <= l. *)
+  let m = Array.make_matrix (max_span + 1) (max_size + 1) 0 in
+  for l = 0 to max_span do
+    for s = 0 to max_size do
+      m.(l).(s) <- exact.(l).(s) + if l > 0 then m.(l - 1).(s) else 0
+    done
+  done;
+  m

@@ -1,0 +1,59 @@
+(** Exhaustive antichain enumeration under size and span limits (§5.1).
+
+    "The pattern generation method finds all antichains of size C first" —
+    in fact all sizes 1..C are needed (patterns may contain dummies), and
+    "the number of antichains decreases by setting a limitation to the span",
+    which is also what makes enumeration tractable: span is monotone under
+    adding nodes, so the search prunes whole subtrees.
+
+    The walk visits node ids in increasing order; within one [iter] the
+    antichains appear in lexicographic order of their id lists. *)
+
+type ctx
+(** Precomputed per-graph state (reachability bitsets + levels), reusable
+    across enumerations with different limits. *)
+
+val make_ctx : Mps_dfg.Dfg.t -> ctx
+
+val ctx_graph : ctx -> Mps_dfg.Dfg.t
+val ctx_levels : ctx -> Mps_dfg.Levels.t
+val ctx_reachability : ctx -> Mps_dfg.Reachability.t
+
+exception Budget_exhausted
+(** Raised out of {!iter} when [budget] antichains have been emitted.
+    Catch it only if partial results are meaningful; the high-level entry
+    points ({!Classify.compute}) surface the truncation as a flag
+    instead. *)
+
+val iter :
+  ?span_limit:int ->
+  ?budget:int ->
+  max_size:int ->
+  ctx ->
+  f:(Antichain.t -> unit) ->
+  unit
+(** Calls [f] on every non-empty antichain of size ≤ [max_size] whose span
+    is ≤ [span_limit] (default: unlimited).  [budget] bounds the number of
+    antichains visited: enumeration is exponential in graph width (a layer
+    of k mutually parallel nodes alone contributes C(k,5) antichains), so
+    wide graphs need either a tight span limit or a budget.
+    @raise Budget_exhausted after emitting [budget] antichains.
+    @raise Invalid_argument if [max_size < 1], [span_limit < 0], or
+    [budget < 0]. *)
+
+val all :
+  ?span_limit:int -> max_size:int -> ctx -> Antichain.t list
+(** Materialized [iter] — only for graphs known to be small. *)
+
+val count : ?span_limit:int -> max_size:int -> ctx -> int
+
+val count_by_size :
+  ?span_limit:int -> max_size:int -> ctx -> int array
+(** Index s holds the number of antichains of size exactly s
+    (index 0 unused, kept 0). *)
+
+val count_matrix :
+  max_size:int -> max_span:int -> ctx -> int array array
+(** [m.(span_limit).(size)] = number of antichains of that exact size with
+    span ≤ that limit — Table 5 in one pass.  Antichains with span beyond
+    [max_span] are not counted anywhere. *)

@@ -1,0 +1,117 @@
+module Dfg = Mps_dfg.Dfg
+module Levels = Mps_dfg.Levels
+module Reachability = Mps_dfg.Reachability
+module Bitset = Mps_util.Bitset
+
+type t = {
+  graph : Dfg.t;
+  width : int;
+  max_antichain : int list;
+  min_chain_cover : int list list;
+  mirsky_cover : int list list;
+  longest_chain : int;
+}
+
+(* Kuhn's augmenting-path matching on the closure's split graph:
+   left u — right v whenever v is a strict descendant of u. *)
+let matching g reach =
+  let n = Dfg.node_count g in
+  let match_right = Array.make n (-1) in
+  let match_left = Array.make n (-1) in
+  let rec augment visited u =
+    let found = ref false in
+    Bitset.iter
+      (fun v ->
+        if (not !found) && not (Bitset.mem visited v) then begin
+          Bitset.add visited v;
+          if match_right.(v) < 0 || augment visited match_right.(v) then begin
+            match_right.(v) <- u;
+            match_left.(u) <- v;
+            found := true
+          end
+        end)
+      (Reachability.descendants reach u);
+    !found
+  in
+  for u = 0 to n - 1 do
+    ignore (augment (Bitset.create n) u)
+  done;
+  (match_left, match_right)
+
+let analyze g =
+  let n = Dfg.node_count g in
+  let reach = Reachability.compute g in
+  let levels = Levels.compute g in
+  let match_left, match_right = matching g reach in
+  (* Chains: start at nodes that are not a matched successor, follow
+     match_left links. *)
+  let min_chain_cover =
+    List.filter_map
+      (fun start ->
+        if match_right.(start) >= 0 then None
+        else begin
+          let rec walk i acc =
+            if match_left.(i) >= 0 then walk match_left.(i) (i :: acc) else i :: acc
+          in
+          Some (List.rev (walk start []))
+        end)
+      (Dfg.nodes g)
+  in
+  (* König: alternating reachability from unmatched left vertices. *)
+  let z_left = Bitset.create n and z_right = Bitset.create n in
+  let rec explore u =
+    if not (Bitset.mem z_left u) then begin
+      Bitset.add z_left u;
+      Bitset.iter
+        (fun v ->
+          if not (Bitset.mem z_right v) then begin
+            Bitset.add z_right v;
+            if match_right.(v) >= 0 then explore match_right.(v)
+          end)
+        (Reachability.descendants reach u)
+    end
+  in
+  List.iter (fun u -> if match_left.(u) < 0 then explore u) (Dfg.nodes g);
+  let max_antichain =
+    List.filter
+      (fun v -> Bitset.mem z_left v && not (Bitset.mem z_right v))
+      (Dfg.nodes g)
+  in
+  (* Mirsky: ASAP levels partition into antichains. *)
+  let longest_chain = Levels.asap_max levels + 1 in
+  let mirsky_cover =
+    if n = 0 then []
+    else
+      List.init longest_chain (fun l ->
+          List.filter (fun i -> Levels.asap levels i = l) (Dfg.nodes g))
+  in
+  {
+    graph = g;
+    width = List.length max_antichain;
+    max_antichain;
+    min_chain_cover;
+    mirsky_cover;
+    longest_chain = (if n = 0 then 0 else longest_chain);
+  }
+
+let width t = t.width
+let max_antichain t = t.max_antichain
+let min_chain_cover t = t.min_chain_cover
+let mirsky_cover t = t.mirsky_cover
+
+let lower_bound_cycles t ~capacity =
+  let n = Dfg.node_count t.graph in
+  if n = 0 then 0
+  else begin
+    let per_cycle = max 1 (min t.width capacity) in
+    max t.longest_chain ((n + per_cycle - 1) / per_cycle)
+  end
+
+let pp g ppf t =
+  let names l = String.concat "," (List.map (Dfg.name g) l) in
+  Format.fprintf ppf
+    "@[<v>width %d (max antichain {%s})@,%d chains in a minimum cover@,\
+     %d antichains in the Mirsky cover (= longest chain)@]"
+    t.width (names t.max_antichain)
+    (List.length t.min_chain_cover)
+    (List.length t.mirsky_cover)

@@ -1,0 +1,44 @@
+(** Classical poset analyses of a DFG: width, chain covers, antichain
+    covers.
+
+    The paper borrows the antichain concept from poset theory (§3 cites
+    exactly that); this module supplies the two structure theorems that
+    govern how much parallelism a graph {e can} expose:
+
+    - {b Dilworth}: the maximum antichain size (the graph's {e width})
+      equals the minimum number of chains covering it.  We compute it by
+      König's theorem on the transitive closure's bipartite split graph —
+      a maximum matching gives a minimum chain cover, whose complement
+      yields a maximum antichain.
+    - {b Mirsky}: the minimum number of antichains covering the graph
+      equals the longest chain length; the ASAP levels realize it.
+
+    Consequences the rest of the library uses: if width ≤ C the capacity
+    constraint never binds (only colors matter); ⌈n / width⌉ and the
+    Mirsky number are schedule lower bounds complementing the critical
+    path. *)
+
+type t
+
+val analyze : Mps_dfg.Dfg.t -> t
+
+val width : t -> int
+(** Maximum antichain size (0 for the empty graph). *)
+
+val max_antichain : t -> int list
+(** One maximum antichain, increasing ids; verified against
+    {!Mps_dfg.Reachability.is_antichain} by construction. *)
+
+val min_chain_cover : t -> int list list
+(** Chains (each a path in the transitive closure, source to sink order)
+    partitioning the nodes; their count equals {!width} by Dilworth. *)
+
+val mirsky_cover : t -> int list list
+(** The ASAP-level antichain partition; its length equals the longest
+    chain (= critical path in nodes). *)
+
+val lower_bound_cycles : t -> capacity:int -> int
+(** max(critical path, ⌈n / min(width, capacity)⌉): no capacity-C schedule
+    can beat it regardless of patterns. *)
+
+val pp : Mps_dfg.Dfg.t -> Format.formatter -> t -> unit

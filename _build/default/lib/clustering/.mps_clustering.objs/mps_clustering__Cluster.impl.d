@@ -1,0 +1,1 @@
+lib/clustering/cluster.ml: Array Format List Mps_dfg String

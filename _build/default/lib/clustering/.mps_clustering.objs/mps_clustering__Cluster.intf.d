@@ -1,0 +1,1 @@
+lib/clustering/cluster.mli: Format Mps_dfg

@@ -1,0 +1,1 @@
+lib/clustering/program_fuse.ml: Array Cluster List Mps_dfg Mps_frontend

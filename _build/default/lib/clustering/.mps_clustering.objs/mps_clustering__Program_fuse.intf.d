@@ -1,0 +1,1 @@
+lib/clustering/program_fuse.mli: Mps_frontend

@@ -1,0 +1,78 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+
+type t = {
+  clustered : Dfg.t;
+  members : int list array;
+  of_original : int array;
+}
+
+let mac_color = Color.of_char 'm'
+
+let rebuild g groups =
+  (* groups: list of member lists (original ids, dataflow order), covering
+     every node exactly once.  Builds the contracted graph. *)
+  let n = Dfg.node_count g in
+  let of_original = Array.make n (-1) in
+  let groups = Array.of_list groups in
+  Array.iteri
+    (fun new_id members -> List.iter (fun old_id -> of_original.(old_id) <- new_id) members)
+    groups;
+  assert (Array.for_all (fun x -> x >= 0) of_original);
+  let builder = Dfg.Builder.create () in
+  Array.iter
+    (fun members ->
+      let name = String.concat "+" (List.map (Dfg.name g) members) in
+      let color =
+        match members with
+        | [ single ] -> Dfg.color g single
+        | _ -> mac_color
+      in
+      ignore (Dfg.Builder.add_node builder ~name color))
+    groups;
+  Dfg.iter_edges
+    (fun s d ->
+      let cs = of_original.(s) and cd = of_original.(d) in
+      if cs <> cd then Dfg.Builder.add_edge builder cs cd)
+    g;
+  {
+    clustered = Dfg.Builder.build builder;
+    members = Array.map (fun m -> m) groups;
+    of_original;
+  }
+
+let identity g = rebuild g (List.map (fun i -> [ i ]) (Dfg.nodes g))
+
+let mac g =
+  let n = Dfg.node_count g in
+  let partner = Array.make n (-1) in
+  let absorbed = Array.make n false in
+  let is c ch = Color.equal c (Color.of_char ch) in
+  Dfg.iter_nodes
+    (fun u ->
+      if is (Dfg.color g u) 'c' && not absorbed.(u) then
+        match Dfg.succs g u with
+        | [ v ] when (is (Dfg.color g v) 'a' || is (Dfg.color g v) 'b')
+                     && partner.(v) = -1 && not absorbed.(v) ->
+            partner.(v) <- u;
+            absorbed.(u) <- true
+        | _ -> ())
+    g;
+  let groups =
+    List.filter_map
+      (fun i ->
+        if absorbed.(i) then None
+        else if partner.(i) >= 0 then Some [ partner.(i); i ]
+        else Some [ i ])
+      (Dfg.nodes g)
+  in
+  rebuild g groups
+
+let cluster_count t = Dfg.node_count t.clustered
+
+let fused_pairs t =
+  Array.fold_left (fun acc m -> if List.length m > 1 then acc + 1 else acc) 0 t.members
+
+let pp ppf t =
+  Format.fprintf ppf "clustering: %d clusters, %d fused pairs" (cluster_count t)
+    (fused_pairs t)

@@ -1,0 +1,39 @@
+(** Clustering — the compiler phase before scheduling in the Montium flow
+    (paper §1; the four-phase approach of its reference [3]).
+
+    A Montium ALU can chain its function units within one clock cycle, so a
+    multiplication whose only consumer is an addition or subtraction can
+    execute fused as a single multiply-accumulate.  Clustering rewrites the
+    DFG accordingly: each fused pair becomes one node of a fresh color, the
+    graph shrinks, and the scheduler sees MAC as just another color in its
+    patterns — no other phase needs to know.
+
+    Contracting the edge u→v is sound exactly because u's unique successor
+    is v: no alternative u→…→v path can exist, so the result stays a DAG. *)
+
+type t = {
+  clustered : Mps_dfg.Dfg.t;  (** The rewritten graph. *)
+  members : int list array;
+      (** Per clustered node: original node ids, dataflow order. *)
+  of_original : int array;  (** Original node id → clustered node id. *)
+}
+
+val mac_color : Mps_dfg.Color.t
+(** 'm', the color given to fused multiply-accumulate clusters. *)
+
+val identity : Mps_dfg.Dfg.t -> t
+(** Every node its own cluster — the do-nothing phase, for pipelines that
+    skip clustering uniformly. *)
+
+val mac : Mps_dfg.Dfg.t -> t
+(** Greedily fuses every multiplication ('c') whose unique successor is an
+    addition or subtraction ('a'/'b') into a {!mac_color} node, earliest
+    (smallest id) multiplications first; a consumer absorbs at most one
+    multiplication.  Nodes keep their names; a fused pair is named
+    ["mul+add"] style: the two original names joined by ['+']. *)
+
+val cluster_count : t -> int
+val fused_pairs : t -> int
+(** Number of two-member clusters. *)
+
+val pp : Format.formatter -> t -> unit

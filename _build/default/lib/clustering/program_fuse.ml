@@ -1,0 +1,103 @@
+module Dfg = Mps_dfg.Dfg
+module Program = Mps_frontend.Program
+module Opcode = Mps_frontend.Opcode
+
+let fuse program =
+  let g = Program.dfg program in
+  let n = Dfg.node_count g in
+  let output_nodes = List.map snd (Program.outputs program) in
+  (* absorbed.(u) = consumer add that swallows multiplication u. *)
+  let absorbed_into = Array.make n (-1) in
+  let absorbs = Array.make n (-1) in
+  Dfg.iter_nodes
+    (fun u ->
+      let { Program.opcode; _ } = Program.instruction program u in
+      if opcode = Opcode.Mul && not (List.mem u output_nodes) then
+        match Dfg.succs g u with
+        | [ v ] ->
+            let vi = Program.instruction program v in
+            let reads_u_once =
+              Array.to_list vi.Program.operands
+              |> List.filter (function Program.Node j -> j = u | _ -> false)
+              |> List.length = 1
+            in
+            if vi.Program.opcode = Opcode.Add && absorbs.(v) = -1 && reads_u_once
+            then begin
+              absorbs.(v) <- u;
+              absorbed_into.(u) <- v
+            end
+        | _ -> ())
+    g;
+  (* Rebuild: every non-absorbed node keeps its (renumbered) place. *)
+  let builder = Dfg.Builder.create () in
+  let new_of_old = Array.make n (-1) in
+  Dfg.iter_nodes
+    (fun i ->
+      if absorbed_into.(i) < 0 then begin
+        let name =
+          if absorbs.(i) >= 0 then Dfg.name g absorbs.(i) ^ "+" ^ Dfg.name g i
+          else Dfg.name g i
+        in
+        let color =
+          if absorbs.(i) >= 0 then Cluster.mac_color else Dfg.color g i
+        in
+        new_of_old.(i) <- Dfg.Builder.add_node builder ~name color
+      end)
+    g;
+  let map_operand = function
+    | Program.Node j when absorbed_into.(j) >= 0 ->
+        (* Only the absorbing add references an absorbed node, and that
+           reference disappears inside the Mac. *)
+        assert false
+    | Program.Node j -> Program.Node new_of_old.(j)
+    | other -> other
+  in
+  let instructions = ref [] in
+  Dfg.iter_nodes
+    (fun i ->
+      if absorbed_into.(i) < 0 then begin
+        let { Program.opcode; operands } = Program.instruction program i in
+        let instr =
+          if absorbs.(i) >= 0 then begin
+            let u = absorbs.(i) in
+            let mul = Program.instruction program u in
+            let z =
+              (* The add's operand that is not the absorbed multiply. *)
+              let rec find k =
+                match operands.(k) with
+                | Program.Node j when j = u -> find_other k
+                | _ -> find (k + 1)
+              and find_other skip =
+                let other = if skip = 0 then 1 else 0 in
+                operands.(other)
+              in
+              find 0
+            in
+            {
+              Program.opcode = Opcode.Mac;
+              operands =
+                [| map_operand mul.Program.operands.(0);
+                   map_operand mul.Program.operands.(1);
+                   map_operand z;
+                |];
+            }
+          end
+          else { Program.opcode; operands = Array.map map_operand operands }
+        in
+        (* Edges for the rebuilt node. *)
+        Array.iter
+          (function
+            | Program.Node j -> Dfg.Builder.add_edge builder j new_of_old.(i)
+            | Program.Input _ | Program.Literal _ -> ())
+          instr.Program.operands;
+        instructions := instr :: !instructions
+      end)
+    g;
+  let dfg = Dfg.Builder.build builder in
+  let outputs =
+    List.map (fun (name, i) -> (name, new_of_old.(i))) (Program.outputs program)
+  in
+  Program.make ~dfg ~instructions:(Array.of_list (List.rev !instructions)) ~outputs
+
+let fused_count ~before ~after =
+  Dfg.node_count (Program.dfg before) - Dfg.node_count (Program.dfg after)

@@ -1,0 +1,21 @@
+(** MAC fusion at the program level — clustering that stays executable.
+
+    {!Cluster.mac} fuses multiply→add/sub pairs in a bare DFG, which is
+    enough for scheduling studies but loses the operand semantics the
+    allocation/simulation path needs.  This pass performs the same fusion
+    on a {!Mps_frontend.Program.t}, rewriting each fusable pair into one
+    {!Mps_frontend.Opcode.Mac} instruction (x·y + z), so the fused program
+    still lowers onto the tile, simulates, and generates code.
+
+    Conservatively, only multiply→{e addition} pairs fuse (subtraction
+    consumers would need a multiply-subtract opcode; the DFG-level pass may
+    therefore fuse more).  Float semantics are preserved exactly: Mac
+    evaluates x·y + z with the same two operations in the same order. *)
+
+val fuse : Mps_frontend.Program.t -> Mps_frontend.Program.t
+(** Greedy, earliest multiplication first; each addition absorbs at most
+    one multiplication; outputs produced by an absorbed node are remapped
+    to the fused instruction. *)
+
+val fused_count : before:Mps_frontend.Program.t -> after:Mps_frontend.Program.t -> int
+(** Convenience: how many pairs disappeared. *)

@@ -1,0 +1,1 @@
+lib/core/core.ml: Mps_antichain Mps_clustering Mps_dfg Mps_frontend Mps_montium Mps_pattern Mps_scheduler Mps_select Mps_util Mps_workloads Pipeline

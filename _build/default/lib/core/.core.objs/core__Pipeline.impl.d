@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Format List Mps_antichain Mps_clustering Mps_dfg Mps_frontend Mps_montium Mps_pattern Mps_scheduler Mps_select

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Format Mps_clustering Mps_dfg Mps_frontend Mps_montium Mps_pattern Mps_scheduler Mps_select

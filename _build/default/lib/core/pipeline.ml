@@ -1,0 +1,123 @@
+module Dfg = Mps_dfg.Dfg
+module Pattern = Mps_pattern.Pattern
+module Enumerate = Mps_antichain.Enumerate
+module Classify = Mps_antichain.Classify
+module Select = Mps_select.Select
+module Mp = Mps_scheduler.Multi_pattern
+module Schedule = Mps_scheduler.Schedule
+module Cluster = Mps_clustering.Cluster
+module Tile = Mps_montium.Tile
+module Allocation = Mps_montium.Allocation
+module Config_space = Mps_montium.Config_space
+module Energy = Mps_montium.Energy
+module Simulator = Mps_montium.Simulator
+module Program = Mps_frontend.Program
+
+type options = {
+  capacity : int;
+  pdef : int;
+  span_limit : int option;
+  enumeration_budget : int option;
+  selection : Select.params;
+  priority : Mp.pattern_priority;
+  cluster : bool;
+  tile : Tile.t;
+}
+
+let default_options =
+  {
+    capacity = Tile.default.Tile.alu_count;
+    pdef = 4;
+    span_limit = Some 1;
+    enumeration_budget = Some 5_000_000;
+    selection = Select.default_params;
+    priority = Mp.F2;
+    cluster = false;
+    tile = Tile.default;
+  }
+
+type t = {
+  options : options;
+  graph : Dfg.t;
+  clustering : Cluster.t option;
+  pattern_pool : int;
+  antichains : int;
+  truncated : bool;
+  patterns : Pattern.t list;
+  selection_report : Select.report;
+  schedule : Schedule.t;
+  cycles : int;
+  config : Config_space.t;
+}
+
+let run ?(options = default_options) dfg =
+  if options.capacity < 1 then invalid_arg "Pipeline.run: capacity < 1";
+  if options.pdef < 1 then invalid_arg "Pipeline.run: pdef < 1";
+  let clustering = if options.cluster then Some (Cluster.mac dfg) else None in
+  let graph =
+    match clustering with Some c -> c.Cluster.clustered | None -> dfg
+  in
+  let ctx = Enumerate.make_ctx graph in
+  let classify =
+    Classify.compute ?span_limit:options.span_limit
+      ?budget:options.enumeration_budget ~capacity:options.capacity ctx
+  in
+  let selection_report =
+    Select.select_report ~params:options.selection ~pdef:options.pdef classify
+  in
+  let patterns = selection_report.Select.patterns in
+  let { Mp.schedule; _ } =
+    Mp.schedule ~priority:options.priority ~patterns graph
+  in
+  {
+    options;
+    graph;
+    clustering;
+    pattern_pool = Classify.pattern_count classify;
+    antichains = Classify.total_antichains classify;
+    truncated = Classify.truncated classify;
+    patterns;
+    selection_report;
+    schedule;
+    cycles = Schedule.cycles schedule;
+    config = Config_space.of_schedule ~tile:options.tile schedule;
+  }
+
+type mapped = {
+  program : Program.t;
+  pipeline : t;
+  allocation : Allocation.t;
+  energy : Energy.breakdown;
+}
+
+let map_program ?(options = default_options) program =
+  (* Clustering on a program goes through the executable MAC fusion, so the
+     instruction view stays in lockstep with the scheduled graph. *)
+  let program =
+    if options.cluster then Mps_clustering.Program_fuse.fuse program else program
+  in
+  let options = { options with cluster = false } in
+  let pipeline = run ~options (Program.dfg program) in
+  match Allocation.allocate ~tile:options.tile program pipeline.schedule with
+  | Error m -> Error m
+  | Ok allocation ->
+      let energy =
+        Energy.estimate ~tile:options.tile program pipeline.schedule allocation
+      in
+      Ok { program; pipeline; allocation; energy }
+
+let verify mapped ~env =
+  Simulator.check_against_reference ~tile:mapped.pipeline.options.tile
+    mapped.program mapped.pipeline.schedule mapped.allocation ~env
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>pipeline: %d nodes, %d antichains over %d patterns@,\
+     selected (%d): %a@,\
+     schedule: %d cycles, config table %d/%s@]"
+    (Dfg.node_count t.graph) t.antichains t.pattern_pool (List.length t.patterns)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       Pattern.pp)
+    t.patterns t.cycles t.config.Config_space.table_size
+    (if t.config.Config_space.fits then "ok" else "OVERFLOW")

@@ -1,0 +1,69 @@
+(** The end-to-end mapping flow: the four phases of the Montium compiler
+    (paper §1) wired together — (optional) clustering, pattern generation +
+    selection, multi-pattern scheduling, and (for programs) allocation onto
+    the tile.
+
+    This is the one-call entry point a user of the library wants:
+    "here is my kernel, give me patterns, a schedule, and the mapping
+    evidence". *)
+
+type options = {
+  capacity : int;  (** C; defaults to the tile's 5 ALUs. *)
+  pdef : int;  (** Number of patterns to select. *)
+  span_limit : int option;
+      (** Antichain span limit for pattern generation; [Some 1] reproduces
+          the paper's Table 7 operating point. *)
+  enumeration_budget : int option;
+      (** Cap on the antichain enumeration (it is exponential in graph
+          width); when hit, {!t.truncated} is set and selection works on
+          the visited prefix. *)
+  selection : Mps_select.Select.params;
+  priority : Mps_scheduler.Multi_pattern.pattern_priority;
+  cluster : bool;  (** Fuse multiply-accumulate pairs first. *)
+  tile : Mps_montium.Tile.t;
+}
+
+val default_options : options
+(** capacity 5, pdef 4, span limit 1, a 5-million-antichain enumeration
+    budget, paper selection params, F2 priority, no clustering, default
+    tile. *)
+
+type t = {
+  options : options;
+  graph : Mps_dfg.Dfg.t;  (** The scheduled graph (clustered if enabled). *)
+  clustering : Mps_clustering.Cluster.t option;
+  pattern_pool : int;  (** Distinct patterns found in the graph. *)
+  antichains : int;  (** Antichains enumerated under the span limit. *)
+  truncated : bool;  (** The enumeration budget cut pattern generation short. *)
+  patterns : Mps_pattern.Pattern.t list;  (** The selected patterns. *)
+  selection_report : Mps_select.Select.report;
+  schedule : Mps_scheduler.Schedule.t;
+  cycles : int;
+  config : Mps_montium.Config_space.t;
+}
+
+val run : ?options:options -> Mps_dfg.Dfg.t -> t
+(** Full flow on a bare DFG.
+    @raise Invalid_argument on nonsensical options (pdef or capacity < 1). *)
+
+type mapped = {
+  program : Mps_frontend.Program.t;
+      (** What was actually mapped: the input program, MAC-fused first when
+          [cluster] was set. *)
+  pipeline : t;
+  allocation : Mps_montium.Allocation.t;
+  energy : Mps_montium.Energy.breakdown;
+}
+
+val map_program : ?options:options -> Mps_frontend.Program.t -> (mapped, string) result
+(** [run] plus allocation and the energy estimate.  With [cluster] set the
+    program is first rewritten by {!Mps_clustering.Program_fuse} (multiply→
+    add pairs become MAC instructions), so the clustered path stays fully
+    executable.  [Error] reports an allocation failure. *)
+
+val verify : mapped -> env:(string -> float) -> (unit, string) result
+(** Simulates the mapped program on the tile and compares against the
+    reference evaluator (fusion preserves the float semantics exactly, so
+    this also validates a fused mapping against the original intent). *)
+
+val pp_summary : Format.formatter -> t -> unit

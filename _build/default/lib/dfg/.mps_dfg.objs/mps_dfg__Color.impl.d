@@ -1,0 +1,1 @@
+lib/dfg/color.ml: Char Format Map Printf Set String

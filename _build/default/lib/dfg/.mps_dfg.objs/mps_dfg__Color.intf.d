@@ -1,0 +1,1 @@
+lib/dfg/color.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/dfg/dfg.ml: Array Color Format Fun Hashtbl Int List Option Printf Queue Set String

@@ -1,0 +1,1 @@
+lib/dfg/dot.ml: Buffer Color Dfg Fun Levels List Printf

@@ -1,0 +1,1 @@
+lib/dfg/levels.ml: Array Dfg Format List Printf Topo

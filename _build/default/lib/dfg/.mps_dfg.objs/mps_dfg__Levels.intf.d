@@ -1,0 +1,1 @@
+lib/dfg/levels.mli: Dfg Format

@@ -1,0 +1,1 @@
+lib/dfg/parse.ml: Buffer Color Dfg Dot Fun Hashtbl List Printf String

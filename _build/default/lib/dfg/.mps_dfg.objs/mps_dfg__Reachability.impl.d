@@ -1,0 +1,1 @@
+lib/dfg/reachability.ml: Array Dfg List Mps_util Printf Topo

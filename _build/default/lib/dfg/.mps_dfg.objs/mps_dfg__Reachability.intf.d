@@ -1,0 +1,1 @@
+lib/dfg/reachability.mli: Dfg Mps_util

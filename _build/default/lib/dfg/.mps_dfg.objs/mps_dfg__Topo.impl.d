@@ -1,0 +1,1 @@
+lib/dfg/topo.ml: Array Dfg Int List Mps_util

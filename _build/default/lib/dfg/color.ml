@@ -1,0 +1,28 @@
+type t = char
+
+let of_char c =
+  if c > ' ' && c < '\x7f' && c <> '-' then c
+  else invalid_arg (Printf.sprintf "Color.of_char: invalid color %C" c)
+
+let to_char c = c
+let to_string c = String.make 1 c
+let compare = Char.compare
+let equal = Char.equal
+let hash = Char.code
+let pp ppf c = Format.pp_print_char ppf c
+let add = 'a'
+let sub = 'b'
+let mul = 'c'
+
+let of_int k =
+  if k >= 0 && k < 26 then Char.chr (Char.code 'a' + k)
+  else if k >= 26 && k < 52 then Char.chr (Char.code 'A' + k - 26)
+  else invalid_arg (Printf.sprintf "Color.of_int: %d out of [0,52)" k)
+
+let to_index c =
+  if c >= 'a' && c <= 'z' then Char.code c - Char.code 'a'
+  else if c >= 'A' && c <= 'Z' then Char.code c - Char.code 'A' + 26
+  else invalid_arg (Printf.sprintf "Color.to_index: non-alphabetic color %C" c)
+
+module Set = Set.Make (Char)
+module Map = Map.Make (Char)

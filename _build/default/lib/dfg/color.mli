@@ -1,0 +1,45 @@
+(** Operation colors.
+
+    The paper (§3): "The type of the function of a node n is called a color
+    of n, written l(n)."  In the running examples colors are single letters —
+    'a' for addition, 'b' for subtraction, 'c' for multiplication — and a
+    pattern is a bag of colors such as "aabcc".  We keep that concrete
+    single-character representation (it makes every printed artifact match
+    the paper) but expose the type abstractly so nothing outside this module
+    relies on it. *)
+
+type t
+
+val of_char : char -> t
+(** Accepts any printable, non-space character except the dummy marker '-'.
+    @raise Invalid_argument otherwise. *)
+
+val to_char : t -> char
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Conventional colors used by the Montium examples and the frontend. *)
+
+val add : t (** 'a' *)
+
+val sub : t (** 'b' *)
+
+val mul : t (** 'c' *)
+
+val of_int : int -> t
+(** [of_int k] is the [k]-th color of the alphabet 'a','b',…,'z','A',… —
+    handy for generated workloads with many operation types.
+    @raise Invalid_argument if [k] is negative or past the 52-letter
+    alphabet. *)
+
+val to_index : t -> int
+(** Inverse of [of_int] for alphabetic colors.
+    @raise Invalid_argument for non-alphabetic colors. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,38 @@
+let shape_of_color c =
+  match Color.to_char c with
+  | 'a' -> "ellipse"
+  | 'b' -> "box"
+  | 'c' -> "diamond"
+  | _ -> "octagon"
+
+let to_dot ?(graph_name = "dfg") ?levels ?(highlight = []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" graph_name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  Dfg.iter_nodes
+    (fun i ->
+      let label =
+        match levels with
+        | None -> Dfg.name g i
+        | Some lv ->
+            Printf.sprintf "%s\\n%d/%d/h%d" (Dfg.name g i) (Levels.asap lv i)
+              (Levels.alap lv i) (Levels.height lv i)
+      in
+      let fill = if List.mem i highlight then ", style=filled, fillcolor=lightgrey" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [label=\"%s\", shape=%s%s];\n" (Dfg.name g i) label
+           (shape_of_color (Dfg.color g i))
+           fill))
+    g;
+  Dfg.iter_edges
+    (fun s d ->
+      Buffer.add_string buf (Printf.sprintf "  \"%s\" -> \"%s\";\n" (Dfg.name g s) (Dfg.name g d)))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ~path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)

@@ -1,0 +1,16 @@
+(** Graphviz DOT export — regenerates the paper's Figures 2 and 4. *)
+
+val to_dot :
+  ?graph_name:string ->
+  ?levels:Levels.t ->
+  ?highlight:int list ->
+  Dfg.t ->
+  string
+(** Renders the graph.  Nodes are labeled with their name; when [levels] is
+    given the label gains an "asap/alap/h" second line (the content of
+    Table 1); [highlight] nodes are drawn filled.  Colors map to node shapes
+    so the three paper colors are visually distinct: 'a' ellipse, 'b' box,
+    'c' diamond, anything else octagon. *)
+
+val write_file : path:string -> string -> unit
+(** Writes rendered DOT (or any text) to [path], creating/truncating it. *)

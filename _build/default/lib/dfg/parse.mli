@@ -1,0 +1,28 @@
+(** Textual DFG format: load and save graphs as plain files.
+
+    The format is line-based:
+
+    {v
+    # comment (also after '#' on any line)
+    node <name> <color-char>
+    edge <src-name> <dst-name>
+    v}
+
+    Blank lines are ignored.  Nodes must be declared before edges mention
+    them; node ids are assigned in declaration order, so a round-trip
+    through {!to_string}/{!of_string} preserves ids. *)
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : string -> Dfg.t
+(** @raise Parse_error on malformed input.
+    @raise Dfg.Cycle if the described graph is cyclic. *)
+
+val to_string : Dfg.t -> string
+(** Inverse of {!of_string} up to comments and whitespace. *)
+
+val load : string -> Dfg.t
+(** [load path] reads and parses a file.  @raise Sys_error on I/O failure,
+    plus the [of_string] exceptions. *)
+
+val save : string -> Dfg.t -> unit

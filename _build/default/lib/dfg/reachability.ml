@@ -1,0 +1,78 @@
+module Bitset = Mps_util.Bitset
+
+type t = {
+  desc : Bitset.t array;
+  anc : Bitset.t array;
+  par : Bitset.t array;
+}
+
+let compute g =
+  let n = Dfg.node_count g in
+  let desc = Array.init n (fun _ -> Bitset.create n) in
+  let anc = Array.init n (fun _ -> Bitset.create n) in
+  let order = Topo.order g in
+  (* desc(i) = union over successors s of ({s} ∪ desc(s)), reverse topo. *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun s ->
+          Bitset.add desc.(i) s;
+          Bitset.union_into ~dst:desc.(i) desc.(s))
+        (Dfg.succs g i))
+    (List.rev order);
+  for i = 0 to n - 1 do
+    Bitset.iter (fun j -> Bitset.add anc.(j) i) desc.(i)
+  done;
+  let par =
+    Array.init n (fun i ->
+        let p = Bitset.full n in
+        Bitset.diff_into ~dst:p desc.(i);
+        Bitset.diff_into ~dst:p anc.(i);
+        Bitset.remove p i;
+        p)
+  in
+  { desc; anc; par }
+
+let node_count t = Array.length t.desc
+
+let check t i =
+  if i < 0 || i >= node_count t then
+    invalid_arg (Printf.sprintf "Reachability: node id %d out of range" i)
+
+let is_follower t ~of_ n =
+  check t of_;
+  Bitset.mem t.desc.(of_) n
+
+let comparable t i j =
+  check t i;
+  is_follower t ~of_:i j || is_follower t ~of_:j i
+
+let parallelizable t i j =
+  check t i;
+  check t j;
+  i <> j && not (comparable t i j)
+
+let descendants t i =
+  check t i;
+  t.desc.(i)
+
+let ancestors t i =
+  check t i;
+  t.anc.(i)
+
+let parallel_set t i =
+  check t i;
+  t.par.(i)
+
+let comparable_pairs t =
+  Array.fold_left (fun acc d -> acc + Bitset.cardinal d) 0 t.desc
+
+let is_antichain t nodes =
+  let rec no_dup = function
+    | [] -> true
+    | x :: rest -> (not (List.mem x rest)) && no_dup rest
+  in
+  no_dup nodes
+  && List.for_all
+       (fun i -> List.for_all (fun j -> i = j || parallelizable t i j) nodes)
+       nodes

@@ -1,0 +1,73 @@
+(* Min-heap of ready node ids keeps the produced order deterministic. *)
+module Int_heap = Mps_util.Heap.Make (Int)
+
+let order g =
+  let n = Dfg.node_count g in
+  let indeg = Array.init n (Dfg.in_degree g) in
+  let ready = Int_heap.create () in
+  Array.iteri (fun i d -> if d = 0 then Int_heap.add ready i) indeg;
+  let rec drain acc =
+    match Int_heap.pop ready with
+    | None -> List.rev acc
+    | Some i ->
+        List.iter
+          (fun j ->
+            indeg.(j) <- indeg.(j) - 1;
+            if indeg.(j) = 0 then Int_heap.add ready j)
+          (Dfg.succs g i);
+        drain (i :: acc)
+  in
+  let result = drain [] in
+  assert (List.length result = n);
+  result
+
+let is_order g l =
+  let n = Dfg.node_count g in
+  if List.length l <> n then false
+  else begin
+    let pos = Array.make n (-1) in
+    let ok = ref true in
+    List.iteri
+      (fun p i ->
+        if i < 0 || i >= n || pos.(i) >= 0 then ok := false else pos.(i) <- p)
+      l;
+    !ok
+    && List.for_all
+         (fun (s, d) -> pos.(s) < pos.(d))
+         (Dfg.edges g)
+  end
+
+let longest_chain_to g =
+  (* For each node, the max number of nodes on a path ending at it, plus the
+     predecessor realizing it (-1 at path starts). *)
+  let n = Dfg.node_count g in
+  let len = Array.make n 1 in
+  let via = Array.make n (-1) in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun p ->
+          if len.(p) + 1 > len.(i) then begin
+            len.(i) <- len.(p) + 1;
+            via.(i) <- p
+          end)
+        (Dfg.preds g i))
+    (order g);
+  (len, via)
+
+let longest_path_length g =
+  if Dfg.node_count g = 0 then 0
+  else begin
+    let len, _ = longest_chain_to g in
+    Array.fold_left max 0 len
+  end
+
+let longest_path g =
+  if Dfg.node_count g = 0 then []
+  else begin
+    let len, via = longest_chain_to g in
+    let last = ref 0 in
+    Array.iteri (fun i l -> if l > len.(!last) then last := i) len;
+    let rec walk i acc = if i < 0 then acc else walk via.(i) (i :: acc) in
+    walk !last []
+  end

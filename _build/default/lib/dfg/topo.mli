@@ -1,0 +1,17 @@
+(** Topological orderings and path lengths over a {!Dfg.t}. *)
+
+val order : Dfg.t -> int list
+(** One topological order (Kahn, smallest-id-first among ready nodes, so the
+    order is deterministic). *)
+
+val is_order : Dfg.t -> int list -> bool
+(** Whether the list is a permutation of the nodes consistent with every
+    edge. *)
+
+val longest_path_length : Dfg.t -> int
+(** Number of {e nodes} on a longest directed path (0 for the empty graph).
+    The paper's ASAPmax + 1, "the length of the longest path on the graph"
+    (proof of Theorem 1). *)
+
+val longest_path : Dfg.t -> int list
+(** One longest path, as node ids in order ([] for the empty graph). *)

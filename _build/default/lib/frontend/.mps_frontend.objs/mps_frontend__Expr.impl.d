@@ -1,0 +1,1 @@
+lib/frontend/expr.ml: Format List Opcode Printf Stdlib String

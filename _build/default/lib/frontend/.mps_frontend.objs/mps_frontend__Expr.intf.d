@@ -1,0 +1,1 @@
+lib/frontend/expr.mli: Format Opcode

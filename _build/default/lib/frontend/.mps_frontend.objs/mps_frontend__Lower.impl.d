@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Expr Hashtbl List Mps_dfg Opcode Program String

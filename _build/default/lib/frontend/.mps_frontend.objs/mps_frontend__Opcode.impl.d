@@ -1,0 +1,1 @@
+lib/frontend/opcode.ml: Array Float Format List Mps_dfg Stdlib

@@ -1,0 +1,1 @@
+lib/frontend/opcode.mli: Format Mps_dfg

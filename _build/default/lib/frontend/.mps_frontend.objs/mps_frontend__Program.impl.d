@@ -1,0 +1,1 @@
+lib/frontend/program.ml: Array Format Int List Mps_dfg Opcode Printf String

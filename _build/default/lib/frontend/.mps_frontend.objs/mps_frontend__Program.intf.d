@@ -1,0 +1,1 @@
+lib/frontend/program.mli: Format Mps_dfg Opcode

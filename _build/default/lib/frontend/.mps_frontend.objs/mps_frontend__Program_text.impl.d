@@ -1,0 +1,1 @@
+lib/frontend/program_text.ml: Array Buffer Fun Hashtbl List Mps_dfg Opcode Printf Program String

@@ -1,0 +1,1 @@
+lib/frontend/program_text.mli: Program

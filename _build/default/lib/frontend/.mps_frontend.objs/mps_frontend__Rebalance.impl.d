@@ -1,0 +1,1 @@
+lib/frontend/rebalance.ml: Expr List Lower Mps_util Opcode

@@ -1,0 +1,1 @@
+lib/frontend/rebalance.mli: Expr Program

@@ -1,0 +1,1 @@
+lib/frontend/strength.ml: Expr Float List Lower Opcode

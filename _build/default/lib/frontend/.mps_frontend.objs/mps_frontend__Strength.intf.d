@@ -1,0 +1,1 @@
+lib/frontend/strength.mli: Expr Program

@@ -1,0 +1,75 @@
+type t =
+  | Var of string
+  | Const of float
+  | Unop of Opcode.t * t
+  | Binop of Opcode.t * t * t
+
+let var s = Var s
+let const f = Const f
+
+let rec binop op x y =
+  if Opcode.arity op <> 2 then
+    invalid_arg (Printf.sprintf "Expr.binop: %s is not binary" (Opcode.to_string op));
+  match (op, x, y) with
+  | _, Const a, Const b -> Const (Opcode.eval op [| a; b |])
+  | Opcode.Add, e, Const 0.0 | Opcode.Add, Const 0.0, e -> e
+  | Opcode.Sub, e, Const 0.0 -> e
+  | Opcode.Sub, Const 0.0, e -> unop Opcode.Neg e
+  | Opcode.Mul, e, Const 1.0 | Opcode.Mul, Const 1.0, e -> e
+  | Opcode.Mul, _, Const 0.0 | Opcode.Mul, Const 0.0, _ -> Const 0.0
+  | Opcode.Mul, e, Const -1.0 | Opcode.Mul, Const -1.0, e -> unop Opcode.Neg e
+  (* Fold unary negations into the cheaper two-operand forms. *)
+  | Opcode.Add, e, Unop (Opcode.Neg, f) -> binop Opcode.Sub e f
+  | Opcode.Add, Unop (Opcode.Neg, e), f -> binop Opcode.Sub f e
+  | Opcode.Sub, e, Unop (Opcode.Neg, f) -> binop Opcode.Add e f
+  | _ -> Binop (op, x, y)
+
+and unop op e =
+  if Opcode.arity op <> 1 then
+    invalid_arg (Printf.sprintf "Expr.unop: %s is not unary" (Opcode.to_string op));
+  match (op, e) with
+  | Opcode.Neg, Const f -> Const (-.f)
+  | Opcode.Neg, Unop (Opcode.Neg, inner) -> inner
+  | _ -> Unop (op, e)
+
+let ( + ) x y = binop Opcode.Add x y
+let ( - ) x y = binop Opcode.Sub x y
+let ( * ) x y = binop Opcode.Mul x y
+let neg e = unop Opcode.Neg e
+
+let rec eval ~env = function
+  | Var s -> env s
+  | Const f -> f
+  | Unop (op, e) -> Opcode.eval op [| eval ~env e |]
+  | Binop (op, x, y) -> Opcode.eval op [| eval ~env x; eval ~env y |]
+
+let free_vars e =
+  let rec go acc = function
+    | Var s -> s :: acc
+    | Const _ -> acc
+    | Unop (_, e) -> go acc e
+    | Binop (_, x, y) -> go (go acc x) y
+  in
+  List.sort_uniq String.compare (go [] e)
+
+let rec size = function
+  | Var _ | Const _ -> 0
+  | Unop (_, e) -> Stdlib.( + ) 1 (size e)
+  | Binop (_, x, y) -> Stdlib.( + ) 1 (Stdlib.( + ) (size x) (size y))
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let rec pp ppf = function
+  | Var s -> Format.pp_print_string ppf s
+  | Const f -> Format.fprintf ppf "%g" f
+  | Unop (op, e) -> Format.fprintf ppf "%a(%a)" Opcode.pp op pp e
+  | Binop (op, x, y) ->
+      let sym =
+        match op with
+        | Opcode.Add -> "+"
+        | Opcode.Sub -> "-"
+        | Opcode.Mul -> "*"
+        | other -> Printf.sprintf " %s " (Opcode.to_string other)
+      in
+      Format.fprintf ppf "(%a%s%a)" pp x sym pp y

@@ -1,0 +1,44 @@
+(** Arithmetic expressions — the input language of the Transformation phase.
+
+    An expression references named inputs and floating constants and
+    combines them with the {!Opcode} repertoire.  {!Lower} turns a set of
+    named output expressions into a data-flow graph; {!eval} provides the
+    reference semantics the Montium simulator is checked against. *)
+
+type t =
+  | Var of string
+  | Const of float
+  | Unop of Opcode.t * t
+  | Binop of Opcode.t * t * t
+
+(** {1 Smart constructors} — fold constants eagerly and apply the safe
+    identities x+0, 0+x, x−0, x·1, 1·x, x·0, 0·x, −(−x). *)
+
+val var : string -> t
+val const : float -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val neg : t -> t
+val binop : Opcode.t -> t -> t -> t
+(** @raise Invalid_argument on a unary opcode. *)
+
+val unop : Opcode.t -> t -> t
+(** @raise Invalid_argument on a binary opcode. *)
+
+(** {1 Semantics and queries} *)
+
+val eval : env:(string -> float) -> t -> float
+(** @raise Not_found propagated from [env] for unbound variables. *)
+
+val free_vars : t -> string list
+(** Sorted, deduplicated. *)
+
+val size : t -> int
+(** Number of operation nodes (Vars and Consts excluded). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Fully parenthesized infix. *)

@@ -1,0 +1,58 @@
+module Color = Mps_dfg.Color
+
+type t = Add | Sub | Mul | Neg | And | Or | Xor | Shl | Shr | Min | Max | Mac
+
+let color = function
+  | Add -> Color.of_char 'a'
+  | Sub | Neg -> Color.of_char 'b'
+  | Mul -> Color.of_char 'c'
+  | And -> Color.of_char 'd'
+  | Or -> Color.of_char 'e'
+  | Xor -> Color.of_char 'f'
+  | Shl | Shr -> Color.of_char 'g'
+  | Min -> Color.of_char 'h'
+  | Max -> Color.of_char 'i'
+  | Mac -> Color.of_char 'm'
+
+let arity = function Neg -> 1 | Mac -> 3 | _ -> 2
+
+let bitwise f x y =
+  let xi = int_of_float x and yi = int_of_float y in
+  float_of_int (f xi yi)
+
+let eval op args =
+  if Array.length args <> arity op then
+    invalid_arg "Opcode.eval: operand count mismatch";
+  match op with
+  | Add -> args.(0) +. args.(1)
+  | Sub -> args.(0) -. args.(1)
+  | Mul -> args.(0) *. args.(1)
+  | Neg -> -.args.(0)
+  | And -> bitwise ( land ) args.(0) args.(1)
+  | Or -> bitwise ( lor ) args.(0) args.(1)
+  | Xor -> bitwise ( lxor ) args.(0) args.(1)
+  | Shl -> bitwise (fun x y -> x lsl (y land 63)) args.(0) args.(1)
+  | Shr -> bitwise (fun x y -> x asr (y land 63)) args.(0) args.(1)
+  | Min -> Float.min args.(0) args.(1)
+  | Max -> Float.max args.(0) args.(1)
+  | Mac -> (args.(0) *. args.(1)) +. args.(2)
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Neg -> "neg"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Min -> "min"
+  | Max -> "max"
+  | Mac -> "mac"
+
+let all = [ Add; Sub; Mul; Neg; And; Or; Xor; Shl; Shr; Min; Max; Mac ]
+let of_string s = List.find_opt (fun op -> to_string op = s) all
+let equal = ( = )
+let compare = Stdlib.compare
+let pp ppf op = Format.pp_print_string ppf (to_string op)

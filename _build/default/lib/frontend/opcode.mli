@@ -1,0 +1,41 @@
+(** Operation repertoire of the lowered programs.
+
+    Each opcode maps to one scheduling color — the paper's letters: 'a' for
+    addition, 'b' for subtraction, 'c' for multiplication — extended with
+    the other functions a Montium ALU offers (§1 mentions bit-or among the
+    configurable functions). *)
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Neg  (** Unary minus; runs on the subtractor, color 'b'. *)
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Min
+  | Max
+  | Mac  (** Fused multiply-accumulate: x·y + z, one ALU pass (color 'm'). *)
+
+val color : t -> Mps_dfg.Color.t
+(** Add→'a', Sub/Neg→'b', Mul→'c', And→'d', Or→'e', Xor→'f', Shl/Shr→'g',
+    Min→'h', Max→'i', Mac→'m'. *)
+
+val arity : t -> int
+(** 1 for [Neg], 3 for [Mac], 2 otherwise. *)
+
+val eval : t -> float array -> float
+(** Applies the operation to its operands.  Bitwise and shift operations
+    truncate their arguments to integers first (the Montium datapath is
+    16-bit integer; we model values as floats for the arithmetic workloads
+    and document the truncation).  @raise Invalid_argument on an operand
+    count differing from [arity]. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Topo = Mps_dfg.Topo
+
+type operand = Input of string | Literal of float | Node of int
+
+type instruction = { opcode : Opcode.t; operands : operand array }
+
+type t = {
+  dfg : Dfg.t;
+  instructions : instruction array;
+  outputs : (string * int) list;
+}
+
+let make ~dfg ~instructions ~outputs =
+  let n = Dfg.node_count dfg in
+  if Array.length instructions <> n then
+    invalid_arg "Program.make: instruction count differs from node count";
+  Array.iteri
+    (fun i { opcode; operands } ->
+      if Array.length operands <> Opcode.arity opcode then
+        invalid_arg (Printf.sprintf "Program.make: node %d arity mismatch" i);
+      if not (Color.equal (Opcode.color opcode) (Dfg.color dfg i)) then
+        invalid_arg (Printf.sprintf "Program.make: node %d color mismatch" i);
+      let operand_nodes =
+        Array.to_list operands
+        |> List.filter_map (function Node j -> Some j | Input _ | Literal _ -> None)
+        |> List.sort_uniq Int.compare
+      in
+      if operand_nodes <> Dfg.preds dfg i then
+        invalid_arg
+          (Printf.sprintf "Program.make: node %d operands disagree with DFG edges" i))
+    instructions;
+  List.iter
+    (fun (name, i) ->
+      if i < 0 || i >= n then
+        invalid_arg (Printf.sprintf "Program.make: output %S names unknown node %d" name i))
+    outputs;
+  { dfg; instructions; outputs }
+
+let dfg t = t.dfg
+
+let instruction t i =
+  if i < 0 || i >= Array.length t.instructions then
+    invalid_arg (Printf.sprintf "Program.instruction: node id %d out of range" i);
+  t.instructions.(i)
+
+let outputs t = t.outputs
+
+let inputs t =
+  Array.to_list t.instructions
+  |> List.concat_map (fun { operands; _ } ->
+         Array.to_list operands
+         |> List.filter_map (function Input s -> Some s | Literal _ | Node _ -> None))
+  |> List.sort_uniq String.compare
+
+let eval_nodes ~env t =
+  let values = Array.make (Dfg.node_count t.dfg) nan in
+  List.iter
+    (fun i ->
+      let { opcode; operands } = t.instructions.(i) in
+      let args =
+        Array.map
+          (function Input s -> env s | Literal f -> f | Node j -> values.(j))
+          operands
+      in
+      values.(i) <- Opcode.eval opcode args)
+    (Topo.order t.dfg);
+  values
+
+let eval ~env t =
+  let values = eval_nodes ~env t in
+  List.map (fun (name, i) -> (name, values.(i))) t.outputs
+
+let pp ppf t =
+  let pp_operand ppf = function
+    | Input s -> Format.pp_print_string ppf s
+    | Literal f -> Format.fprintf ppf "%g" f
+    | Node j -> Format.fprintf ppf "%%%s" (Dfg.name t.dfg j)
+  in
+  Format.fprintf ppf "@[<v>";
+  Dfg.iter_nodes
+    (fun i ->
+      let { opcode; operands } = t.instructions.(i) in
+      Format.fprintf ppf "%%%s = %a %a@," (Dfg.name t.dfg i) Opcode.pp opcode
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_operand)
+        (Array.to_list operands))
+    t.dfg;
+  List.iter (fun (name, i) -> Format.fprintf ppf "out %s = %%%s@," name (Dfg.name t.dfg i)) t.outputs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Lowered programs: a DFG plus the operational detail scheduling throws
+    away.
+
+    The scheduler only needs colors and dependencies, but verifying a
+    mapped schedule end-to-end needs to {e run} it: each node's opcode and
+    its operand sources (graph inputs, folded constants, or other nodes, in
+    argument order).  A [Program] carries both views, with node ids shared
+    between them, and a reference evaluator defining the semantics. *)
+
+type operand =
+  | Input of string  (** External input value, by name. *)
+  | Literal of float  (** Constant folded into the instruction. *)
+  | Node of int  (** Result of another DFG node (always a DFG edge). *)
+
+type instruction = { opcode : Opcode.t; operands : operand array }
+
+type t
+
+val make :
+  dfg:Mps_dfg.Dfg.t ->
+  instructions:instruction array ->
+  outputs:(string * int) list ->
+  t
+(** @raise Invalid_argument when the instruction array length differs from
+    the node count, an instruction's [Node] operands disagree with the DFG's
+    predecessor sets, an opcode's color differs from the node color, an
+    arity is wrong, or an output names an unknown node. *)
+
+val dfg : t -> Mps_dfg.Dfg.t
+val instruction : t -> int -> instruction
+val outputs : t -> (string * int) list
+(** Named results, in declaration order. *)
+
+val inputs : t -> string list
+(** External input names, sorted, deduplicated. *)
+
+val eval : env:(string -> float) -> t -> (string * float) list
+(** Reference semantics: evaluate every node in topological order, return
+    the outputs.  @raise Not_found from [env] for an unbound input. *)
+
+val eval_nodes : env:(string -> float) -> t -> float array
+(** Per-node values (indexed by node id) under the same semantics. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+module Dfg = Mps_dfg.Dfg
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let to_string program =
+  let g = Program.dfg program in
+  let buf = Buffer.create 1024 in
+  Dfg.iter_nodes
+    (fun i ->
+      let { Program.opcode; operands } = Program.instruction program i in
+      let operand = function
+        | Program.Input name -> name
+        | Program.Literal f -> Printf.sprintf "#%.17g" f
+        | Program.Node j -> "%" ^ Dfg.name g j
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%%%s = %s %s\n" (Dfg.name g i) (Opcode.to_string opcode)
+           (String.concat ", " (List.map operand (Array.to_list operands)))))
+    g;
+  List.iter
+    (fun (name, i) ->
+      Buffer.add_string buf (Printf.sprintf "out %s = %%%s\n" name (Dfg.name g i)))
+    (Program.outputs program);
+  Buffer.contents buf
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | None -> s
+  (* '#' also begins literals; only strip when it starts a token preceded by
+     whitespace-or-start and followed by a non-digit/non-sign character
+     would be fragile — instead comments must start the line. *)
+  | Some 0 -> ""
+  | Some _ -> s
+
+let of_string text =
+  let builder = Dfg.Builder.create () in
+  let instructions = ref [] in
+  let ids = Hashtbl.create 64 in
+  let outputs = ref [] in
+  let parse_operand lineno tok =
+    let tok = String.trim tok in
+    if tok = "" then fail lineno "empty operand"
+    else if tok.[0] = '%' then begin
+      let name = String.sub tok 1 (String.length tok - 1) in
+      match Hashtbl.find_opt ids name with
+      | Some id -> Program.Node id
+      | None -> fail lineno "unknown (or forward) value %%%s" name
+    end
+    else if tok.[0] = '#' then begin
+      match float_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+      | Some f -> Program.Literal f
+      | None -> fail lineno "bad literal %s" tok
+    end
+    else Program.Input tok
+  in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line = "" then ()
+      else if String.length line > 4 && String.sub line 0 4 = "out " then begin
+        match String.split_on_char '=' (String.sub line 4 (String.length line - 4)) with
+        | [ name; value ] -> (
+            let name = String.trim name and value = String.trim value in
+            if String.length value < 2 || value.[0] <> '%' then
+              fail lineno "output must name a %%value";
+            let vname = String.sub value 1 (String.length value - 1) in
+            match Hashtbl.find_opt ids vname with
+            | Some id -> outputs := (name, id) :: !outputs
+            | None -> fail lineno "unknown value %%%s" vname)
+        | _ -> fail lineno "malformed output line"
+      end
+      else begin
+        match String.split_on_char '=' line with
+        | [ lhs; rhs ] -> (
+            let lhs = String.trim lhs in
+            if String.length lhs < 2 || lhs.[0] <> '%' then
+              fail lineno "definitions start with %%name";
+            let name = String.sub lhs 1 (String.length lhs - 1) in
+            let rhs = String.trim rhs in
+            match String.index_opt rhs ' ' with
+            | None -> fail lineno "missing operands"
+            | Some sp -> (
+                let op_txt = String.sub rhs 0 sp in
+                let rest = String.sub rhs sp (String.length rhs - sp) in
+                match Opcode.of_string op_txt with
+                | None -> fail lineno "unknown opcode %S" op_txt
+                | Some opcode ->
+                    let operands =
+                      String.split_on_char ',' rest
+                      |> List.map (parse_operand lineno)
+                      |> Array.of_list
+                    in
+                    if Array.length operands <> Opcode.arity opcode then
+                      fail lineno "%s takes %d operands" op_txt (Opcode.arity opcode);
+                    let id =
+                      try Dfg.Builder.add_node builder ~name (Opcode.color opcode)
+                      with Invalid_argument m -> fail lineno "%s" m
+                    in
+                    Hashtbl.add ids name id;
+                    Array.iter
+                      (function
+                        | Program.Node j -> Dfg.Builder.add_edge builder j id
+                        | Program.Input _ | Program.Literal _ -> ())
+                      operands;
+                    instructions := { Program.opcode; operands } :: !instructions))
+        | _ -> fail lineno "expected '%%name = op operands' or 'out name = %%value'"
+      end)
+    (String.split_on_char '\n' text);
+  Program.make ~dfg:(Dfg.Builder.build builder)
+    ~instructions:(Array.of_list (List.rev !instructions))
+    ~outputs:(List.rev !outputs)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let save path program =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string program))

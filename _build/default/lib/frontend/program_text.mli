@@ -1,0 +1,29 @@
+(** Textual program format: save and load {!Program.t} values.
+
+    One instruction per line in SSA style, outputs declared at the end:
+
+    {v
+    # comment
+    %t0 = mul x0, #0.5
+    %t1 = mac x1, #0.25, %t0
+    out y0 = %t1
+    v}
+
+    Operands are [%name] (an earlier instruction), [#literal], or a bare
+    identifier (an external input).  Instruction names become DFG node
+    names, so the format round-trips through {!to_string}/{!of_string}
+    losslessly (ids are assigned in line order).  Literals print with
+    17 significant digits and therefore round-trip bit-exactly. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Program.t -> string
+
+val of_string : string -> Program.t
+(** @raise Parse_error on malformed input (forward references, unknown
+    opcodes, arity errors, duplicate names). *)
+
+val load : string -> Program.t
+(** From a file.  @raise Sys_error / @raise Parse_error. *)
+
+val save : string -> Program.t -> unit

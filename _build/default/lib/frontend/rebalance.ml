@@ -1,0 +1,130 @@
+let rec depth = function
+  | Expr.Var _ | Expr.Const _ -> 0
+  | Expr.Unop (_, e) -> 1 + depth e
+  | Expr.Binop (_, x, y) -> 1 + max (depth x) (depth y)
+
+(* Minimize the rebuilt tree's height over terms of differing depths by the
+   minimax-Huffman rule: always combine the two currently-shallowest terms
+   (cost of a combine = 1 + max of the operand heights).  The original
+   expression is itself one tree over the same terms, so the minimax
+   optimum never exceeds the original depth. *)
+module Term_heap = Mps_util.Heap.Make (struct
+  type t = int * int * (bool * Expr.t)
+  (* (height, tiebreak id, (sign, expr)); the id keeps the order total and
+     deterministic. *)
+
+  let compare (h1, i1, _) (h2, i2, _) = compare (h1, i1) (h2, i2)
+end)
+
+let reduce_terms terms =
+  let heap = Term_heap.create () in
+  let counter = ref 0 in
+  let push h t =
+    Term_heap.add heap (h, !counter, t);
+    incr counter
+  in
+  List.iter (fun (sign, e) -> push (depth e) (sign, e)) terms;
+  let rec reduce () =
+    match (Term_heap.pop heap, Term_heap.pop heap) with
+    | Some (_, _, (sign, e)), None -> if sign then e else Expr.neg e
+    | Some (h1, _, (s1, e1)), Some (h2, _, (s2, e2)) ->
+        let combined =
+          match (s1, s2) with
+          | true, true -> (true, Expr.( + ) e1 e2)
+          | true, false -> (true, Expr.( - ) e1 e2)
+          | false, true -> (true, Expr.( - ) e2 e1)
+          | false, false -> (false, Expr.( + ) e1 e2)
+        in
+        push (1 + max h1 h2) combined;
+        reduce ()
+    | None, _ -> assert false
+  in
+  reduce ()
+
+let signed_reduce terms =
+  match terms with
+  | [] -> invalid_arg "Rebalance.signed_reduce: no terms"
+  | _ ->
+      if List.exists fst terms then reduce_terms terms
+      else begin
+        (* All-negative: a plain reduction ends in a trailing Neg, which
+           the original may have avoided by negating deeper.  Also try
+           flipping the shallowest term into an explicit Neg (the set
+           becomes mixed, so no trailing Neg) and keep the shallower. *)
+        let ranked =
+          List.sort
+            (fun (_, a) (_, b) -> compare (depth a) (depth b))
+            terms
+        in
+        let flipped =
+          match ranked with
+          | (_, shallowest) :: rest -> (true, Expr.neg shallowest) :: rest
+          | [] -> assert false
+        in
+        let direct = reduce_terms terms in
+        let via_flip = reduce_terms flipped in
+        if depth via_flip < depth direct then via_flip else direct
+      end
+
+(* Same minimax combining for a product of factors. *)
+let product_reduce factors =
+  match factors with
+  | [] -> invalid_arg "Rebalance.product_reduce: no factors"
+  | _ ->
+      let heap = Term_heap.create () in
+      let counter = ref 0 in
+      let push h e =
+        Term_heap.add heap (h, !counter, (true, e));
+        incr counter
+      in
+      List.iter (fun f -> push (depth f) f) factors;
+      let rec reduce () =
+        match (Term_heap.pop heap, Term_heap.pop heap) with
+        | Some (_, _, (_, e)), None -> e
+        | Some (h1, _, (_, e1)), Some (h2, _, (_, e2)) ->
+            push (1 + max h1 h2) (Expr.( * ) e1 e2);
+            reduce ()
+        | None, _ -> assert false
+      in
+      reduce ()
+
+(* Flatten a maximal additive region into signed terms; subtrees that are
+   not additive get rebalanced independently. *)
+let rec additive_terms e =
+  match e with
+  | Expr.Binop (Opcode.Add, x, y) -> additive_terms x @ additive_terms y
+  | Expr.Binop (Opcode.Sub, x, y) ->
+      additive_terms x @ List.map (fun (sign, t) -> (not sign, t)) (additive_terms y)
+  | Expr.Unop (Opcode.Neg, x) ->
+      List.map (fun (sign, t) -> (not sign, t)) (additive_terms x)
+  | other -> [ (true, expression other) ]
+
+and multiplicative_factors e =
+  match e with
+  | Expr.Binop (Opcode.Mul, x, y) -> multiplicative_factors x @ multiplicative_factors y
+  | other -> [ expression other ]
+
+and expression e =
+  match e with
+  | Expr.Var _ | Expr.Const _ -> e
+  | Expr.Binop ((Opcode.Add | Opcode.Sub), _, _) | Expr.Unop (Opcode.Neg, _) ->
+      signed_reduce (additive_terms e)
+  | Expr.Binop (Opcode.Mul, _, _) ->
+      product_reduce (multiplicative_factors e)
+  | Expr.Binop (op, x, y) -> Expr.binop op (expression x) (expression y)
+  | Expr.Unop (op, x) -> Expr.unop op (expression x)
+
+(* The all-negative flip re-exposes additive structure a second pass can
+   sometimes flatten further; iterate to a depth fixpoint so the pass is
+   idempotent (the depth strictly decreases per round, so this
+   terminates). *)
+let expression e =
+  let rec fix e d =
+    let e' = expression e in
+    let d' = depth e' in
+    if d' < d then fix e' d' else e
+  in
+  fix e (depth e)
+
+let bindings bs = List.map (fun (name, e) -> (name, expression e)) bs
+let program ?cse bs = Lower.lower ?cse (bindings bs)

@@ -1,0 +1,28 @@
+(** Tree-height reduction — an algebraic Transformation-phase pass.
+
+    Kernels written as running sums (every FIR/DCT/matmul reduction) lower
+    to left-deep operator chains whose DFG critical path equals the term
+    count; any scheduler is then serialized no matter how many ALUs are
+    free.  This pass flattens maximal (+)/(−) chains into signed term lists
+    and maximal (×) chains into factor lists, rebalances them into
+    minimum-height trees, and rebuilds — after which the critical path
+    drops from n to ⌈log₂ n⌉ and the multi-pattern scheduler has real
+    parallelism to work with.
+
+    Floating-point caveat, stated once and honestly: reassociation changes
+    rounding, so results are equal only up to the usual numerical noise;
+    tests compare with a relative tolerance.  Integer-valued workloads are
+    exact. *)
+
+val depth : Expr.t -> int
+(** Operator depth: 0 for variables and constants. *)
+
+val expression : Expr.t -> Expr.t
+(** Rebalanced expression; free variables and (up to reassociation) values
+    are preserved, and the depth never increases. *)
+
+val bindings : (string * Expr.t) list -> (string * Expr.t) list
+(** [expression] applied to every output. *)
+
+val program : ?cse:bool -> (string * Expr.t) list -> Program.t
+(** Rebalance then lower — a drop-in replacement for {!Lower.lower}. *)

@@ -1,0 +1,37 @@
+let power_of_two f =
+  if f <= 0.0 || Float.is_nan f || Float.is_integer (Float.log2 f) = false then None
+  else begin
+    let k = int_of_float (Float.log2 f) in
+    if k >= 0 && k <= 14 && Float.equal (Float.pow 2.0 (float_of_int k)) f then Some k
+    else None
+  end
+
+let shift e k =
+  if k = 0 then e else Expr.binop Opcode.Shl e (Expr.const (float_of_int k))
+
+let rec expression e =
+  match e with
+  | Expr.Var _ | Expr.Const _ -> e
+  | Expr.Unop (op, x) -> Expr.unop op (expression x)
+  | Expr.Binop (Opcode.Mul, x, y) -> (
+      let x = expression x and y = expression y in
+      let rewrite coeff other =
+        match power_of_two coeff with
+        | Some k -> Some (shift other k)
+        | None -> (
+            match power_of_two (-.coeff) with
+            | Some k -> Some (Expr.neg (shift other k))
+            | None -> None)
+      in
+      let attempt =
+        match (x, y) with
+        | Expr.Const c, other | other, Expr.Const c -> rewrite c other
+        | _ -> None
+      in
+      match attempt with
+      | Some reduced -> reduced
+      | None -> Expr.binop Opcode.Mul x y)
+  | Expr.Binop (op, x, y) -> Expr.binop op (expression x) (expression y)
+
+let bindings bs = List.map (fun (name, e) -> (name, expression e)) bs
+let program ?cse bs = Lower.lower ?cse (bindings bs)

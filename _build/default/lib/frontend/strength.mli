@@ -1,0 +1,31 @@
+(** Strength reduction: multiplications by powers of two become shifts.
+
+    On the Montium the multiplier column ('c' slots) is the scarce,
+    power-hungry resource; a shift runs on the cheap logic units ('g'
+    color).  Rewriting x·2ᵏ (and x·−2ᵏ, with a negation) as shifts moves
+    work off the multiplier, changing the graph's {e color mix} — which
+    directly changes which patterns the selection algorithm should pick, a
+    fact the ablation bench quantifies.
+
+    Only exact powers of two with 0 ≤ k ≤ 14 rewrite (the 16-bit datapath
+    bound); everything else is untouched.  Semantics: on the fixed-point
+    datapath ({!Mps_montium.Fixed_point}) a raw left shift by k {e is}
+    multiplication by 2ᵏ (up to saturation), so the rewrite is exact
+    there; the float reference model truncates shift operands to integers,
+    so on {e fractional} float data the rewritten program is the honest
+    picture of what the hardware would do, not a bit-identical float
+    program — the tests therefore check equivalence on integer data and
+    under fixed-point evaluation. *)
+
+val power_of_two : float -> int option
+(** [power_of_two 8.0 = Some 3]; [None] for non-powers, negatives, and
+    k outside [0, 14].  [power_of_two 1.0 = Some 0] (the smart constructor
+    already folds ·1, so it never reaches the rewrite). *)
+
+val expression : Expr.t -> Expr.t
+(** Bottom-up rewrite. *)
+
+val bindings : (string * Expr.t) list -> (string * Expr.t) list
+
+val program : ?cse:bool -> (string * Expr.t) list -> Program.t
+(** Rewrite then lower. *)

@@ -1,0 +1,1 @@
+lib/montium/allocation.ml: Array Format Hashtbl Int List Mps_dfg Mps_frontend Mps_scheduler Option Printf Tile

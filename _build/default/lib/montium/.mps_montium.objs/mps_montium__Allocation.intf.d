@@ -1,0 +1,1 @@
+lib/montium/allocation.mli: Format Mps_frontend Mps_scheduler Tile

@@ -1,0 +1,1 @@
+lib/montium/codegen.ml: Allocation Array Buffer Config_space List Mps_dfg Mps_frontend Mps_pattern Mps_scheduler Option Printf Register_file String Tile

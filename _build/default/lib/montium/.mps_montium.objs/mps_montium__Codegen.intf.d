@@ -1,0 +1,1 @@
+lib/montium/codegen.mli: Allocation Mps_frontend Mps_scheduler Register_file Tile

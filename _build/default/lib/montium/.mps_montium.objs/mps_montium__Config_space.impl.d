@@ -1,0 +1,1 @@
+lib/montium/config_space.ml: Array Format List Mps_pattern Mps_scheduler Tile

@@ -1,0 +1,1 @@
+lib/montium/config_space.mli: Format Mps_pattern Mps_scheduler Tile

@@ -1,0 +1,1 @@
+lib/montium/energy.ml: Allocation Array Config_space Format Mps_dfg Mps_frontend Mps_scheduler Tile

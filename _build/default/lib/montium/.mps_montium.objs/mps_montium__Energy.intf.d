@@ -1,0 +1,1 @@
+lib/montium/energy.mli: Allocation Format Mps_frontend Mps_scheduler Tile

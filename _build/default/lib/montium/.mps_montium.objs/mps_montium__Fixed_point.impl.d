@@ -1,0 +1,1 @@
+lib/montium/fixed_point.ml: Array Float List Mps_dfg Mps_frontend

@@ -1,0 +1,1 @@
+lib/montium/fixed_point.mli: Mps_frontend

@@ -1,0 +1,1 @@
+lib/montium/listing_vm.ml: Array Hashtbl List Mps_frontend Option Printf Scanf String

@@ -1,0 +1,1 @@
+lib/montium/listing_vm.mli:

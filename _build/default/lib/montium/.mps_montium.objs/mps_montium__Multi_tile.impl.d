@@ -1,0 +1,1 @@
+lib/montium/multi_tile.ml: Array List Mps_antichain Mps_dfg Mps_pattern Mps_scheduler Mps_select Printf

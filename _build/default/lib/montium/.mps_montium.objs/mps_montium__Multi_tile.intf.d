@@ -1,0 +1,1 @@
+lib/montium/multi_tile.mli: Mps_dfg Mps_pattern

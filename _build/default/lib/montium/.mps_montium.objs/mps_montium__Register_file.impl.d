@@ -1,0 +1,1 @@
+lib/montium/register_file.ml: Allocation Array Hashtbl List Mps_dfg Mps_frontend Mps_scheduler Option Printf Tile

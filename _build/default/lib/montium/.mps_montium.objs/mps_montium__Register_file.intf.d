@@ -1,0 +1,1 @@
+lib/montium/register_file.mli: Allocation Mps_frontend Mps_scheduler Tile

@@ -1,0 +1,1 @@
+lib/montium/simulator.ml: Allocation Array Float Hashtbl List Mps_dfg Mps_frontend Mps_scheduler Printf Tile

@@ -1,0 +1,1 @@
+lib/montium/simulator.mli: Allocation Mps_frontend Mps_scheduler Tile

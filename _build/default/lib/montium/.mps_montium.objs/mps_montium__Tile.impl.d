@@ -1,0 +1,1 @@
+lib/montium/tile.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/montium/tile.mli: Format

@@ -1,0 +1,387 @@
+module Dfg = Mps_dfg.Dfg
+module Program = Mps_frontend.Program
+module Opcode = Mps_frontend.Opcode
+module Schedule = Mps_scheduler.Schedule
+
+type route =
+  | Feedback
+  | Register of { via_bus : int option }
+  | Spill of { via_bus : int option; memory : int }
+
+type operand_source =
+  | From_literal
+  | From_input of { memory : int }
+  | From_node of { producer : int; route : route }
+
+type stats = {
+  bus_transfers : int;
+  spills : int;
+  peak_bus_use : int;
+  peak_registers : int;
+  input_reads : int;
+}
+
+type t = {
+  alus : int array;
+  sources : operand_source array array;
+  stats : stats;
+}
+
+let alu_of t i = t.alus.(i)
+let sources t i = t.sources.(i)
+let stats t = t.stats
+
+(* Port bookkeeping: one read and one write per memory per cycle. *)
+type ports = {
+  mem_read : (int * int, unit) Hashtbl.t; (* (memory, cycle) *)
+  mem_write : (int * int, unit) Hashtbl.t;
+}
+
+let read_free ports memory cycle = not (Hashtbl.mem ports.mem_read (memory, cycle))
+let claim_read ports memory cycle = Hashtbl.replace ports.mem_read (memory, cycle) ()
+let write_free ports memory cycle = not (Hashtbl.mem ports.mem_write (memory, cycle))
+let claim_write ports memory cycle = Hashtbl.replace ports.mem_write (memory, cycle) ()
+
+let allocate ?(tile = Tile.default) program schedule =
+  match Tile.validate tile with
+  | Error m -> Error (Printf.sprintf "invalid tile: %s" m)
+  | Ok () -> (
+      let g = Program.dfg program in
+      let n = Dfg.node_count g in
+      let cycles = Schedule.cycles schedule in
+      let alus = Array.make n (-1) in
+      let exception Fail of string in
+      try
+        (* Phase 1: ALU assignment, cycle by cycle, with producer affinity. *)
+        for c = 0 to cycles - 1 do
+          let nodes = Schedule.nodes_at schedule c in
+          if List.length nodes > tile.Tile.alu_count then
+            raise
+              (Fail
+                 (Printf.sprintf "cycle %d schedules %d nodes on %d ALUs" c
+                    (List.length nodes) tile.Tile.alu_count));
+          let free = Array.make tile.Tile.alu_count true in
+          let preferred i =
+            let { Program.operands; _ } = Program.instruction program i in
+            Array.fold_left
+              (fun acc op ->
+                match (acc, op) with
+                | Some _, _ -> acc
+                | None, Program.Node j when alus.(j) >= 0 && free.(alus.(j)) ->
+                    Some alus.(j)
+                | None, _ -> None)
+              None operands
+          in
+          List.iter
+            (fun i ->
+              let a =
+                match preferred i with
+                | Some a -> a
+                | None ->
+                    let rec first k =
+                      if k >= tile.Tile.alu_count then
+                        raise (Fail "no free ALU (unreachable)")
+                      else if free.(k) then k
+                      else first (k + 1)
+                    in
+                    first 0
+              in
+              free.(a) <- false;
+              alus.(i) <- a)
+            nodes
+        done;
+        (* Phase 2: routing.  Group each value's consumers by consumer ALU
+           and decide storage per group. *)
+        let ports = { mem_read = Hashtbl.create 64; mem_write = Hashtbl.create 64 } in
+        let regs = Array.make_matrix tile.Tile.alu_count (max cycles 1) 0 in
+        let buses = Array.make (max cycles 1) 0 in
+        let spills = ref 0 and bus_transfers = ref 0 and input_reads = ref 0 in
+        (* route_of.(producer) is an association list: consumer alu -> route *)
+        let route_of = Array.make n [] in
+        let try_registers alu lo hi =
+          let fits = ref true in
+          for c = lo to hi do
+            if regs.(alu).(c) >= tile.Tile.registers_per_alu then fits := false
+          done;
+          if !fits then begin
+            for c = lo to hi do
+              regs.(alu).(c) <- regs.(alu).(c) + 1
+            done;
+            true
+          end
+          else false
+        in
+        let try_spill alu ~write_cycle ~read_cycles =
+          (* Pick a local memory with a free write port at the producing
+             cycle and free read ports at every consuming cycle. *)
+          let rec attempt port =
+            if port >= tile.Tile.memories_per_alu then None
+            else begin
+              let m = Tile.memory_of tile ~alu ~port in
+              if
+                write_free ports m write_cycle
+                && List.for_all (fun c -> read_free ports m c) read_cycles
+              then begin
+                claim_write ports m write_cycle;
+                List.iter (fun c -> claim_read ports m c) read_cycles;
+                Some m
+              end
+              else attempt (port + 1)
+            end
+          in
+          attempt 0
+        in
+        for i = 0 to n - 1 do
+          let succs = Dfg.succs g i in
+          if succs <> [] then begin
+            let c_prod = Schedule.cycle_of schedule i in
+            let by_alu = Hashtbl.create 4 in
+            List.iter
+              (fun j ->
+                let a = alus.(j) in
+                let prev = Option.value (Hashtbl.find_opt by_alu a) ~default:[] in
+                Hashtbl.replace by_alu a (j :: prev))
+              succs;
+            let groups =
+              Hashtbl.fold (fun a js acc -> (a, js) :: acc) by_alu []
+              |> List.sort compare
+            in
+            let needs_bus =
+              List.exists (fun (a, _) -> a <> alus.(i)) groups
+            in
+            let bus =
+              if needs_bus then begin
+                if buses.(c_prod) >= tile.Tile.bus_count then
+                  raise (Fail (Printf.sprintf "out of buses at cycle %d" c_prod));
+                let b = buses.(c_prod) in
+                buses.(c_prod) <- b + 1;
+                incr bus_transfers;
+                Some b
+              end
+              else None
+            in
+            List.iter
+              (fun (a, js) ->
+                let read_cycles =
+                  List.map (Schedule.cycle_of schedule) js
+                  |> List.sort_uniq Int.compare
+                in
+                let last_use = List.fold_left max 0 read_cycles in
+                let all_next =
+                  List.for_all (fun c -> c = c_prod + 1) read_cycles
+                in
+                let via_bus = if a = alus.(i) then None else bus in
+                let route =
+                  if a = alus.(i) && all_next then Feedback
+                  else if try_registers a (c_prod + 1) last_use then
+                    Register { via_bus }
+                  else begin
+                    match try_spill a ~write_cycle:c_prod ~read_cycles with
+                    | Some memory ->
+                        incr spills;
+                        Spill { via_bus; memory }
+                    | None ->
+                        raise
+                          (Fail
+                             (Printf.sprintf
+                                "node %s: no register or memory room at ALU %d"
+                                (Dfg.name g i) a))
+                  end
+                in
+                route_of.(i) <- (a, route) :: route_of.(i))
+              groups
+          end
+        done;
+        (* Phase 3: operand sources, claiming input read ports. *)
+        let sources =
+          Array.init n (fun j ->
+              let { Program.operands; _ } = Program.instruction program j in
+              let c = Schedule.cycle_of schedule j in
+              Array.mapi
+                (fun k op ->
+                  match op with
+                  | Program.Literal _ -> From_literal
+                  | Program.Node p ->
+                      let route = List.assoc alus.(j) route_of.(p) in
+                      From_node { producer = p; route }
+                  | Program.Input _ ->
+                      (* Inputs are preloaded into the consumer's local
+                         memories; prefer the port matching the operand
+                         position, falling back to any port whose read slot
+                         is still free this cycle. *)
+                      let order =
+                        List.init tile.Tile.memories_per_alu (fun d ->
+                            (min k (tile.Tile.memories_per_alu - 1) + d)
+                            mod tile.Tile.memories_per_alu)
+                      in
+                      let m =
+                        match
+                          List.find_map
+                            (fun port ->
+                              let m = Tile.memory_of tile ~alu:alus.(j) ~port in
+                              if read_free ports m c then Some m else None)
+                            order
+                        with
+                        | Some m -> m
+                        | None ->
+                            raise
+                              (Fail
+                                 (Printf.sprintf
+                                    "node %s: all input read ports busy at cycle %d"
+                                    (Dfg.name g j) c))
+                      in
+                      claim_read ports m c;
+                      incr input_reads;
+                      From_input { memory = m })
+                operands)
+        in
+        let peak_bus_use = Array.fold_left max 0 buses in
+        let peak_registers =
+          Array.fold_left (fun acc row -> Array.fold_left max acc row) 0 regs
+        in
+        Ok
+          {
+            alus;
+            sources;
+            stats =
+              {
+                bus_transfers = !bus_transfers;
+                spills = !spills;
+                peak_bus_use;
+                peak_registers;
+                input_reads = !input_reads;
+              };
+          }
+      with Fail m -> Error m)
+
+let validate ?(tile = Tile.default) program schedule t =
+  let g = Program.dfg program in
+  let n = Dfg.node_count g in
+  let cycles = Schedule.cycles schedule in
+  let exception Bad of string in
+  try
+    if Array.length t.alus <> n then raise (Bad "alu array length mismatch");
+    (* One node per ALU per cycle. *)
+    let seen = Hashtbl.create 64 in
+    for i = 0 to n - 1 do
+      let key = (Schedule.cycle_of schedule i, t.alus.(i)) in
+      if t.alus.(i) < 0 || t.alus.(i) >= tile.Tile.alu_count then
+        raise (Bad (Printf.sprintf "node %d on invalid ALU" i));
+      if Hashtbl.mem seen key then
+        raise (Bad (Printf.sprintf "two nodes share ALU %d at cycle %d" t.alus.(i) (fst key)));
+      Hashtbl.add seen key ()
+    done;
+    (* Check each operand's source and accumulate resource usage. *)
+    let reads = Hashtbl.create 64 and writes = Hashtbl.create 64 in
+    let reg_live = Hashtbl.create 64 in (* (alu, producer) -> last use cycle *)
+    let bus_used = Hashtbl.create 64 in (* (cycle, producer) -> unit *)
+    for j = 0 to n - 1 do
+      let { Program.operands; _ } = Program.instruction program j in
+      let srcs = t.sources.(j) in
+      if Array.length srcs <> Array.length operands then
+        raise (Bad (Printf.sprintf "node %d source arity mismatch" j));
+      let cj = Schedule.cycle_of schedule j in
+      Array.iteri
+        (fun k src ->
+          match (operands.(k), src) with
+          | Program.Literal _, From_literal -> ()
+          | Program.Input name, From_input { memory } ->
+              if memory < 0 || memory >= Tile.memory_count tile then
+                raise (Bad "input memory out of range");
+              let key = (memory, cj) in
+              (match Hashtbl.find_opt reads key with
+              | Some (`Input name') when name' = name -> ()
+              | Some _ ->
+                  raise
+                    (Bad (Printf.sprintf "read port conflict on memory %d cycle %d" memory cj))
+              | None -> Hashtbl.add reads key (`Input name))
+          | Program.Node p, From_node { producer; route } ->
+              if producer <> p then raise (Bad "operand producer mismatch");
+              let cp = Schedule.cycle_of schedule p in
+              (match route with
+              | Feedback ->
+                  if t.alus.(p) <> t.alus.(j) then raise (Bad "feedback across ALUs");
+                  if cj <> cp + 1 then raise (Bad "feedback across non-adjacent cycles")
+              | Register { via_bus } ->
+                  (match via_bus with
+                  | None ->
+                      if t.alus.(p) <> t.alus.(j) then
+                        raise (Bad "bus-less register route across ALUs")
+                  | Some b ->
+                      if b < 0 || b >= tile.Tile.bus_count then raise (Bad "bus out of range");
+                      Hashtbl.replace bus_used (cp, p) ());
+                  let key = (t.alus.(j), p) in
+                  let prev = Option.value (Hashtbl.find_opt reg_live key) ~default:0 in
+                  Hashtbl.replace reg_live key (max prev cj)
+              | Spill { via_bus; memory } ->
+                  (match via_bus with
+                  | None ->
+                      if t.alus.(p) <> t.alus.(j) then
+                        raise (Bad "bus-less spill route across ALUs")
+                  | Some b ->
+                      if b < 0 || b >= tile.Tile.bus_count then raise (Bad "bus out of range");
+                      Hashtbl.replace bus_used (cp, p) ());
+                  if memory < 0 || memory >= Tile.memory_count tile then
+                    raise (Bad "spill memory out of range");
+                  let rkey = (memory, cj) in
+                  (match Hashtbl.find_opt reads rkey with
+                  | Some (`Node p') when p' = p -> ()
+                  | Some _ ->
+                      raise
+                        (Bad
+                           (Printf.sprintf "read port conflict on memory %d cycle %d" memory cj))
+                  | None -> Hashtbl.add reads rkey (`Node p));
+                  let wkey = (memory, cp) in
+                  (* Several consumers of the same spilled value share one
+                     write; only distinct values conflict. *)
+                  (match Hashtbl.find_opt writes wkey with
+                  | Some p' when p' <> p ->
+                      raise
+                        (Bad
+                           (Printf.sprintf "write port conflict on memory %d cycle %d" memory cp))
+                  | _ -> Hashtbl.replace writes wkey p))
+          | _ -> raise (Bad (Printf.sprintf "node %d operand %d source kind mismatch" j k)))
+        srcs
+    done;
+    (* Bus capacity per cycle. *)
+    let per_cycle = Array.make (max cycles 1) 0 in
+    Hashtbl.iter (fun (c, _) () -> per_cycle.(c) <- per_cycle.(c) + 1) bus_used;
+    Array.iteri
+      (fun c used ->
+        if used > tile.Tile.bus_count then
+          raise (Bad (Printf.sprintf "cycle %d uses %d buses" c used)))
+      per_cycle;
+    (* Register pressure: each live (alu, value) occupies one register from
+       production+1 to last use. *)
+    let pressure = Array.make_matrix tile.Tile.alu_count (max cycles 1) 0 in
+    Hashtbl.iter
+      (fun (alu, p) last ->
+        for c = Schedule.cycle_of schedule p + 1 to last do
+          pressure.(alu).(c) <- pressure.(alu).(c) + 1
+        done)
+      reg_live;
+    Array.iteri
+      (fun alu row ->
+        Array.iteri
+          (fun c k ->
+            if k > tile.Tile.registers_per_alu then
+              raise
+                (Bad
+                   (Printf.sprintf "ALU %d holds %d registers at cycle %d" alu k c)))
+          row)
+      pressure;
+    Ok ()
+  with Bad m -> Error m
+
+let pp program ppf t =
+  let g = Program.dfg program in
+  Format.fprintf ppf "@[<v>";
+  Dfg.iter_nodes
+    (fun i ->
+      Format.fprintf ppf "%s -> ALU%d@," (Dfg.name g i) t.alus.(i))
+    g;
+  let s = t.stats in
+  Format.fprintf ppf
+    "stats: %d bus transfers, %d spills, peak buses %d, peak regs %d, %d input reads@,"
+    s.bus_transfers s.spills s.peak_bus_use s.peak_registers s.input_reads;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,75 @@
+(** Allocation: mapping a scheduled program onto the tile's datapath — the
+    compiler phase after scheduling in the Montium flow (paper §1, [3]).
+
+    Given a {!Mps_frontend.Program.t} and a {!Mps_scheduler.Schedule.t},
+    allocation decides, per clock cycle:
+
+    - which ALU runs each operation (one operation per ALU per cycle);
+    - how every operand reaches its consumer.
+
+    The routing model, simplified from the real tile but resource-faithful:
+
+    - A result needed by an operation on the {e same} ALU in the {e next}
+      cycle uses the ALU's feedback path (free).
+    - Any other node-to-node value crosses the crossbar {e once}, on the
+      cycle it is produced (one global bus per producing node per cycle,
+      broadcast to all consumers), and then waits in each consumer ALU's
+      register file until its last use there.  Register files hold
+      [registers_per_alu] values; when a value cannot be kept in registers
+      for its whole lifetime it is {e spilled}: written to one of the
+      consumer's local memories instead (one write port per memory per
+      cycle) and read back on the consuming cycle (one read port).
+    - External inputs live in the consumer ALU's local memories and are
+      read on the consuming cycle; instruction literals are free.
+
+    Allocation fails only on genuine resource exhaustion (more producing
+    nodes in a cycle than buses, or no free memory write port for a spill);
+    with the default tile and capacity-5 schedules the bus bound cannot
+    trigger, which a test asserts. *)
+
+type route =
+  | Feedback  (** Same ALU, consecutive cycles. *)
+  | Register of { via_bus : int option }
+      (** Held in the consumer's register file; [via_bus] is the crossbar
+          bus used on the producing cycle, [None] when producer and
+          consumer share the ALU (local write-back). *)
+  | Spill of { via_bus : int option; memory : int }
+      (** Held in a consumer-local memory. *)
+
+type operand_source =
+  | From_literal
+  | From_input of { memory : int }  (** External input, memory-resident. *)
+  | From_node of { producer : int; route : route }
+
+type stats = {
+  bus_transfers : int;  (** Crossbar transfers (bus·cycle slots used). *)
+  spills : int;  (** Values routed through a local memory. *)
+  peak_bus_use : int;  (** Max buses used in any one cycle. *)
+  peak_registers : int;  (** Max register-file occupancy of any ALU. *)
+  input_reads : int;  (** Memory reads serving external inputs. *)
+}
+
+type t
+
+val alu_of : t -> int -> int
+(** ALU index executing the node. *)
+
+val sources : t -> int -> operand_source array
+(** Per-operand routing of the node, in instruction operand order. *)
+
+val stats : t -> stats
+
+val allocate :
+  ?tile:Tile.t ->
+  Mps_frontend.Program.t ->
+  Mps_scheduler.Schedule.t ->
+  (t, string) result
+(** [tile] defaults to {!Tile.default}.  Fails with a message if a cycle
+    schedules more nodes than ALUs, or a resource port is exhausted. *)
+
+val validate :
+  ?tile:Tile.t -> Mps_frontend.Program.t -> Mps_scheduler.Schedule.t -> t -> (unit, string) result
+(** Re-checks every structural resource bound on an existing allocation
+    (used by tests and by the simulator before running). *)
+
+val pp : Mps_frontend.Program.t -> Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+module Dfg = Mps_dfg.Dfg
+module Pattern = Mps_pattern.Pattern
+module Program = Mps_frontend.Program
+module Opcode = Mps_frontend.Opcode
+module Schedule = Mps_scheduler.Schedule
+
+type summary = { cycles : int; patterns : int; instructions : int; inputs : int }
+
+let emit ?(tile = Tile.default) program schedule alloc slots =
+  let g = Program.dfg program in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "; mpsched configuration\n";
+  out ".tile alus=%d buses=%d regs=%d mems=%dx%d\n" tile.Tile.alu_count
+    tile.Tile.bus_count tile.Tile.registers_per_alu (Tile.memory_count tile)
+    tile.Tile.memory_words;
+  let cfg = Config_space.of_schedule ~tile schedule in
+  out ".patterns\n";
+  List.iteri
+    (fun i p -> out "  P%d %s\n" i (Pattern.to_padded_string ~capacity:tile.Tile.alu_count p))
+    cfg.Config_space.patterns;
+  (* Input preload image, sorted for determinism. *)
+  let input_lines = ref [] in
+  for j = 0 to Dfg.node_count g - 1 do
+    let { Program.operands; _ } = Program.instruction program j in
+    Array.iteri
+      (fun k src ->
+        match (src, operands.(k)) with
+        | Allocation.From_input { memory }, Program.Input name -> (
+            match Register_file.input_address_of slots ~input:name ~memory with
+            | Some addr ->
+                input_lines := Printf.sprintf "  M%d[%d] = %s\n" memory addr name :: !input_lines
+            | None -> ())
+        | _ -> ())
+      (Allocation.sources alloc j)
+  done;
+  out ".inputs\n";
+  List.iter (Buffer.add_string buf) (List.sort_uniq compare !input_lines);
+  out ".code\n";
+  let operand_text j k src =
+    let { Program.operands; _ } = Program.instruction program j in
+    match (src, operands.(k)) with
+    | Allocation.From_literal, Program.Literal f -> Printf.sprintf "#%.17g" f
+    | Allocation.From_input { memory }, Program.Input name ->
+        let addr =
+          Option.value
+            (Register_file.input_address_of slots ~input:name ~memory)
+            ~default:(-1)
+        in
+        Printf.sprintf "M%d[%d]" memory addr
+    | Allocation.From_node { producer; route }, Program.Node _ -> (
+        match route with
+        | Allocation.Feedback -> "fb"
+        | Allocation.Register _ ->
+            let alu = Allocation.alu_of alloc j in
+            let index =
+              Option.value
+                (Register_file.register_of slots ~producer ~consumer_alu:alu)
+                ~default:(-1)
+            in
+            Printf.sprintf "r%d" index
+        | Allocation.Spill { memory; _ } ->
+            let addr =
+              Option.value
+                (Register_file.spill_address_of slots ~producer ~memory)
+                ~default:(-1)
+            in
+            Printf.sprintf "M%d[%d]" memory addr)
+    | _ -> "?"
+  in
+  (* Destinations of each produced value, so the listing is self-contained
+     (the Listing_vm executes it with no other artifact). *)
+  let destinations j =
+    let dests = ref [] in
+    List.iter
+      (fun consumer ->
+        Array.iter
+          (function
+            | Allocation.From_node { producer; route } when producer = j -> (
+                match route with
+                | Allocation.Feedback -> () (* implicit: every ALU latches fb *)
+                | Allocation.Register _ ->
+                    let alu = Allocation.alu_of alloc consumer in
+                    let index =
+                      Option.value
+                        (Register_file.register_of slots ~producer:j ~consumer_alu:alu)
+                        ~default:(-1)
+                    in
+                    dests := Printf.sprintf "r%d@alu%d" index alu :: !dests
+                | Allocation.Spill { memory; _ } ->
+                    let addr =
+                      Option.value
+                        (Register_file.spill_address_of slots ~producer:j ~memory)
+                        ~default:(-1)
+                    in
+                    dests := Printf.sprintf "M%d[%d]" memory addr :: !dests)
+            | _ -> ())
+          (Allocation.sources alloc consumer))
+      (Dfg.succs g j);
+    List.sort_uniq compare !dests
+  in
+  for c = 0 to Schedule.cycles schedule - 1 do
+    let pidx = cfg.Config_space.cycle_index.(c) in
+    out "cycle %d pattern P%d\n" (c + 1) pidx;
+    List.iter
+      (fun j ->
+        let { Program.opcode; _ } = Program.instruction program j in
+        let srcs = Allocation.sources alloc j in
+        let args =
+          Array.to_list (Array.mapi (fun k src -> operand_text j k src) srcs)
+        in
+        let dests =
+          match destinations j with
+          | [] -> ""
+          | ds -> " -> " ^ String.concat ", " ds
+        in
+        out "  alu%d: %-4s %s%s ; %s\n"
+          (Allocation.alu_of alloc j)
+          (Opcode.to_string opcode)
+          (String.concat ", " args)
+          dests
+          (Dfg.name g j))
+      (Schedule.nodes_at schedule c)
+  done;
+  Buffer.contents buf
+
+let parse_summary text =
+  let lines = String.split_on_char '\n' text in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let cycles = ref 0 and patterns = ref 0 and instructions = ref 0 and inputs = ref 0 in
+  let section = ref `Preamble in
+  let ok = ref true in
+  List.iter
+    (fun line ->
+      if starts_with ".patterns" line then section := `Patterns
+      else if starts_with ".inputs" line then section := `Inputs
+      else if starts_with ".code" line then section := `Code
+      else if starts_with ".tile" line then ()
+      else if starts_with ";" line || String.trim line = "" then ()
+      else
+        match !section with
+        | `Patterns -> if starts_with "  P" line then incr patterns else ok := false
+        | `Inputs -> if starts_with "  M" line then incr inputs else ok := false
+        | `Code ->
+            if starts_with "cycle " line then incr cycles
+            else if starts_with "  alu" line then incr instructions
+            else ok := false
+        | `Preamble -> ok := false)
+    lines;
+  if !ok then
+    Ok { cycles = !cycles; patterns = !patterns; instructions = !instructions; inputs = !inputs }
+  else Error "unrecognized line in listing"
+
+let generate ?tile program schedule alloc =
+  match Register_file.assign ?tile program schedule alloc with
+  | Error m -> Error m
+  | Ok slots -> Ok (emit ?tile program schedule alloc slots)

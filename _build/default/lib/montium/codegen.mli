@@ -1,0 +1,50 @@
+(** Configuration/code generation — the textual image a Montium sequencer
+    would be loaded with.
+
+    Emits, for a fully mapped program (schedule + allocation + concrete
+    storage), a deterministic assembly-like listing:
+
+    {v
+    ; mpsched configuration
+    .tile alus=5 buses=10 regs=16 mems=10x512
+    .patterns
+      P0 aabcc
+      ...
+    .inputs
+      M3[0] = x1r
+      ...
+    .code
+    cycle 1 pattern P0
+      alu0: add  r[a4] <- M0[0], M1[0]     ; a4
+      ...
+    v}
+
+    The listing is both human documentation of a mapping and a
+    machine-checkable artifact: {!parse_summary} re-reads the structural
+    counts so tests can assert the emitter round-trips. *)
+
+type summary = {
+  cycles : int;
+  patterns : int;
+  instructions : int;
+  inputs : int;
+}
+
+val emit :
+  ?tile:Tile.t ->
+  Mps_frontend.Program.t ->
+  Mps_scheduler.Schedule.t ->
+  Allocation.t ->
+  Register_file.t ->
+  string
+
+val parse_summary : string -> (summary, string) result
+(** Structural re-read of an emitted listing (section and line counts). *)
+
+val generate :
+  ?tile:Tile.t ->
+  Mps_frontend.Program.t ->
+  Mps_scheduler.Schedule.t ->
+  Allocation.t ->
+  (string, string) result
+(** Storage assignment + emission in one step. *)

@@ -1,0 +1,43 @@
+module Pattern = Mps_pattern.Pattern
+module Schedule = Mps_scheduler.Schedule
+
+type t = {
+  patterns : Pattern.t list;
+  table_size : int;
+  fits : bool;
+  reconfigurations : int;
+  cycle_index : int array;
+}
+
+let of_schedule ?(tile = Tile.default) schedule =
+  let patterns = Schedule.distinct_patterns schedule in
+  let table_size = List.length patterns in
+  let index_of p =
+    let rec go i = function
+      | [] -> assert false
+      | q :: rest -> if Pattern.equal p q then i else go (i + 1) rest
+    in
+    go 0 patterns
+  in
+  let cycles = Schedule.cycles schedule in
+  let cycle_index =
+    Array.init cycles (fun c -> index_of (Schedule.pattern_at schedule c))
+  in
+  let reconfigurations = ref 0 in
+  for c = 1 to cycles - 1 do
+    if cycle_index.(c) <> cycle_index.(c - 1) then incr reconfigurations
+  done;
+  {
+    patterns;
+    table_size;
+    fits = table_size <= tile.Tile.max_configs;
+    reconfigurations = !reconfigurations;
+    cycle_index;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>config table (%d entr%s, %s):@," t.table_size
+    (if t.table_size = 1 then "y" else "ies")
+    (if t.fits then "fits" else "OVERFLOWS");
+  List.iteri (fun i p -> Format.fprintf ppf "  %d: %a@," i Pattern.pp p) t.patterns;
+  Format.fprintf ppf "%d reconfigurations@]" t.reconfigurations

@@ -1,0 +1,22 @@
+(** Configuration-space accounting (paper §1).
+
+    "Although the five ALUs can execute thousands of different possible
+    patterns, for efficiency reasons during one application it is only
+    allowed to use up to 32 of them."  This module checks a schedule
+    against that limit, counts reconfigurations (cycles whose pattern
+    differs from the previous cycle's — the events that cost energy on the
+    real tile), and builds the pattern table a sequencer would be loaded
+    with. *)
+
+type t = {
+  patterns : Mps_pattern.Pattern.t list;  (** Distinct, sorted: the table. *)
+  table_size : int;
+  fits : bool;  (** [table_size ≤ max_configs]. *)
+  reconfigurations : int;
+      (** Pattern switches between consecutive cycles (first cycle free). *)
+  cycle_index : int array;  (** Per cycle, the index into [patterns]. *)
+}
+
+val of_schedule : ?tile:Tile.t -> Mps_scheduler.Schedule.t -> t
+
+val pp : Format.formatter -> t -> unit

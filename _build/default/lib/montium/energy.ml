@@ -1,0 +1,87 @@
+module Dfg = Mps_dfg.Dfg
+module Program = Mps_frontend.Program
+module Opcode = Mps_frontend.Opcode
+module Schedule = Mps_scheduler.Schedule
+
+type costs = {
+  op_add : float;
+  op_mul : float;
+  op_other : float;
+  bus_transfer : float;
+  memory_access : float;
+  register_write : float;
+  reconfiguration : float;
+  idle_alu_cycle : float;
+}
+
+let default_costs =
+  {
+    op_add = 1.0;
+    op_mul = 3.0;
+    op_other = 1.0;
+    bus_transfer = 0.8;
+    memory_access = 2.5;
+    register_write = 0.3;
+    reconfiguration = 100.0;
+    idle_alu_cycle = 0.1;
+  }
+
+type breakdown = {
+  operations : float;
+  transfers : float;
+  memory : float;
+  reconfig : float;
+  idle : float;
+  total : float;
+}
+
+let op_cost costs = function
+  | Opcode.Add | Opcode.Sub | Opcode.Neg -> costs.op_add
+  | Opcode.Mul | Opcode.Mac -> costs.op_mul
+  | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Shl | Opcode.Shr | Opcode.Min
+  | Opcode.Max ->
+      costs.op_other
+
+let estimate ?(costs = default_costs) ?(tile = Tile.default) program schedule alloc =
+  let g = Program.dfg program in
+  let n = Dfg.node_count g in
+  let operations = ref 0.0 in
+  for i = 0 to n - 1 do
+    let { Program.opcode; _ } = Program.instruction program i in
+    operations := !operations +. op_cost costs opcode
+  done;
+  let s = Allocation.stats alloc in
+  let transfers = float_of_int s.Allocation.bus_transfers *. costs.bus_transfer in
+  (* Each spill is one write plus at least one read; input reads are reads;
+     every register-routed value costs one register write. *)
+  let register_writes = ref 0 in
+  let memory_accesses = ref (s.Allocation.input_reads + (2 * s.Allocation.spills)) in
+  for j = 0 to n - 1 do
+    Array.iter
+      (function
+        | Allocation.From_node { route = Allocation.Register _; _ } ->
+            incr register_writes
+        | Allocation.From_node _ | Allocation.From_literal | Allocation.From_input _ ->
+            ())
+      (Allocation.sources alloc j)
+  done;
+  let memory = float_of_int !memory_accesses *. costs.memory_access in
+  let registers = float_of_int !register_writes *. costs.register_write in
+  let cfg = Config_space.of_schedule ~tile schedule in
+  let reconfig = float_of_int cfg.Config_space.reconfigurations *. costs.reconfiguration in
+  let idle_slots = (Schedule.cycles schedule * tile.Tile.alu_count) - n in
+  let idle = float_of_int (max 0 idle_slots) *. costs.idle_alu_cycle in
+  let operations = !operations +. registers in
+  {
+    operations;
+    transfers;
+    memory;
+    reconfig;
+    idle;
+    total = operations +. transfers +. memory +. reconfig +. idle;
+  }
+
+let pp ppf b =
+  Format.fprintf ppf
+    "energy: ops %.1f + transfers %.1f + memory %.1f + reconfig %.1f + idle %.1f = %.1f"
+    b.operations b.transfers b.memory b.reconfig b.idle b.total

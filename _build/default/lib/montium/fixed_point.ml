@@ -1,0 +1,109 @@
+module Program = Mps_frontend.Program
+module Opcode = Mps_frontend.Opcode
+module Dfg = Mps_dfg.Dfg
+module Topo = Mps_dfg.Topo
+
+type format = { frac_bits : int }
+
+let q f =
+  if f < 0 || f > 15 then invalid_arg "Fixed_point.q: frac_bits outside [0,15]";
+  { frac_bits = f }
+
+let min_raw = -32768
+let max_raw = 32767
+
+let saturate_flag = ref false
+
+let saturate x =
+  if x > max_raw then begin
+    saturate_flag := true;
+    max_raw
+  end
+  else if x < min_raw then begin
+    saturate_flag := true;
+    min_raw
+  end
+  else x
+
+let quantize fmt v =
+  let scaled = v *. float_of_int (1 lsl fmt.frac_bits) in
+  saturate (int_of_float (Float.round scaled))
+
+let dequantize fmt raw = float_of_int raw /. float_of_int (1 lsl fmt.frac_bits)
+
+let saturating_add a b = saturate (a + b)
+let saturating_sub a b = saturate (a - b)
+
+let saturating_mul fmt a b =
+  let product = a * b in
+  let half = 1 lsl (max 0 (fmt.frac_bits - 1)) in
+  let rounded =
+    if fmt.frac_bits = 0 then product
+    else if product >= 0 then (product + half) asr fmt.frac_bits
+    else -((-product + half) asr fmt.frac_bits)
+  in
+  saturate rounded
+
+(* Bitwise results re-signed to 16 bits (the datapath registers are 16-bit
+   two's complement). *)
+let to_signed16 x =
+  let x = x land 0xFFFF in
+  if x land 0x8000 <> 0 then x - 0x10000 else x
+
+let eval_op fmt op args =
+  match (op, args) with
+  | Opcode.Add, [| a; b |] -> saturating_add a b
+  | Opcode.Sub, [| a; b |] -> saturating_sub a b
+  | Opcode.Mul, [| a; b |] -> saturating_mul fmt a b
+  | Opcode.Neg, [| a |] -> saturate (-a)
+  | Opcode.And, [| a; b |] -> to_signed16 (a land b)
+  | Opcode.Or, [| a; b |] -> to_signed16 (a lor b)
+  | Opcode.Xor, [| a; b |] -> to_signed16 (a lxor b)
+  | Opcode.Shl, [| a; b |] -> saturate (a lsl (b land 15))
+  | Opcode.Shr, [| a; b |] -> a asr (b land 15)
+  | Opcode.Min, [| a; b |] -> min a b
+  | Opcode.Max, [| a; b |] -> max a b
+  | Opcode.Mac, [| a; b; c |] -> saturating_add (saturating_mul fmt a b) c
+  | _ -> invalid_arg "Fixed_point.eval: operand count mismatch"
+
+let eval fmt program ~env =
+  saturate_flag := false;
+  let g = Program.dfg program in
+  let values = Array.make (Dfg.node_count g) 0 in
+  List.iter
+    (fun i ->
+      let { Program.opcode; operands } = Program.instruction program i in
+      let quantize_operand k op =
+        match op with
+        | Program.Input name -> quantize fmt (env name)
+        | Program.Node j -> values.(j)
+        | Program.Literal f -> (
+            match opcode with
+            (* Shift counts are raw integers, not Q-format samples. *)
+            | Opcode.Shl | Opcode.Shr when k = 1 -> int_of_float f
+            | _ -> quantize fmt f)
+      in
+      let args = Array.mapi quantize_operand operands in
+      values.(i) <- eval_op fmt opcode args)
+    (Topo.order g);
+  List.map (fun (name, i) -> (name, dequantize fmt values.(i))) (Program.outputs program)
+
+type error_report = {
+  max_abs : float;
+  max_rel : float;
+  saturated : bool;
+}
+
+let compare_against_float fmt program ~env =
+  let fixed = eval fmt program ~env in
+  let saturated = !saturate_flag in
+  let reference = Program.eval ~env program in
+  let max_abs = ref 0.0 and max_rel = ref 0.0 in
+  List.iter2
+    (fun (n1, fx) (n2, fl) ->
+      assert (n1 = n2);
+      let abs_err = Float.abs (fx -. fl) in
+      max_abs := Float.max !max_abs abs_err;
+      max_rel := Float.max !max_rel (abs_err /. Float.max 1.0 (Float.abs fl)))
+    fixed reference;
+  { max_abs = !max_abs; max_rel = !max_rel; saturated }

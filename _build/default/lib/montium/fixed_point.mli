@@ -1,0 +1,47 @@
+(** 16-bit fixed-point arithmetic — the Montium's actual datapath.
+
+    The float semantics used elsewhere keeps tests simple; this module
+    answers the question a DSP engineer asks before committing a kernel to
+    the tile: {e what does 16-bit Qm.f arithmetic do to my numbers?}
+    Values are signed 16-bit integers interpreted as Q(15−f).f; additions
+    saturate; multiplications round-to-nearest on the f-bit renormalizing
+    shift, then saturate.  The evaluator runs any {!Mps_frontend.Program.t}
+    under these semantics so kernels can be compared against their float
+    reference output, and the precision ablation sweeps f. *)
+
+type format = { frac_bits : int }
+
+val q : int -> format
+(** [q f] for f ∈ [0, 15].  @raise Invalid_argument otherwise. *)
+
+val quantize : format -> float -> int
+(** Nearest representable raw value, saturating to the 16-bit range. *)
+
+val dequantize : format -> int -> float
+
+val saturating_add : int -> int -> int
+val saturating_sub : int -> int -> int
+
+val saturating_mul : format -> int -> int -> int
+(** Full 32-bit product, round-half-away on the renormalizing shift,
+    saturate. *)
+
+val eval :
+  format ->
+  Mps_frontend.Program.t ->
+  env:(string -> float) ->
+  (string * float) list
+(** Quantizes the inputs, runs every instruction in fixed point (bitwise
+    and shift operations act on the raw integers; min/max compare raw
+    values, which matches numeric order for a shared format), dequantizes
+    the outputs. *)
+
+type error_report = {
+  max_abs : float;
+  max_rel : float;  (** Relative to max(1, |reference|). *)
+  saturated : bool;  (** Some intermediate hit the rails. *)
+}
+
+val compare_against_float :
+  format -> Mps_frontend.Program.t -> env:(string -> float) -> error_report
+(** Fixed-point vs the float reference on the same inputs. *)

@@ -1,0 +1,239 @@
+module Opcode = Mps_frontend.Opcode
+
+type operand =
+  | Literal of float
+  | Memory of int * int
+  | Register of int (* index within the instruction's own ALU file *)
+  | Feedback
+
+type dest =
+  | Dest_register of { index : int; alu : int }
+  | Dest_memory of int * int
+
+type instruction = {
+  alu : int;
+  opcode : Opcode.t;
+  operands : operand list;
+  dests : dest list;
+  name : string; (* trailing comment: the node's name *)
+}
+
+type t = {
+  patterns : string list;
+  preload : (int * int, string) Hashtbl.t; (* memory cell -> input name *)
+  cycles : instruction list array;
+}
+
+let instruction_count t =
+  Array.fold_left (fun acc c -> acc + List.length c) 0 t.cycles
+
+let cycle_count t = Array.length t.cycles
+let pattern_table t = t.patterns
+
+let strip s = String.trim s
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* "M3[12]" -> (3, 12) *)
+let parse_cell s =
+  try
+    Scanf.sscanf s "M%d[%d]" (fun m a -> Some (m, a))
+  with Scanf.Scan_failure _ | End_of_file | Failure _ -> None
+
+let parse_operand s =
+  let s = strip s in
+  if s = "fb" then Some Feedback
+  else if starts_with "#" s then
+    Option.map (fun f -> Literal f) (float_of_string_opt (String.sub s 1 (String.length s - 1)))
+  else if starts_with "r" s then
+    Option.map (fun i -> Register i) (int_of_string_opt (String.sub s 1 (String.length s - 1)))
+  else Option.map (fun (m, a) -> Memory (m, a)) (parse_cell s)
+
+let parse_dest s =
+  let s = strip s in
+  match String.index_opt s '@' with
+  | Some at ->
+      let reg = String.sub s 0 at and alu = String.sub s (at + 1) (String.length s - at - 1) in
+      if starts_with "r" reg && starts_with "alu" alu then
+        match
+          ( int_of_string_opt (String.sub reg 1 (String.length reg - 1)),
+            int_of_string_opt (String.sub alu 3 (String.length alu - 3)) )
+        with
+        | Some index, Some alu -> Some (Dest_register { index; alu })
+        | _ -> None
+      else None
+  | None -> Option.map (fun (m, a) -> Dest_memory (m, a)) (parse_cell s)
+
+let split_on_string sep s =
+  (* Split [s] on the first occurrence of [sep]. *)
+  let n = String.length s and m = String.length sep in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> (s, None)
+  | Some i -> (String.sub s 0 i, Some (String.sub s (i + m) (n - i - m)))
+
+let parse_instruction lineno line =
+  (* "  alu2: add  M0[0], r1 -> r3@alu2, M5[1] ; a4" *)
+  let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let body, comment = split_on_string ";" line in
+  let name = match comment with Some c -> strip c | None -> "" in
+  match split_on_string ":" (strip body) with
+  | _, None -> fail "missing ':' after alu"
+  | alu_txt, Some rest -> (
+      if not (starts_with "alu" alu_txt) then fail "expected aluN"
+      else
+        match int_of_string_opt (String.sub alu_txt 3 (String.length alu_txt - 3)) with
+        | None -> fail "bad alu index"
+        | Some alu -> (
+            let rest = strip rest in
+            match String.index_opt rest ' ' with
+            | None -> fail "missing opcode/operands"
+            | Some sp -> (
+                let op_txt = String.sub rest 0 sp in
+                let tail = strip (String.sub rest sp (String.length rest - sp)) in
+                match Opcode.of_string op_txt with
+                | None -> fail (Printf.sprintf "unknown opcode %S" op_txt)
+                | Some opcode -> (
+                    let args_txt, dests_txt = split_on_string "->" tail in
+                    let operands =
+                      String.split_on_char ',' (strip args_txt)
+                      |> List.filter (fun s -> strip s <> "")
+                      |> List.map parse_operand
+                    in
+                    let dests =
+                      match dests_txt with
+                      | None -> Some []
+                      | Some d ->
+                          let parsed =
+                            String.split_on_char ',' d
+                            |> List.filter (fun s -> strip s <> "")
+                            |> List.map parse_dest
+                          in
+                          if List.for_all Option.is_some parsed then
+                            Some (List.map Option.get parsed)
+                          else None
+                    in
+                    match (List.for_all Option.is_some operands, dests) with
+                    | true, Some dests ->
+                        Ok
+                          {
+                            alu;
+                            opcode;
+                            operands = List.map Option.get operands;
+                            dests;
+                            name;
+                          }
+                    | _ -> fail "unparsable operand or destination"))))
+
+let load text =
+  let lines = String.split_on_char '\n' text in
+  let patterns = ref [] in
+  let preload = Hashtbl.create 16 in
+  let cycles = ref [] in (* reversed list of reversed instruction lists *)
+  let section = ref `Preamble in
+  let error = ref None in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      if !error = None then
+        if starts_with ".patterns" raw then section := `Patterns
+        else if starts_with ".inputs" raw then section := `Inputs
+        else if starts_with ".code" raw then section := `Code
+        else if starts_with ".tile" raw || starts_with ";" raw || strip raw = "" then ()
+        else
+          match !section with
+          | `Patterns ->
+              (match String.split_on_char ' ' (strip raw) with
+              | [ _label; spelling ] -> patterns := spelling :: !patterns
+              | _ -> error := Some (Printf.sprintf "line %d: bad pattern entry" lineno))
+          | `Inputs -> (
+              match split_on_string "=" raw with
+              | cell_txt, Some name -> (
+                  match parse_cell (strip cell_txt) with
+                  | Some cell -> Hashtbl.replace preload cell (strip name)
+                  | None -> error := Some (Printf.sprintf "line %d: bad input cell" lineno))
+              | _ -> error := Some (Printf.sprintf "line %d: bad input line" lineno))
+          | `Code ->
+              if starts_with "cycle " raw then cycles := [] :: !cycles
+              else if starts_with "  alu" raw then begin
+                match (!cycles, parse_instruction lineno raw) with
+                | current :: rest, Ok instr -> cycles := (instr :: current) :: rest
+                | [], _ -> error := Some (Printf.sprintf "line %d: code before cycle" lineno)
+                | _, Error m -> error := Some m
+              end
+              else error := Some (Printf.sprintf "line %d: unrecognized code line" lineno)
+          | `Preamble -> error := Some (Printf.sprintf "line %d: text before sections" lineno))
+    lines;
+  match !error with
+  | Some m -> Error m
+  | None ->
+      Ok
+        {
+          patterns = List.rev !patterns;
+          preload;
+          (* !cycles is newest-first with newest-first instructions;
+             rev_map undoes both at once. *)
+          cycles = Array.of_list (List.rev_map List.rev !cycles);
+        }
+
+let run t ~env =
+  let exception Stuck of string in
+  try
+    let regs : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+    let mems : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+    let fb : (int, float) Hashtbl.t = Hashtbl.create 8 in
+    Hashtbl.iter (fun cell name -> Hashtbl.replace mems cell (env name)) t.preload;
+    let results = ref [] in
+    Array.iter
+      (fun instrs ->
+        (* Read phase: all ALUs fetch against the pre-cycle state. *)
+        let computed =
+          List.map
+            (fun instr ->
+              let fetch = function
+                | Literal f -> f
+                | Feedback -> (
+                    match Hashtbl.find_opt fb instr.alu with
+                    | Some v -> v
+                    | None -> raise (Stuck (instr.name ^ ": empty feedback register")))
+                | Register index -> (
+                    match Hashtbl.find_opt regs (instr.alu, index) with
+                    | Some v -> v
+                    | None ->
+                        raise
+                          (Stuck
+                             (Printf.sprintf "%s: register r%d@alu%d empty" instr.name
+                                index instr.alu)))
+                | Memory (m, a) -> (
+                    match Hashtbl.find_opt mems (m, a) with
+                    | Some v -> v
+                    | None ->
+                        raise
+                          (Stuck (Printf.sprintf "%s: memory M%d[%d] empty" instr.name m a)))
+              in
+              let args = Array.of_list (List.map fetch instr.operands) in
+              (instr, Opcode.eval instr.opcode args))
+            instrs
+        in
+        (* Write phase. *)
+        List.iter
+          (fun (instr, v) ->
+            Hashtbl.replace fb instr.alu v;
+            List.iter
+              (function
+                | Dest_register { index; alu } -> Hashtbl.replace regs (alu, index) v
+                | Dest_memory (m, a) -> Hashtbl.replace mems (m, a) v)
+              instr.dests;
+            if instr.name <> "" then results := (instr.name, v) :: !results)
+          computed)
+      t.cycles;
+    Ok (List.rev !results)
+  with
+  | Stuck m -> Error m
+  | Not_found -> Error "unbound input name"

@@ -1,0 +1,36 @@
+(** Interpreter for generated configuration listings.
+
+    {!Codegen.emit} produces a textual configuration; this module loads
+    that text {e alone} — no access to the original program, schedule or
+    allocation — and executes it: parse the pattern table, preload the
+    input image from an environment, then run the `.code` section cycle by
+    cycle against simulated register files, feedback registers and
+    memories.  Producing the right numbers from nothing but the listing is
+    the end-to-end proof that the emitted artifact is complete; the tests
+    diff its outputs against {!Mps_frontend.Program.eval}.
+
+    The listing names destinations implicitly (a result is stored wherever
+    later instructions read it from), so the loader performs a two-pass
+    link: first parse every instruction, then resolve each result's
+    destinations from the consumers' operand texts.  Consumers reference
+    producers positionally: `r3` on ALU k refers to the value most recently
+    linked to register 3 of ALU k's file, matching the single-assignment
+    discipline of {!Register_file}. *)
+
+type t
+
+val load : string -> (t, string) result
+(** Parse a listing.  Errors carry a line number and message. *)
+
+val instruction_count : t -> int
+val cycle_count : t -> int
+val pattern_table : t -> string list
+
+val run :
+  t ->
+  env:(string -> float) ->
+  ((string * float) list, string) result
+(** Execute.  Returns the value left by the final instruction of each ALU
+    tagged by the comment name of every instruction — i.e. an association
+    from node comment names to computed values, so callers can look up any
+    node's result, not only designated outputs. *)

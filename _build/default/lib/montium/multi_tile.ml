@@ -1,0 +1,152 @@
+module Dfg = Mps_dfg.Dfg
+module Levels = Mps_dfg.Levels
+module Pattern = Mps_pattern.Pattern
+module Classify = Mps_antichain.Classify
+module Enumerate = Mps_antichain.Enumerate
+module Select = Mps_select.Select
+module Mp = Mps_scheduler.Multi_pattern
+module Schedule = Mps_scheduler.Schedule
+
+type options = {
+  tiles : int;
+  hop_latency : int;
+  pdef : int;
+  span_limit : int option;
+  capacity : int;
+}
+
+let default_options =
+  { tiles = 2; hop_latency = 2; pdef = 4; span_limit = Some 1; capacity = 5 }
+
+type tile_mapping = {
+  tile_nodes : int list;
+  patterns : Pattern.t list;
+  start_of : (int * int) list;
+  busy_cycles : int;
+}
+
+type t = {
+  mappings : tile_mapping list;
+  makespan : int;
+  cut_edges : int;
+  single_tile_cycles : int;
+}
+
+(* Contiguous ASAP-level bands with balanced node counts: tile boundaries
+   at the level where the cumulative node count passes i/tiles of the
+   total. *)
+let partition g ~tiles =
+  let lv = Levels.compute g in
+  let n = Dfg.node_count g in
+  let assignment = Array.make n 0 in
+  (* All nodes of one ASAP level share a tile (so the quotient is acyclic);
+     the level's tile is set by the cumulative node count below it. *)
+  let level_of i = Levels.asap lv i in
+  let max_level = List.fold_left (fun acc i -> max acc (level_of i)) 0 (Dfg.nodes g) in
+  let level_sizes = Array.make (max_level + 1) 0 in
+  Dfg.iter_nodes (fun i -> level_sizes.(level_of i) <- level_sizes.(level_of i) + 1) g;
+  let tile_of_level = Array.make (max_level + 1) 0 in
+  let seen = ref 0 in
+  for l = 0 to max_level do
+    let tile = min (tiles - 1) (!seen * tiles / max 1 n) in
+    tile_of_level.(l) <- tile;
+    seen := !seen + level_sizes.(l)
+  done;
+  Dfg.iter_nodes (fun i -> assignment.(i) <- tile_of_level.(level_of i)) g;
+  assignment
+
+let map ?(options = default_options) g =
+  let { tiles; hop_latency; pdef; span_limit; capacity } = options in
+  if tiles < 1 then invalid_arg "Multi_tile.map: tiles < 1";
+  if hop_latency < 0 then invalid_arg "Multi_tile.map: negative hop latency";
+  if pdef < 1 || capacity < 1 then invalid_arg "Multi_tile.map: bad pdef/capacity";
+  if tiles > max 1 (Dfg.node_count g) then
+    invalid_arg "Multi_tile.map: more tiles than nodes";
+  let assignment = partition g ~tiles in
+  let single_tile_cycles =
+    let cls = Classify.compute ?span_limit ~budget:2_000_000 ~capacity (Enumerate.make_ctx g) in
+    let pats = Select.select ~pdef cls in
+    Schedule.cycles (Mp.schedule ~patterns:pats g).Mp.schedule
+  in
+  (* Global start cycle per original node, filled tile by tile. *)
+  let n = Dfg.node_count g in
+  let global_start = Array.make n (-1) in
+  let cut_edges = ref 0 in
+  Dfg.iter_edges
+    (fun u v -> if assignment.(u) <> assignment.(v) then incr cut_edges)
+    g;
+  let mappings =
+    List.init tiles (fun tile ->
+        let tile_nodes =
+          List.filter (fun i -> assignment.(i) = tile) (Dfg.nodes g)
+        in
+        if tile_nodes = [] then
+          { tile_nodes = []; patterns = []; start_of = []; busy_cycles = 0 }
+        else begin
+          let sub, old_of_new = Dfg.induced g tile_nodes in
+          let release =
+            Array.init (Dfg.node_count sub) (fun ni ->
+                let oi = old_of_new.(ni) in
+                List.fold_left
+                  (fun acc p ->
+                    if assignment.(p) <> tile then begin
+                      assert (global_start.(p) >= 0);
+                      max acc (global_start.(p) + 1 + hop_latency)
+                    end
+                    else acc)
+                  0 (Dfg.preds g oi))
+          in
+          let cls = Classify.compute ?span_limit ~budget:2_000_000 ~capacity (Enumerate.make_ctx sub) in
+          let patterns = Select.select ~pdef cls in
+          let sched = (Mp.schedule ~release ~patterns sub).Mp.schedule in
+          let start_of =
+            List.init (Dfg.node_count sub) (fun ni ->
+                let c = Schedule.cycle_of sched ni in
+                global_start.(old_of_new.(ni)) <- c;
+                (old_of_new.(ni), c))
+          in
+          let busy_cycles =
+            List.sort_uniq compare (List.map snd start_of) |> List.length
+          in
+          { tile_nodes; patterns; start_of; busy_cycles }
+        end)
+  in
+  let makespan = 1 + Array.fold_left max (-1) global_start in
+  { mappings; makespan; cut_edges = !cut_edges; single_tile_cycles }
+
+let validate g options t =
+  let exception Bad of string in
+  try
+    let n = Dfg.node_count g in
+    let tile_of = Array.make n (-1) in
+    let start = Array.make n (-1) in
+    List.iteri
+      (fun tile m ->
+        List.iter
+          (fun i ->
+            if tile_of.(i) >= 0 then raise (Bad (Printf.sprintf "node %d on two tiles" i));
+            tile_of.(i) <- tile)
+          m.tile_nodes;
+        List.iter
+          (fun (i, c) ->
+            if c < 0 then raise (Bad "negative start");
+            start.(i) <- c)
+          m.start_of)
+      t.mappings;
+    Array.iteri
+      (fun i tl -> if tl < 0 then raise (Bad (Printf.sprintf "node %d unmapped" i)))
+      tile_of;
+    Dfg.iter_edges
+      (fun u v ->
+        let gap = if tile_of.(u) = tile_of.(v) then 1 else 1 + options.hop_latency in
+        if start.(v) < start.(u) + gap then
+          raise
+            (Bad
+               (Printf.sprintf "edge %s -> %s violates %s timing" (Dfg.name g u)
+                  (Dfg.name g v)
+                  (if tile_of.(u) = tile_of.(v) then "intra-tile" else "cross-tile"))))
+      g;
+    if t.makespan <> 1 + Array.fold_left max (-1) start then
+      raise (Bad "makespan mismatch");
+    Ok ()
+  with Bad m -> Error m

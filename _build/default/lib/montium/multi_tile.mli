@@ -1,0 +1,53 @@
+(** Multi-tile mapping: one kernel spread over several Montium tiles.
+
+    The Montium ships in SoCs (the Chameleon) with several tiles on a
+    network-on-chip.  This module maps a DFG across [tiles] tiles:
+
+    - {e partition} the graph by slicing its ASAP levels into contiguous
+      bands balanced by node count — level slicing keeps the quotient
+      graph acyclic by construction, so tiles form a simple pipeline and
+      every cross-tile edge points forward;
+    - {e select} patterns independently per tile (each tile has its own
+      32-entry table — that is the hardware reality and one of the gains
+      of splitting);
+    - {e schedule} tiles in order: a node consuming a value produced on an
+      earlier tile is released only [hop_latency] cycles after the
+      producer's cycle, using the scheduler's release-time hook; the
+      paper's algorithm is otherwise unchanged per tile.
+
+    The result records per-tile schedules in a common global clock, the
+    cross-tile traffic, and the makespan to compare against the single-tile
+    mapping. *)
+
+type options = {
+  tiles : int;
+  hop_latency : int;  (** NoC cycles from one tile's output to another's input. *)
+  pdef : int;  (** Patterns selected per tile. *)
+  span_limit : int option;
+  capacity : int;
+}
+
+val default_options : options
+(** 2 tiles, hop latency 2, pdef 4, span 1, capacity 5. *)
+
+type tile_mapping = {
+  tile_nodes : int list;  (** Original node ids on this tile. *)
+  patterns : Mps_pattern.Pattern.t list;
+  start_of : (int * int) list;  (** (original node, global start cycle). *)
+  busy_cycles : int;
+}
+
+type t = {
+  mappings : tile_mapping list;
+  makespan : int;  (** Global cycles until the last operation completes. *)
+  cut_edges : int;  (** Values crossing tiles. *)
+  single_tile_cycles : int;  (** Same flow on one tile, for comparison. *)
+}
+
+val map : ?options:options -> Mps_dfg.Dfg.t -> t
+(** @raise Invalid_argument for non-positive option fields or more tiles
+    than nodes. *)
+
+val validate : Mps_dfg.Dfg.t -> options -> t -> (unit, string) result
+(** Checks the partition (every node on exactly one tile), intra-tile
+    precedence, and that every cross-tile edge respects the hop latency. *)

@@ -1,0 +1,145 @@
+module Dfg = Mps_dfg.Dfg
+module Program = Mps_frontend.Program
+module Schedule = Mps_scheduler.Schedule
+
+type t = {
+  registers : (int * int, int) Hashtbl.t; (* (producer, consumer_alu) -> index *)
+  spills : (int * int, int) Hashtbl.t; (* (producer, memory) -> address *)
+  inputs : (string * int, int) Hashtbl.t; (* (input, memory) -> address *)
+  regs_used : int array;
+  words_used : int array;
+}
+
+let register_of t ~producer ~consumer_alu =
+  Hashtbl.find_opt t.registers (producer, consumer_alu)
+
+let spill_address_of t ~producer ~memory = Hashtbl.find_opt t.spills (producer, memory)
+let input_address_of t ~input ~memory = Hashtbl.find_opt t.inputs (input, memory)
+let registers_used t = Array.copy t.regs_used
+let memory_words_used t = Array.copy t.words_used
+
+(* Lifetimes of register-resident values per ALU, then linear scan. *)
+let assign ?(tile = Tile.default) program schedule alloc =
+  match Allocation.validate ~tile program schedule alloc with
+  | Error m -> Error (Printf.sprintf "allocation invalid: %s" m)
+  | Ok () ->
+      let g = Program.dfg program in
+      let n = Dfg.node_count g in
+      let registers = Hashtbl.create 64 in
+      let spills = Hashtbl.create 16 in
+      let inputs = Hashtbl.create 16 in
+      let regs_used = Array.make tile.Tile.alu_count 0 in
+      let words_used = Array.make (Tile.memory_count tile) 0 in
+      (* Collect, per (producer, consumer alu), the lifetime [start, stop];
+         per (producer, memory) and (input, memory) the read cycles. *)
+      let reg_live = Hashtbl.create 64 in
+      let spill_reads = Hashtbl.create 16 in
+      let input_seen = Hashtbl.create 16 in
+      for j = 0 to n - 1 do
+        let cj = Schedule.cycle_of schedule j in
+        let alu_j = Allocation.alu_of alloc j in
+        let { Program.operands; _ } = Program.instruction program j in
+        Array.iteri
+          (fun k src ->
+            match src with
+            | Allocation.From_node { producer; route = Allocation.Register _ } ->
+                let key = (producer, alu_j) in
+                let stop =
+                  max cj (Option.value (Hashtbl.find_opt reg_live key) ~default:0)
+                in
+                Hashtbl.replace reg_live key stop
+            | Allocation.From_node { producer; route = Allocation.Spill { memory; _ } }
+              ->
+                let key = (producer, memory) in
+                let reads =
+                  Option.value (Hashtbl.find_opt spill_reads key) ~default:[]
+                in
+                Hashtbl.replace spill_reads key (cj :: reads)
+            | Allocation.From_input { memory } -> (
+                match operands.(k) with
+                | Program.Input name -> Hashtbl.replace input_seen (name, memory) ()
+                | Program.Literal _ | Program.Node _ -> ())
+            | Allocation.From_node { route = Allocation.Feedback; _ }
+            | Allocation.From_literal ->
+                ())
+          (Allocation.sources alloc j)
+      done;
+      (* Linear scan per ALU: sort lifetimes by start, reuse freed indices. *)
+      let by_alu = Array.make tile.Tile.alu_count [] in
+      Hashtbl.iter
+        (fun (producer, alu) stop ->
+          let start = Schedule.cycle_of schedule producer + 1 in
+          by_alu.(alu) <- (start, stop, producer) :: by_alu.(alu))
+        reg_live;
+      Array.iteri
+        (fun alu lives ->
+          let lives = List.sort compare lives in
+          (* active: (stop, index) list *)
+          let active = ref [] in
+          let free = ref [] in
+          let next = ref 0 in
+          List.iter
+            (fun (start, stop, producer) ->
+              let expired, kept =
+                List.partition (fun (s, _) -> s < start) !active
+              in
+              active := kept;
+              free := List.map snd expired @ !free;
+              let index =
+                match !free with
+                | i :: rest ->
+                    free := rest;
+                    i
+                | [] ->
+                    let i = !next in
+                    incr next;
+                    i
+              in
+              active := (stop, index) :: !active;
+              Hashtbl.replace registers (producer, alu) index)
+            lives;
+          regs_used.(alu) <- !next)
+        by_alu;
+      (* Memory layout: inputs first (name order), then spills (bump with
+         reuse after last read). *)
+      let overflow = ref None in
+      let bump memory =
+        let a = words_used.(memory) in
+        words_used.(memory) <- a + 1;
+        if a >= tile.Tile.memory_words && !overflow = None then
+          overflow := Some memory;
+        a
+      in
+      Hashtbl.fold (fun key () acc -> key :: acc) input_seen []
+      |> List.sort compare
+      |> List.iter (fun (name, memory) ->
+             Hashtbl.replace inputs (name, memory) (bump memory));
+      (* Spills: process in producer cycle order; free list per memory keyed
+         by last read cycle. *)
+      let spill_list =
+        Hashtbl.fold (fun key reads acc -> (key, reads) :: acc) spill_reads []
+        |> List.map (fun ((producer, memory), reads) ->
+               ( Schedule.cycle_of schedule producer,
+                 List.fold_left max 0 reads,
+                 producer,
+                 memory ))
+        |> List.sort compare
+      in
+      let mem_free = Hashtbl.create 16 in (* memory -> (free_at, addr) list *)
+      List.iter
+        (fun (write_cycle, last_read, producer, memory) ->
+          let pool = Option.value (Hashtbl.find_opt mem_free memory) ~default:[] in
+          let usable, still = List.partition (fun (f, _) -> f < write_cycle) pool in
+          let addr, usable =
+            match usable with
+            | (_, a) :: rest -> (a, rest)
+            | [] -> (bump memory, [])
+          in
+          Hashtbl.replace mem_free memory ((last_read + 1, addr) :: usable @ still);
+          Hashtbl.replace spills (producer, memory) addr)
+        spill_list;
+      (match !overflow with
+      | Some memory ->
+          Error (Printf.sprintf "memory %d overflows its %d words" memory tile.Tile.memory_words)
+      | None ->
+          Ok { registers; spills; inputs; regs_used; words_used })

@@ -1,0 +1,39 @@
+(** Concrete storage assignment: from the allocation's {e routing} decisions
+    to physical register indices and memory addresses.
+
+    {!Allocation} decides {e where} each value travels (feedback path,
+    consumer register file, consumer-local memory) and proves the counts
+    fit; this module pins the actual slots, the last step before code
+    generation:
+
+    - register-routed values get an index in the consumer ALU's register
+      file by linear scan over lifetimes (production+1 to last use) — two
+      values overlap in time ⟺ they get different indices;
+    - spilled values get a word address in their memory, bump-allocated
+      with reuse after the value's last read;
+    - external inputs get stable word addresses per memory, assigned in
+      name order (the "preload image" a host would DMA in). *)
+
+type t
+
+val register_of : t -> producer:int -> consumer_alu:int -> int option
+(** Register index holding the producer's value in that ALU's file, if the
+    route was [Register]. *)
+
+val spill_address_of : t -> producer:int -> memory:int -> int option
+val input_address_of : t -> input:string -> memory:int -> int option
+
+val registers_used : t -> int array
+(** Per ALU, the number of distinct register indices touched. *)
+
+val memory_words_used : t -> int array
+(** Per memory, the high-water word address + 1 (inputs + spills). *)
+
+val assign :
+  ?tile:Tile.t ->
+  Mps_frontend.Program.t ->
+  Mps_scheduler.Schedule.t ->
+  Allocation.t ->
+  (t, string) result
+(** Fails only if a memory overflows its word count (register fit is
+    guaranteed by {!Allocation.validate}, which this re-runs first). *)

@@ -1,0 +1,140 @@
+module Dfg = Mps_dfg.Dfg
+module Program = Mps_frontend.Program
+module Opcode = Mps_frontend.Opcode
+module Schedule = Mps_scheduler.Schedule
+
+type run_stats = { executed : int; cycles : int; alu_busy : int array }
+
+exception Machine_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Machine_error m)) fmt
+
+type state = {
+  feedback : (int * float) option array; (* per ALU: (producer, value) of previous cycle *)
+  feedback_next : (int * float) option array;
+  register_file : (int, float) Hashtbl.t array; (* per ALU: producer -> value *)
+  memory : (int, float) Hashtbl.t array; (* per memory: producer -> value *)
+}
+
+let run ?(tile = Tile.default) program schedule alloc ~env =
+  (match Allocation.validate ~tile program schedule alloc with
+  | Ok () -> ()
+  | Error m -> fail "allocation invalid: %s" m);
+  let g = Program.dfg program in
+  let n = Dfg.node_count g in
+  let cycles = Schedule.cycles schedule in
+  let st =
+    {
+      feedback = Array.make tile.Tile.alu_count None;
+      feedback_next = Array.make tile.Tile.alu_count None;
+      register_file = Array.init tile.Tile.alu_count (fun _ -> Hashtbl.create 16);
+      memory = Array.init (Tile.memory_count tile) (fun _ -> Hashtbl.create 16);
+    }
+  in
+  (* Destinations a produced value must be committed to, derived once from
+     the consumers' sources. *)
+  let commits = Array.make n [] in
+  for j = 0 to n - 1 do
+    Array.iter
+      (function
+        | Allocation.From_node { producer; route } ->
+            let dest =
+              match route with
+              | Allocation.Feedback -> `Feedback (Allocation.alu_of alloc j)
+              | Allocation.Register _ -> `Register (Allocation.alu_of alloc j)
+              | Allocation.Spill { memory; _ } -> `Memory memory
+            in
+            if not (List.mem dest commits.(producer)) then
+              commits.(producer) <- dest :: commits.(producer)
+        | Allocation.From_literal | Allocation.From_input _ -> ())
+      (Allocation.sources alloc j)
+  done;
+  let values = Array.make n nan in
+  let executed = ref 0 in
+  let alu_busy = Array.make tile.Tile.alu_count 0 in
+  for c = 0 to cycles - 1 do
+    let nodes = Schedule.nodes_at schedule c in
+    (* Fetch and compute all of this cycle's operations against the state
+       left by earlier cycles (the ALUs run in parallel)... *)
+    let results =
+      List.map
+        (fun j ->
+          let { Program.opcode; operands } = Program.instruction program j in
+          let alu = Allocation.alu_of alloc j in
+          let srcs = Allocation.sources alloc j in
+          let args =
+            Array.mapi
+              (fun k src ->
+                match src with
+                | Allocation.From_literal -> (
+                    match operands.(k) with
+                    | Program.Literal f -> f
+                    | _ -> fail "node %s: literal source mismatch" (Dfg.name g j))
+                | Allocation.From_input _ -> (
+                    match operands.(k) with
+                    | Program.Input name -> env name
+                    | _ -> fail "node %s: input source mismatch" (Dfg.name g j))
+                | Allocation.From_node { producer; route } -> (
+                    match route with
+                    | Allocation.Feedback -> (
+                        match st.feedback.(alu) with
+                        | Some (p, v) when p = producer -> v
+                        | Some (p, _) ->
+                            fail "node %s: feedback register holds %s, wanted %s"
+                              (Dfg.name g j) (Dfg.name g p) (Dfg.name g producer)
+                        | None ->
+                            fail "node %s: feedback register empty" (Dfg.name g j))
+                    | Allocation.Register _ -> (
+                        match Hashtbl.find_opt st.register_file.(alu) producer with
+                        | Some v -> v
+                        | None ->
+                            fail "node %s: %s missing from ALU%d register file"
+                              (Dfg.name g j) (Dfg.name g producer) alu)
+                    | Allocation.Spill { memory; _ } -> (
+                        match Hashtbl.find_opt st.memory.(memory) producer with
+                        | Some v -> v
+                        | None ->
+                            fail "node %s: %s missing from memory %d" (Dfg.name g j)
+                              (Dfg.name g producer) memory)))
+              srcs
+          in
+          (j, alu, Opcode.eval opcode args))
+        nodes
+    in
+    (* ...then commit the results for later cycles. *)
+    Array.fill st.feedback_next 0 (Array.length st.feedback_next) None;
+    List.iter
+      (fun (j, alu, v) ->
+        values.(j) <- v;
+        incr executed;
+        alu_busy.(alu) <- alu_busy.(alu) + 1;
+        List.iter
+          (function
+            | `Feedback a ->
+                if a <> alu then fail "node %s: feedback to foreign ALU" (Dfg.name g j);
+                st.feedback_next.(a) <- Some (j, v)
+            | `Register a -> Hashtbl.replace st.register_file.(a) j v
+            | `Memory m -> Hashtbl.replace st.memory.(m) j v)
+          commits.(j))
+      results;
+    Array.blit st.feedback_next 0 st.feedback 0 (Array.length st.feedback)
+  done;
+  if !executed <> n then fail "executed %d of %d operations" !executed n;
+  let outputs = List.map (fun (name, i) -> (name, values.(i))) (Program.outputs program) in
+  (outputs, { executed = !executed; cycles; alu_busy })
+
+let check_against_reference ?tile program schedule alloc ~env =
+  match run ?tile program schedule alloc ~env with
+  | exception Machine_error m -> Error m
+  | got, _ ->
+      let want = Program.eval ~env program in
+      let mismatches =
+        List.filter_map
+          (fun ((name, v), (name', w)) ->
+            if name <> name' then Some (Printf.sprintf "output order broke at %s" name)
+            else if not (Float.equal v w) then
+              Some (Printf.sprintf "%s: simulator %.17g, reference %.17g" name v w)
+            else None)
+          (List.combine got want)
+      in
+      (match mismatches with [] -> Ok () | m :: _ -> Error m)

@@ -1,0 +1,43 @@
+(** Cycle-accurate functional simulation of an allocated schedule.
+
+    The simulator walks the schedule cycle by cycle, maintaining the
+    architectural state the allocation claims to use — per-ALU feedback
+    registers, per-ALU register files, local memories — and executes each
+    operation by fetching operands from exactly the resource its
+    {!Allocation.operand_source} names.  A value that is not where the
+    allocation said it would be is a hard error, so a successful run is a
+    machine-checked proof that the schedule + allocation pair really
+    executes on the modeled tile; the numeric outputs are then compared by
+    the tests against {!Mps_frontend.Program.eval}, closing the loop from
+    expression frontend to datapath. *)
+
+type run_stats = {
+  executed : int;  (** Operations executed (= node count). *)
+  cycles : int;
+  alu_busy : int array;  (** Per-ALU busy-cycle counts. *)
+}
+
+exception Machine_error of string
+(** An operand was missing from the resource its route names, a feedback
+    value was stale, or state was inconsistent — i.e. the allocation lied. *)
+
+val run :
+  ?tile:Tile.t ->
+  Mps_frontend.Program.t ->
+  Mps_scheduler.Schedule.t ->
+  Allocation.t ->
+  env:(string -> float) ->
+  (string * float) list * run_stats
+(** Outputs in program declaration order.  @raise Machine_error as above;
+    @raise Not_found from [env] on unbound inputs. *)
+
+val check_against_reference :
+  ?tile:Tile.t ->
+  Mps_frontend.Program.t ->
+  Mps_scheduler.Schedule.t ->
+  Allocation.t ->
+  env:(string -> float) ->
+  (unit, string) result
+(** Runs the simulator and compares every output with the reference
+    evaluator, requiring exact equality (the simulator performs the same
+    float operations in the same operand order). *)

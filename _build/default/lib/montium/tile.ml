@@ -1,0 +1,42 @@
+type t = {
+  alu_count : int;
+  bus_count : int;
+  registers_per_alu : int;
+  memories_per_alu : int;
+  memory_words : int;
+  max_configs : int;
+}
+
+let default =
+  {
+    alu_count = 5;
+    bus_count = 10;
+    registers_per_alu = 16;
+    memories_per_alu = 2;
+    memory_words = 512;
+    max_configs = 32;
+  }
+
+let validate t =
+  if t.alu_count < 1 then Error "alu_count must be positive"
+  else if t.bus_count < 1 then Error "bus_count must be positive"
+  else if t.registers_per_alu < 1 then Error "registers_per_alu must be positive"
+  else if t.memories_per_alu < 1 then Error "memories_per_alu must be positive"
+  else if t.memory_words < 1 then Error "memory_words must be positive"
+  else if t.max_configs < 1 then Error "max_configs must be positive"
+  else Ok ()
+
+let memory_count t = t.alu_count * t.memories_per_alu
+
+let memory_of t ~alu ~port =
+  if alu < 0 || alu >= t.alu_count then
+    invalid_arg (Printf.sprintf "Tile.memory_of: alu %d out of range" alu);
+  if port < 0 || port >= t.memories_per_alu then
+    invalid_arg (Printf.sprintf "Tile.memory_of: port %d out of range" port);
+  (alu * t.memories_per_alu) + port
+
+let pp ppf t =
+  Format.fprintf ppf
+    "tile: %d ALUs, %d buses, %d regs/ALU, %dx%d-word memories/ALU, %d configs"
+    t.alu_count t.bus_count t.registers_per_alu t.memories_per_alu t.memory_words
+    t.max_configs

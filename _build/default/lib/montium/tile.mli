@@ -1,0 +1,35 @@
+(** The Montium processor tile (paper §1, Fig. 1).
+
+    One tile contains five reconfigurable ALUs, each flanked by two local
+    memories; ALU inputs read from small local register files, results
+    travel over a crossbar of global buses.  The tile executes one pattern
+    per clock cycle, and an application may use at most 32 distinct
+    patterns (the configuration-space restriction that motivates the whole
+    paper).
+
+    The numbers are exposed as a record so experiments can shrink or grow
+    the tile (e.g. a 3-ALU ablation); [default] is the published Montium. *)
+
+type t = {
+  alu_count : int;  (** C, the pattern capacity — 5. *)
+  bus_count : int;  (** Global buses in the crossbar — 10. *)
+  registers_per_alu : int;
+      (** Register-file entries local to one ALU (4 banks × 4 words) — 16. *)
+  memories_per_alu : int;  (** Local memories flanking each ALU — 2. *)
+  memory_words : int;  (** Words per local memory — 512. *)
+  max_configs : int;  (** Distinct patterns allowed per application — 32. *)
+}
+
+val default : t
+
+val validate : t -> (unit, string) result
+(** Sanity: every count positive, at least one memory per ALU. *)
+
+val memory_count : t -> int
+(** Total local memories: [alu_count × memories_per_alu]. *)
+
+val memory_of : t -> alu:int -> port:int -> int
+(** Global index of the ALU-local memory backing operand position [port].
+    @raise Invalid_argument if the alu or port is out of range. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Array Buffer Format Hashtbl List Map Mps_dfg Mps_util Printf Set String

@@ -1,0 +1,1 @@
+lib/pattern/pattern.mli: Format Map Mps_dfg Mps_util Set

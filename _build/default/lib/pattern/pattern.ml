@@ -1,0 +1,79 @@
+module Color = Mps_dfg.Color
+module Cms = Mps_util.Multiset.Make (Color)
+
+type t = Cms.t
+
+let empty = Cms.empty
+let of_colors l = Cms.of_list l
+
+let of_string s =
+  String.fold_left
+    (fun acc ch -> if ch = '-' then acc else Cms.add (Color.of_char ch) acc)
+    Cms.empty s
+
+let to_string p =
+  let buf = Buffer.create 8 in
+  Cms.iter (fun c k -> Buffer.add_string buf (String.make k (Color.to_char c))) p;
+  Buffer.contents buf
+
+let size = Cms.cardinal
+
+let to_padded_string ~capacity p =
+  let s = to_string p in
+  if String.length s > capacity then
+    invalid_arg
+      (Printf.sprintf "Pattern.to_padded_string: %S exceeds capacity %d" s capacity);
+  s ^ String.make (capacity - String.length s) '-'
+
+let count p c = Cms.count c p
+let mem p c = Cms.mem c p
+let colors = Cms.support
+let color_set p = Color.Set.of_list (colors p)
+let to_counted_list = Cms.to_counted_list
+let add p c = Cms.add c p
+let remove p c = Cms.remove c p
+let fits_capacity ~capacity p = size p <= capacity
+let subpattern p ~of_ = Cms.subset p of_
+let proper_subpattern p ~of_ = subpattern p ~of_ && not (Cms.equal p of_)
+let join = Cms.union
+let meet = Cms.inter
+let sum = Cms.sum
+let compare = Cms.compare
+let equal = Cms.equal
+let hash p = Hashtbl.hash (to_string p)
+let pp ppf p = Format.fprintf ppf "{%s}" (to_string p)
+
+let of_antichain_colors g nodes =
+  of_colors (List.map (Mps_dfg.Dfg.color g) nodes)
+
+let enumerate ~colors ~max_size =
+  let colors = List.sort_uniq Color.compare colors in
+  (* Multisets of exactly [s] from colors ≥ position i, colors non-decreasing. *)
+  let rec of_size s cs =
+    if s = 0 then [ empty ]
+    else
+      match cs with
+      | [] -> []
+      | c :: rest ->
+          let with_c = List.map (fun p -> add p c) (of_size (s - 1) cs) in
+          with_c @ of_size s rest
+  in
+  List.concat_map (fun s -> of_size s colors) (List.init max_size (fun i -> i + 1))
+
+let random rng ~colors ~size =
+  if size < 0 then invalid_arg "Pattern.random: negative size";
+  let arr = Array.of_list colors in
+  if Array.length arr = 0 then invalid_arg "Pattern.random: no colors";
+  let rec fill acc k =
+    if k = 0 then acc else fill (add acc (Mps_util.Rng.choice rng arr)) (k - 1)
+  in
+  fill empty size
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

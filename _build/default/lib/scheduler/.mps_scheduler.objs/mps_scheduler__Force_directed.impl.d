@@ -1,0 +1,1 @@
+lib/scheduler/force_directed.ml: Array Hashtbl List Mps_dfg Schedule

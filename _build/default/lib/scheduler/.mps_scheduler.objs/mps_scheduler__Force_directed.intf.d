@@ -1,0 +1,1 @@
+lib/scheduler/force_directed.mli: Mps_dfg Schedule

@@ -1,0 +1,1 @@
+lib/scheduler/loop_graph.ml: Array List Mps_dfg Mps_pattern

@@ -1,0 +1,1 @@
+lib/scheduler/loop_graph.mli: Mps_dfg Mps_pattern

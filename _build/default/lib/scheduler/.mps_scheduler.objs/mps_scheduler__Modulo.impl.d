@@ -1,0 +1,1 @@
+lib/scheduler/modulo.ml: Array List Loop_graph Mps_dfg Mps_pattern Mps_util Multi_pattern Printf Schedule

@@ -1,0 +1,1 @@
+lib/scheduler/modulo.mli: Loop_graph Mps_dfg Mps_pattern Schedule

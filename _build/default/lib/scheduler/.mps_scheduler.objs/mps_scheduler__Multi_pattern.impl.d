@@ -1,0 +1,1 @@
+lib/scheduler/multi_pattern.ml: Array Format Int List Mps_dfg Mps_pattern Node_priority Schedule

@@ -1,0 +1,1 @@
+lib/scheduler/multi_pattern.mli: Format Mps_dfg Mps_pattern Schedule

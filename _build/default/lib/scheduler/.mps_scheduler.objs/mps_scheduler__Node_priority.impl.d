@@ -1,0 +1,1 @@
+lib/scheduler/node_priority.ml: Array List Mps_dfg Mps_util Printf

@@ -1,0 +1,1 @@
+lib/scheduler/node_priority.mli: Mps_dfg

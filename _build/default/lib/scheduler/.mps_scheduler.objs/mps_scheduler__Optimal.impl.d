@@ -1,0 +1,1 @@
+lib/scheduler/optimal.ml: Array Hashtbl List Mps_dfg Mps_pattern Multi_pattern Schedule

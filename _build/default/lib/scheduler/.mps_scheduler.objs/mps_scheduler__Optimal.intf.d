@@ -1,0 +1,1 @@
+lib/scheduler/optimal.mli: Mps_dfg Mps_pattern Schedule

@@ -1,0 +1,1 @@
+lib/scheduler/pipeline_code.ml: Array Format List Loop_graph Modulo Mps_dfg Mps_pattern Printf String

@@ -1,0 +1,1 @@
+lib/scheduler/pipeline_code.mli: Format Loop_graph Modulo Mps_dfg Mps_pattern

@@ -1,0 +1,1 @@
+lib/scheduler/reference.ml: Array Int List Mps_dfg Node_priority Schedule

@@ -1,0 +1,1 @@
+lib/scheduler/reference.mli: Mps_dfg Schedule

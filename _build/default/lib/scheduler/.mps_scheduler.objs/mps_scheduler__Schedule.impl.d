@@ -1,0 +1,1 @@
+lib/scheduler/schedule.ml: Array Format List Mps_dfg Mps_pattern Printf

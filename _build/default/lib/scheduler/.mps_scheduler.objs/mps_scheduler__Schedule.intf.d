@@ -1,0 +1,1 @@
+lib/scheduler/schedule.mli: Format Mps_dfg Mps_pattern

@@ -1,0 +1,1 @@
+lib/scheduler/schedule_opt.ml: Array List Mps_dfg Mps_pattern Schedule

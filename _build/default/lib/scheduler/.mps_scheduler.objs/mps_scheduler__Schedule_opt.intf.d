@@ -1,0 +1,1 @@
+lib/scheduler/schedule_opt.mli: Mps_dfg Schedule

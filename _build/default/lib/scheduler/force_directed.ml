@@ -1,0 +1,138 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Levels = Mps_dfg.Levels
+
+(* Time frames under a target length [t_len]: fixed nodes have a one-cycle
+   frame; unfixed nodes keep [earliest, alap-stretched-to-t_len]. *)
+type frames = { lo : int array; hi : int array }
+
+let compute_frames g levels ~t_len ~cycle_of ~floor_cycle =
+  let n = Dfg.node_count g in
+  let asap_max = Levels.asap_max levels in
+  let stretch = t_len - (asap_max + 1) in
+  let lo = Array.make n 0 and hi = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if cycle_of.(i) >= 0 then begin
+      lo.(i) <- cycle_of.(i);
+      hi.(i) <- cycle_of.(i)
+    end
+    else begin
+      lo.(i) <- max (Levels.asap levels i) floor_cycle.(i);
+      hi.(i) <- Levels.alap levels i + stretch
+    end
+  done;
+  (* Fixed predecessors push unfixed successors' windows forward; propagate
+     in topological (id-independent) fashion via repeated relaxation over
+     edges — the graph is a DAG, so one pass per level suffices; iterate to
+     a fixpoint for simplicity. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Dfg.iter_edges
+      (fun p s ->
+        if cycle_of.(s) < 0 && lo.(s) < lo.(p) + 1 then begin
+          lo.(s) <- lo.(p) + 1;
+          changed := true
+        end;
+        if cycle_of.(p) < 0 && hi.(p) > hi.(s) - 1 then begin
+          hi.(p) <- hi.(s) - 1;
+          changed := true
+        end)
+      g
+  done;
+  { lo; hi }
+
+let distribution g frames ~t_len =
+  let dg = Hashtbl.create 8 in
+  let get c = match Hashtbl.find_opt dg c with Some a -> a | None ->
+    let a = Array.make t_len 0.0 in
+    Hashtbl.add dg c a;
+    a
+  in
+  Dfg.iter_nodes
+    (fun i ->
+      let a = get (Color.to_char (Dfg.color g i)) in
+      let lo = frames.lo.(i) and hi = frames.hi.(i) in
+      if hi >= lo then begin
+        let p = 1.0 /. float_of_int (hi - lo + 1) in
+        for c = lo to min hi (t_len - 1) do
+          a.(c) <- a.(c) +. p
+        done
+      end)
+    g;
+  fun color cycle ->
+    match Hashtbl.find_opt dg (Color.to_char color) with
+    | Some a when cycle >= 0 && cycle < t_len -> a.(cycle)
+    | _ -> 0.0
+
+let self_force g dg frames i cycle =
+  let lo = frames.lo.(i) and hi = frames.hi.(i) in
+  let color = Dfg.color g i in
+  let width = float_of_int (max 1 (hi - lo + 1)) in
+  let mean = ref 0.0 in
+  for c = lo to hi do
+    mean := !mean +. dg color c
+  done;
+  dg color cycle -. (!mean /. width)
+
+let schedule ?target_cycles ~capacity g =
+  if capacity < 1 then invalid_arg "Force_directed.schedule: capacity < 1";
+  let n = Dfg.node_count g in
+  let levels = Levels.compute g in
+  let cp = Levels.lower_bound_cycles levels in
+  let t_len0 =
+    match target_cycles with
+    | None -> cp
+    | Some t when t < cp ->
+        invalid_arg "Force_directed.schedule: target below critical path"
+    | Some t -> t
+  in
+  let cycle_of = Array.make n (-1) in
+  let floor_cycle = Array.make n 0 in
+  let unscheduled_preds = Array.init n (Dfg.in_degree g) in
+  let scheduled = ref 0 in
+  let t_len = ref (max 1 t_len0) in
+  let cycle = ref 0 in
+  while !scheduled < n do
+    let frames = compute_frames g levels ~t_len:!t_len ~cycle_of ~floor_cycle in
+    let dg = distribution g frames ~t_len:!t_len in
+    let ready =
+      List.filter (fun i -> cycle_of.(i) < 0 && unscheduled_preds.(i) = 0) (Dfg.nodes g)
+    in
+    let here = List.filter (fun i -> frames.lo.(i) <= !cycle) ready in
+    let critical = List.filter (fun i -> frames.hi.(i) <= !cycle) here in
+    if List.length critical > capacity then
+      (* Too many deadline-critical ops for one cycle: relax the target and
+         recompute everything (the frames stretch, deadlines move out). *)
+      incr t_len
+    else begin
+      let optional =
+        List.filter (fun i -> frames.hi.(i) > !cycle) here
+        |> List.map (fun i -> (self_force g dg frames i !cycle, i))
+        |> List.sort compare
+      in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | (_, i) :: rest -> i :: take (k - 1) rest
+      in
+      let chosen = critical @ take (capacity - List.length critical) optional in
+      List.iter
+        (fun i ->
+          cycle_of.(i) <- !cycle;
+          incr scheduled;
+          List.iter
+            (fun s ->
+              unscheduled_preds.(s) <- unscheduled_preds.(s) - 1;
+              floor_cycle.(s) <- max floor_cycle.(s) (!cycle + 1))
+            (Dfg.succs g i))
+        chosen;
+      (* Deferred ready ops may not reappear before the next cycle. *)
+      List.iter
+        (fun i -> if cycle_of.(i) < 0 then floor_cycle.(i) <- max floor_cycle.(i) (!cycle + 1))
+        here;
+      incr cycle;
+      if !cycle >= !t_len && !scheduled < n then incr t_len
+    end
+  done;
+  Schedule.of_cycles g cycle_of

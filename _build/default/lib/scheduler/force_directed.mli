@@ -1,0 +1,28 @@
+(** Force-directed list scheduling (Paulin & Knight), the classic high-level
+    synthesis baseline the paper cites in §2.
+
+    We implement the FDLS variant: plain list scheduling over cycles, but
+    the choice of which ready operations to commit (up to [capacity] per
+    cycle) minimizes the {e self force}
+
+    force(n, c) = DG(l(n), c) − mean over n's time frame of DG(l(n), ·)
+
+    where the distribution graph DG(color, cycle) sums, over operations of
+    that color, the uniform probability of the operation landing on that
+    cycle within its current time frame.  Operations whose deadline equals
+    the current cycle are committed unconditionally; when more such critical
+    operations exist than the capacity allows, the target length is extended
+    by one cycle and the frames recomputed — so the result is always a valid
+    ≤ capacity-per-cycle schedule.
+
+    Note this baseline constrains only the {e number} of concurrent
+    operations, not their color mix: it answers "what would a classic
+    scheduler do on a machine without the Montium's pattern restriction",
+    and its per-cycle color bags are a natural pattern source for the
+    selection ablation (see [Mps_select.Pattern_source]). *)
+
+val schedule : ?target_cycles:int -> capacity:int -> Mps_dfg.Dfg.t -> Schedule.t
+(** [target_cycles] defaults to the critical-path length; it is extended as
+    needed, so it is a hint, not a bound.
+    @raise Invalid_argument if [capacity < 1] or [target_cycles] is below
+    the critical-path length. *)

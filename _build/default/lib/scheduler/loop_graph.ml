@@ -1,0 +1,71 @@
+module Dfg = Mps_dfg.Dfg
+module Pattern = Mps_pattern.Pattern
+
+type carried = { src : int; dst : int; distance : int }
+
+type t = { body : Dfg.t; carried : carried list }
+
+let make body carried =
+  let n = Dfg.node_count body in
+  List.iter
+    (fun { src; dst; distance } ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Loop_graph.make: carried edge endpoint out of range";
+      if distance < 1 then invalid_arg "Loop_graph.make: carried distance must be >= 1")
+    carried;
+  { body; carried }
+
+let body t = t.body
+let carried t = t.carried
+
+(* Dependence constraints for a candidate II: for each edge u→v with
+   iteration distance d, start(v) - start(u) >= 1 - II*d.  Feasible iff the
+   constraint graph has no positive cycle under longest-path relaxation. *)
+let feasible_ii t ii =
+  let n = Dfg.node_count t.body in
+  let edges =
+    List.map (fun (u, v) -> (u, v, 1)) (Dfg.edges t.body)
+    @ List.map (fun { src; dst; distance } -> (src, dst, 1 - (ii * distance))) t.carried
+  in
+  let dist = Array.make n 0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (u, v, w) ->
+        if dist.(u) + w > dist.(v) then begin
+          dist.(v) <- dist.(u) + w;
+          changed := true
+        end)
+      edges
+  done;
+  not !changed
+
+let rec_mii t =
+  if t.carried = [] then 1
+  else begin
+    (* II = node count is always feasible (any cycle's latency is at most
+       the node count and its distance at least 1); binary search down. *)
+    let lo = ref 1 and hi = ref (max 1 (Dfg.node_count t.body)) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if feasible_ii t mid then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let res_mii t ~patterns =
+  if patterns = [] then invalid_arg "Loop_graph.res_mii: no patterns";
+  List.fold_left
+    (fun acc (color, count) ->
+      let best_slots =
+        List.fold_left (fun m p -> max m (Pattern.count p color)) 0 patterns
+      in
+      if best_slots = 0 then max_int (* color never schedulable *)
+      else max acc ((count + best_slots - 1) / best_slots))
+    1
+    (Dfg.color_counts t.body)
+
+let mii t ~patterns = max (rec_mii t) (res_mii t ~patterns)

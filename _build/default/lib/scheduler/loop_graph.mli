@@ -1,0 +1,39 @@
+(** Cyclic data-flow graphs: a loop body plus loop-carried dependencies.
+
+    The Montium is a streaming architecture; its kernels are loops.  A loop
+    is modeled as an acyclic body (a {!Mps_dfg.Dfg.t}) plus {e carried}
+    edges (src, dst, distance): the value produced by [src] in iteration i
+    is consumed by [dst] in iteration i+distance, distance ≥ 1.  Intra-
+    iteration dependencies are the body's ordinary edges.
+
+    This is the input to {!Modulo} scheduling.  The key derived quantity is
+    the {e recurrence minimum initiation interval}: every cycle of carried
+    dependencies C forces II ≥ ⌈latency(C) / distance(C)⌉. *)
+
+type carried = { src : int; dst : int; distance : int }
+
+type t
+
+val make : Mps_dfg.Dfg.t -> carried list -> t
+(** @raise Invalid_argument on out-of-range node ids or non-positive
+    distances.  Self-carried edges (src = dst, distance ≥ 1) are the
+    ordinary accumulator pattern and are allowed. *)
+
+val body : t -> Mps_dfg.Dfg.t
+val carried : t -> carried list
+
+val rec_mii : t -> int
+(** Recurrence bound: the smallest II compatible with every dependence
+    cycle (1 if there are no carried edges — the body alone is acyclic).
+    Computed by binary search over II with a longest-path feasibility test
+    (Bellman–Ford on the constraint graph with edge weights
+    latency − II·distance). *)
+
+val res_mii : t -> patterns:Mps_pattern.Pattern.t list -> int
+(** Resource bound: for each color, ⌈nodes of that color / best slots any
+    single pattern offers⌉ — II slots each pick one pattern, so no single
+    slot can beat the best pattern, and II slots cannot beat II times it.
+    @raise Invalid_argument on an empty pattern list. *)
+
+val mii : t -> patterns:Mps_pattern.Pattern.t list -> int
+(** max of the two bounds. *)

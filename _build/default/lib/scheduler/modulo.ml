@@ -1,0 +1,263 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Levels = Mps_dfg.Levels
+module Pattern = Mps_pattern.Pattern
+
+type t = {
+  ii : int;
+  starts : int array;
+  slot_patterns : Pattern.t array;
+  makespan : int;
+}
+
+exception No_schedule of { tried_up_to : int }
+
+(* Covering pattern for a color bag, if any. *)
+let covering patterns bag =
+  List.find_opt (fun p -> Pattern.subpattern bag ~of_:p) patterns
+
+let check_colors patterns g =
+  let missing =
+    List.filter
+      (fun (c, _) -> not (List.exists (fun p -> Pattern.mem p c) patterns))
+      (Dfg.color_counts g)
+  in
+  if missing <> [] then
+    raise (Multi_pattern.Unschedulable (List.map fst missing))
+
+(* One II attempt of iterative modulo scheduling.  Returns the start array
+   on success. *)
+let attempt ~budget loop patterns ii =
+  let g = Loop_graph.body loop in
+  let n = Dfg.node_count g in
+  let levels = Levels.compute g in
+  (* Priority: body height, then id — deterministic. *)
+  let priority i = (-Levels.height levels i, i) in
+  let starts = Array.make n (-1) in
+  let slot_bag = Array.make ii Pattern.empty in
+  (* All dependence constraints as (u, v, weight) meaning
+     start(v) >= start(u) + weight. *)
+  let in_constraints = Array.make n [] in
+  let out_constraints = Array.make n [] in
+  let add_constraint u v w =
+    in_constraints.(v) <- (u, w) :: in_constraints.(v);
+    out_constraints.(u) <- (v, w) :: out_constraints.(u)
+  in
+  Dfg.iter_edges (fun u v -> add_constraint u v 1) g;
+  List.iter
+    (fun { Loop_graph.src; dst; distance } ->
+      add_constraint src dst (1 - (ii * distance)))
+    (Loop_graph.carried loop);
+  let earliest v =
+    List.fold_left
+      (fun acc (u, w) -> if starts.(u) >= 0 then max acc (starts.(u) + w) else acc)
+      0 in_constraints.(v)
+  in
+  let unschedule i =
+    slot_bag.(starts.(i) mod ii) <-
+      Pattern.remove slot_bag.(starts.(i) mod ii) (Dfg.color g i);
+    starts.(i) <- -1
+  in
+  let place i c =
+    starts.(i) <- c;
+    slot_bag.(c mod ii) <- Pattern.add slot_bag.(c mod ii) (Dfg.color g i)
+  in
+  let module Pq = Mps_util.Heap.Make (struct
+    type t = (int * int) * int (* priority key, node *)
+
+    let compare ((k1, _) : t) ((k2, _) : t) = compare k1 k2
+  end) in
+  let queue = Pq.create () in
+  Dfg.iter_nodes (fun i -> Pq.add queue (priority i, i)) g;
+  let prev_start = Array.make n min_int in
+  let budget = ref budget in
+  let ok = ref true in
+  let rec drain () =
+    match Pq.pop queue with
+    | None -> ()
+    | Some (_, i) ->
+        if !budget <= 0 then ok := false
+        else begin
+          decr budget;
+          let est = earliest i in
+          let color = Dfg.color g i in
+          (* Search an II-wide window for a slot with room. *)
+          let placed = ref false in
+          let c = ref est in
+          while (not !placed) && !c < est + ii do
+            let bag = Pattern.add slot_bag.(!c mod ii) color in
+            if covering patterns bag <> None then begin
+              place i !c;
+              placed := true
+            end
+            else incr c
+          done;
+          if not !placed then begin
+            (* Rau's forced placement: never repeat the previous spot, so
+               the search keeps moving instead of thrashing in place. *)
+            let forced =
+              if prev_start.(i) = min_int || est > prev_start.(i) then est
+              else prev_start.(i) + 1
+            in
+            (* Evict the least-critical same-slot colliders until the slot
+               fits this color (evicting everything always suffices:
+               check_colors guaranteed a pattern with this color). *)
+            let slot = forced mod ii in
+            let colliders =
+              Dfg.fold_nodes
+                (fun j acc ->
+                  if j <> i && starts.(j) >= 0 && starts.(j) mod ii = slot then j :: acc
+                  else acc)
+                g []
+              |> List.sort (fun x y -> compare (priority y) (priority x))
+              (* least critical first: priority keys sort ascending by
+                 criticality, so reverse *)
+            in
+            let rec evict_until = function
+              | [] -> ()
+              | j :: rest ->
+                  let bag = Pattern.add slot_bag.(slot) color in
+                  if covering patterns bag <> None then ()
+                  else begin
+                    unschedule j;
+                    Pq.add queue (priority j, j);
+                    evict_until rest
+                  end
+            in
+            evict_until colliders;
+            place i forced
+          end;
+          prev_start.(i) <- starts.(i);
+          (* Dependence repair: neighbours whose constraints now break get
+             evicted (successors via out-constraints, and predecessors that
+             carried edges may bound from above). *)
+          List.iter
+            (fun (v, w) ->
+              if v <> i && starts.(v) >= 0 && starts.(v) < starts.(i) + w then begin
+                unschedule v;
+                Pq.add queue (priority v, v)
+              end)
+            out_constraints.(i);
+          List.iter
+            (fun (u, w) ->
+              if u <> i && starts.(u) >= 0 && starts.(i) < starts.(u) + w then begin
+                unschedule u;
+                Pq.add queue (priority u, u)
+              end)
+            in_constraints.(i);
+          drain ()
+        end
+  in
+  drain ();
+  if !ok && Array.for_all (fun s -> s >= 0) starts then Some starts else None
+
+let schedule ?max_ii ?(budget_factor = 8) ~patterns loop =
+  if patterns = [] then invalid_arg "Modulo.schedule: no patterns";
+  if budget_factor < 1 then invalid_arg "Modulo.schedule: budget_factor < 1";
+  let g = Loop_graph.body loop in
+  check_colors patterns g;
+  let n = Dfg.node_count g in
+  let max_ii =
+    match max_ii with
+    | None -> max 1 n
+    | Some m when m < 1 -> invalid_arg "Modulo.schedule: max_ii < 1"
+    | Some m -> m
+  in
+  let mii = Loop_graph.mii loop ~patterns in
+  if mii > max_ii then raise (No_schedule { tried_up_to = max_ii });
+  let rec try_ii ii =
+    if ii > max_ii then raise (No_schedule { tried_up_to = max_ii })
+    else
+      match attempt ~budget:(budget_factor * n) loop patterns ii with
+      | Some starts ->
+          let slot_bags = Array.make ii Pattern.empty in
+          Array.iteri
+            (fun i s ->
+              slot_bags.(s mod ii) <- Pattern.add slot_bags.(s mod ii) (Dfg.color g i))
+            starts;
+          let slot_patterns =
+            Array.map
+              (fun bag ->
+                match covering patterns bag with
+                | Some p -> p
+                | None -> assert false)
+              slot_bags
+          in
+          let makespan = 1 + Array.fold_left max (-1) starts in
+          { ii; starts; slot_patterns; makespan }
+      | None -> try_ii (ii + 1)
+  in
+  try_ii mii
+
+let validate ~patterns loop t =
+  let g = Loop_graph.body loop in
+  let n = Dfg.node_count g in
+  let exception Bad of string in
+  try
+    if Array.length t.starts <> n then raise (Bad "start array length mismatch");
+    Array.iteri (fun i s -> if s < 0 then raise (Bad (Printf.sprintf "node %d unplaced" i))) t.starts;
+    Dfg.iter_edges
+      (fun u v ->
+        if t.starts.(v) < t.starts.(u) + 1 then
+          raise
+            (Bad
+               (Printf.sprintf "intra-iteration dependence %s -> %s violated"
+                  (Dfg.name g u) (Dfg.name g v))))
+      g;
+    List.iter
+      (fun { Loop_graph.src; dst; distance } ->
+        if t.starts.(dst) < t.starts.(src) + 1 - (t.ii * distance) then
+          raise
+            (Bad
+               (Printf.sprintf "carried dependence %s -> %s (distance %d) violated"
+                  (Dfg.name g src) (Dfg.name g dst) distance)))
+      (Loop_graph.carried loop);
+    let slot_bags = Array.make t.ii Pattern.empty in
+    Array.iteri
+      (fun i s ->
+        slot_bags.(s mod t.ii) <- Pattern.add slot_bags.(s mod t.ii) (Dfg.color g i))
+      t.starts;
+    Array.iteri
+      (fun s bag ->
+        if not (Pattern.subpattern bag ~of_:t.slot_patterns.(s)) then
+          raise (Bad (Printf.sprintf "slot %d load exceeds its pattern" s));
+        if not (List.exists (Pattern.equal t.slot_patterns.(s)) patterns) then
+          raise (Bad (Printf.sprintf "slot %d pattern not allowed" s)))
+      slot_bags;
+    Ok ()
+  with Bad m -> Error m
+
+let to_unrolled ~iterations loop t =
+  if iterations < 1 then invalid_arg "Modulo.to_unrolled: iterations < 1";
+  let g = Loop_graph.body loop in
+  let n = Dfg.node_count g in
+  let builder = Dfg.Builder.create () in
+  for iter = 0 to iterations - 1 do
+    Dfg.iter_nodes
+      (fun i ->
+        ignore
+          (Dfg.Builder.add_node builder
+             ~name:(Printf.sprintf "%s@%d" (Dfg.name g i) iter)
+             (Dfg.color g i)))
+      g
+  done;
+  let id iter i = (iter * n) + i in
+  for iter = 0 to iterations - 1 do
+    Dfg.iter_edges (fun u v -> Dfg.Builder.add_edge builder (id iter u) (id iter v)) g;
+    List.iter
+      (fun { Loop_graph.src; dst; distance } ->
+        if iter + distance < iterations then
+          Dfg.Builder.add_edge builder (id iter src) (id (iter + distance) dst))
+      (Loop_graph.carried loop)
+  done;
+  let flat = Dfg.Builder.build builder in
+  let cycles =
+    Array.init (iterations * n) (fun k ->
+        let iter = k / n and i = k mod n in
+        t.starts.(i) + (t.ii * iter))
+  in
+  let total_cycles = Array.fold_left (fun acc c -> max acc (c + 1)) 0 cycles in
+  let patterns =
+    Array.init total_cycles (fun c -> t.slot_patterns.(c mod t.ii))
+  in
+  (flat, Schedule.of_cycles ~patterns flat cycles)

@@ -1,0 +1,60 @@
+(** Iterative modulo scheduling under a pattern restriction — software
+    pipelining for the Montium's streaming loops.
+
+    A modulo schedule assigns each loop-body operation a start cycle; a new
+    iteration launches every II cycles, so operations whose start cycles
+    are congruent modulo II execute simultaneously (for different
+    iterations) and must jointly fit one clock cycle — here, one {e slot
+    pattern}, which like every cycle on the tile must be covered by one of
+    the allowed patterns.  The sequencer then holds at most II (+ prologue)
+    configurations and the loop sustains one iteration per II cycles
+    forever, which is the whole point of a CGRA.
+
+    The algorithm is Rau's iterative modulo scheduling, simplified to unit
+    latencies: try II from the {!Loop_graph.mii} bound upward; within one
+    II, place operations highest-priority-first at their earliest feasible
+    cycle, searching an II-wide window for a slot whose color budget still
+    fits an allowed pattern, evicting lower-priority conflicting
+    placements when forced, within an operation budget. *)
+
+type t = {
+  ii : int;  (** Achieved initiation interval: 1/throughput. *)
+  starts : int array;  (** Per body node, its start cycle (iteration 0). *)
+  slot_patterns : Mps_pattern.Pattern.t array;
+      (** Per slot s < II, the allowed pattern covering the slot's load. *)
+  makespan : int;  (** 1 + max start: the single-iteration latency. *)
+}
+
+exception No_schedule of { tried_up_to : int }
+(** No II up to the bound produced a schedule within the operation
+    budget. *)
+
+val schedule :
+  ?max_ii:int ->
+  ?budget_factor:int ->
+  patterns:Mps_pattern.Pattern.t list ->
+  Loop_graph.t ->
+  t
+(** [max_ii] defaults to the body's node count (always sufficient for the
+    dependence constraints; resource feasibility additionally requires the
+    patterns to cover the body's colors).  [budget_factor] (default 8)
+    bounds placements per II attempt at [factor × nodes].
+    @raise Multi_pattern.Unschedulable when some body color appears in no
+    pattern.
+    @raise No_schedule as documented.
+    @raise Invalid_argument if [patterns] is empty or the knobs are
+    non-positive. *)
+
+val validate :
+  patterns:Mps_pattern.Pattern.t list -> Loop_graph.t -> t -> (unit, string) result
+(** Re-checks every dependence inequality (start(v) ≥ start(u) + 1 − II·d)
+    and every slot's pattern coverage. *)
+
+val to_unrolled :
+  iterations:int -> Loop_graph.t -> t -> Mps_dfg.Dfg.t * Schedule.t
+(** Materializes [iterations] copies of the body — intra-iteration edges
+    within each copy, carried edges from copy i to copy i+distance — and
+    the flat schedule cycle(node, iter) = start + II·iter with each cycle
+    declaring its slot's pattern.  Running {!Schedule.validate} on that
+    pair is the strongest correctness check of a modulo schedule, and what
+    the tests do.  @raise Invalid_argument if [iterations < 1]. *)

@@ -1,0 +1,147 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Levels = Mps_dfg.Levels
+module Reachability = Mps_dfg.Reachability
+module Pattern = Mps_pattern.Pattern
+
+exception Unschedulable of Color.t list
+
+type pattern_priority = F1 | F2
+
+type trace_row = {
+  row_cycle : int;
+  row_candidates : int list;
+  row_selected : (Pattern.t * int list) list;
+  row_chosen : int;
+}
+
+type result = { schedule : Schedule.t; trace : trace_row list }
+
+(* S(p, CL): walk the candidate list in priority order, taking each node
+   whose color still has a free slot in the pattern. *)
+let selected_set pattern sorted_cl g =
+  let remaining = ref pattern in
+  List.filter
+    (fun i ->
+      let c = Dfg.color g i in
+      if Pattern.count !remaining c > 0 then begin
+        remaining := Pattern.remove !remaining c;
+        true
+      end
+      else false)
+    sorted_cl
+
+let schedule ?(priority = F2) ?(trace = false) ?release ~patterns g =
+  if patterns = [] then invalid_arg "Multi_pattern.schedule: no patterns";
+  let n = Dfg.node_count g in
+  (match release with
+  | Some r when Array.length r <> n ->
+      invalid_arg "Multi_pattern.schedule: release array length mismatch"
+  | _ -> ());
+  let released i c =
+    match release with None -> true | Some r -> r.(i) <= c
+  in
+  let reach = Reachability.compute g in
+  let levels = Levels.compute g in
+  let prio = Node_priority.compute g reach levels in
+  let cycle_of = Array.make n (-1) in
+  let unscheduled_preds = Array.init n (Dfg.in_degree g) in
+  let cl = ref (Dfg.sources g) in
+  let rows = ref [] in
+  let chosen_patterns = ref [] in
+  let cycle = ref 0 in
+  let score selected =
+    match priority with
+    | F1 -> List.length selected
+    | F2 -> List.fold_left (fun acc i -> acc + Node_priority.value prio i) 0 selected
+  in
+  while !cl <> [] do
+    (* Release-blocked candidates sit out this cycle; if nothing is ready
+       the tile idles one cycle (values still in flight on the NoC). *)
+    let ready = List.filter (fun i -> released i !cycle) !cl in
+    if ready = [] then begin
+      chosen_patterns := List.hd patterns :: !chosen_patterns;
+      incr cycle
+    end
+    else begin
+    let sorted = Node_priority.sort prio ready in
+    let per_pattern = List.map (fun p -> (p, selected_set p sorted g)) patterns in
+    let best_idx, _ =
+      List.fold_left
+        (fun (best, best_score) (idx, (_, sel)) ->
+          let sc = score sel in
+          if sc > best_score then (idx, sc) else (best, best_score))
+        (-1, min_int)
+        (List.mapi (fun i x -> (i, x)) per_pattern)
+    in
+    let chosen_pattern, chosen_set = List.nth per_pattern best_idx in
+    if chosen_set = [] then begin
+      let colors =
+        List.sort_uniq Color.compare (List.map (Dfg.color g) sorted)
+      in
+      raise (Unschedulable colors)
+    end;
+    chosen_patterns := chosen_pattern :: !chosen_patterns;
+    if trace then
+      rows :=
+        {
+          row_cycle = !cycle + 1;
+          row_candidates = sorted;
+          row_selected = per_pattern;
+          row_chosen = best_idx;
+        }
+        :: !rows;
+    List.iter
+      (fun i ->
+        cycle_of.(i) <- !cycle;
+        List.iter
+          (fun s -> unscheduled_preds.(s) <- unscheduled_preds.(s) - 1)
+          (Dfg.succs g i))
+      chosen_set;
+    (* Refill: drop the scheduled nodes, add the newly ready ones.  A node
+       freed this cycle becomes a candidate for the next cycle only, which
+       the strict per-cycle commit already guarantees. *)
+    let remaining = List.filter (fun i -> cycle_of.(i) < 0) !cl in
+    let freed =
+      List.concat_map
+        (fun i ->
+          List.filter
+            (fun s -> unscheduled_preds.(s) = 0 && cycle_of.(s) < 0)
+            (Dfg.succs g i))
+        chosen_set
+      |> List.sort_uniq Int.compare
+    in
+    cl := remaining @ freed;
+    incr cycle
+    end
+  done;
+  (* Each cycle declares the pattern the algorithm committed, so the
+     configuration table of the schedule is exactly the allowed patterns it
+     used — what the Montium sequencer would be loaded with. *)
+  let declared = Array.of_list (List.rev !chosen_patterns) in
+  let schedule = Schedule.of_cycles ~patterns:declared g cycle_of in
+  { schedule; trace = List.rev !rows }
+
+let cycles ?priority ~patterns g =
+  Schedule.cycles (schedule ?priority ~patterns g).schedule
+
+let pp_names g ppf l =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+    (fun ppf i -> Format.pp_print_string ppf (Dfg.name g i))
+    ppf l
+
+let pp_trace g ppf rows =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "cycle %d@,  candidates: %a@," r.row_cycle (pp_names g)
+        r.row_candidates;
+      List.iteri
+        (fun idx (p, sel) ->
+          Format.fprintf ppf "  %s%a: %a@,"
+            (if idx = r.row_chosen then "*" else " ")
+            Pattern.pp p (pp_names g) sel)
+        r.row_selected)
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+module Dfg = Mps_dfg.Dfg
+module Levels = Mps_dfg.Levels
+module Reachability = Mps_dfg.Reachability
+module Bitset = Mps_util.Bitset
+
+type t = { values : int array; keys : (int * int * int) array; s : int; t : int }
+
+let compute g reach levels =
+  let n = Dfg.node_count g in
+  let direct = Array.init n (Dfg.out_degree g) in
+  let all = Array.init n (fun i -> Bitset.cardinal (Reachability.descendants reach i)) in
+  let height = Array.init n (Levels.height levels) in
+  let max_all = Array.fold_left max 0 all in
+  let t_param = max_all + 1 in
+  let max_mix = ref 0 in
+  for i = 0 to n - 1 do
+    max_mix := max !max_mix ((t_param * direct.(i)) + all.(i))
+  done;
+  let s_param = !max_mix + 1 in
+  let values =
+    Array.init n (fun i -> (s_param * height.(i)) + (t_param * direct.(i)) + all.(i))
+  in
+  let keys = Array.init n (fun i -> (height.(i), direct.(i), all.(i))) in
+  { values; keys; s = s_param; t = t_param }
+
+let s_param p = p.s
+let t_param p = p.t
+
+let get arr i =
+  if i < 0 || i >= Array.length arr then
+    invalid_arg (Printf.sprintf "Node_priority: node id %d out of range" i);
+  arr.(i)
+
+let value p i = get p.values i
+let key p i = get p.keys i
+
+let compare_desc p i j =
+  match compare (value p j) (value p i) with 0 -> compare i j | c -> c
+
+let sort p l = List.sort (compare_desc p) l

@@ -1,0 +1,172 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Levels = Mps_dfg.Levels
+module Pattern = Mps_pattern.Pattern
+
+type outcome = {
+  schedule : Schedule.t;
+  cycles : int;
+  proven_optimal : bool;
+  explored_states : int;
+}
+
+(* Choose [k] elements from a list, all combinations. *)
+let rec combinations k l =
+  if k = 0 then [ [] ]
+  else
+    match l with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun c -> x :: c) (combinations (k - 1) rest)
+        @ combinations k rest
+
+let schedule ?(max_states = 1_000_000) ~patterns g =
+  let n = Dfg.node_count g in
+  if n > 60 then invalid_arg "Optimal.schedule: more than 60 nodes";
+  if patterns = [] then invalid_arg "Optimal.schedule: no patterns";
+  (* Incumbent (and the Unschedulable check) from the list scheduler. *)
+  let incumbent = (Multi_pattern.schedule ~patterns g).Multi_pattern.schedule in
+  let ub = ref (Schedule.cycles incumbent) in
+  let best = ref None in
+  let levels = Levels.compute g in
+  let height = Array.init n (Levels.height levels) in
+  let colors = Dfg.colors g in
+  let ncolors = List.length colors in
+  let idx_of c =
+    let rec find i = function
+      | [] -> invalid_arg "Optimal.schedule: unknown color"
+      | x :: rest -> if Color.equal x c then i else find (i + 1) rest
+    in
+    find 0 colors
+  in
+  let node_color = Array.init n (fun i -> idx_of (Dfg.color g i)) in
+  (* Per-color maximum slots over the patterns: the per-color cycle bound. *)
+  let max_slots = Array.make ncolors 0 in
+  List.iter
+    (fun p ->
+      List.iteri
+        (fun ci c -> max_slots.(ci) <- max max_slots.(ci) (Pattern.count p c))
+        colors)
+    patterns;
+  let pred_mask = Array.make n 0 in
+  Dfg.iter_edges (fun s d -> pred_mask.(d) <- pred_mask.(d) lor (1 lsl s)) g;
+  let full = (1 lsl n) - 1 in
+  (* Remaining-work lower bound for a state. *)
+  let lower_bound mask =
+    let crit = ref 0 in
+    let per_color = Array.make ncolors 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) = 0 then begin
+        if height.(i) > !crit then crit := height.(i);
+        per_color.(node_color.(i)) <- per_color.(node_color.(i)) + 1
+      end
+    done;
+    let color_bound = ref 0 in
+    Array.iteri
+      (fun ci k ->
+        if k > 0 then begin
+          let per_cycle = max 1 max_slots.(ci) in
+          let b = (k + per_cycle - 1) / per_cycle in
+          if b > !color_bound then color_bound := b
+        end)
+      per_color;
+    max !crit !color_bound
+  in
+  (* BFS over masks; parent links reconstruct the winning schedule. *)
+  let seen = Hashtbl.create 4096 in
+  let parent = Hashtbl.create 4096 in
+  let explored = ref 0 in
+  let truncated = ref false in
+  Hashtbl.replace seen 0 ();
+  let layer = ref [ 0 ] in
+  let depth = ref 0 in
+  let exception Done in
+  (try
+     while !layer <> [] do
+       let next = ref [] in
+       List.iter
+         (fun mask ->
+           if !depth + lower_bound mask < !ub then begin
+             incr explored;
+             if !explored > max_states then begin
+               truncated := true;
+               raise Done
+             end;
+             (* Ready nodes, grouped by color. *)
+             let by_color = Array.make ncolors [] in
+             for i = n - 1 downto 0 do
+               if mask land (1 lsl i) = 0 && pred_mask.(i) land mask = pred_mask.(i)
+               then by_color.(node_color.(i)) <- i :: by_color.(node_color.(i))
+             done;
+             List.iter
+               (fun p ->
+                 (* Maximal selections under p: per color, all ways of
+                    filling min(slots, ready) slots; cross product. *)
+                 let per_color_choices =
+                   List.mapi
+                     (fun ci c ->
+                       let ready = by_color.(ci) in
+                       let k = min (Pattern.count p c) (List.length ready) in
+                       combinations k ready)
+                     colors
+                 in
+                 let rec cross acc = function
+                   | [] -> [ acc ]
+                   | choices :: rest ->
+                       List.concat_map
+                         (fun sel -> cross (List.rev_append sel acc) rest)
+                         choices
+                 in
+                 let selections = cross [] per_color_choices in
+                 List.iter
+                   (fun sel ->
+                     if sel <> [] then begin
+                       let sel_mask =
+                         List.fold_left (fun m i -> m lor (1 lsl i)) 0 sel
+                       in
+                       let mask' = mask lor sel_mask in
+                       if not (Hashtbl.mem seen mask') then begin
+                         Hashtbl.replace seen mask' ();
+                         Hashtbl.replace parent mask' (mask, p, sel);
+                         if mask' = full then begin
+                           if !depth + 1 < !ub then begin
+                             ub := !depth + 1;
+                             best := Some mask'
+                           end
+                         end
+                         else next := mask' :: !next
+                       end
+                     end)
+                   selections)
+               patterns
+           end)
+         !layer;
+       layer := !next;
+       incr depth
+     done
+   with Done -> ());
+  let schedule, cycles =
+    match !best with
+    | None -> (incumbent, Schedule.cycles incumbent)
+    | Some goal ->
+        let cycle_of = Array.make n 0 in
+        let rec walk mask acc =
+          if mask = 0 then acc
+          else begin
+            let prev, p, sel = Hashtbl.find parent mask in
+            walk prev ((p, sel) :: acc)
+          end
+        in
+        let steps = walk goal [] in
+        let pats = Array.of_list (List.map fst steps) in
+        List.iteri
+          (fun c (_, sel) -> List.iter (fun i -> cycle_of.(i) <- c) sel)
+          steps;
+        (Schedule.of_cycles ~patterns:pats g cycle_of, List.length steps)
+  in
+  {
+    schedule;
+    cycles;
+    proven_optimal = not !truncated;
+    explored_states = !explored;
+  }

@@ -1,0 +1,42 @@
+(** Exact multi-pattern scheduling by branch and bound.
+
+    The paper's scheduler (§4) is a greedy list heuristic; this module
+    computes, for small graphs, the true optimum it is chasing: the
+    minimum number of cycles over {e all} schedules legal under the given
+    patterns.  The search runs breadth-first over sets of completed
+    operations (one layer per clock cycle) with three sound reductions:
+
+    - {e maximal selections}: with unit latencies and per-cycle resources,
+      scheduling a superset of operations in a cycle never hurts, so only
+      per-color-maximal selected sets are branched on;
+    - {e state dedup}: two prefixes completing the same operation set are
+      interchangeable, so layers are sets of bitmasks;
+    - {e lower-bound pruning}: a state whose depth plus
+      max(critical path of the remainder, ⌈remaining/capacity⌉-ish color
+      bound) reaches the incumbent (initialized from the list scheduler)
+      is cut.
+
+    Complexity is exponential in the worst case — the state cap turns the
+    search into an anytime algorithm that reports whether the result is
+    proven optimal. *)
+
+type outcome = {
+  schedule : Schedule.t;
+  cycles : int;
+  proven_optimal : bool;
+      (** False when [max_states] was exhausted before the layer queue
+          emptied; [schedule] is then the best incumbent (never worse than
+          the list scheduler's). *)
+  explored_states : int;
+}
+
+val schedule :
+  ?max_states:int ->
+  patterns:Mps_pattern.Pattern.t list ->
+  Mps_dfg.Dfg.t ->
+  outcome
+(** [max_states] defaults to 1_000_000.
+    @raise Invalid_argument if the graph has more than 60 nodes (states
+    are native-int bitmasks) or [patterns] is empty.
+    @raise Multi_pattern.Unschedulable when the patterns cannot cover the
+    graph's colors. *)

@@ -1,0 +1,82 @@
+module Dfg = Mps_dfg.Dfg
+module Pattern = Mps_pattern.Pattern
+
+type phase_cycle = {
+  operations : (int * int) list;
+  pattern : Pattern.t;
+}
+
+type t = {
+  prologue : phase_cycle list;
+  kernel : phase_cycle list;
+  epilogue : phase_cycle list;
+  overlap : int;
+}
+
+let expand loop (m : Modulo.t) =
+  let g = Loop_graph.body loop in
+  let n = Dfg.node_count g in
+  let ii = m.Modulo.ii in
+  let l = m.Modulo.makespan in
+  let overlap = (l + ii - 1) / ii in
+  let fill_len = max 0 (l - ii) in
+  (* Prologue cycle t (absolute time t < fill_len): iteration j's op i runs
+     when start(i) + j*ii = t. *)
+  let prologue =
+    List.init fill_len (fun t ->
+        let operations = ref [] in
+        for i = n - 1 downto 0 do
+          let s = m.Modulo.starts.(i) in
+          if s <= t && (t - s) mod ii = 0 then
+            operations := (i, (t - s) / ii) :: !operations
+        done;
+        { operations = !operations; pattern = m.Modulo.slot_patterns.(t mod ii) })
+  in
+  (* Kernel cycle k: every op with start ≡ k (mod ii); relative iteration
+     index = start / ii (0 = the newest iteration in flight). *)
+  let kernel =
+    List.init ii (fun k ->
+        let operations = ref [] in
+        for i = n - 1 downto 0 do
+          let s = m.Modulo.starts.(i) in
+          if s mod ii = k then operations := (i, s / ii) :: !operations
+        done;
+        { operations = !operations; pattern = m.Modulo.slot_patterns.(k) })
+  in
+  (* Epilogue cycle e: ops of the last [overlap-1] iterations still in
+     flight — (i, r) with start(i) = (r+1)*ii + e, r counting back from the
+     last-launched iteration (0 = last). *)
+  let epilogue =
+    List.init fill_len (fun e ->
+        let operations = ref [] in
+        for i = n - 1 downto 0 do
+          let s = m.Modulo.starts.(i) in
+          if s >= ii + e && (s - e) mod ii = 0 then
+            operations := (i, ((s - e) / ii) - 1) :: !operations
+        done;
+        { operations = !operations; pattern = m.Modulo.slot_patterns.(e mod ii) })
+  in
+  { prologue; kernel; epilogue; overlap }
+
+let total_cycles (m : Modulo.t) ~iterations =
+  if iterations < 1 then invalid_arg "Pipeline_code.total_cycles: iterations < 1";
+  ((iterations - 1) * m.Modulo.ii) + m.Modulo.makespan
+
+let pp g ppf t =
+  let phase name cycles =
+    Format.fprintf ppf "%s (%d cycles):@," name (List.length cycles);
+    List.iteri
+      (fun idx { operations; pattern } ->
+        Format.fprintf ppf "  %2d %-8s %s@," idx
+          (Format.asprintf "%a" Pattern.pp pattern)
+          (String.concat " "
+             (List.map
+                (fun (i, r) -> Printf.sprintf "%s[-%d]" (Dfg.name g i) r)
+                operations)))
+      cycles
+  in
+  Format.fprintf ppf "@[<v>pipeline: %d iterations in flight@," t.overlap;
+  phase "prologue" t.prologue;
+  phase "kernel" t.kernel;
+  phase "epilogue" t.epilogue;
+  Format.fprintf ppf "@]"

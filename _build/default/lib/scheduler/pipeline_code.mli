@@ -1,0 +1,45 @@
+(** Prologue / kernel / epilogue expansion of a modulo schedule.
+
+    A modulo schedule with initiation interval II and single-iteration
+    latency L overlaps ⌈L/II⌉ iterations in flight.  The sequencer program
+    that runs it has three phases:
+
+    - {e prologue}: the pipeline fills — cycles 0..L−II−1, each running
+      only the operations of the iterations started so far;
+    - {e kernel}: the II steady-state cycles, executed once per iteration
+      forever (or per remaining iteration);
+    - {e epilogue}: the pipeline drains after the last iteration launches.
+
+    This module materializes those phases as per-cycle operation lists and
+    the pattern each cycle needs, and accounts for the configuration table:
+    the steady state needs exactly the II slot patterns, while prologue and
+    epilogue cycles run {e partial} slots — which the Montium can serve
+    with the same patterns (a subpattern is always coverable, §5.2), so the
+    table size stays II plus nothing. *)
+
+type phase_cycle = {
+  operations : (int * int) list;
+      (** (body node, iteration index) pairs executing this cycle. *)
+  pattern : Mps_pattern.Pattern.t;
+      (** The steady-state slot pattern covering this cycle. *)
+}
+
+type t = {
+  prologue : phase_cycle list;
+  kernel : phase_cycle list;  (** Length exactly II; iterations relative. *)
+  epilogue : phase_cycle list;
+  overlap : int;  (** Iterations in flight in steady state: ⌈L/II⌉. *)
+}
+
+val expand : Loop_graph.t -> Modulo.t -> t
+(** Phases for a long-running loop.  Kernel cycle k lists the operations
+    with start ≡ k (mod II); its iteration indices are relative to the
+    iteration launching in that kernel instance (0 = newest). *)
+
+val total_cycles : Modulo.t -> iterations:int -> int
+(** Wall-clock cycles to run [iterations] ≥ 1 iterations:
+    (iterations − 1)·II + L — the last iteration launches at
+    (iterations−1)·II and needs L cycles to drain.
+    @raise Invalid_argument if [iterations < 1]. *)
+
+val pp : Mps_dfg.Dfg.t -> Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+module Dfg = Mps_dfg.Dfg
+module Levels = Mps_dfg.Levels
+module Reachability = Mps_dfg.Reachability
+
+let asap g =
+  let lv = Levels.compute g in
+  Schedule.of_cycles g (Array.init (Dfg.node_count g) (Levels.asap lv))
+
+let alap g =
+  let lv = Levels.compute g in
+  Schedule.of_cycles g (Array.init (Dfg.node_count g) (Levels.alap lv))
+
+let greedy_capacity ~capacity g =
+  if capacity < 1 then invalid_arg "Reference.greedy_capacity: capacity < 1";
+  let n = Dfg.node_count g in
+  let reach = Reachability.compute g in
+  let levels = Levels.compute g in
+  let prio = Node_priority.compute g reach levels in
+  let cycle_of = Array.make n (-1) in
+  let unscheduled_preds = Array.init n (Dfg.in_degree g) in
+  let cl = ref (Dfg.sources g) in
+  let cycle = ref 0 in
+  while !cl <> [] do
+    let sorted = Node_priority.sort prio !cl in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    let chosen = take capacity sorted in
+    List.iter
+      (fun i ->
+        cycle_of.(i) <- !cycle;
+        List.iter
+          (fun s -> unscheduled_preds.(s) <- unscheduled_preds.(s) - 1)
+          (Dfg.succs g i))
+      chosen;
+    let remaining = List.filter (fun i -> cycle_of.(i) < 0) !cl in
+    let freed =
+      List.concat_map
+        (fun i ->
+          List.filter
+            (fun s -> unscheduled_preds.(s) = 0 && cycle_of.(s) < 0)
+            (Dfg.succs g i))
+        chosen
+      |> List.sort_uniq Int.compare
+    in
+    cl := remaining @ freed;
+    incr cycle
+  done;
+  Schedule.of_cycles g cycle_of

@@ -1,0 +1,20 @@
+(** Unlimited-resource reference schedules.
+
+    ASAP and ALAP schedules ignore resources entirely; both achieve the
+    critical-path length [ASAPmax + 1] and bound every resource-constrained
+    scheduler from below.  The tests use them as fixed points (a schedule is
+    valid iff each node sits within its [ASAP,ALAP] window when the length
+    equals the lower bound). *)
+
+val asap : Mps_dfg.Dfg.t -> Schedule.t
+(** Every node at its ASAP level. *)
+
+val alap : Mps_dfg.Dfg.t -> Schedule.t
+(** Every node at its ALAP level. *)
+
+val greedy_capacity : capacity:int -> Mps_dfg.Dfg.t -> Schedule.t
+(** List scheduling under only a "≤ capacity nodes per cycle" constraint —
+    any color mix allowed, highest node priority first.  This is the
+    idealized machine whose every pattern is legal: a lower-bound baseline
+    for the pattern-restricted schedulers, and the paper's implicit
+    reference for how much the 32-pattern restriction costs. *)

@@ -1,0 +1,110 @@
+module Dfg = Mps_dfg.Dfg
+module Pattern = Mps_pattern.Pattern
+
+type t = {
+  cycle_of : int array;
+  slots : int list array;
+  patterns : Pattern.t array;
+}
+
+let used_bag g nodes = Pattern.of_colors (List.map (Dfg.color g) nodes)
+
+let of_cycles ?patterns g cycle_of =
+  let n = Dfg.node_count g in
+  if Array.length cycle_of <> n then
+    invalid_arg "Schedule.of_cycles: cycle array length mismatch";
+  Array.iteri
+    (fun i c -> if c < 0 then invalid_arg (Printf.sprintf "Schedule.of_cycles: node %d has negative cycle" i))
+    cycle_of;
+  let len = Array.fold_left (fun acc c -> max acc (c + 1)) 0 cycle_of in
+  let slots = Array.make len [] in
+  for i = n - 1 downto 0 do
+    slots.(cycle_of.(i)) <- i :: slots.(cycle_of.(i))
+  done;
+  let patterns =
+    match patterns with
+    | Some ps ->
+        if Array.length ps < len then
+          invalid_arg "Schedule.of_cycles: fewer patterns than cycles";
+        Array.sub ps 0 len
+    | None -> Array.map (used_bag g) slots
+  in
+  { cycle_of = Array.copy cycle_of; slots; patterns }
+
+let cycles t = Array.length t.slots
+
+let cycle_of t i =
+  if i < 0 || i >= Array.length t.cycle_of then
+    invalid_arg (Printf.sprintf "Schedule.cycle_of: node id %d out of range" i);
+  t.cycle_of.(i)
+
+let check_cycle t c =
+  if c < 0 || c >= cycles t then
+    invalid_arg (Printf.sprintf "Schedule: cycle %d out of range" c)
+
+let nodes_at t c =
+  check_cycle t c;
+  t.slots.(c)
+
+let pattern_at t c =
+  check_cycle t c;
+  t.patterns.(c)
+
+type violation =
+  | Dependency of { pred : int; node : int }
+  | Overcommit of { cycle : int; pattern : Pattern.t; used : Pattern.t }
+  | Illegal_pattern of { cycle : int; pattern : Pattern.t }
+  | Over_capacity of { cycle : int; pattern : Pattern.t }
+
+let used_at g t c =
+  check_cycle t c;
+  used_bag g t.slots.(c)
+
+let distinct_patterns t =
+  Array.to_list t.patterns |> List.sort_uniq Pattern.compare
+
+let validate ?allowed ~capacity g t =
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  Dfg.iter_edges
+    (fun p n ->
+      if t.cycle_of.(p) >= t.cycle_of.(n) then push (Dependency { pred = p; node = n }))
+    g;
+  for c = 0 to cycles t - 1 do
+    let pat = t.patterns.(c) in
+    let used = used_at g t c in
+    if not (Pattern.subpattern used ~of_:pat) then
+      push (Overcommit { cycle = c; pattern = pat; used });
+    if not (Pattern.fits_capacity ~capacity pat) then
+      push (Over_capacity { cycle = c; pattern = pat });
+    (match allowed with
+    | None -> ()
+    | Some ps ->
+        if not (List.exists (fun q -> Pattern.subpattern pat ~of_:q) ps) then
+          push (Illegal_pattern { cycle = c; pattern = pat }))
+  done;
+  List.rev !violations
+
+let pp_violation g ppf = function
+  | Dependency { pred; node } ->
+      Format.fprintf ppf "dependency %s -> %s not respected" (Dfg.name g pred)
+        (Dfg.name g node)
+  | Overcommit { cycle; pattern; used } ->
+      Format.fprintf ppf "cycle %d uses %a beyond pattern %a" cycle Pattern.pp used
+        Pattern.pp pattern
+  | Illegal_pattern { cycle; pattern } ->
+      Format.fprintf ppf "cycle %d pattern %a not allowed" cycle Pattern.pp pattern
+  | Over_capacity { cycle; pattern } ->
+      Format.fprintf ppf "cycle %d pattern %a exceeds capacity" cycle Pattern.pp pattern
+
+let pp g ppf t =
+  Format.fprintf ppf "@[<v>";
+  for c = 0 to cycles t - 1 do
+    Format.fprintf ppf "cycle %d  %-10s %a@," (c + 1)
+      (Format.asprintf "%a" Pattern.pp t.patterns.(c))
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         (fun ppf i -> Format.pp_print_string ppf (Dfg.name g i)))
+      t.slots.(c)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** Schedules: the assignment of every DFG node to a clock cycle, plus the
+    pattern each cycle runs under (paper §4's scheduling objective).
+
+    A schedule is valid for a capacity-C machine and an allowed pattern set
+    when (1) every dependency crosses strictly forward in time, (2) each
+    cycle's color usage is a subpattern of that cycle's declared pattern,
+    and (3) each declared pattern is one of the allowed patterns (and fits
+    the capacity).  {!validate} checks exactly that. *)
+
+type t
+
+val of_cycles : ?patterns:Mps_pattern.Pattern.t array -> Mps_dfg.Dfg.t -> int array -> t
+(** [of_cycles g cycle_of] packages a per-node cycle assignment.  Cycles
+    must be ≥ 0; the schedule length is [1 + max cycle] (0 for an empty
+    graph).  When [patterns] is omitted, each cycle declares exactly the bag
+    of colors it uses.  @raise Invalid_argument if the array length differs
+    from the node count, a cycle is negative, or [patterns] is shorter than
+    the schedule. *)
+
+val cycles : t -> int
+(** Number of clock cycles (the paper's figure of merit). *)
+
+val cycle_of : t -> int -> int
+val nodes_at : t -> int -> int list
+(** Nodes of one cycle, increasing id.  @raise Invalid_argument if out of
+    range. *)
+
+val pattern_at : t -> int -> Mps_pattern.Pattern.t
+(** Declared pattern of the cycle. *)
+
+val used_at : Mps_dfg.Dfg.t -> t -> int -> Mps_pattern.Pattern.t
+(** Bag of colors actually used in the cycle (a subpattern of
+    [pattern_at] in a valid schedule). *)
+
+val distinct_patterns : t -> Mps_pattern.Pattern.t list
+(** Declared patterns, deduplicated, sorted — what must fit in the
+    Montium's 32-entry configuration space. *)
+
+type violation =
+  | Dependency of { pred : int; node : int }
+      (** [pred] does not finish strictly before [node]. *)
+  | Overcommit of { cycle : int; pattern : Mps_pattern.Pattern.t; used : Mps_pattern.Pattern.t }
+      (** A cycle uses colors not covered by its declared pattern. *)
+  | Illegal_pattern of { cycle : int; pattern : Mps_pattern.Pattern.t }
+      (** Declared pattern not in the allowed set. *)
+  | Over_capacity of { cycle : int; pattern : Mps_pattern.Pattern.t }
+
+val validate :
+  ?allowed:Mps_pattern.Pattern.t list ->
+  capacity:int ->
+  Mps_dfg.Dfg.t ->
+  t ->
+  violation list
+(** Empty list ⇔ valid.  [allowed] checks each declared pattern is a
+    subpattern of (i.e. coverable by) some allowed pattern, matching the
+    paper's use of selected patterns wherever a subpattern is needed. *)
+
+val pp_violation : Mps_dfg.Dfg.t -> Format.formatter -> violation -> unit
+
+val pp : Mps_dfg.Dfg.t -> Format.formatter -> t -> unit
+(** One line per cycle: cycle number, pattern, node names. *)

@@ -1,0 +1,63 @@
+module Dfg = Mps_dfg.Dfg
+module Pattern = Mps_pattern.Pattern
+
+(* Free-slot bookkeeping: per cycle, the declared pattern minus the colors
+   currently scheduled there. *)
+let slack_of g sched =
+  Array.init (Schedule.cycles sched) (fun c ->
+      List.fold_left
+        (fun acc i -> Pattern.remove acc (Dfg.color g i))
+        (Schedule.pattern_at sched c)
+        (Schedule.nodes_at sched c))
+
+let move g sched ~pick_target order =
+  let n = Dfg.node_count g in
+  let cycle_of = Array.init n (Schedule.cycle_of sched) in
+  let slack = slack_of g sched in
+  let patterns =
+    Array.init (Schedule.cycles sched) (Schedule.pattern_at sched)
+  in
+  List.iter
+    (fun i ->
+      let color = Dfg.color g i in
+      match pick_target cycle_of slack i color with
+      | None -> ()
+      | Some target ->
+          let from = cycle_of.(i) in
+          if target <> from then begin
+            slack.(from) <- Pattern.add slack.(from) color;
+            slack.(target) <- Pattern.remove slack.(target) color;
+            cycle_of.(i) <- target
+          end)
+    order;
+  Schedule.of_cycles ~patterns g cycle_of
+
+let sink_late g sched =
+  let last = Schedule.cycles sched - 1 in
+  let pick cycle_of slack i color =
+    let bound =
+      List.fold_left (fun acc s -> min acc (cycle_of.(s) - 1)) last (Dfg.succs g i)
+    in
+    (* Latest cycle in (current, bound] with a free slot of this color. *)
+    let rec search c =
+      if c <= cycle_of.(i) then None
+      else if Pattern.count slack.(c) color > 0 then Some c
+      else search (c - 1)
+    in
+    search bound
+  in
+  move g sched ~pick_target:pick (List.rev (Mps_dfg.Topo.order g))
+
+let hoist_early g sched =
+  let pick cycle_of slack i color =
+    let bound =
+      List.fold_left (fun acc p -> max acc (cycle_of.(p) + 1)) 0 (Dfg.preds g i)
+    in
+    let rec search c =
+      if c >= cycle_of.(i) then None
+      else if Pattern.count slack.(c) color > 0 then Some c
+      else search (c + 1)
+    in
+    search bound
+  in
+  move g sched ~pick_target:pick (Mps_dfg.Topo.order g)

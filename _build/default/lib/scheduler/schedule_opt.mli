@@ -1,0 +1,19 @@
+(** Schedule post-passes that keep the cycle count and the per-cycle
+    pattern legality intact.
+
+    {!sink_late} moves every operation as late as its successors and the
+    declared patterns allow, processing sinks first.  The intent is
+    register-lifetime shaping: a value produced later is alive for fewer
+    cycles on its consumers' side (though its own operands live longer —
+    the ablation measures the net effect on the tile's register files
+    rather than claiming a theorem).  Length, dependences and the
+    pattern-per-cycle discipline are preserved by construction and
+    re-checked by the tests. *)
+
+val sink_late : Mps_dfg.Dfg.t -> Schedule.t -> Schedule.t
+(** Nodes move only to cycles whose declared pattern still has a free slot
+    of the node's color; the declared pattern array is unchanged. *)
+
+val hoist_early : Mps_dfg.Dfg.t -> Schedule.t -> Schedule.t
+(** The mirror pass: every operation as early as predecessors and patterns
+    allow — useful to normalize a schedule before comparing shapes. *)

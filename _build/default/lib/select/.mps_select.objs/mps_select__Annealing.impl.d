@@ -1,0 +1,1 @@
+lib/select/annealing.ml: Array List Mps_antichain Mps_dfg Mps_pattern Mps_scheduler Mps_util Select

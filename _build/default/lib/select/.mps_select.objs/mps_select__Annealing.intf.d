@@ -1,0 +1,1 @@
+lib/select/annealing.mli: Mps_antichain Mps_pattern Mps_util

@@ -1,0 +1,1 @@
+lib/select/beam.ml: Array List Mps_antichain Mps_dfg Mps_pattern Mps_scheduler Select

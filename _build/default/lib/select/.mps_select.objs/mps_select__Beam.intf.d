@@ -1,0 +1,1 @@
+lib/select/beam.mli: Mps_antichain Mps_pattern Select

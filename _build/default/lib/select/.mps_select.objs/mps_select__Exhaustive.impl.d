@@ -1,0 +1,1 @@
+lib/select/exhaustive.ml: Array List Mps_antichain Mps_dfg Mps_pattern Mps_scheduler Option

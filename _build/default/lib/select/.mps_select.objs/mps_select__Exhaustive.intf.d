@@ -1,0 +1,1 @@
+lib/select/exhaustive.mli: Mps_antichain Mps_pattern Mps_scheduler

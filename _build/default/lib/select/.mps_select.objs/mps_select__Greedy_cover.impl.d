@@ -1,0 +1,1 @@
+lib/select/greedy_cover.ml: List Mps_antichain Mps_dfg Mps_pattern

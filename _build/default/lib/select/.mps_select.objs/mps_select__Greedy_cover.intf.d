@@ -1,0 +1,1 @@
+lib/select/greedy_cover.mli: Mps_antichain Mps_pattern

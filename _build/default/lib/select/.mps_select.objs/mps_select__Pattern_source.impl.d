@@ -1,0 +1,1 @@
+lib/select/pattern_source.ml: List Mps_dfg Mps_pattern Mps_scheduler Option

@@ -1,0 +1,1 @@
+lib/select/pattern_source.mli: Mps_dfg Mps_pattern

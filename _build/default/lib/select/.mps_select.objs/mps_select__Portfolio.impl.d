@@ -1,0 +1,1 @@
+lib/select/portfolio.ml: Annealing Beam Greedy_cover List Mps_antichain Mps_pattern Mps_scheduler Pattern_source Priority_variants Select

@@ -1,0 +1,1 @@
+lib/select/portfolio.mli: Mps_antichain Mps_pattern Mps_util

@@ -1,0 +1,1 @@
+lib/select/priority_variants.ml: Array List Mps_antichain Mps_dfg Mps_pattern

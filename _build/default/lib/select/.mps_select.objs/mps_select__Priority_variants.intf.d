@@ -1,0 +1,1 @@
+lib/select/priority_variants.mli: Mps_antichain Mps_pattern

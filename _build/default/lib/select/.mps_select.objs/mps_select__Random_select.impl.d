@@ -1,0 +1,1 @@
+lib/select/random_select.ml: List Mps_dfg Mps_pattern Mps_util

@@ -1,0 +1,1 @@
+lib/select/random_select.mli: Mps_dfg Mps_pattern Mps_util

@@ -1,0 +1,1 @@
+lib/select/select.mli: Mps_antichain Mps_dfg Mps_pattern

@@ -1,0 +1,79 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Classify = Mps_antichain.Classify
+module Mp = Mps_scheduler.Multi_pattern
+module Schedule = Mps_scheduler.Schedule
+module Rng = Mps_util.Rng
+
+type outcome = {
+  patterns : Pattern.t list;
+  cycles : int;
+  evaluations : int;
+  improved : bool;
+}
+
+let covers all_colors patterns =
+  let covered =
+    List.fold_left
+      (fun acc p -> Color.Set.union acc (Pattern.color_set p))
+      Color.Set.empty patterns
+  in
+  Color.Set.subset all_colors covered
+
+let search ?(iterations = 2000) ?(initial_temperature = 2.0) ?(cooling = 0.995)
+    rng ~pdef classify =
+  if pdef < 1 then invalid_arg "Annealing.search: pdef < 1";
+  if iterations < 0 then invalid_arg "Annealing.search: negative iterations";
+  if cooling <= 0.0 || cooling > 1.0 then
+    invalid_arg "Annealing.search: cooling outside (0,1]";
+  if initial_temperature <= 0.0 then
+    invalid_arg "Annealing.search: non-positive temperature";
+  let g = Classify.graph classify in
+  let all_colors = Color.Set.of_list (Dfg.colors g) in
+  let pool = Array.of_list (Classify.patterns classify) in
+  let evaluations = ref 0 in
+  let cost patterns =
+    incr evaluations;
+    match Mp.schedule ~patterns g with
+    | { Mp.schedule; _ } -> Schedule.cycles schedule
+    | exception Mp.Unschedulable _ -> max_int
+  in
+  (* Start from the paper's heuristic so the search can only improve it. *)
+  let start = Select.select ~pdef classify in
+  let start_cost = cost start in
+  let current = ref (Array.of_list start) in
+  let current_cost = ref start_cost in
+  let best = ref (Array.copy !current) in
+  let best_cost = ref start_cost in
+  let temperature = ref initial_temperature in
+  if Array.length pool > 0 && Array.length !current > 0 then
+    for _ = 1 to iterations do
+      let candidate = Array.copy !current in
+      let slot = Rng.int rng (Array.length candidate) in
+      candidate.(slot) <- Rng.choice rng pool;
+      let cand_list = Array.to_list candidate in
+      if covers all_colors cand_list then begin
+        let c = cost cand_list in
+        let delta = float_of_int (c - !current_cost) in
+        let accept =
+          c < max_int
+          && (delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temperature))
+        in
+        if accept then begin
+          current := candidate;
+          current_cost := c;
+          if c < !best_cost then begin
+            best := Array.copy candidate;
+            best_cost := c
+          end
+        end
+      end;
+      temperature := !temperature *. cooling
+    done;
+  {
+    patterns = Array.to_list !best;
+    cycles = !best_cost;
+    evaluations = !evaluations;
+    improved = !best_cost < start_cost;
+  }

@@ -1,0 +1,146 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Classify = Mps_antichain.Classify
+module Mp = Mps_scheduler.Multi_pattern
+module Schedule = Mps_scheduler.Schedule
+
+type outcome = {
+  patterns : Pattern.t list;
+  cycles : int;
+  evaluated_sets : int;
+}
+
+(* One partial selection: chosen patterns (reversed), accumulated per-node
+   coverage, covered colors, surviving pool, and the heuristic score that
+   ranks beams (sum of the Eq. 8 priorities of its picks). *)
+type state = {
+  chosen : Pattern.t list;
+  cover : int array;
+  covered : Color.Set.t;
+  pool : (Pattern.t * int array) list;
+  heuristic : float;
+}
+
+let priority ~params ~cover ~freq ~size =
+  let open Select in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun n h ->
+      if h > 0 then
+        acc := !acc +. (float_of_int h /. (float_of_int cover.(n) +. params.epsilon)))
+    freq;
+  !acc +. (params.alpha *. float_of_int (size * size))
+
+let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
+  if pdef < 1 then invalid_arg "Beam.search: pdef must be >= 1";
+  if width < 1 then invalid_arg "Beam.search: width must be >= 1";
+  let g = Classify.graph classify in
+  let capacity = Classify.capacity classify in
+  let n = Dfg.node_count g in
+  let all_colors = Color.Set.of_list (Dfg.colors g) in
+  let initial =
+    {
+      chosen = [];
+      cover = Array.make n 0;
+      covered = Color.Set.empty;
+      pool =
+        Classify.fold (fun p ~count:_ ~freq acc -> (p, freq) :: acc) classify []
+        |> List.rev;
+      heuristic = 0.0;
+    }
+  in
+  let extend step state =
+    let remaining_picks = pdef - step - 1 in
+    let missing = Color.Set.cardinal (Color.Set.diff all_colors state.covered) in
+    let color_condition p =
+      let new_colors =
+        Color.Set.cardinal (Color.Set.diff (Pattern.color_set p) state.covered)
+      in
+      new_colors >= missing - (capacity * remaining_picks)
+    in
+    let apply p freq score =
+      let cover = Array.copy state.cover in
+      Array.iteri (fun k h -> cover.(k) <- cover.(k) + h) freq;
+      {
+        chosen = p :: state.chosen;
+        cover;
+        covered = Color.Set.union state.covered (Pattern.color_set p);
+        pool =
+          List.filter (fun (q, _) -> not (Pattern.subpattern q ~of_:p)) state.pool;
+        heuristic = state.heuristic +. score;
+      }
+    in
+    let scored =
+      List.filter_map
+        (fun (p, freq) ->
+          if color_condition p then
+            let s =
+              priority ~params ~cover:state.cover ~freq ~size:(Pattern.size p)
+            in
+            Some (s, p, freq)
+          else None)
+        state.pool
+    in
+    match scored with
+    | [] ->
+        (* Fallback, exactly as Fig. 7: fabricate from uncovered colors. *)
+        let uncovered = Color.Set.elements (Color.Set.diff all_colors state.covered) in
+        if uncovered = [] then [ { state with chosen = state.chosen } ]
+        else begin
+          let rec take k = function
+            | [] -> []
+            | _ when k = 0 -> []
+            | x :: rest -> x :: take (k - 1) rest
+          in
+          let p = Pattern.of_colors (take capacity uncovered) in
+          [ apply p (Array.make n 0) 0.0 ]
+        end
+    | _ ->
+        List.sort (fun (s1, _, _) (s2, _, _) -> compare s2 s1) scored
+        |> List.filteri (fun i _ -> i < width)
+        |> List.map (fun (s, p, freq) -> apply p freq s)
+  in
+  let rec steps i beam =
+    if i = pdef then beam
+    else begin
+      let expanded = List.concat_map (extend i) beam in
+      (* Keep the [width] most promising partial selections; dedupe on the
+         chosen multiset so permutations don't crowd the beam. *)
+      let key st = List.sort Pattern.compare st.chosen in
+      let deduped =
+        List.sort_uniq (fun a b -> compare (key a) (key b)) expanded
+      in
+      let ranked =
+        List.sort (fun a b -> compare b.heuristic a.heuristic) deduped
+      in
+      steps (i + 1) (List.filteri (fun k _ -> k < width) ranked)
+    end
+  in
+  let finalists = steps 0 [ initial ] in
+  let evaluated = ref 0 in
+  let best =
+    List.fold_left
+      (fun acc state ->
+        let patterns = List.rev state.chosen in
+        if patterns = [] then acc
+        else begin
+          match Mp.schedule ~patterns g with
+          | exception Mp.Unschedulable _ -> acc
+          | { Mp.schedule; _ } -> (
+              incr evaluated;
+              let c = Schedule.cycles schedule in
+              match acc with
+              | Some (_, bc) when bc <= c -> acc
+              | _ -> Some (patterns, c))
+        end)
+      None finalists
+  in
+  match best with
+  | Some (patterns, cycles) -> { patterns; cycles; evaluated_sets = !evaluated }
+  | None ->
+      (* Only possible when every finalist was empty/unschedulable; fall
+         back to the paper's heuristic, which guarantees coverage. *)
+      let patterns = Select.select ~params ~pdef classify in
+      let cycles = Schedule.cycles (Mp.schedule ~patterns g).Mp.schedule in
+      { patterns; cycles; evaluated_sets = !evaluated + 1 }

@@ -1,0 +1,25 @@
+(** Beam-search pattern selection.
+
+    {!Select} commits to the single best pattern at every step (beam width
+    1); {!Exhaustive} keeps everything (unbounded beam).  This module is
+    the dial between them: at each of the [pdef] steps it keeps the [width]
+    best partial selections, scoring each candidate extension by Eq. 8's
+    priority, and finally ranks the surviving complete sets by their actual
+    schedule length.  Width 1 reproduces the paper's algorithm (up to
+    final-schedule tie-breaking); modest widths recover most of the
+    exhaustive oracle's advantage at a tiny fraction of its cost. *)
+
+type outcome = {
+  patterns : Mps_pattern.Pattern.t list;
+  cycles : int;
+  evaluated_sets : int;  (** Complete sets scheduled at the final ranking. *)
+}
+
+val search :
+  ?width:int ->
+  ?params:Select.params ->
+  pdef:int ->
+  Mps_antichain.Classify.t ->
+  outcome
+(** [width] defaults to 4.
+    @raise Invalid_argument if [pdef < 1] or [width < 1]. *)

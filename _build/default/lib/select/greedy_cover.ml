@@ -1,0 +1,59 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Classify = Mps_antichain.Classify
+
+let select ~pdef classify =
+  if pdef < 1 then invalid_arg "Greedy_cover.select: pdef must be >= 1";
+  let g = Classify.graph classify in
+  let capacity = Classify.capacity classify in
+  let all_colors = Color.Set.of_list (Dfg.colors g) in
+  let pool =
+    ref (Classify.fold (fun p ~count ~freq:_ acc -> (p, count) :: acc) classify [] |> List.rev)
+  in
+  let covered = ref Color.Set.empty in
+  let selected = ref [] in
+  let stop = ref false in
+  for i = 0 to pdef - 1 do
+    if not !stop then begin
+      let remaining_picks = pdef - i - 1 in
+      let missing = Color.Set.cardinal (Color.Set.diff all_colors !covered) in
+      let viable =
+        List.filter
+          (fun (p, _) ->
+            let new_colors =
+              Color.Set.cardinal (Color.Set.diff (Pattern.color_set p) !covered)
+            in
+            new_colors >= missing - (capacity * remaining_picks))
+          !pool
+      in
+      let best =
+        List.fold_left
+          (fun acc (p, count) ->
+            match acc with
+            | Some (_, bc) when bc >= count -> acc
+            | _ -> Some (p, count))
+          None viable
+      in
+      match best with
+      | Some (p, _) ->
+          pool := List.filter (fun (q, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
+          covered := Color.Set.union !covered (Pattern.color_set p);
+          selected := p :: !selected
+      | None ->
+          let uncovered = Color.Set.elements (Color.Set.diff all_colors !covered) in
+          if uncovered = [] then stop := true
+          else begin
+            let rec take k = function
+              | [] -> []
+              | _ when k = 0 -> []
+              | x :: rest -> x :: take (k - 1) rest
+            in
+            let p = Pattern.of_colors (take capacity uncovered) in
+            pool := List.filter (fun (q, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
+            covered := Color.Set.union !covered (Pattern.color_set p);
+            selected := p :: !selected
+          end
+    end
+  done;
+  List.rev !selected

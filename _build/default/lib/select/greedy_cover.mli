@@ -1,0 +1,10 @@
+(** Greedy frequency baseline, an ablation of the selection priority.
+
+    It keeps Fig. 7's skeleton — pick, delete subpatterns, color-condition
+    fallback — but scores a candidate by its raw antichain count F1-style
+    instead of Eq. 8: no per-node balancing denominator, no α size bonus.
+    Comparing it against {!Select} isolates how much those two terms buy. *)
+
+val select :
+  pdef:int -> Mps_antichain.Classify.t -> Mps_pattern.Pattern.t list
+(** @raise Invalid_argument if [pdef < 1]. *)

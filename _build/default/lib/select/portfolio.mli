@@ -1,0 +1,33 @@
+(** Portfolio selection: run every pattern-set strategy, keep the winner.
+
+    The library ships half a dozen selectors with different cost/quality
+    points; when one kernel's mapping matters more than selection time, the
+    right move is simply to try them all and schedule-test each result.
+    The portfolio does that deterministically and reports which strategy
+    won — data the ablation aggregates into a win table.
+
+    Strategies included: the paper's Eq. 8 heuristic, every
+    {!Priority_variants} variant, greedy-by-count, both schedule-harvest
+    methods, beam search, and (optionally, it needs a generator) simulated
+    annealing. *)
+
+type entry = {
+  strategy : string;
+  patterns : Mps_pattern.Pattern.t list;
+  cycles : int;  (** [max_int] when the strategy produced an unschedulable set. *)
+}
+
+type outcome = {
+  best : entry;
+  all : entry list;  (** Every strategy's result, best first. *)
+}
+
+val run :
+  ?beam_width:int ->
+  ?annealing:Mps_util.Rng.t * int ->
+  pdef:int ->
+  Mps_antichain.Classify.t ->
+  outcome
+(** [beam_width] defaults to 4; [annealing] is (generator, iterations) and
+    is skipped when absent.  Ties go to the earlier (cheaper) strategy.
+    @raise Invalid_argument if [pdef < 1]. *)

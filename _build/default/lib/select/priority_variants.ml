@@ -1,0 +1,142 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Classify = Mps_antichain.Classify
+
+type context = {
+  freq : int array;
+  count : int;
+  cover : int array;
+  size : int;
+  capacity : int;
+}
+
+type variant = { name : string; doc : string; score : context -> float }
+
+let balance ~damp ctx =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun n h -> if h > 0 then acc := !acc +. (float_of_int h /. damp ctx.cover.(n)))
+    ctx.freq;
+  !acc
+
+let paper =
+  {
+    name = "paper";
+    doc = "Eq. 8: sum h/(cover+0.5) + 20*|p|^2";
+    score =
+      (fun ctx ->
+        balance ~damp:(fun c -> float_of_int c +. 0.5) ctx
+        +. (20.0 *. float_of_int (ctx.size * ctx.size)));
+  }
+
+let linear_size =
+  {
+    name = "linear-size";
+    doc = "Eq. 8 with a linear size bonus";
+    score =
+      (fun ctx ->
+        balance ~damp:(fun c -> float_of_int c +. 0.5) ctx
+        +. (20.0 *. float_of_int ctx.size));
+  }
+
+let raw_count =
+  {
+    name = "raw-count";
+    doc = "antichain count + 20*|p|^2, no balancing";
+    score =
+      (fun ctx ->
+        float_of_int ctx.count +. (20.0 *. float_of_int (ctx.size * ctx.size)));
+  }
+
+let coverage_gap =
+  {
+    name = "coverage-gap";
+    doc = "only uncovered nodes score; set-cover flavor";
+    score =
+      (fun ctx ->
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun n h -> if h > 0 && ctx.cover.(n) = 0 then acc := !acc +. float_of_int h)
+          ctx.freq;
+        !acc +. (20.0 *. float_of_int (ctx.size * ctx.size)));
+  }
+
+let sqrt_damping =
+  {
+    name = "sqrt-damping";
+    doc = "Eq. 8 with 1/sqrt(cover+0.5) damping";
+    score =
+      (fun ctx ->
+        balance ~damp:(fun c -> sqrt (float_of_int c +. 0.5)) ctx
+        +. (20.0 *. float_of_int (ctx.size * ctx.size)));
+  }
+
+let all = [ paper; linear_size; raw_count; coverage_gap; sqrt_damping ]
+
+(* Fig. 7's loop, shared with Select but parameterized on the score.  The
+   fallback and color-number condition are identical. *)
+let select variant ~pdef classify =
+  if pdef < 1 then invalid_arg "Priority_variants.select: pdef must be >= 1";
+  let g = Classify.graph classify in
+  let capacity = Classify.capacity classify in
+  let n = Dfg.node_count g in
+  let all_colors = Color.Set.of_list (Dfg.colors g) in
+  let pool =
+    ref
+      (Classify.fold (fun p ~count ~freq acc -> (p, count, freq) :: acc) classify []
+      |> List.rev)
+  in
+  let cover = Array.make n 0 in
+  let covered = ref Color.Set.empty in
+  let selected = ref [] in
+  let stop = ref false in
+  let i = ref 0 in
+  while (not !stop) && !i < pdef do
+    let remaining_picks = pdef - !i - 1 in
+    let missing = Color.Set.cardinal (Color.Set.diff all_colors !covered) in
+    let color_condition p =
+      let new_colors =
+        Color.Set.cardinal (Color.Set.diff (Pattern.color_set p) !covered)
+      in
+      new_colors >= missing - (capacity * remaining_picks)
+    in
+    let best =
+      List.fold_left
+        (fun acc (p, count, freq) ->
+          if not (color_condition p) then acc
+          else begin
+            let s =
+              variant.score
+                { freq; count; cover; size = Pattern.size p; capacity }
+            in
+            match acc with
+            | Some (_, _, bs) when bs >= s -> acc
+            | _ when s > 0.0 -> Some (p, freq, s)
+            | _ -> acc
+          end)
+        None !pool
+    in
+    (match best with
+    | Some (p, freq, _) ->
+        pool := List.filter (fun (q, _, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
+        Array.iteri (fun k h -> cover.(k) <- cover.(k) + h) freq;
+        covered := Color.Set.union !covered (Pattern.color_set p);
+        selected := p :: !selected
+    | None ->
+        let uncovered = Color.Set.elements (Color.Set.diff all_colors !covered) in
+        if uncovered = [] then stop := true
+        else begin
+          let rec take k = function
+            | [] -> []
+            | _ when k = 0 -> []
+            | x :: rest -> x :: take (k - 1) rest
+          in
+          let p = Pattern.of_colors (take capacity uncovered) in
+          pool := List.filter (fun (q, _, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
+          covered := Color.Set.union !covered (Pattern.color_set p);
+          selected := p :: !selected
+        end);
+    incr i
+  done;
+  List.rev !selected

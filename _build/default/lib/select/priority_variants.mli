@@ -1,0 +1,49 @@
+(** Alternative selection priority functions.
+
+    The paper closes with: "The proposed approach makes the further
+    improvement very simple: by just modifying the priority function.  In
+    our future work we will go on working on the priority function."  This
+    module is that experiment, kept apart from the faithful {!Select} so
+    the reproduction stays pristine.  A variant scores a candidate pattern
+    given the per-node antichain frequencies and the coverage accumulated
+    by earlier picks; {!select} runs Fig. 7's loop (color condition,
+    subpattern deletion, fallback) with any variant plugged in. *)
+
+type context = {
+  freq : int array;  (** h(p̄,·) of the candidate, indexed by node. *)
+  count : int;  (** Number of antichains of the candidate. *)
+  cover : int array;  (** Σ over selected patterns of h(p̄i,·). *)
+  size : int;  (** |p̄|. *)
+  capacity : int;
+}
+
+type variant = {
+  name : string;
+  doc : string;
+  score : context -> float;
+}
+
+val paper : variant
+(** Eq. 8 with the paper's ε = 0.5, α = 20 — the reference point. *)
+
+val linear_size : variant
+(** Eq. 8 with α·|p̄| instead of α·|p̄|² — how much does the quadratic
+    size bonus matter? *)
+
+val raw_count : variant
+(** Antichain count plus the size bonus; no per-node balancing. *)
+
+val coverage_gap : variant
+(** Scores only nodes still uncovered (cover = 0) — a set-cover reading of
+    the problem. *)
+
+val sqrt_damping : variant
+(** Balancing via 1/sqrt(cover+ε) — gentler damping than Eq. 8's 1/x. *)
+
+val all : variant list
+
+val select :
+  variant -> pdef:int -> Mps_antichain.Classify.t -> Mps_pattern.Pattern.t list
+(** Fig. 7's loop with the variant's score.  Same guarantees as
+    {!Select.select}: covers every color, at most [pdef] patterns.
+    @raise Invalid_argument if [pdef < 1]. *)

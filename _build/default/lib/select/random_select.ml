@@ -1,0 +1,30 @@
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Rng = Mps_util.Rng
+
+let covers colors patterns =
+  let covered =
+    List.fold_left
+      (fun acc p -> Color.Set.union acc (Pattern.color_set p))
+      Color.Set.empty patterns
+  in
+  List.for_all (fun c -> Color.Set.mem c covered) colors
+
+let select ?(ensure_coverage = true) rng ~colors ~capacity ~pdef =
+  if capacity < 1 then invalid_arg "Random_select.select: capacity < 1";
+  if pdef < 1 then invalid_arg "Random_select.select: pdef < 1";
+  let distinct = List.sort_uniq Color.compare colors in
+  if distinct = [] then invalid_arg "Random_select.select: no colors";
+  if ensure_coverage && capacity * pdef < List.length distinct then
+    invalid_arg "Random_select.select: coverage impossible for these sizes";
+  let draw () =
+    List.init pdef (fun _ -> Pattern.random rng ~colors:distinct ~size:capacity)
+  in
+  let rec attempt () =
+    let ps = draw () in
+    if (not ensure_coverage) || covers distinct ps then ps else attempt ()
+  in
+  attempt ()
+
+let trials ?ensure_coverage rng ~runs ~colors ~capacity ~pdef =
+  List.init runs (fun _ -> select ?ensure_coverage rng ~colors ~capacity ~pdef)

@@ -1,0 +1,31 @@
+(** The paper's baseline: randomly generated pattern sets (§6, Table 7's
+    "Random" columns — averages over ten draws).
+
+    Each pattern fills all C slots with independently uniform colors from
+    the graph's color set.  A set that misses some color entirely would make
+    multi-pattern scheduling impossible (the paper's runs evidently never
+    hit this), so by default a draw is rejected and retried until the set
+    jointly covers every color; with the paper's three colors and C = 5 the
+    expected number of retries is well under two. *)
+
+val select :
+  ?ensure_coverage:bool ->
+  Mps_util.Rng.t ->
+  colors:Mps_dfg.Color.t list ->
+  capacity:int ->
+  pdef:int ->
+  Mps_pattern.Pattern.t list
+(** [ensure_coverage] defaults to [true].
+    @raise Invalid_argument if [colors] is empty, [capacity < 1],
+    [pdef < 1], or coverage is requested but impossible
+    ([capacity·pdef < number of distinct colors]). *)
+
+val trials :
+  ?ensure_coverage:bool ->
+  Mps_util.Rng.t ->
+  runs:int ->
+  colors:Mps_dfg.Color.t list ->
+  capacity:int ->
+  pdef:int ->
+  Mps_pattern.Pattern.t list list
+(** [runs] independent draws — the "tested ten times" protocol. *)

@@ -1,0 +1,127 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Classify = Mps_antichain.Classify
+
+type params = { epsilon : float; alpha : float }
+
+let default_params = { epsilon = 0.5; alpha = 20.0 }
+
+type step = {
+  chosen : Pattern.t;
+  priority : float;
+  fallback : bool;
+  deleted : Pattern.t list;
+  priorities : (Pattern.t * float) list;
+}
+
+type report = { patterns : Pattern.t list; steps : step list }
+
+let covers_all_colors g patterns =
+  let covered =
+    List.fold_left
+      (fun acc p -> Color.Set.union acc (Pattern.color_set p))
+      Color.Set.empty patterns
+  in
+  List.for_all (fun c -> Color.Set.mem c covered) (Dfg.colors g)
+
+let priority_of ~params ~cover ~freq ~size_ =
+  let balance = ref 0.0 in
+  Array.iteri
+    (fun n h ->
+      if h > 0 then
+        balance := !balance +. (float_of_int h /. (float_of_int cover.(n) +. params.epsilon)))
+    freq;
+  !balance +. (params.alpha *. float_of_int (size_ * size_))
+
+let select_report ?(params = default_params) ~pdef classify =
+  if pdef < 1 then invalid_arg "Select.select: pdef must be >= 1";
+  let g = Classify.graph classify in
+  let capacity = Classify.capacity classify in
+  let n = Dfg.node_count g in
+  let all_colors = Color.Set.of_list (Dfg.colors g) in
+  (* Candidate pool: every pattern with at least one antichain, each with its
+     (immutable) frequency vector. *)
+  let pool =
+    ref
+      (Classify.fold
+         (fun p ~count:_ ~freq acc -> (p, freq) :: acc)
+         classify []
+      |> List.rev)
+  in
+  let cover = Array.make n 0 in
+  let covered = ref Color.Set.empty in
+  let steps = ref [] in
+  let selected = ref [] in
+  let stop = ref false in
+  let i = ref 0 in
+  while (not !stop) && !i < pdef do
+    let remaining_picks = pdef - !i - 1 in
+    let missing = Color.Set.cardinal (Color.Set.diff all_colors !covered) in
+    let color_condition p =
+      let new_colors =
+        Color.Set.cardinal (Color.Set.diff (Pattern.color_set p) !covered)
+      in
+      new_colors >= missing - (capacity * remaining_picks)
+    in
+    let scored =
+      List.map
+        (fun (p, freq) ->
+          let f =
+            if color_condition p then
+              priority_of ~params ~cover ~freq ~size_:(Pattern.size p)
+            else 0.0
+          in
+          (p, freq, f))
+        !pool
+    in
+    let best =
+      List.fold_left
+        (fun acc (p, freq, f) ->
+          match acc with
+          | Some (_, _, bf) when bf >= f -> acc
+          | _ when f > 0.0 -> Some (p, freq, f)
+          | _ -> acc)
+        None scored
+    in
+    let priorities = List.map (fun (p, _, f) -> (p, f)) scored in
+    (match best with
+    | Some (p, freq, f) ->
+        let deleted, kept =
+          List.partition (fun (q, _) -> Pattern.subpattern q ~of_:p) !pool
+        in
+        pool := kept;
+        Array.iteri (fun k h -> cover.(k) <- cover.(k) + h) freq;
+        covered := Color.Set.union !covered (Pattern.color_set p);
+        selected := p :: !selected;
+        steps :=
+          { chosen = p; priority = f; fallback = false; deleted = List.map fst deleted; priorities }
+          :: !steps
+    | None ->
+        (* No candidate works: fabricate from uncovered colors (up to C).
+           With nothing uncovered and an empty viable pool, more patterns
+           cannot help; stop early. *)
+        let uncovered = Color.Set.elements (Color.Set.diff all_colors !covered) in
+        if uncovered = [] then stop := true
+        else begin
+          let rec take k = function
+            | [] -> []
+            | _ when k = 0 -> []
+            | x :: rest -> x :: take (k - 1) rest
+          in
+          let p = Pattern.of_colors (take capacity uncovered) in
+          let deleted, kept =
+            List.partition (fun (q, _) -> Pattern.subpattern q ~of_:p) !pool
+          in
+          pool := kept;
+          covered := Color.Set.union !covered (Pattern.color_set p);
+          selected := p :: !selected;
+          steps :=
+            { chosen = p; priority = 0.0; fallback = true; deleted = List.map fst deleted; priorities }
+            :: !steps
+        end);
+    incr i
+  done;
+  { patterns = List.rev !selected; steps = List.rev !steps }
+
+let select ?params ~pdef classify = (select_report ?params ~pdef classify).patterns

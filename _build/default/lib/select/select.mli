@@ -1,0 +1,56 @@
+(** The pattern selection algorithm — the paper's contribution (§5.2, Fig. 7).
+
+    Patterns are chosen one at a time.  The priority of a candidate pattern
+    p̄j given the already-selected set Ps is (Eq. 8)
+
+    f(p̄j) = Σ_n  h(p̄j,n) / (Σ_{p̄i∈Ps} h(p̄i,n) + ε)  +  α·|p̄j|²
+
+    when p̄j satisfies the color-number condition (Eq. 9)
+
+    |Ln(p̄j)| ≥ |L| − |Ls| − C·(Pdef − |Ps| − 1)
+
+    and 0 otherwise.  The first addend prefers patterns with many antichains
+    while damping nodes the earlier selections already cover; the α term
+    prefers larger patterns; the color condition keeps enough room in the
+    remaining picks that every color of the graph ends up covered.  When no
+    candidate has nonzero priority, a pattern is fabricated from uncovered
+    colors (Fig. 7, line 3).  After each selection the chosen pattern's
+    subpatterns are deleted from the candidate pool (line 4). *)
+
+type params = { epsilon : float; alpha : float }
+
+val default_params : params
+(** The paper's operating point: ε = 0.5, α = 20. *)
+
+type step = {
+  chosen : Mps_pattern.Pattern.t;
+  priority : float;  (** f at selection time; meaningless for fallbacks. *)
+  fallback : bool;  (** Fabricated from uncovered colors. *)
+  deleted : Mps_pattern.Pattern.t list;
+      (** Candidate subpatterns removed by this selection (the pattern
+          itself included when it was a candidate). *)
+  priorities : (Mps_pattern.Pattern.t * float) list;
+      (** The full scored candidate list at this step, selection order —
+          the numbers the paper walks through in §5.2. *)
+}
+
+type report = {
+  patterns : Mps_pattern.Pattern.t list;  (** In selection order. *)
+  steps : step list;
+}
+
+val select :
+  ?params:params -> pdef:int -> Mps_antichain.Classify.t -> Mps_pattern.Pattern.t list
+(** Selects up to [pdef] patterns.  Fewer are returned only when the
+    candidate pool empties and every color is already covered — then extra
+    patterns could not change any schedule.
+    @raise Invalid_argument if [pdef < 1]. *)
+
+val select_report :
+  ?params:params -> pdef:int -> Mps_antichain.Classify.t -> report
+(** Same, keeping the per-step evidence. *)
+
+val covers_all_colors : Mps_dfg.Dfg.t -> Mps_pattern.Pattern.t list -> bool
+(** Requirement 1 of §5: the selected patterns jointly cover every color in
+    the graph — guaranteed for [select]'s result, and the property that
+    makes multi-pattern scheduling total. *)

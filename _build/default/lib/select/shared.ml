@@ -1,0 +1,136 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Classify = Mps_antichain.Classify
+module Enumerate = Mps_antichain.Enumerate
+module Mp = Mps_scheduler.Multi_pattern
+module Schedule = Mps_scheduler.Schedule
+
+type kernel = {
+  label : string;
+  graph : Dfg.t;
+  classify : Classify.t;
+}
+
+let kernel ?span_limit ?budget ?(capacity = 5) ~label graph =
+  {
+    label;
+    graph;
+    classify = Classify.compute ?span_limit ?budget ~capacity (Enumerate.make_ctx graph);
+  }
+
+type outcome = {
+  patterns : Pattern.t list;
+  per_kernel_cycles : (string * int) list;
+  total_cycles : int;
+}
+
+let select ?(params = Select.default_params) ~pdef kernels =
+  if kernels = [] then invalid_arg "Shared.select: no kernels";
+  if pdef < 1 then invalid_arg "Shared.select: pdef must be >= 1";
+  let capacity = Classify.capacity (List.hd kernels).classify in
+  List.iter
+    (fun k ->
+      if Classify.capacity k.classify <> capacity then
+        invalid_arg "Shared.select: kernels have differing capacities")
+    kernels;
+  let all_colors =
+    List.fold_left
+      (fun acc k -> Color.Set.union acc (Color.Set.of_list (Dfg.colors k.graph)))
+      Color.Set.empty kernels
+  in
+  (* Pool: union of the kernels' pattern pools.  Per pattern keep, for each
+     kernel that realizes it, that kernel's frequency vector. *)
+  let pool = ref Pattern.Map.empty in
+  List.iteri
+    (fun ki k ->
+      Classify.fold
+        (fun p ~count:_ ~freq () ->
+          let prev = Option.value (Pattern.Map.find_opt p !pool) ~default:[] in
+          pool := Pattern.Map.add p ((ki, freq) :: prev) !pool)
+        k.classify ())
+    kernels;
+  let pool = ref (Pattern.Map.bindings !pool) in
+  (* Per-kernel coverage vectors. *)
+  let cover =
+    List.map (fun k -> Array.make (Dfg.node_count k.graph) 0) kernels
+    |> Array.of_list
+  in
+  let covered = ref Color.Set.empty in
+  let selected = ref [] in
+  let stop = ref false in
+  let i = ref 0 in
+  while (not !stop) && !i < pdef do
+    let remaining_picks = pdef - !i - 1 in
+    let missing = Color.Set.cardinal (Color.Set.diff all_colors !covered) in
+    let color_condition p =
+      let new_colors =
+        Color.Set.cardinal (Color.Set.diff (Pattern.color_set p) !covered)
+      in
+      new_colors >= missing - (capacity * remaining_picks)
+    in
+    let score entries size_ =
+      List.fold_left
+        (fun acc (ki, freq) ->
+          let cv = cover.(ki) in
+          let balance = ref 0.0 in
+          Array.iteri
+            (fun n h ->
+              if h > 0 then
+                balance :=
+                  !balance +. (float_of_int h /. (float_of_int cv.(n) +. params.Select.epsilon)))
+            freq;
+          acc +. !balance)
+        (params.Select.alpha *. float_of_int (size_ * size_))
+        entries
+    in
+    let best =
+      List.fold_left
+        (fun acc (p, entries) ->
+          if not (color_condition p) then acc
+          else begin
+            let s = score entries (Pattern.size p) in
+            match acc with
+            | Some (_, _, bs) when bs >= s -> acc
+            | _ when s > 0.0 -> Some (p, entries, s)
+            | _ -> acc
+          end)
+        None !pool
+    in
+    (match best with
+    | Some (p, entries, _) ->
+        pool := List.filter (fun (q, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
+        List.iter
+          (fun (ki, freq) ->
+            Array.iteri (fun n h -> cover.(ki).(n) <- cover.(ki).(n) + h) freq)
+          entries;
+        covered := Color.Set.union !covered (Pattern.color_set p);
+        selected := p :: !selected
+    | None ->
+        let uncovered = Color.Set.elements (Color.Set.diff all_colors !covered) in
+        if uncovered = [] then stop := true
+        else begin
+          let rec take k = function
+            | [] -> []
+            | _ when k = 0 -> []
+            | x :: rest -> x :: take (k - 1) rest
+          in
+          let p = Pattern.of_colors (take capacity uncovered) in
+          pool := List.filter (fun (q, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
+          covered := Color.Set.union !covered (Pattern.color_set p);
+          selected := p :: !selected
+        end);
+    incr i
+  done;
+  let patterns = List.rev !selected in
+  let per_kernel_cycles =
+    List.map
+      (fun k ->
+        (k.label, Schedule.cycles (Mp.schedule ~patterns k.graph).Mp.schedule))
+      kernels
+  in
+  {
+    patterns;
+    per_kernel_cycles;
+    total_cycles = List.fold_left (fun acc (_, c) -> acc + c) 0 per_kernel_cycles;
+  }

@@ -1,0 +1,1 @@
+lib/util/mstats.ml: Array Float Printf

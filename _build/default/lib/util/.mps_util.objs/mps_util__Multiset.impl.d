@@ -1,0 +1,1 @@
+lib/util/multiset.ml: Format Int List Map Option

@@ -1,0 +1,80 @@
+type align = Left | Right | Center
+
+type line = Row of string list | Separator
+
+type t = {
+  header : string list;
+  aligns : align list;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ?aligns ~header () =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> ncols then
+          invalid_arg "Ascii_table.create: aligns width mismatch";
+        a
+    | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  { header; aligns; lines = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Ascii_table.add_row: row width mismatch";
+  t.lines <- Row row :: t.lines
+
+let add_separator t = t.lines <- Separator :: t.lines
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let l = fill / 2 in
+        String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+let render t =
+  let rows = List.rev t.lines in
+  let widths = Array.of_list (List.map String.length t.header) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Row cells ->
+          List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    rows;
+  let buf = Buffer.create 256 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row ?(aligns = t.aligns) cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let a = List.nth aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  emit_row ~aligns:(List.map (fun _ -> Center) t.header) t.header;
+  rule ();
+  List.iter (function Separator -> rule () | Row cells -> emit_row cells) rows;
+  rule ();
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)
+let print t = print_string (render t)

@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the bench harness and examples.
+
+    The reproduction prints each of the paper's tables side by side with the
+    measured values; this module renders those as aligned, boxed ASCII
+    tables on any [Format] formatter. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?aligns:align list -> header:string list -> unit -> t
+(** [create ~header ()] starts a table.  [aligns] defaults to [Left] for the
+    first column and [Right] for the rest — the common shape for
+    "label, numbers…" experiment rows.  If given, it must have one entry per
+    header column. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between the rows added before and after. *)
+
+val render : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val print : t -> unit
+(** [render] to stdout followed by a newline flush. *)

@@ -1,0 +1,148 @@
+(* Bits are packed into OCaml native ints, word_bits per array cell.  The
+   last word's unused high bits are kept at zero so cardinal/equal can work
+   word-wise without masking. *)
+
+let word_bits = Sys.int_size
+
+type t = { words : int array; universe : int }
+
+let words_for n = (n + word_bits - 1) / word_bits
+
+let create universe =
+  if universe < 0 then invalid_arg "Bitset.create: negative universe";
+  { words = Array.make (words_for universe) 0; universe }
+
+let universe t = t.universe
+
+let full n =
+  let t = create n in
+  let nwords = Array.length t.words in
+  if nwords > 0 then begin
+    Array.fill t.words 0 nwords (-1);
+    let rem = n mod word_bits in
+    if rem <> 0 then t.words.(nwords - 1) <- (1 lsl rem) - 1
+  end;
+  t
+
+let copy t = { t with words = Array.copy t.words }
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let check t i =
+  if i < 0 || i >= t.universe then
+    invalid_arg (Printf.sprintf "Bitset: element %d out of universe [0,%d)" i t.universe)
+
+let add t i =
+  check t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let remove t i =
+  check t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let mem t i =
+  check t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_universe a b =
+  if a.universe <> b.universe then invalid_arg "Bitset: universe mismatch"
+
+let equal a b =
+  same_universe a b;
+  a.words = b.words
+
+let inter_into ~dst src =
+  same_universe dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let union_into ~dst src =
+  same_universe dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let diff_into ~dst src =
+  same_universe dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
+  done
+
+let inter a b =
+  let r = copy a in
+  inter_into ~dst:r b;
+  r
+
+let union a b =
+  let r = copy a in
+  union_into ~dst:r b;
+  r
+
+let diff a b =
+  let r = copy a in
+  diff_into ~dst:r b;
+  r
+
+let subset a b =
+  same_universe a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let lowest_bit w =
+  (* Index of the least significant set bit of a nonzero word. *)
+  let rec go w i = if w land 1 = 1 then i else go (w lsr 1) (i + 1) in
+  go w 0
+
+let first_from t i =
+  if i >= t.universe then None
+  else begin
+    let i = max i 0 in
+    let rec scan_word wi carry_mask =
+      if wi >= Array.length t.words then None
+      else
+        let w = t.words.(wi) land carry_mask in
+        if w <> 0 then Some ((wi * word_bits) + lowest_bit w)
+        else scan_word (wi + 1) (-1)
+    in
+    let wi = i / word_bits in
+    scan_word wi (-1 lsl (i mod word_bits))
+  end
+
+let iter f t =
+  let rec go i =
+    match first_from t i with
+    | None -> ()
+    | Some j ->
+        f j;
+        go (j + 1)
+  in
+  go 0
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n elems =
+  let t = create n in
+  List.iter (add t) elems;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (elements t)

@@ -1,0 +1,37 @@
+type t = { header : string list; mutable rows : string list list (* reversed *) }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Csv.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render t =
+  let line row = String.concat "," (List.map field row) ^ "\n" in
+  String.concat "" (line t.header :: List.rev_map line t.rows)
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render t))
+
+let of_table_rows ~header rows =
+  let t = create ~header in
+  List.iter (add_row t) rows;
+  t

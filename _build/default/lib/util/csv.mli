@@ -1,0 +1,20 @@
+(** Minimal CSV writing — the bench harness exports its tables for external
+    plotting.
+
+    RFC-4180-style quoting: fields containing commas, quotes or newlines
+    are wrapped in double quotes with inner quotes doubled; everything else
+    is written bare.  No parsing — this repository only produces CSVs. *)
+
+type t
+
+val create : header:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on width mismatch with the header. *)
+
+val render : t -> string
+
+val save : path:string -> t -> unit
+
+val of_table_rows : header:string list -> string list list -> t
+(** Convenience for dumping rows collected elsewhere. *)

@@ -1,0 +1,79 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) = struct
+  type t = { mutable data : Ord.t array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+  let length t = t.size
+  let is_empty t = t.size = 0
+
+  let grow t x =
+    (* [x] is only used as a filler value for fresh slots. *)
+    let cap = Array.length t.data in
+    if t.size = cap then begin
+      let ncap = max 8 (2 * cap) in
+      let ndata = Array.make ncap x in
+      Array.blit t.data 0 ndata 0 t.size;
+      t.data <- ndata
+    end
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if Ord.compare t.data.(i) t.data.(parent) < 0 then begin
+        let tmp = t.data.(i) in
+        t.data.(i) <- t.data.(parent);
+        t.data.(parent) <- tmp;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && Ord.compare t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+    if r < t.size && Ord.compare t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+    if !smallest <> i then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(!smallest);
+      t.data.(!smallest) <- tmp;
+      sift_down t !smallest
+    end
+
+  let add t x =
+    grow t x;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let min_elt t = if t.size = 0 then None else Some t.data.(0)
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.data.(0) <- t.data.(t.size);
+        sift_down t 0
+      end;
+      Some top
+    end
+
+  let of_list l =
+    let t = create () in
+    List.iter (add t) l;
+    t
+
+  let drain t =
+    let rec go acc = match pop t with None -> List.rev acc | Some x -> go (x :: acc) in
+    go []
+
+  let to_sorted_list t =
+    let snapshot = { data = Array.sub t.data 0 t.size; size = t.size } in
+    drain snapshot
+end

@@ -1,0 +1,35 @@
+(** Imperative binary min-heaps, as a functor over the element order.
+
+    Used by the list schedulers (candidate lists ordered by node priority)
+    and by the force-directed baseline (lowest-force operation first).  For a
+    max-priority order, instantiate with the reversed comparison. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val is_empty : t -> bool
+  val add : t -> Ord.t -> unit
+
+  val min_elt : t -> Ord.t option
+  (** Smallest element without removing it. *)
+
+  val pop : t -> Ord.t option
+  (** Removes and returns the smallest element.  Ties are broken
+      arbitrarily but deterministically (heap order). *)
+
+  val of_list : Ord.t list -> t
+
+  val to_sorted_list : t -> Ord.t list
+  (** Non-destructive: elements in increasing order. *)
+
+  val drain : t -> Ord.t list
+  (** Destructive: pops everything, increasing order; the heap ends empty. *)
+end

@@ -1,0 +1,94 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val cardinal : t -> int
+  val support_size : t -> int
+  val count : elt -> t -> int
+  val mem : elt -> t -> bool
+  val add : ?times:int -> elt -> t -> t
+  val remove : ?times:int -> elt -> t -> t
+  val of_list : elt list -> t
+  val to_list : t -> elt list
+  val to_counted_list : t -> (elt * int) list
+  val support : t -> elt list
+  val union : t -> t -> t
+  val sum : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val subset : t -> t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val fold : (elt -> int -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+  val iter : (elt -> int -> unit) -> t -> unit
+  val for_all : (elt -> int -> bool) -> t -> bool
+  val exists : (elt -> int -> bool) -> t -> bool
+  val pp : (Format.formatter -> elt -> unit) -> Format.formatter -> t -> unit
+end
+
+module Make (Ord : ORDERED) : S with type elt = Ord.t = struct
+  module M = Map.Make (Ord)
+
+  type elt = Ord.t
+
+  (* Invariant: every stored multiplicity is >= 1. *)
+  type t = int M.t
+
+  let empty = M.empty
+  let is_empty = M.is_empty
+  let count x m = match M.find_opt x m with Some c -> c | None -> 0
+  let mem x m = M.mem x m
+  let cardinal m = M.fold (fun _ c acc -> acc + c) m 0
+  let support_size m = M.cardinal m
+
+  let add ?(times = 1) x m =
+    if times < 0 then invalid_arg "Multiset.add: negative times";
+    if times = 0 then m else M.add x (count x m + times) m
+
+  let remove ?(times = 1) x m =
+    if times < 0 then invalid_arg "Multiset.remove: negative times";
+    let c = count x m - times in
+    if c > 0 then M.add x c m else M.remove x m
+
+  let of_list l = List.fold_left (fun m x -> add x m) empty l
+
+  let to_list m =
+    M.fold (fun x c acc -> List.rev_append (List.init c (fun _ -> x)) acc) m []
+    |> List.rev
+
+  let to_counted_list m = M.bindings m
+  let support m = List.map fst (M.bindings m)
+
+  let merge_counts f a b =
+    M.merge
+      (fun _ ca cb ->
+        let c = f (Option.value ca ~default:0) (Option.value cb ~default:0) in
+        if c > 0 then Some c else None)
+      a b
+
+  let union a b = merge_counts max a b
+  let sum a b = merge_counts ( + ) a b
+  let inter a b = merge_counts min a b
+  let diff a b = merge_counts (fun ca cb -> max 0 (ca - cb)) a b
+  let subset a b = M.for_all (fun x c -> c <= count x b) a
+  let equal a b = M.equal Int.equal a b
+  let compare a b = M.compare Int.compare a b
+  let fold f m acc = M.fold f m acc
+  let iter f m = M.iter f m
+  let for_all f m = M.for_all f m
+  let exists f m = M.exists f m
+
+  let pp pp_elt ppf m =
+    let elems = to_list m in
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp_elt)
+      elems
+end

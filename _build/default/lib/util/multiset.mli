@@ -1,0 +1,79 @@
+(** Finite multisets (bags) over a totally ordered element type.
+
+    The paper's central object — a {e pattern} — is "a bag of C elements"
+    (§3).  This module provides the persistent multiset the pattern algebra
+    is built on: counted membership, inclusion (the subpattern relation),
+    sum, difference, and canonical ordered enumeration. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+
+  val cardinal : t -> int
+  (** Total number of elements counted with multiplicity. *)
+
+  val support_size : t -> int
+  (** Number of distinct elements. *)
+
+  val count : elt -> t -> int
+  (** Multiplicity of an element (0 if absent). *)
+
+  val mem : elt -> t -> bool
+
+  val add : ?times:int -> elt -> t -> t
+  (** [add ?times x m] inserts [times] copies (default 1).
+      @raise Invalid_argument if [times < 0]. *)
+
+  val remove : ?times:int -> elt -> t -> t
+  (** [remove ?times x m] deletes up to [times] copies (default 1); removing
+      from an element with fewer copies clamps at zero. *)
+
+  val of_list : elt list -> t
+  val to_list : t -> elt list
+  (** Elements in increasing order, repeated per multiplicity. *)
+
+  val to_counted_list : t -> (elt * int) list
+  (** Distinct elements in increasing order with their multiplicities. *)
+
+  val support : t -> elt list
+  (** Distinct elements in increasing order. *)
+
+  val union : t -> t -> t
+  (** Pointwise max of multiplicities. *)
+
+  val sum : t -> t -> t
+  (** Pointwise sum of multiplicities. *)
+
+  val inter : t -> t -> t
+  (** Pointwise min of multiplicities. *)
+
+  val diff : t -> t -> t
+  (** Pointwise truncated difference. *)
+
+  val subset : t -> t -> bool
+  (** [subset a b] iff every multiplicity in [a] is ≤ the one in [b]:
+      the subpattern relation. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val fold : (elt -> int -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+  (** Folds over distinct elements with multiplicities, increasing order. *)
+
+  val iter : (elt -> int -> unit) -> t -> unit
+  val for_all : (elt -> int -> bool) -> t -> bool
+  val exists : (elt -> int -> bool) -> t -> bool
+
+  val pp : (Format.formatter -> elt -> unit) -> Format.formatter -> t -> unit
+end
+
+module Make (Ord : ORDERED) : S with type elt = Ord.t

@@ -1,0 +1,107 @@
+(* xoshiro256** seeded via splitmix64.  All arithmetic is done on int64 to be
+   independent of the platform int width. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Seed a fresh splitmix chain from the parent stream: derived generators
+     are decorrelated from the parent's subsequent output. *)
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* Lemire-style rejection sampling on the top bits for an unbiased bounded
+   draw.  [bound] fits in an OCaml int, so 62 random bits are plenty. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask =
+    let rec widen m = if m >= bound - 1 then m else widen ((m lsl 1) lor 1) in
+    widen 1
+  in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land mask in
+    if r < bound then r else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform mantissa bits. *)
+  let x = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (x /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let choice_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.choice_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle_list t l =
+  let arr = Array.of_list l in
+  shuffle_in_place t arr;
+  Array.to_list arr
+
+let sample_without_replacement t k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let idx = Array.init n (fun i -> i) in
+  (* Partial Fisher–Yates: only the first k slots need settling. *)
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.init k (fun i -> arr.(idx.(i)))

@@ -1,0 +1,1 @@
+lib/workloads/cordic.ml: List Mps_frontend

@@ -1,0 +1,1 @@
+lib/workloads/cordic.mli: Mps_frontend

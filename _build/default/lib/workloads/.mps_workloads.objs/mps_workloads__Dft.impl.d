@@ -1,0 +1,1 @@
+lib/workloads/dft.ml: Array Float Fun List Mps_frontend Printf String

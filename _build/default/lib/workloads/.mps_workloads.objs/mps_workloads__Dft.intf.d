@@ -1,0 +1,1 @@
+lib/workloads/dft.mli: Mps_frontend

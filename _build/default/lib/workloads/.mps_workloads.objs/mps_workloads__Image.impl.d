@@ -1,0 +1,1 @@
+lib/workloads/image.ml: Array Fun List Mps_frontend Printf

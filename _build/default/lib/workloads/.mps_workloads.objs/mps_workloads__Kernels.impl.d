@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Array Float Fun List Mps_frontend Printf

@@ -1,0 +1,1 @@
+lib/workloads/loops.ml: List Mps_dfg Mps_scheduler Printf

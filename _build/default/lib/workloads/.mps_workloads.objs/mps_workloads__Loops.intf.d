@@ -1,0 +1,1 @@
+lib/workloads/loops.mli: Mps_scheduler

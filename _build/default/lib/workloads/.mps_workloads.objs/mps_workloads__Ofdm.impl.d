@@ -1,0 +1,1 @@
+lib/workloads/ofdm.ml: Array Dft Float Fun List Mps_frontend Printf String

@@ -1,0 +1,1 @@
+lib/workloads/ofdm.mli: Mps_frontend

@@ -1,0 +1,1 @@
+lib/workloads/paper_graphs.mli: Mps_dfg

@@ -1,0 +1,1 @@
+lib/workloads/random_dag.mli: Mps_dfg

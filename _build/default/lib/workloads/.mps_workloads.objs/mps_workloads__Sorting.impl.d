@@ -1,0 +1,1 @@
+lib/workloads/sorting.ml: Array Float List Mps_frontend Printf

@@ -1,0 +1,35 @@
+module Expr = Mps_frontend.Expr
+module Opcode = Mps_frontend.Opcode
+module Lower = Mps_frontend.Lower
+
+let check ~iterations ~directions =
+  if iterations < 1 then invalid_arg "Cordic.rotate: iterations < 1";
+  if List.length directions <> iterations then
+    invalid_arg "Cordic.rotate: directions length mismatch"
+
+let rotate ~iterations ~directions =
+  check ~iterations ~directions;
+  let x = ref (Expr.var "x") and y = ref (Expr.var "y") in
+  List.iteri
+    (fun i d ->
+      let shift e = Expr.binop Opcode.Shr e (Expr.const (float_of_int i)) in
+      let xs = shift !x and ys = shift !y in
+      let x' = if d then Expr.( - ) !x ys else Expr.( + ) !x ys in
+      let y' = if d then Expr.( + ) !y xs else Expr.( - ) !y xs in
+      x := x';
+      y := y')
+    directions;
+  Lower.lower [ ("xr", !x); ("yr", !y) ]
+
+let reference ~iterations ~directions ~x ~y =
+  check ~iterations ~directions;
+  let x = ref x and y = ref y in
+  List.iteri
+    (fun i d ->
+      let xs = !x asr i and ys = !y asr i in
+      let x' = if d then !x - ys else !x + ys in
+      let y' = if d then !y + xs else !y - xs in
+      x := x';
+      y := y')
+    directions;
+  (!x, !y)

@@ -1,0 +1,21 @@
+(** CORDIC rotation — the shift-and-add workload.
+
+    The classic fixed-point rotator: k iterations of
+    x' = x − d·(y ≫ i), y' = y + d·(x ≫ i), z' = z − d·atan(2^-i), with the
+    direction d chosen per iteration.  Since the lowered program is a
+    straight-line DAG, the directions are baked in at generation time (as
+    a host compiler would for a fixed rotation angle); the workload's value
+    here is its color mix — shifts ('g') plus adds/subs — and its long,
+    narrow dependence structure, the opposite extreme from the FFTs.
+
+    Values are modeled as integers-in-floats (the shift opcodes truncate),
+    matching the 16-bit Montium datapath. *)
+
+val rotate : iterations:int -> directions:bool list -> Mps_frontend.Program.t
+(** Inputs ["x"], ["y"]; outputs ["xr"], ["yr"].  [directions] gives d per
+    iteration ([true] = counter-clockwise).
+    @raise Invalid_argument if lengths disagree or [iterations < 1]. *)
+
+val reference :
+  iterations:int -> directions:bool list -> x:int -> y:int -> int * int
+(** Bit-exact integer model of the same iteration. *)

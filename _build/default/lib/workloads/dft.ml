@@ -1,0 +1,175 @@
+module Expr = Mps_frontend.Expr
+module Lower = Mps_frontend.Lower
+module Program = Mps_frontend.Program
+
+(* Complex expressions as (real, imaginary) pairs.  Twiddle components pass
+   through [round_small] so that values that are 0 or ±1 up to floating
+   noise become exact and the smart constructors can simplify them. *)
+module Cplx = struct
+  type t = { re : Expr.t; im : Expr.t }
+
+  let make re im = { re; im }
+  let add a b = { re = Expr.(a.re + b.re); im = Expr.(a.im + b.im) }
+  let sub a b = { re = Expr.(a.re - b.re); im = Expr.(a.im - b.im) }
+
+  let mul a b =
+    {
+      re = Expr.((a.re * b.re) - (a.im * b.im));
+      im = Expr.((a.re * b.im) + (a.im * b.re));
+    }
+
+  let round_small x =
+    let candidates = [ 0.0; 1.0; -1.0; 0.5; -0.5 ] in
+    match List.find_opt (fun c -> Float.abs (x -. c) < 1e-12 *. (1. +. Float.abs x)) candidates with
+    | Some c -> c
+    | None -> x
+
+  let const re im = { re = Expr.const (round_small re); im = Expr.const (round_small im) }
+  let input k = make (Expr.var (Printf.sprintf "x%dr" k)) (Expr.var (Printf.sprintf "x%di" k))
+
+  let outputs k c =
+    [ (Printf.sprintf "X%dr" k, c.re); (Printf.sprintf "X%di" k, c.im) ]
+end
+
+let twiddle ~n k =
+  let angle = -2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+  Cplx.const (cos angle) (sin angle)
+
+let direct ~n =
+  if n < 2 then invalid_arg "Dft.direct: n must be >= 2";
+  let xs = Array.init n Cplx.input in
+  let bindings =
+    List.concat_map
+      (fun k ->
+        let term j = Cplx.mul (twiddle ~n (k * j mod n)) xs.(j) in
+        let sum =
+          List.fold_left
+            (fun acc j -> Cplx.add acc (term j))
+            (term 0)
+            (List.init (n - 1) (fun j -> j + 1))
+        in
+        Cplx.outputs k sum)
+      (List.init n Fun.id)
+  in
+  Lower.lower bindings
+
+let winograd3 () =
+  let u = 2.0 *. Float.pi /. 3.0 in
+  let c1 = cos u -. 1.0 and c2 = sin u in
+  let x0 = Cplx.input 0 and x1 = Cplx.input 1 and x2 = Cplx.input 2 in
+  let t1 = Cplx.add x1 x2 in
+  let m0 = Cplx.add x0 t1 in
+  let m1 = Cplx.mul (Cplx.const c1 0.0) t1 in
+  let m2 = Cplx.mul (Cplx.const 0.0 c2) (Cplx.sub x2 x1) in
+  let s1 = Cplx.add m0 m1 in
+  let bindings =
+    Cplx.outputs 0 m0
+    @ Cplx.outputs 1 (Cplx.add s1 m2)
+    @ Cplx.outputs 2 (Cplx.sub s1 m2)
+  in
+  Lower.lower bindings
+
+let winograd5 () =
+  let u = 2.0 *. Float.pi /. 5.0 in
+  let x0 = Cplx.input 0
+  and x1 = Cplx.input 1
+  and x2 = Cplx.input 2
+  and x3 = Cplx.input 3
+  and x4 = Cplx.input 4 in
+  let t1 = Cplx.add x1 x4 in
+  let t2 = Cplx.add x2 x3 in
+  let t3 = Cplx.sub x1 x4 in
+  let t4 = Cplx.sub x3 x2 in
+  let t5 = Cplx.add t1 t2 in
+  let m0 = Cplx.add x0 t5 in
+  let m1 = Cplx.mul (Cplx.const (((cos u +. cos (2.0 *. u)) /. 2.0) -. 1.0) 0.0) t5 in
+  let m2 = Cplx.mul (Cplx.const ((cos u -. cos (2.0 *. u)) /. 2.0) 0.0) (Cplx.sub t1 t2) in
+  (* The three imaginary-constant products implement the odd (sine) part. *)
+  let m3 = Cplx.mul (Cplx.const 0.0 (-.sin u)) (Cplx.add t3 t4) in
+  let m4 = Cplx.mul (Cplx.const 0.0 (-.(sin u +. sin (2.0 *. u)))) t4 in
+  let m5 = Cplx.mul (Cplx.const 0.0 (sin u -. sin (2.0 *. u))) t3 in
+  let s1 = Cplx.add m0 m1 in
+  let s2 = Cplx.add s1 m2 in
+  let s3 = Cplx.sub m3 m4 in
+  let s4 = Cplx.sub s1 m2 in
+  let s5 = Cplx.add m3 m5 in
+  let bindings =
+    Cplx.outputs 0 m0
+    @ Cplx.outputs 1 (Cplx.add s2 s3)
+    @ Cplx.outputs 2 (Cplx.add s4 s5)
+    @ Cplx.outputs 3 (Cplx.sub s4 s5)
+    @ Cplx.outputs 4 (Cplx.sub s2 s3)
+  in
+  Lower.lower bindings
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let fft_expressions ~n ~input =
+  if n < 2 || not (is_power_of_two n) then
+    invalid_arg "Dft.radix2_fft: n must be a power of two >= 2";
+  (* Recursive DIT: values are complex expressions; lowering with CSE merges
+     the shared subtransforms. *)
+  let rec fft xs =
+    let len = Array.length xs in
+    if len = 1 then xs
+    else begin
+      let evens = fft (Array.init (len / 2) (fun i -> xs.(2 * i))) in
+      let odds = fft (Array.init (len / 2) (fun i -> xs.((2 * i) + 1))) in
+      let out = Array.make len evens.(0) in
+      for k = 0 to (len / 2) - 1 do
+        let t = Cplx.mul (twiddle ~n:len k) odds.(k) in
+        out.(k) <- Cplx.add evens.(k) t;
+        out.(k + (len / 2)) <- Cplx.sub evens.(k) t
+      done;
+      out
+    end
+  in
+  let lanes = Array.init n (fun k -> let re, im = input k in Cplx.make re im) in
+  Array.map (fun c -> (c.Cplx.re, c.Cplx.im)) (fft lanes)
+
+let radix2_fft ~n =
+  let input k =
+    let c = Cplx.input k in
+    (c.Cplx.re, c.Cplx.im)
+  in
+  let spectrum = fft_expressions ~n ~input in
+  let bindings =
+    List.concat_map
+      (fun k ->
+        let re, im = spectrum.(k) in
+        Cplx.outputs k (Cplx.make re im))
+      (List.init n Fun.id)
+  in
+  Lower.lower bindings
+
+let reference ~n xs =
+  if Array.length xs <> n then invalid_arg "Dft.reference: length mismatch";
+  Array.init n (fun k ->
+      let re = ref 0.0 and im = ref 0.0 in
+      for j = 0 to n - 1 do
+        let angle = -2.0 *. Float.pi *. float_of_int (k * j) /. float_of_int n in
+        let c = cos angle and s = sin angle in
+        let xr, xi = xs.(j) in
+        re := !re +. ((xr *. c) -. (xi *. s));
+        im := !im +. ((xr *. s) +. (xi *. c))
+      done;
+      (!re, !im))
+
+let input_env xs name =
+  let fail () = raise Not_found in
+  let len = String.length name in
+  if len < 3 || name.[0] <> 'x' then fail ()
+  else begin
+    let idx =
+      match int_of_string_opt (String.sub name 1 (len - 2)) with
+      | Some i when i >= 0 && i < Array.length xs -> i
+      | _ -> fail ()
+    in
+    let re, im = xs.(idx) in
+    match name.[len - 1] with 'r' -> re | 'i' -> im | _ -> fail ()
+  end
+
+let output_spectrum ~n outs =
+  Array.init n (fun k ->
+      let get suffix = List.assoc (Printf.sprintf "X%d%s" k suffix) outs in
+      (get "r", get "i"))

@@ -1,0 +1,56 @@
+(** Discrete Fourier transform kernels.
+
+    The paper evaluates on 3- and 5-point DFTs ("3DFT", "5DFT").  Its exact
+    3DFT graph is in {!Paper_graphs}; this module generates DFT data-flow
+    graphs for any size through the expression frontend, in two classical
+    factorizations, so the 5DFT experiment has a concrete workload and the
+    benches can sweep N.
+
+    Complex values are split into real/imaginary parts; twiddle factors are
+    constants folded into multiply instructions; products by 0 and ±1
+    simplify away in the smart constructors, so small sizes produce the
+    compact graphs one draws by hand. *)
+
+val direct : n:int -> Mps_frontend.Program.t
+(** Direct sum-of-products N-point DFT on complex inputs
+    [x0r, x0i, …, x{N-1}r, x{N-1}i], outputs [X0r, X0i, …].
+    @raise Invalid_argument if [n < 2]. *)
+
+val winograd3 : unit -> Mps_frontend.Program.t
+(** The 3-point Winograd DFT (the factorization behind Fig. 2's shape):
+    u = 2π/3, t1 = x1+x2, m0 = x0+t1, m1 = (cos u − 1)·t1,
+    m2 = i·sin u·(x2−x1), s1 = m0+m1, X0 = m0, X1 = s1+m2, X2 = s1−m2 —
+    in real arithmetic. *)
+
+val winograd5 : unit -> Mps_frontend.Program.t
+(** The 5-point Winograd DFT: 17 complex additions and 6 constant
+    multiplications — 45 real operations after the smart-constructor
+    simplifications, the size class the paper's Table 7 cycle counts imply
+    for its "5DFT" workload (a direct 5-point DFT would be ~136 operations
+    and could never schedule in 15 cycles on 5 ALUs).  EXPERIMENTS.md
+    documents this substitution. *)
+
+val radix2_fft : n:int -> Mps_frontend.Program.t
+(** Decimation-in-time radix-2 FFT; [n] must be a power of two ≥ 2.
+    @raise Invalid_argument otherwise. *)
+
+val fft_expressions :
+  n:int ->
+  input:(int -> Mps_frontend.Expr.t * Mps_frontend.Expr.t) ->
+  (Mps_frontend.Expr.t * Mps_frontend.Expr.t) array
+(** The radix-2 FFT as raw (real, imaginary) expression pairs over caller-
+    supplied inputs — the composition point for larger signal chains (the
+    OFDM receiver feeds these into an equalizer instead of binding them as
+    outputs).  Same constraints as {!radix2_fft}. *)
+
+val reference : n:int -> (float * float) array -> (float * float) array
+(** Textbook O(N²) complex DFT used by the tests as ground truth for every
+    generator above.  @raise Invalid_argument on a length mismatch. *)
+
+val input_env : (float * float) array -> string -> float
+(** Maps the generators' input naming convention ("x3r", "x3i") onto a
+    complex input vector.  @raise Not_found for other names. *)
+
+val output_spectrum : n:int -> (string * float) list -> (float * float) array
+(** Collects ("X0r", …) outputs back into a complex vector.
+    @raise Not_found if an expected output is missing. *)

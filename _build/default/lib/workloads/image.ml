@@ -1,0 +1,56 @@
+module Expr = Mps_frontend.Expr
+module Lower = Mps_frontend.Lower
+
+let check_kernel kernel =
+  if Array.length kernel <> 3 || Array.exists (fun r -> Array.length r <> 3) kernel
+  then invalid_arg "Image.convolve3x3: kernel must be 3x3"
+
+let pixel r c = Expr.var (Printf.sprintf "p_%d_%d" r c)
+
+let convolve3x3 ~kernel ~rows ~cols =
+  check_kernel kernel;
+  if rows < 1 || cols < 1 then invalid_arg "Image.convolve3x3: empty block";
+  let bindings =
+    List.concat_map
+      (fun r ->
+        List.init cols (fun c ->
+            let terms =
+              List.concat_map
+                (fun dr ->
+                  List.init 3 (fun dc ->
+                      let w = kernel.(dr).(dc) in
+                      let p = pixel (r + dr) (c + dc) in
+                      Expr.(const w * p)))
+                [ 0; 1; 2 ]
+            in
+            let sum =
+              match terms with
+              | first :: rest -> List.fold_left Expr.( + ) first rest
+              | [] -> assert false
+            in
+            (Printf.sprintf "o_%d_%d" r c, sum)))
+      (List.init rows Fun.id)
+  in
+  Lower.lower bindings
+
+let sobel_x ~rows ~cols =
+  convolve3x3
+    ~kernel:[| [| -1.; 0.; 1. |]; [| -2.; 0.; 2. |]; [| -1.; 0.; 1. |] |]
+    ~rows ~cols
+
+let convolve3x3_reference ~kernel window =
+  check_kernel kernel;
+  let h = Array.length window in
+  if h < 3 || Array.exists (fun r -> Array.length r <> Array.length window.(0)) window
+  then invalid_arg "Image.convolve3x3_reference: ragged or tiny window";
+  let w = Array.length window.(0) in
+  if w < 3 then invalid_arg "Image.convolve3x3_reference: window too narrow";
+  Array.init (h - 2) (fun r ->
+      Array.init (w - 2) (fun c ->
+          let acc = ref 0.0 in
+          for dr = 0 to 2 do
+            for dc = 0 to 2 do
+              acc := !acc +. (kernel.(dr).(dc) *. window.(r + dr).(c + dc))
+            done
+          done;
+          !acc))

@@ -1,0 +1,22 @@
+(** Image-processing workloads: 2-D convolution and separable filters.
+
+    Montium-class CGRAs target exactly this kind of kernel (the paper's
+    introduction motivates the architecture with mobile multimedia
+    processing).  Pixels are named ["p_<row>_<col>"]; a convolution over an
+    output block reads the input window the block needs. *)
+
+val convolve3x3 : kernel:float array array -> rows:int -> cols:int -> Mps_frontend.Program.t
+(** 3×3 convolution producing a [rows × cols] output block
+    ["o_<r>_<c>"] from the [(rows+2) × (cols+2)] input window (top-left
+    anchored: output (r,c) reads pixels (r..r+2, c..c+2)).
+    @raise Invalid_argument unless the kernel is 3×3 and the block is
+    positive. *)
+
+val sobel_x : rows:int -> cols:int -> Mps_frontend.Program.t
+(** The horizontal Sobel operator, [-1 0 1; -2 0 2; -1 0 1] — its zeros
+    fold away, exercising the smart constructors on a famous kernel. *)
+
+val convolve3x3_reference :
+  kernel:float array array -> float array array -> float array array
+(** Ground truth: full input window in, output block out.
+    @raise Invalid_argument on a window smaller than 3×3. *)

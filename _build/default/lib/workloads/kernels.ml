@@ -1,0 +1,109 @@
+module Expr = Mps_frontend.Expr
+module Lower = Mps_frontend.Lower
+
+let fir ~taps ~block =
+  if taps = [] then invalid_arg "Kernels.fir: empty taps";
+  if block < 1 then invalid_arg "Kernels.fir: block < 1";
+  let ntaps = List.length taps in
+  (* Window x0 (oldest) .. x{block+ntaps-2} (newest); output yn uses
+     x{n+ntaps-1-k} for tap k. *)
+  let x i = Expr.var (Printf.sprintf "x%d" i) in
+  let bindings =
+    List.init block (fun out ->
+        let terms =
+          List.mapi
+            (fun k c ->
+              let idx = out + ntaps - 1 - k in
+              Expr.(const c * x idx))
+            taps
+        in
+        let sum =
+          match terms with
+          | [] -> assert false
+          | first :: rest -> List.fold_left Expr.( + ) first rest
+        in
+        (Printf.sprintf "y%d" out, sum))
+  in
+  Lower.lower bindings
+
+let fir_reference ~taps window =
+  let ntaps = List.length taps in
+  let block = Array.length window - ntaps + 1 in
+  if block < 1 then invalid_arg "Kernels.fir_reference: window too short";
+  Array.init block (fun out ->
+      List.fold_left ( +. ) 0.0
+        (List.mapi (fun k c -> c *. window.(out + ntaps - 1 - k)) taps))
+
+let iir_biquad ~b:(b0, b1, b2) ~a:(a1, a2) ~block =
+  if block < 1 then invalid_arg "Kernels.iir_biquad: block < 1";
+  let x i =
+    if i >= 0 then Expr.var (Printf.sprintf "x%d" i)
+    else Expr.var (Printf.sprintf "x_%d" (-i))
+  in
+  let ys = Array.make block (Expr.const 0.0) in
+  let y i =
+    if i >= 0 then ys.(i) else Expr.var (Printf.sprintf "y_%d" (-i))
+  in
+  for n = 0 to block - 1 do
+    let xn = x n and xn1 = x (n - 1) and xn2 = x (n - 2) in
+    let yn1 = y (n - 1) and yn2 = y (n - 2) in
+    ys.(n) <-
+      Expr.(
+        (const b0 * xn) + (const b1 * xn1) + (const b2 * xn2)
+        - (const a1 * yn1)
+        - (const a2 * yn2))
+  done;
+  Lower.lower (List.init block (fun n -> (Printf.sprintf "y%d" n, ys.(n))))
+
+let dct8_coeff k j =
+  let c = cos (Float.pi /. 8.0 *. (float_of_int j +. 0.5) *. float_of_int k) in
+  if Float.abs c < 1e-12 then 0.0 else c
+
+let dct8 () =
+  let x j = Expr.var (Printf.sprintf "x%d" j) in
+  let bindings =
+    List.init 8 (fun k ->
+        let terms = List.init 8 (fun j -> Expr.(const (dct8_coeff k j) * x j)) in
+        let sum =
+          match terms with
+          | first :: rest -> List.fold_left Expr.( + ) first rest
+          | [] -> assert false
+        in
+        (Printf.sprintf "X%d" k, sum))
+  in
+  Lower.lower bindings
+
+let dct8_reference xs =
+  if Array.length xs <> 8 then invalid_arg "Kernels.dct8_reference: need 8 samples";
+  Array.init 8 (fun k ->
+      let acc = ref 0.0 in
+      for j = 0 to 7 do
+        acc := !acc +. (dct8_coeff k j *. xs.(j))
+      done;
+      !acc)
+
+let matmul ~m ~k ~n =
+  if m < 1 || k < 1 || n < 1 then invalid_arg "Kernels.matmul: non-positive dimension";
+  let a i j = Expr.var (Printf.sprintf "a_%d_%d" i j) in
+  let b i j = Expr.var (Printf.sprintf "b_%d_%d" i j) in
+  let bindings =
+    List.concat_map
+      (fun i ->
+        List.init n (fun j ->
+            let terms = List.init k (fun l -> Expr.(a i l * b l j)) in
+            let sum =
+              match terms with
+              | first :: rest -> List.fold_left Expr.( + ) first rest
+              | [] -> assert false
+            in
+            (Printf.sprintf "c_%d_%d" i j, sum)))
+      (List.init m Fun.id)
+  in
+  Lower.lower bindings
+
+let horner ~degree =
+  if degree < 1 then invalid_arg "Kernels.horner: degree < 1";
+  let x = Expr.var "x" in
+  let c i = Expr.var (Printf.sprintf "c%d" i) in
+  let rec go acc i = if i < 0 then acc else go Expr.((acc * x) + c i) (i - 1) in
+  Lower.lower [ ("y", go (c degree) (degree - 1)) ]

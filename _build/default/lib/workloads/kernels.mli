@@ -1,0 +1,42 @@
+(** DSP and linear-algebra kernels beyond the paper's DFTs.
+
+    The paper's introduction motivates the Montium with mobile
+    signal-processing workloads; these generators provide that wider
+    evaluation surface for the benches: FIR and IIR filtering, DCT, matrix
+    multiplication and polynomial evaluation, all lowered through the
+    expression frontend so they come with reference semantics. *)
+
+val fir : taps:float list -> block:int -> Mps_frontend.Program.t
+(** [fir ~taps ~block] computes y\[n\] = Σ_k taps(k)·x\[n−k\] for [block]
+    consecutive outputs; inputs are ["x0"] … ["x{block+taps-2}"] (a sliding
+    window, newest last), outputs ["y0"] … .
+    @raise Invalid_argument on an empty tap list or [block < 1]. *)
+
+val iir_biquad :
+  b:float * float * float -> a:float * float -> block:int -> Mps_frontend.Program.t
+(** Direct-form-I biquad unrolled over a block:
+    y\[n\] = b0·x\[n\] + b1·x\[n−1\] + b2·x\[n−2\] − a1·y\[n−1\] − a2·y\[n−2\],
+    with the initial histories as explicit inputs ["x_1"], ["x_2"],
+    ["y_1"], ["y_2"].  The recurrence makes this graph much more serial
+    than the FIR — a useful contrast for the schedulers.
+    @raise Invalid_argument if [block < 1]. *)
+
+val dct8 : unit -> Mps_frontend.Program.t
+(** 8-point DCT-II, direct form; inputs ["x0"]…["x7"], outputs
+    ["X0"]…["X7"]. *)
+
+val matmul : m:int -> k:int -> n:int -> Mps_frontend.Program.t
+(** Dense (m×k)·(k×n) product; inputs ["a_i_j"], ["b_i_j"], outputs
+    ["c_i_j"].  @raise Invalid_argument on non-positive dimensions. *)
+
+val horner : degree:int -> Mps_frontend.Program.t
+(** Evaluates Σ c_i·x^i by Horner's rule — a maximally serial chain, the
+    worst case for any parallel scheduler.  Inputs ["x"], ["c0"]…;
+    output ["y"].  @raise Invalid_argument if [degree < 1]. *)
+
+val fir_reference : taps:float list -> float array -> float array
+(** Ground truth for {!fir} given the window (oldest first), one output per
+    valid position. *)
+
+val dct8_reference : float array -> float array
+(** Ground truth for {!dct8}.  @raise Invalid_argument unless length 8. *)

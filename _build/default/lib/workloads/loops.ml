@@ -1,0 +1,114 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Loop_graph = Mps_scheduler.Loop_graph
+
+type t = {
+  loop : Loop_graph.t;
+  label : string;
+  description : string;
+}
+
+let a = Color.add
+let b = Color.sub
+let c = Color.mul
+
+let fir_stream ~taps =
+  if taps < 1 then invalid_arg "Loops.fir_stream: taps < 1";
+  let builder = Dfg.Builder.create () in
+  let muls =
+    List.init taps (fun i ->
+        Dfg.Builder.add_node builder ~name:(Printf.sprintf "m%d" i) c)
+  in
+  (* Balanced reduction tree of adds. *)
+  let rec reduce level nodes =
+    match nodes with
+    | [] -> ()
+    | [ _ ] -> ()
+    | _ ->
+        let rec pair idx = function
+          | x :: y :: rest ->
+              let s =
+                Dfg.Builder.add_node builder
+                  ~name:(Printf.sprintf "s%d_%d" level idx)
+                  a
+              in
+              Dfg.Builder.add_edge builder x s;
+              Dfg.Builder.add_edge builder y s;
+              s :: pair (idx + 1) rest
+          | tail -> tail
+        in
+        reduce (level + 1) (pair 0 nodes)
+  in
+  reduce 0 muls;
+  {
+    loop = Loop_graph.make (Dfg.Builder.build builder) [];
+    label = Printf.sprintf "fir%d" taps;
+    description = "FIR step: independent multiplies into a balanced add tree";
+  }
+
+let accumulator ~width =
+  if width < 1 then invalid_arg "Loops.accumulator: width < 1";
+  let builder = Dfg.Builder.create () in
+  let muls =
+    List.init width (fun i ->
+        Dfg.Builder.add_node builder ~name:(Printf.sprintf "m%d" i) c)
+  in
+  let acc = Dfg.Builder.add_node builder ~name:"acc" a in
+  List.iter (fun m -> Dfg.Builder.add_edge builder m acc) muls;
+  {
+    loop =
+      Loop_graph.make
+        (Dfg.Builder.build builder)
+        [ { Loop_graph.src = acc; dst = acc; distance = 1 } ];
+    label = Printf.sprintf "acc%d" width;
+    description = "MAC accumulator: carried sum at distance 1";
+  }
+
+let iir_stream () =
+  (* y = b0 x + b1 x1 + b2 x2 - a1 y1 - a2 y2, with y1/y2 the previous two
+     outputs: the adds combining the feedback terms carry to themselves. *)
+  let g =
+    Dfg.of_alist
+      [
+        ("m_b0", c); ("m_b1", c); ("m_b2", c); ("m_a1", c); ("m_a2", c);
+        ("s_ff1", a); ("s_ff2", a); ("s_fb", a); ("y", b);
+      ]
+      [
+        ("m_b0", "s_ff1"); ("m_b1", "s_ff1");
+        ("m_b2", "s_ff2"); ("s_ff1", "s_ff2");
+        ("m_a1", "s_fb"); ("m_a2", "s_fb");
+        ("s_ff2", "y"); ("s_fb", "y");
+      ]
+  in
+  let id name = Dfg.find g name in
+  {
+    loop =
+      Loop_graph.make g
+        [
+          (* y feeds next iteration's m_a1 and the one after's m_a2. *)
+          { Loop_graph.src = id "y"; dst = id "m_a1"; distance = 1 };
+          { Loop_graph.src = id "y"; dst = id "m_a2"; distance = 2 };
+        ];
+    label = "iir-biquad";
+    description = "biquad step with two-deep output feedback";
+  }
+
+let moving_average ~window =
+  if window < 2 then invalid_arg "Loops.moving_average: window < 2";
+  (* s' = s + x_new - x_old; y = s' * (1/window). *)
+  let g =
+    Dfg.of_alist
+      [ ("add_new", a); ("sub_old", b); ("scale", c) ]
+      [ ("add_new", "sub_old"); ("sub_old", "scale") ]
+  in
+  let id name = Dfg.find g name in
+  {
+    loop =
+      Loop_graph.make g
+        [ { Loop_graph.src = id "sub_old"; dst = id "add_new"; distance = 1 } ];
+    label = Printf.sprintf "mavg%d" window;
+    description = "moving average: carried running sum";
+  }
+
+let all () =
+  [ fir_stream ~taps:8; accumulator ~width:4; iir_stream (); moving_average ~window:8 ]

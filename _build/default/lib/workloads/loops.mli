@@ -1,0 +1,36 @@
+(** Streaming loop kernels: bodies plus loop-carried dependencies, ready
+    for {!Mps_scheduler.Modulo} scheduling.
+
+    Each constructor returns the loop and, where meaningful, the body's
+    reference program for functional checks.  The interesting spread:
+
+    - {!fir_stream} has no recurrence at all (II is purely resource-bound);
+    - {!accumulator} carries one value at distance 1 (RecMII = chain);
+    - {!iir_stream} carries two (the y[n−1], y[n−2] feedback of a biquad);
+    - {!moving_average} carries a running sum — recurrence of latency 2 at
+      distance 1. *)
+
+type t = {
+  loop : Mps_scheduler.Loop_graph.t;
+  label : string;
+  description : string;
+}
+
+val fir_stream : taps:int -> t
+(** One output per iteration: [taps] multiplies into a balanced add tree;
+    no carried edges. *)
+
+val accumulator : width:int -> t
+(** acc += x0·c0 + … per iteration: [width] MACs feeding one carried
+    accumulator add (distance 1). *)
+
+val iir_stream : unit -> t
+(** One biquad step: 5 multiplies, 4 adds/subs; y feeds back at distances
+    1 and 2. *)
+
+val moving_average : window:int -> t
+(** Running sum update s = s + x_new − x_old, then scale: the carried sum
+    gives RecMII 2; [window] only affects the label. *)
+
+val all : unit -> t list
+(** The four above at representative sizes. *)

@@ -1,0 +1,57 @@
+module Expr = Mps_frontend.Expr
+module Opcode = Mps_frontend.Opcode
+module Lower = Mps_frontend.Lower
+
+let clamp e =
+  (* min(max(e, -1), 1) — the QPSK slicer. *)
+  Expr.binop Opcode.Min (Expr.binop Opcode.Max e (Expr.const (-1.0))) (Expr.const 1.0)
+
+let receiver ~n =
+  let input k =
+    ( Expr.var (Printf.sprintf "x%dr" k),
+      Expr.var (Printf.sprintf "x%di" k) )
+  in
+  let spectrum = Dft.fft_expressions ~n ~input in
+  let bindings =
+    List.concat_map
+      (fun k ->
+        let xr, xi = spectrum.(k) in
+        let hr = Expr.var (Printf.sprintf "h%dr" k)
+        and hi = Expr.var (Printf.sprintf "h%di" k) in
+        (* (xr + i xi)(hr + i hi) *)
+        let er = Expr.((xr * hr) - (xi * hi)) in
+        let ei = Expr.((xr * hi) + (xi * hr)) in
+        [
+          (Printf.sprintf "s%dr" k, clamp er);
+          (Printf.sprintf "s%di" k, clamp ei);
+        ])
+      (List.init n Fun.id)
+  in
+  Lower.lower bindings
+
+let clampf v = Float.min 1.0 (Float.max (-1.0) v)
+
+let reference ~n ~samples ~channel =
+  if Array.length samples <> n || Array.length channel <> n then
+    invalid_arg "Ofdm.reference: length mismatch";
+  let spectrum = Dft.reference ~n samples in
+  Array.init n (fun k ->
+      let xr, xi = spectrum.(k) and hr, hi = channel.(k) in
+      (clampf ((xr *. hr) -. (xi *. hi)), clampf ((xr *. hi) +. (xi *. hr))))
+
+let env ~samples ~channel name =
+  let len = String.length name in
+  if len < 3 then raise Not_found;
+  let vec = match name.[0] with 'x' -> samples | 'h' -> channel | _ -> raise Not_found in
+  let idx =
+    match int_of_string_opt (String.sub name 1 (len - 2)) with
+    | Some i when i >= 0 && i < Array.length vec -> i
+    | _ -> raise Not_found
+  in
+  let re, im = vec.(idx) in
+  match name.[len - 1] with 'r' -> re | 'i' -> im | _ -> raise Not_found
+
+let output_symbols ~n outs =
+  Array.init n (fun k ->
+      let get suffix = List.assoc (Printf.sprintf "s%d%s" k suffix) outs in
+      (get "r", get "i"))

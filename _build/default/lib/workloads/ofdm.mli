@@ -1,0 +1,38 @@
+(** An OFDM receiver front end — the composite application the Montium was
+    built for (the paper's introduction motivates the architecture with
+    exactly this class of mobile baseband processing).
+
+    The chain, per received symbol of [n] subcarriers:
+
+    + {b FFT}: time samples → subcarrier values (composed from
+      {!Dft.fft_expressions});
+    + {b equalization}: each subcarrier multiplied by its channel
+      coefficient Ĥ_k⁻¹ (inputs ["h<k>r"]/["h<k>i"]) — one complex multiply
+      per carrier;
+    + {b slicing}: hard clamping of each component to [−1, 1] (min/max
+      operations — the 'h'/'i' colors), the QPSK decision variable.
+
+    Everything is one {!Mps_frontend.Program.t}, so the whole receiver
+    schedules, maps, and simulates like any kernel; outputs are
+    ["s<k>r"]/["s<k>i"].  The value as a workload: it mixes five colors
+    (a, b, c, h, i) with three structurally different stages, the hardest
+    pattern-selection instance in the library. *)
+
+val receiver : n:int -> Mps_frontend.Program.t
+(** [n] a power of two ≥ 2.  Inputs: time samples ["x<j>r"]/["x<j>i"] and
+    channel coefficients ["h<k>r"]/["h<k>i"].
+    @raise Invalid_argument otherwise. *)
+
+val reference :
+  n:int ->
+  samples:(float * float) array ->
+  channel:(float * float) array ->
+  (float * float) array
+(** Independent float model: DFT ∘ complex multiply ∘ clamp.
+    @raise Invalid_argument on length mismatches. *)
+
+val env : samples:(float * float) array -> channel:(float * float) array -> string -> float
+(** Input environment for {!receiver} over concrete vectors. *)
+
+val output_symbols : n:int -> (string * float) list -> (float * float) array
+(** Collect ["s<k>r"]/["s<k>i"] outputs.  @raise Not_found if missing. *)

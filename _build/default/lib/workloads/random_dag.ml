@@ -1,0 +1,71 @@
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Rng = Mps_util.Rng
+
+type params = {
+  layers : int;
+  width : int;
+  edge_prob : float;
+  locality : int;
+  palette : (Color.t * int) list;
+}
+
+let default_params =
+  {
+    layers = 6;
+    width = 6;
+    edge_prob = 0.4;
+    locality = 2;
+    palette =
+      [ (Color.add, 14); (Color.sub, 4); (Color.mul, 6) ];
+  }
+
+let weighted_color rng palette total =
+  let rec pick r = function
+    | [] -> assert false
+    | (c, w) :: rest -> if r < w then c else pick (r - w) rest
+  in
+  pick (Rng.int rng total) palette
+
+let generate ?(params = default_params) ~seed () =
+  let { layers; width; edge_prob; locality; palette } = params in
+  if layers < 1 then invalid_arg "Random_dag.generate: layers < 1";
+  if width < 1 then invalid_arg "Random_dag.generate: width < 1";
+  if locality < 1 then invalid_arg "Random_dag.generate: locality < 1";
+  if edge_prob < 0.0 || edge_prob > 1.0 then
+    invalid_arg "Random_dag.generate: edge_prob outside [0,1]";
+  if palette = [] then invalid_arg "Random_dag.generate: empty palette";
+  List.iter
+    (fun (_, w) -> if w <= 0 then invalid_arg "Random_dag.generate: non-positive weight")
+    palette;
+  let total_weight = List.fold_left (fun acc (_, w) -> acc + w) 0 palette in
+  let rng = Rng.create ~seed in
+  let builder = Dfg.Builder.create () in
+  (* layer_nodes.(l) = ids in layer l *)
+  let layer_nodes = Array.make layers [] in
+  for l = 0 to layers - 1 do
+    let w = Rng.int_in rng 1 width in
+    layer_nodes.(l) <-
+      List.init w (fun _ ->
+          Dfg.Builder.add_node builder (weighted_color rng palette total_weight))
+  done;
+  for l = 1 to layers - 1 do
+    let lo = max 0 (l - locality) in
+    let candidates =
+      List.concat (List.init (l - lo) (fun d -> layer_nodes.(lo + d)))
+    in
+    List.iter
+      (fun dst ->
+        let parents =
+          List.filter (fun _ -> Rng.float rng 1.0 < edge_prob) candidates
+        in
+        let parents =
+          (* Keep the DAG connected forward: at least one parent each. *)
+          match parents with
+          | [] -> [ Rng.choice_list rng candidates ]
+          | ps -> ps
+        in
+        List.iter (fun src -> Dfg.Builder.add_edge builder src dst) parents)
+      layer_nodes.(l)
+  done;
+  Dfg.Builder.build builder

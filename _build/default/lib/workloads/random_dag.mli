@@ -1,0 +1,28 @@
+(** Layered random DAG workloads for scaling benches and property tests.
+
+    Nodes are placed on [layers] layers of width up to [width]; every edge
+    goes from a layer to a strictly later one, guaranteeing acyclicity by
+    construction.  Colors are drawn from a weighted palette, so a workload
+    can mimic, say, the 3DFT's add-heavy mix.  Everything is driven by the
+    deterministic {!Mps_util.Rng}, so a (params, seed) pair names a graph
+    reproducibly. *)
+
+type params = {
+  layers : int;
+  width : int;  (** Maximum nodes per layer; actual width is uniform 1..width. *)
+  edge_prob : float;  (** Probability of an edge to each candidate parent. *)
+  locality : int;
+      (** Parents are drawn only from this many immediately preceding
+          layers — small locality produces FFT-like short dependencies. *)
+  palette : (Mps_dfg.Color.t * int) list;  (** Colors with integer weights. *)
+}
+
+val default_params : params
+(** 6 layers, width 6, edge probability 0.4, locality 2, the paper's
+    a/b/c palette weighted 14/4/6 like the 3DFT. *)
+
+val generate : ?params:params -> seed:int -> unit -> Mps_dfg.Dfg.t
+(** @raise Invalid_argument on non-positive layers/width/locality, an empty
+    palette, non-positive weights, or [edge_prob] outside [0,1].  Every
+    non-first-layer node receives at least one parent, so only layer-0
+    nodes are sources. *)

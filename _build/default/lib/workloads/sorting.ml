@@ -1,0 +1,53 @@
+module Expr = Mps_frontend.Expr
+module Opcode = Mps_frontend.Opcode
+module Lower = Mps_frontend.Lower
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* Classic recursive bitonic network over an array of expressions; each
+   compare-exchange rewrites two lanes with min/max. *)
+let bitonic ~n =
+  if n < 2 || not (is_power_of_two n) then
+    invalid_arg "Sorting.bitonic: n must be a power of two >= 2";
+  let lanes = Array.init n (fun i -> Expr.var (Printf.sprintf "x%d" i)) in
+  let compare_exchange i j ascending =
+    let a = lanes.(i) and b = lanes.(j) in
+    let lo = Expr.binop Opcode.Min a b and hi = Expr.binop Opcode.Max a b in
+    if ascending then begin
+      lanes.(i) <- lo;
+      lanes.(j) <- hi
+    end
+    else begin
+      lanes.(i) <- hi;
+      lanes.(j) <- lo
+    end
+  in
+  let rec merge lo len ascending =
+    if len > 1 then begin
+      let half = len / 2 in
+      for i = lo to lo + half - 1 do
+        compare_exchange i (i + half) ascending
+      done;
+      merge lo half ascending;
+      merge (lo + half) half ascending
+    end
+  in
+  let rec sort lo len ascending =
+    if len > 1 then begin
+      let half = len / 2 in
+      sort lo half true;
+      sort (lo + half) half false;
+      merge lo len ascending
+    end
+  in
+  sort 0 n true;
+  let bindings =
+    List.init n (fun i -> (Printf.sprintf "y%d" i, lanes.(i)))
+  in
+  Lower.lower bindings
+
+let comparator_count ~n =
+  if n < 2 || not (is_power_of_two n) then
+    invalid_arg "Sorting.comparator_count: n must be a power of two >= 2";
+  let k = int_of_float (Float.round (Float.log2 (float_of_int n))) in
+  n / 2 * (k * (k + 1) / 2)

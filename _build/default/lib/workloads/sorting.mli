@@ -1,0 +1,16 @@
+(** Bitonic sorting networks as data-flow graphs.
+
+    A comparator is a min node ('h') plus a max node ('i'); the network is
+    entirely comparators, giving a two-color workload whose structure is
+    nothing like the DSP kernels — wide, shallow, perfectly regular — and
+    whose correct output (sortedness) is an easy oracle for the end-to-end
+    simulator tests. *)
+
+val bitonic : n:int -> Mps_frontend.Program.t
+(** Bitonic sorting network on [n] inputs ["x0"…]; outputs
+    ["y0"…] in ascending order.  [n] must be a power of two ≥ 2.
+    @raise Invalid_argument otherwise. *)
+
+val comparator_count : n:int -> int
+(** Comparators in the [n]-input network: n/2 · k·(k+1)/2 pairs for
+    n = 2^k, two nodes each. *)

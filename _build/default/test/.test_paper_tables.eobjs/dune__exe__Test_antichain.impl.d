@@ -1,0 +1,1 @@
+test/test_antichain.ml: Alcotest Array List Mps_antichain Mps_dfg Mps_pattern Mps_scheduler Mps_workloads QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array List Mps_dfg Mps_util Mps_workloads Printf QCheck2 QCheck_alcotest String

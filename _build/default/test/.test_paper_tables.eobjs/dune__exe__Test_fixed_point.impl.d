@@ -1,0 +1,1 @@
+test/test_fixed_point.ml: Alcotest Array Float List Mps_frontend Mps_montium Mps_workloads Printf QCheck2 QCheck_alcotest String

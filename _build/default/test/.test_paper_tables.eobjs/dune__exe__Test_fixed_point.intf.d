@@ -1,0 +1,1 @@
+test/test_fixed_point.mli:

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Float List Mps_dfg Mps_frontend Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_listing_vm.ml: Alcotest Array Float List Mps_dfg Mps_frontend Mps_montium Mps_pattern Mps_scheduler Mps_workloads Option QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_modulo.ml: Alcotest List Mps_dfg Mps_pattern Mps_scheduler Mps_util Mps_workloads Printf QCheck2 QCheck_alcotest

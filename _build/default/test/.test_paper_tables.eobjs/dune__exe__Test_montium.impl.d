@@ -1,0 +1,1 @@
+test/test_montium.ml: Alcotest Array Float Hashtbl List Mps_dfg Mps_frontend Mps_montium Mps_pattern Mps_scheduler Mps_select Mps_util Mps_workloads QCheck2 QCheck_alcotest String

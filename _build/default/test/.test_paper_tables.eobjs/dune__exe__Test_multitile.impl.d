@@ -1,0 +1,1 @@
+test/test_multitile.ml: Alcotest Array List Mps_dfg Mps_frontend Mps_montium Mps_pattern Mps_scheduler Mps_workloads Printf QCheck2 QCheck_alcotest

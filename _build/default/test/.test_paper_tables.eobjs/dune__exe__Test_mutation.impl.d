@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Array List Mps_dfg Mps_frontend Mps_montium Mps_pattern Mps_scheduler Mps_util Mps_workloads QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ofdm.ml: Alcotest Array Core Float List Mps_dfg Mps_frontend Mps_util Mps_workloads Printf QCheck2 QCheck_alcotest

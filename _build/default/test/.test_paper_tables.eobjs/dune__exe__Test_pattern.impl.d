@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest List Mps_dfg Mps_pattern Mps_util QCheck2 QCheck_alcotest

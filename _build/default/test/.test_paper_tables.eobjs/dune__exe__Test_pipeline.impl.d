@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Core Hashtbl List Mps_dfg Mps_workloads QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_posets.ml: Alcotest List Mps_antichain Mps_dfg Mps_scheduler Mps_workloads QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_program_fuse.ml: Alcotest Array Core Float Hashtbl List Mps_clustering Mps_dfg Mps_frontend Mps_montium Mps_pattern Mps_scheduler Mps_util Mps_workloads Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_program_text.ml: Alcotest Float Hashtbl List Mps_clustering Mps_dfg Mps_frontend Mps_workloads Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest List Mps_dfg Mps_pattern Mps_scheduler Mps_workloads Printf String

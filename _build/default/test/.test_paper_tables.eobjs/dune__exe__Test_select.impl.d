@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Array List Mps_antichain Mps_dfg Mps_pattern Mps_scheduler Mps_select Mps_util Mps_workloads Printf String

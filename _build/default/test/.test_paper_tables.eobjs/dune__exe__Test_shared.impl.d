@@ -1,0 +1,1 @@
+test/test_shared.ml: Alcotest List Mps_antichain Mps_dfg Mps_frontend Mps_pattern Mps_scheduler Mps_select Mps_workloads Printf

@@ -1,0 +1,1 @@
+test/test_strength_csv.ml: Alcotest Filename Float List Mps_dfg Mps_frontend Mps_montium Mps_util Printf QCheck2 QCheck_alcotest Sys

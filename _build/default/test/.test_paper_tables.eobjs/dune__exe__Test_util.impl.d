@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Char Fun Int Int64 List Mps_util QCheck2 QCheck_alcotest String

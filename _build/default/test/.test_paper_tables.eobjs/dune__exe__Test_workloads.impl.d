@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float List Mps_dfg Mps_frontend Mps_workloads Printf QCheck2 QCheck_alcotest String

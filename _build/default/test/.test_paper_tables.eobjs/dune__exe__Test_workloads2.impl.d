@@ -1,0 +1,1 @@
+test/test_workloads2.ml: Alcotest Array Core Float List Mps_antichain Mps_dfg Mps_frontend Mps_pattern Mps_scheduler Mps_select Mps_util Mps_workloads Printf QCheck2 QCheck_alcotest String

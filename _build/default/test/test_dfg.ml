@@ -1,0 +1,294 @@
+(* DFG substrate: builder, cycle detection, topological order, levels,
+   reachability, text format, DOT export — unit tests plus properties over
+   random layered DAGs. *)
+
+module Color = Mps_dfg.Color
+module Dfg = Mps_dfg.Dfg
+module Topo = Mps_dfg.Topo
+module Levels = Mps_dfg.Levels
+module Reachability = Mps_dfg.Reachability
+module Parse = Mps_dfg.Parse
+module Dot = Mps_dfg.Dot
+module Random_dag = Mps_workloads.Random_dag
+module Pg = Mps_workloads.Paper_graphs
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let dag_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed -> Random_dag.generate ~seed ())
+      (0 -- 10_000))
+
+(* --- colors --- *)
+
+let test_color () =
+  Alcotest.(check char) "round trip" 'q' (Color.to_char (Color.of_char 'q'));
+  Alcotest.(check int) "index of a" 0 (Color.to_index Color.add);
+  Alcotest.(check char) "of_int 27" 'B' (Color.to_char (Color.of_int 27));
+  Alcotest.check_raises "dummy rejected"
+    (Invalid_argument "Color.of_char: invalid color '-'") (fun () ->
+      ignore (Color.of_char '-'));
+  Alcotest.check_raises "space rejected"
+    (Invalid_argument "Color.of_char: invalid color ' '") (fun () ->
+      ignore (Color.of_char ' '))
+
+(* --- builder --- *)
+
+let test_builder_basics () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add_node b ~name:"x" Color.add in
+  let y = Dfg.Builder.add_node b Color.mul in
+  Dfg.Builder.add_edge b x y;
+  Dfg.Builder.add_edge b x y;
+  (* duplicate collapses *)
+  let g = Dfg.Builder.build b in
+  Alcotest.(check int) "two nodes" 2 (Dfg.node_count g);
+  Alcotest.(check int) "one edge" 1 (Dfg.edge_count g);
+  Alcotest.(check string) "default name" "c1" (Dfg.name g y);
+  Alcotest.(check (list int)) "succs" [ y ] (Dfg.succs g x);
+  Alcotest.(check (list int)) "preds" [ x ] (Dfg.preds g y);
+  Alcotest.(check (list int)) "sources" [ x ] (Dfg.sources g);
+  Alcotest.(check (list int)) "sinks" [ y ] (Dfg.sinks g)
+
+let test_builder_rejects () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add_node b ~name:"x" Color.add in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Dfg.Builder.add_node: duplicate name \"x\"") (fun () ->
+      ignore (Dfg.Builder.add_node b ~name:"x" Color.add));
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Dfg.Builder.add_edge: self-loop on node 0") (fun () ->
+      Dfg.Builder.add_edge b x x);
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Dfg.Builder: unknown node id 5") (fun () ->
+      Dfg.Builder.add_edge b x 5)
+
+let test_cycle_detection () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add_node b ~name:"x" Color.add in
+  let y = Dfg.Builder.add_node b ~name:"y" Color.add in
+  let z = Dfg.Builder.add_node b ~name:"z" Color.add in
+  Dfg.Builder.add_edge b x y;
+  Dfg.Builder.add_edge b y z;
+  Dfg.Builder.add_edge b z x;
+  (match Dfg.Builder.build b with
+  | exception Dfg.Cycle names ->
+      Alcotest.(check (list string)) "cycle names" [ "x"; "y"; "z" ]
+        (List.sort String.compare names)
+  | _ -> Alcotest.fail "cycle not detected")
+
+let test_builder_snapshot () =
+  let b = Dfg.Builder.create () in
+  let x = Dfg.Builder.add_node b ~name:"x" Color.add in
+  let g1 = Dfg.Builder.build b in
+  let y = Dfg.Builder.add_node b ~name:"y" Color.sub in
+  Dfg.Builder.add_edge b x y;
+  let g2 = Dfg.Builder.build b in
+  Alcotest.(check int) "snapshot unchanged" 1 (Dfg.node_count g1);
+  Alcotest.(check int) "extended" 2 (Dfg.node_count g2)
+
+let test_of_alist_errors () =
+  Alcotest.check_raises "unknown edge endpoint"
+    (Invalid_argument "Dfg.of_alist: unknown node \"nope\" in edge") (fun () ->
+      ignore (Dfg.of_alist [ ("x", Color.add) ] [ ("x", "nope") ]))
+
+let test_induced_and_reverse () =
+  let g = Pg.fig4_small () in
+  let sub, mapping = Dfg.induced g [ Dfg.find g "a1"; Dfg.find g "a2"; Dfg.find g "b4" ] in
+  Alcotest.(check int) "3 nodes" 3 (Dfg.node_count sub);
+  Alcotest.(check int) "2 edges (a1->a2->b4)" 2 (Dfg.edge_count sub);
+  Alcotest.(check string) "mapping back" "a1" (Dfg.name g mapping.(0));
+  let r = Dfg.reverse g in
+  Alcotest.(check int) "reverse preserves edges" (Dfg.edge_count g) (Dfg.edge_count r);
+  Alcotest.(check (list string)) "reverse sources = sinks"
+    (List.sort String.compare (List.map (Dfg.name g) (Dfg.sinks g)))
+    (List.sort String.compare (List.map (Dfg.name r) (Dfg.sources r)))
+
+(* --- topo --- *)
+
+let test_topo_order () =
+  let g = Pg.fig2_3dft () in
+  Alcotest.(check bool) "valid order" true (Topo.is_order g (Topo.order g));
+  Alcotest.(check bool) "reject wrong perm" false
+    (Topo.is_order g (List.rev (Topo.order g)));
+  Alcotest.(check bool) "reject short list" false (Topo.is_order g [ 0; 1 ])
+
+let test_longest_path () =
+  let g = Pg.fig2_3dft () in
+  Alcotest.(check int) "5 nodes on the critical path" 5 (Topo.longest_path_length g);
+  let p = Topo.longest_path g in
+  Alcotest.(check int) "path length matches" 5 (List.length p);
+  (* consecutive nodes are edges *)
+  let rec consecutive = function
+    | a :: (b :: _ as rest) -> List.mem b (Dfg.succs g a) && consecutive rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "is a path" true (consecutive p)
+
+(* --- levels (generic properties; Table 1 exactness lives in
+   test_paper_tables) --- *)
+
+let check_levels_invariants g =
+  let lv = Levels.compute g in
+  List.for_all
+    (fun i ->
+      Levels.asap lv i <= Levels.alap lv i
+      && Levels.asap lv i >= 0
+      && Levels.alap lv i <= Levels.asap_max lv
+      && Levels.height lv i >= 1
+      && List.for_all (fun s -> Levels.asap lv s > Levels.asap lv i) (Dfg.succs g i)
+      && List.for_all (fun s -> Levels.height lv i > Levels.height lv s) (Dfg.succs g i))
+    (Dfg.nodes g)
+
+let test_levels_small () =
+  let g = Pg.fig4_small () in
+  let lv = Levels.compute g in
+  let at name = Dfg.find g name in
+  Alcotest.(check int) "asap a2" 1 (Levels.asap lv (at "a2"));
+  Alcotest.(check int) "alap a3" 1 (Levels.alap lv (at "a3"));
+  Alcotest.(check int) "height a1" 3 (Levels.height lv (at "a1"));
+  Alcotest.(check int) "mobility a3" 1 (Levels.mobility lv (at "a3"));
+  Alcotest.(check bool) "a1 critical" true (Levels.critical lv (at "a1"));
+  Alcotest.(check int) "lower bound" 3 (Levels.lower_bound_cycles lv)
+
+let test_span_and_bound () =
+  let g = Pg.fig2_3dft () in
+  let lv = Levels.compute g in
+  let at name = Dfg.find g name in
+  (* The paper's §5.1 example: Span({a24, b3}) = 1. *)
+  Alcotest.(check int) "span {a24,b3}" 1 (Levels.span lv [ at "a24"; at "b3" ]);
+  Alcotest.(check int) "bound {a24,b3}" 6 (Levels.span_bound lv [ at "a24"; at "b3" ]);
+  (* Zero span for co-leveled nodes. *)
+  Alcotest.(check int) "span {b3,b6}" 0 (Levels.span lv [ at "b3"; at "b6" ])
+
+let levels_props =
+  [
+    qtest "levels: invariants on random DAGs" dag_gen check_levels_invariants;
+    qtest "levels: asap_max+1 = longest path" dag_gen (fun g ->
+        Levels.lower_bound_cycles (Levels.compute g) = Topo.longest_path_length g);
+  ]
+
+(* --- reachability --- *)
+
+let test_reachability_fig2 () =
+  let g = Pg.fig2_3dft () in
+  let r = Reachability.compute g in
+  let at name = Dfg.find g name in
+  Alcotest.(check bool) "a17 follows b6" true
+    (Reachability.is_follower r ~of_:(at "b6") (at "a17"));
+  Alcotest.(check bool) "b6 does not follow a17" false
+    (Reachability.is_follower r ~of_:(at "a17") (at "b6"));
+  (* The §3 example: A1 is an antichain, A2 is not. *)
+  let ids = List.map at in
+  Alcotest.(check bool) "A1 antichain" true
+    (Reachability.is_antichain r (ids [ "b1"; "a4"; "b3"; "b6"; "a16"; "c10" ]));
+  Alcotest.(check bool) "A2 not antichain" false
+    (Reachability.is_antichain r (ids [ "b1"; "a4"; "b3"; "b6"; "a16"; "a17" ]));
+  Alcotest.(check int) "52 comparable pairs" 52 (Reachability.comparable_pairs r)
+
+let reachability_props =
+  [
+    qtest "reachability: matches per-edge closure" dag_gen (fun g ->
+        let r = Reachability.compute g in
+        (* Every edge implies descendant; descendants are transitively
+           closed. *)
+        List.for_all
+          (fun (s, d) -> Reachability.is_follower r ~of_:s d)
+          (Dfg.edges g)
+        && List.for_all
+             (fun i ->
+               Mps_util.Bitset.fold
+                 (fun j acc ->
+                   acc
+                   && Mps_util.Bitset.subset
+                        (Reachability.descendants r j)
+                        (Reachability.descendants r i))
+                 (Reachability.descendants r i)
+                 true)
+             (Dfg.nodes g));
+    qtest "reachability: parallel_set symmetric" dag_gen (fun g ->
+        let r = Reachability.compute g in
+        List.for_all
+          (fun i ->
+            List.for_all
+              (fun j -> Reachability.parallelizable r i j = Reachability.parallelizable r j i)
+              (Dfg.nodes g))
+          (Dfg.nodes g));
+  ]
+
+(* --- text format --- *)
+
+let test_parse_roundtrip () =
+  let g = Pg.fig2_3dft () in
+  let g' = Parse.of_string (Parse.to_string g) in
+  Alcotest.(check bool) "round trip" true (Dfg.equal g g')
+
+let test_parse_comments_and_errors () =
+  let g = Parse.of_string "# header\nnode x a  # trailing\n\nnode y b\nedge x y\n" in
+  Alcotest.(check int) "two nodes" 2 (Dfg.node_count g);
+  (match Parse.of_string "node x a\nedge x zz\n" with
+  | exception Parse.Parse_error { line; _ } -> Alcotest.(check int) "line" 2 line
+  | _ -> Alcotest.fail "unknown edge accepted");
+  match Parse.of_string "nonsense here\n" with
+  | exception Parse.Parse_error { line; _ } -> Alcotest.(check int) "line" 1 line
+  | _ -> Alcotest.fail "bad directive accepted"
+
+let parse_props =
+  [
+    qtest "parse: to_string/of_string identity" dag_gen (fun g ->
+        Dfg.equal g (Parse.of_string (Parse.to_string g)));
+  ]
+
+(* --- dot --- *)
+
+let test_dot_output () =
+  let g = Pg.fig4_small () in
+  let lv = Levels.compute g in
+  let dot = Dot.to_dot ~graph_name:"fig4" ~levels:lv ~highlight:[ 0 ] g in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %S" fragment)
+        true
+        (let n = String.length dot and m = String.length fragment in
+         let rec go i = i + m <= n && (String.sub dot i m = fragment || go (i + 1)) in
+         go 0))
+    [ "digraph fig4"; "\"a1\" -> \"a2\""; "shape=box"; "fillcolor=lightgrey"; "0/0/h3" ]
+
+let () =
+  Alcotest.run "dfg"
+    [
+      ("color", [ Alcotest.test_case "basics" `Quick test_color ]);
+      ( "builder",
+        [
+          Alcotest.test_case "basics" `Quick test_builder_basics;
+          Alcotest.test_case "rejections" `Quick test_builder_rejects;
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "snapshot semantics" `Quick test_builder_snapshot;
+          Alcotest.test_case "of_alist errors" `Quick test_of_alist_errors;
+          Alcotest.test_case "induced and reverse" `Quick test_induced_and_reverse;
+        ] );
+      ( "topo",
+        [
+          Alcotest.test_case "order" `Quick test_topo_order;
+          Alcotest.test_case "longest path" `Quick test_longest_path;
+        ] );
+      ( "levels",
+        [
+          Alcotest.test_case "small example" `Quick test_levels_small;
+          Alcotest.test_case "span and theorem 1 bound" `Quick test_span_and_bound;
+        ]
+        @ levels_props );
+      ( "reachability",
+        [ Alcotest.test_case "fig2 relations" `Quick test_reachability_fig2 ]
+        @ reachability_props );
+      ( "parse",
+        [
+          Alcotest.test_case "roundtrip fig2" `Quick test_parse_roundtrip;
+          Alcotest.test_case "comments and errors" `Quick test_parse_comments_and_errors;
+        ]
+        @ parse_props );
+      ("dot", [ Alcotest.test_case "fragments" `Quick test_dot_output ]);
+    ]

@@ -1,0 +1,118 @@
+(* 16-bit fixed-point semantics: quantization, saturation, and end-to-end
+   precision on the DSP kernels. *)
+
+module Fp = Mps_montium.Fixed_point
+module Program = Mps_frontend.Program
+module Expr = Mps_frontend.Expr
+module Lower = Mps_frontend.Lower
+module Dft = Mps_workloads.Dft
+module Kernels = Mps_workloads.Kernels
+module Cordic = Mps_workloads.Cordic
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let test_quantize_roundtrip () =
+  let fmt = Fp.q 12 in
+  Alcotest.(check int) "1.0 in Q3.12" 4096 (Fp.quantize fmt 1.0);
+  Alcotest.(check (float 1e-9)) "dequantize inverts" 1.0
+    (Fp.dequantize fmt (Fp.quantize fmt 1.0));
+  Alcotest.(check int) "rounds to nearest" 2048 (Fp.quantize fmt 0.5);
+  Alcotest.(check int) "saturates high" 32767 (Fp.quantize fmt 100.0);
+  Alcotest.(check int) "saturates low" (-32768) (Fp.quantize fmt (-100.0));
+  Alcotest.check_raises "format range" (Invalid_argument "Fixed_point.q: frac_bits outside [0,15]")
+    (fun () -> ignore (Fp.q 16))
+
+let test_saturating_ops () =
+  Alcotest.(check int) "add saturates" 32767 (Fp.saturating_add 30000 10000);
+  Alcotest.(check int) "sub saturates" (-32768) (Fp.saturating_sub (-30000) 10000);
+  Alcotest.(check int) "plain add" 5 (Fp.saturating_add 2 3);
+  let fmt = Fp.q 12 in
+  (* 1.0 * 1.0 = 1.0 in Q3.12 *)
+  Alcotest.(check int) "unit product" 4096 (Fp.saturating_mul fmt 4096 4096);
+  (* 4.0 * 4.0 = 16 > 7.999... saturates *)
+  Alcotest.(check int) "product saturates" 32767
+    (Fp.saturating_mul fmt (4 * 4096) (4 * 4096))
+
+let test_program_eval_basic () =
+  let prog = Lower.lower [ ("y", Expr.((var "a" * var "b") + var "c")) ] in
+  let env = function "a" -> 0.5 | "b" -> 0.25 | "c" -> 1.0 | _ -> raise Not_found in
+  let fmt = Fp.q 12 in
+  let got = List.assoc "y" (Fp.eval fmt prog ~env) in
+  Alcotest.(check bool) "near 1.125" true (Float.abs (got -. 1.125) < 0.001)
+
+let test_dft_precision_ladder () =
+  (* More fractional bits -> smaller error, down to ~1e-3 at Q12 for
+     unit-scale inputs. *)
+  let prog = Dft.winograd3 () in
+  let env = Dft.input_env [| (0.5, -0.25); (0.3, 0.8); (-0.6, 0.1) |] in
+  let err f = (Fp.compare_against_float (Fp.q f) prog ~env).Fp.max_abs in
+  let e8 = err 8 and e10 = err 10 and e12 = err 12 in
+  Alcotest.(check bool) "monotone improvement" true (e12 <= e10 && e10 <= e8);
+  Alcotest.(check bool) (Printf.sprintf "Q12 error %.5f small" e12) true (e12 < 5e-3);
+  Alcotest.(check bool) (Printf.sprintf "Q8 error %.5f still sane" e8) true (e8 < 5e-2)
+
+let test_saturation_reported () =
+  let prog = Lower.lower [ ("y", Expr.(var "a" * var "b")) ] in
+  let env = function "a" -> 6.0 | "b" -> 6.0 | _ -> raise Not_found in
+  let report = Fp.compare_against_float (Fp.q 12) prog ~env in
+  (* 36 doesn't fit Q3.12 (max ~8): must clip and flag. *)
+  Alcotest.(check bool) "saturated" true report.Fp.saturated;
+  Alcotest.(check bool) "large error" true (report.Fp.max_abs > 1.0)
+
+let test_cordic_exact_at_q0 () =
+  (* Integer CORDIC in Q15.0 is bit-exact against the integer reference. *)
+  let directions = [ true; false; true; false ] in
+  let prog = Cordic.rotate ~iterations:4 ~directions in
+  let x0 = 1200 and y0 = -345 in
+  let env = function
+    | "x" -> float_of_int x0
+    | "y" -> float_of_int y0
+    | _ -> raise Not_found
+  in
+  let out = Fp.eval (Fp.q 0) prog ~env in
+  let xr, yr = Cordic.reference ~iterations:4 ~directions ~x:x0 ~y:y0 in
+  Alcotest.(check (float 0.)) "x exact" (float_of_int xr) (List.assoc "xr" out);
+  Alcotest.(check (float 0.)) "y exact" (float_of_int yr) (List.assoc "yr" out)
+
+let props =
+  [
+    qtest "quantize error bounded by half an lsb"
+      QCheck2.Gen.(pair (int_range 6 14) (float_range (-1.5) 1.5))
+      (fun (f, v) ->
+        let fmt = Fp.q f in
+        let back = Fp.dequantize fmt (Fp.quantize fmt v) in
+        Float.abs (back -. v) <= 0.5 /. float_of_int (1 lsl f) +. 1e-12);
+    qtest "fixed fir tracks float within lsb-scaled bound"
+      QCheck2.Gen.(array_size (pure 6) (float_range (-0.9) 0.9))
+      (fun window ->
+        let prog = Kernels.fir ~taps:[ 0.25; 0.5; 0.25 ] ~block:4 in
+        let env name =
+          window.(int_of_string (String.sub name 1 (String.length name - 1)))
+        in
+        let report = Fp.compare_against_float (Fp.q 12) prog ~env in
+        (not report.Fp.saturated) && report.Fp.max_abs < 0.01);
+    qtest "saturating ops stay in range"
+      QCheck2.Gen.(pair (int_range (-40000) 40000) (int_range (-40000) 40000))
+      (fun (a, b) ->
+        let within x = x >= -32768 && x <= 32767 in
+        within (Fp.saturating_add a b) && within (Fp.saturating_sub a b));
+  ]
+
+let () =
+  Alcotest.run "fixed_point"
+    [
+      ( "arithmetic",
+        [
+          Alcotest.test_case "quantize" `Quick test_quantize_roundtrip;
+          Alcotest.test_case "saturation" `Quick test_saturating_ops;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "basic eval" `Quick test_program_eval_basic;
+          Alcotest.test_case "dft precision ladder" `Quick test_dft_precision_ladder;
+          Alcotest.test_case "saturation reported" `Quick test_saturation_reported;
+          Alcotest.test_case "cordic exact at Q0" `Quick test_cordic_exact_at_q0;
+        ]
+        @ props );
+    ]

@@ -1,0 +1,171 @@
+(* Expression frontend: smart-constructor algebra, lowering with CSE,
+   program validation, reference evaluation. *)
+
+module Color = Mps_dfg.Color
+module Dfg = Mps_dfg.Dfg
+module Opcode = Mps_frontend.Opcode
+module Expr = Mps_frontend.Expr
+module Program = Mps_frontend.Program
+module Lower = Mps_frontend.Lower
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Random expressions over inputs u,v,w with small constants. *)
+let expr_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            map Expr.var (oneofl [ "u"; "v"; "w" ]);
+            map (fun k -> Expr.const (float_of_int k)) (-3 -- 3);
+          ]
+      else
+        oneof
+          [
+            map2 Expr.( + ) (self (n / 2)) (self (n / 2));
+            map2 Expr.( - ) (self (n / 2)) (self (n / 2));
+            map2 Expr.( * ) (self (n / 2)) (self (n / 2));
+            map Expr.neg (self (n - 1));
+          ])
+
+let env = function
+  | "u" -> 2.0
+  | "v" -> -1.5
+  | "w" -> 0.25
+  | _ -> raise Not_found
+
+(* --- opcodes --- *)
+
+let test_opcode () =
+  Alcotest.(check char) "add color" 'a' (Color.to_char (Opcode.color Opcode.Add));
+  Alcotest.(check char) "neg on subtractor" 'b' (Color.to_char (Opcode.color Opcode.Neg));
+  Alcotest.(check int) "neg unary" 1 (Opcode.arity Opcode.Neg);
+  Alcotest.(check (float 0.)) "eval sub" (-1.0) (Opcode.eval Opcode.Sub [| 2.0; 3.0 |]);
+  Alcotest.(check (float 0.)) "eval and truncates" 4.0
+    (Opcode.eval Opcode.And [| 6.7; 12.9 |]);
+  Alcotest.(check (option string)) "of_string" (Some "xor")
+    (Option.map Opcode.to_string (Opcode.of_string "xor"));
+  Alcotest.(check (option string)) "unknown" None
+    (Option.map Opcode.to_string (Opcode.of_string "frob"));
+  Alcotest.check_raises "arity checked"
+    (Invalid_argument "Opcode.eval: operand count mismatch") (fun () ->
+      ignore (Opcode.eval Opcode.Add [| 1.0 |]))
+
+(* --- smart constructors --- *)
+
+let test_constant_folding () =
+  Alcotest.(check bool) "consts fold" true
+    (Expr.equal (Expr.const 5.0) Expr.(const 2.0 + const 3.0));
+  Alcotest.(check bool) "x+0 = x" true (Expr.equal (Expr.var "x") Expr.(var "x" + const 0.0));
+  Alcotest.(check bool) "1*x = x" true (Expr.equal (Expr.var "x") Expr.(const 1.0 * var "x"));
+  Alcotest.(check bool) "0*x = 0" true (Expr.equal (Expr.const 0.0) Expr.(const 0.0 * var "x"));
+  Alcotest.(check bool) "neg neg x = x" true
+    (Expr.equal (Expr.var "x") (Expr.neg (Expr.neg (Expr.var "x"))));
+  Alcotest.(check int) "folded size" 0 (Expr.size Expr.(const 2.0 * const 3.0));
+  Alcotest.check_raises "binop arity"
+    (Invalid_argument "Expr.binop: neg is not binary") (fun () ->
+      ignore (Expr.binop Opcode.Neg (Expr.var "x") (Expr.var "y")))
+
+let test_free_vars () =
+  let e = Expr.((var "b" * var "a") + (var "a" - const 1.0)) in
+  Alcotest.(check (list string)) "sorted dedup" [ "a"; "b" ] (Expr.free_vars e)
+
+(* --- lowering --- *)
+
+let test_lower_cse () =
+  let shared = Expr.(var "u" * var "v") in
+  let p = Lower.lower [ ("s", Expr.(shared + shared)); ("t", Expr.(shared - const 2.0)) ] in
+  let g = Program.dfg p in
+  (* one mul (shared), one add, one sub *)
+  Alcotest.(check int) "three nodes with CSE" 3 (Dfg.node_count g);
+  let p' =
+    Lower.lower ~cse:false
+      [ ("s", Expr.(shared + shared)); ("t", Expr.(shared - const 2.0)) ]
+  in
+  Alcotest.(check int) "five nodes without CSE" 5 (Dfg.node_count (Program.dfg p'))
+
+let test_lower_commutative_cse () =
+  let p = Lower.lower [ ("s", Expr.((var "u" + var "v") * (var "v" + var "u"))) ] in
+  (* u+v and v+u are one node. *)
+  Alcotest.(check int) "two nodes" 2 (Dfg.node_count (Program.dfg p));
+  let q = Lower.lower [ ("s", Expr.((var "u" - var "v") * (var "v" - var "u"))) ] in
+  (* subtraction is not commutative: three nodes. *)
+  Alcotest.(check int) "three nodes" 3 (Dfg.node_count (Program.dfg q))
+
+let test_lower_trivial_output () =
+  let p = Lower.lower [ ("y", Expr.var "u") ] in
+  Alcotest.(check int) "materialized" 1 (Dfg.node_count (Program.dfg p));
+  Alcotest.(check (list (pair string (float 0.)))) "evaluates to input"
+    [ ("y", 2.0) ]
+    (Program.eval ~env p);
+  Alcotest.check_raises "duplicate outputs"
+    (Invalid_argument "Lower.lower: duplicate output names") (fun () ->
+      ignore (Lower.lower [ ("y", Expr.var "u"); ("y", Expr.var "v") ]))
+
+let test_program_inputs_outputs () =
+  let p = Lower.lower [ ("y", Expr.((var "u" + var "w") * var "u")) ] in
+  Alcotest.(check (list string)) "inputs" [ "u"; "w" ] (Program.inputs p);
+  Alcotest.(check int) "one output" 1 (List.length (Program.outputs p))
+
+let test_program_make_validation () =
+  let g = Dfg.of_alist [ ("a0", Color.add) ] [] in
+  Alcotest.check_raises "color mismatch"
+    (Invalid_argument "Program.make: node 0 color mismatch") (fun () ->
+      ignore
+        (Program.make ~dfg:g
+           ~instructions:
+             [| { Program.opcode = Opcode.Mul; operands = [| Program.Literal 1.0; Program.Literal 2.0 |] } |]
+           ~outputs:[]));
+  Alcotest.check_raises "operand edges mismatch"
+    (Invalid_argument "Program.make: node 0 operands disagree with DFG edges")
+    (fun () ->
+      ignore
+        (Program.make ~dfg:g
+           ~instructions:
+             [| { Program.opcode = Opcode.Add; operands = [| Program.Node 0; Program.Literal 2.0 |] } |]
+           ~outputs:[]))
+
+let props =
+  [
+    qtest "lowering preserves semantics" expr_gen (fun e ->
+        let p = Lower.lower [ ("y", e) ] in
+        let got = List.assoc "y" (Program.eval ~env p) in
+        let want = Expr.eval ~env e in
+        Float.equal got want || (Float.is_nan got && Float.is_nan want));
+    qtest "CSE never changes semantics" expr_gen (fun e ->
+        let with_cse = Lower.lower [ ("y", e) ] in
+        let without = Lower.lower ~cse:false [ ("y", e) ] in
+        Float.equal
+          (List.assoc "y" (Program.eval ~env with_cse))
+          (List.assoc "y" (Program.eval ~env without)));
+    qtest "CSE never grows the graph" expr_gen (fun e ->
+        Dfg.node_count (Program.dfg (Lower.lower [ ("y", e) ]))
+        <= Dfg.node_count (Program.dfg (Lower.lower ~cse:false [ ("y", e) ])));
+    qtest "lowered node count = expr size (no CSE)" expr_gen (fun e ->
+        let p = Lower.lower ~cse:false [ ("y", e) ] in
+        let expected = max (Expr.size e) 1 (* trivial outputs materialize *) in
+        Dfg.node_count (Program.dfg p) = expected);
+  ]
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ("opcode", [ Alcotest.test_case "basics" `Quick test_opcode ]);
+      ( "expr",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+        ] );
+      ( "lower",
+        [
+          Alcotest.test_case "CSE shares" `Quick test_lower_cse;
+          Alcotest.test_case "commutative normalization" `Quick
+            test_lower_commutative_cse;
+          Alcotest.test_case "trivial outputs" `Quick test_lower_trivial_output;
+          Alcotest.test_case "inputs/outputs" `Quick test_program_inputs_outputs;
+          Alcotest.test_case "program validation" `Quick test_program_make_validation;
+        ]
+        @ props );
+    ]

@@ -1,0 +1,150 @@
+(* The configuration-listing interpreter: executing the emitted text alone
+   must reproduce the reference evaluator's value for every node. *)
+
+module Dfg = Mps_dfg.Dfg
+module Pattern = Mps_pattern.Pattern
+module Mp = Mps_scheduler.Multi_pattern
+module Program = Mps_frontend.Program
+module Allocation = Mps_montium.Allocation
+module Codegen = Mps_montium.Codegen
+module Listing_vm = Mps_montium.Listing_vm
+module Dft = Mps_workloads.Dft
+module Kernels = Mps_workloads.Kernels
+module Sorting = Mps_workloads.Sorting
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let listing_of ?patterns prog =
+  let patterns =
+    Option.value patterns
+      ~default:[ Pattern.of_string "aabcc"; Pattern.of_string "abbcc" ]
+  in
+  let sched = (Mp.schedule ~patterns (Program.dfg prog)).Mp.schedule in
+  match Allocation.allocate prog sched with
+  | Error m -> Alcotest.failf "allocation: %s" m
+  | Ok alloc -> (
+      match Codegen.generate prog sched alloc with
+      | Error m -> Alcotest.failf "codegen: %s" m
+      | Ok listing -> listing)
+
+let run_and_compare ?patterns prog env =
+  let listing = listing_of ?patterns prog in
+  match Listing_vm.load listing with
+  | Error m -> Alcotest.failf "load: %s" m
+  | Ok vm -> (
+      match Listing_vm.run vm ~env with
+      | Error m -> Alcotest.failf "run: %s" m
+      | Ok per_node ->
+          let g = Program.dfg prog in
+          let reference = Program.eval_nodes ~env prog in
+          Dfg.iter_nodes
+            (fun i ->
+              match List.assoc_opt (Dfg.name g i) per_node with
+              | None -> Alcotest.failf "node %s missing from VM results" (Dfg.name g i)
+              | Some v ->
+                  if not (Float.equal v reference.(i)) then
+                    Alcotest.failf "node %s: vm %.17g, reference %.17g" (Dfg.name g i) v
+                      reference.(i))
+            g)
+
+let dft_env = Dft.input_env [| (0.75, -1.5); (2.0, 0.25); (-0.5, 1.0) |]
+
+let test_vm_winograd3 () = run_and_compare (Dft.winograd3 ()) dft_env
+
+let test_vm_fft4 () =
+  run_and_compare (Dft.radix2_fft ~n:4)
+    (Dft.input_env [| (1.0, 0.0); (0.0, 1.0); (-1.0, 0.5); (0.25, -0.75) |])
+
+let test_vm_bitonic () =
+  let prog = Sorting.bitonic ~n:4 in
+  let patterns = [ Pattern.of_string "hhii"; Pattern.of_string "hhhii" ] in
+  run_and_compare ~patterns prog (fun name ->
+      [| 3.0; -1.0; 2.5; 0.0 |].(int_of_string (String.sub name 1 1)))
+
+let test_vm_structure () =
+  let prog = Dft.winograd3 () in
+  let listing = listing_of prog in
+  match Listing_vm.load listing with
+  | Error m -> Alcotest.failf "load: %s" m
+  | Ok vm ->
+      Alcotest.(check int) "instruction count"
+        (Dfg.node_count (Program.dfg prog))
+        (Listing_vm.instruction_count vm);
+      Alcotest.(check bool) "patterns parsed" true (Listing_vm.pattern_table vm <> []);
+      Alcotest.(check bool) "cycles parsed" true (Listing_vm.cycle_count vm > 0)
+
+let test_vm_rejects_garbage () =
+  (match Listing_vm.load "garbage before sections\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage preamble");
+  (match Listing_vm.load ".code\n  alu0: frob x ; n\n" with
+  | Error m ->
+      Alcotest.(check bool) "mentions opcode" true
+        (String.length m > 0)
+  | Ok _ -> Alcotest.fail "accepted unknown opcode");
+  match Listing_vm.load ".code\n  alu0: add r0, r1 ; n\n" with
+  | Error _ -> ()
+  | Ok vm -> (
+      (* Parses, but running must fail: code before any cycle header was
+         rejected at load, so this path needs a cycle header. *)
+      match Listing_vm.run vm ~env:(fun _ -> 0.0) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "ran an instruction with empty registers")
+
+let test_vm_detects_missing_value () =
+  let listing =
+    ".patterns\n  P0 aa---\n.inputs\n.code\ncycle 1 pattern P0\n  alu0: add r7, #1 ; ghost\n"
+  in
+  match Listing_vm.load listing with
+  | Error m -> Alcotest.failf "load: %s" m
+  | Ok vm -> (
+      match Listing_vm.run vm ~env:(fun _ -> 0.0) with
+      | Error m ->
+          Alcotest.(check bool) "names the empty register" true
+            (String.length m > 0)
+      | Ok _ -> Alcotest.fail "read from an empty register file")
+
+let vm_props =
+  [
+    qtest "VM = reference on random FIR windows"
+      QCheck2.Gen.(array_size (QCheck2.Gen.pure 6) (float_range (-3.) 3.))
+      (fun window ->
+        let prog = Kernels.fir ~taps:[ 0.5; -0.25; 0.75 ] ~block:4 in
+        let env name =
+          window.(int_of_string (String.sub name 1 (String.length name - 1)))
+        in
+        let listing = listing_of ~patterns:[ Pattern.of_string "aaccc" ] prog in
+        match Listing_vm.load listing with
+        | Error _ -> false
+        | Ok vm -> (
+            match Listing_vm.run vm ~env with
+            | Error _ -> false
+            | Ok per_node ->
+                let g = Program.dfg prog in
+                let reference = Program.eval_nodes ~env prog in
+                List.for_all
+                  (fun i ->
+                    match List.assoc_opt (Dfg.name g i) per_node with
+                    | Some v -> Float.equal v reference.(i)
+                    | None -> false)
+                  (Dfg.nodes g)));
+  ]
+
+let () =
+  Alcotest.run "listing_vm"
+    [
+      ( "execution",
+        [
+          Alcotest.test_case "winograd3" `Quick test_vm_winograd3;
+          Alcotest.test_case "fft4" `Quick test_vm_fft4;
+          Alcotest.test_case "bitonic (min/max)" `Quick test_vm_bitonic;
+        ]
+        @ vm_props );
+      ( "loader",
+        [
+          Alcotest.test_case "structure" `Quick test_vm_structure;
+          Alcotest.test_case "rejects garbage" `Quick test_vm_rejects_garbage;
+          Alcotest.test_case "missing value" `Quick test_vm_detects_missing_value;
+        ] );
+    ]

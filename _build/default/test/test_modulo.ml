@@ -1,0 +1,178 @@
+(* Modulo scheduling (software pipelining) under pattern restrictions. *)
+
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Schedule = Mps_scheduler.Schedule
+module Mp = Mps_scheduler.Multi_pattern
+module Loop_graph = Mps_scheduler.Loop_graph
+module Modulo = Mps_scheduler.Modulo
+module Random_dag = Mps_workloads.Random_dag
+module Pg = Mps_workloads.Paper_graphs
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let pats ss = List.map Pattern.of_string ss
+
+(* A multiply-accumulate loop: acc[i] = acc[i-1] + x[i]*c (one mul, one add,
+   accumulator carried with distance 1). *)
+let mac_loop () =
+  let g =
+    Dfg.of_alist
+      [ ("mul", Color.mul); ("acc", Color.add) ]
+      [ ("mul", "acc") ]
+  in
+  Loop_graph.make g [ { Loop_graph.src = 1; dst = 1; distance = 1 } ]
+
+(* A two-stage recurrence with slack: y[i] depends on y[i-2]. *)
+let slack_loop () =
+  let g =
+    Dfg.of_alist
+      [ ("a0", Color.add); ("a1", Color.add); ("a2", Color.add) ]
+      [ ("a0", "a1"); ("a1", "a2") ]
+  in
+  Loop_graph.make g [ { Loop_graph.src = 2; dst = 0; distance = 2 } ]
+
+let test_bounds () =
+  let l = mac_loop () in
+  Alcotest.(check int) "mac RecMII" 1 (Loop_graph.rec_mii l);
+  Alcotest.(check int) "mac ResMII with ac pattern" 1
+    (Loop_graph.res_mii l ~patterns:(pats [ "ac" ]));
+  Alcotest.(check int) "mac ResMII with 1-slot patterns" 1
+    (Loop_graph.res_mii l ~patterns:(pats [ "a"; "c" ]));
+  let s = slack_loop () in
+  (* Cycle a0->a1->a2->(carried)->a0: latency 3, distance 2 -> II >= 2. *)
+  Alcotest.(check int) "slack RecMII" 2 (Loop_graph.rec_mii s);
+  Alcotest.check_raises "bad distance"
+    (Invalid_argument "Loop_graph.make: carried distance must be >= 1") (fun () ->
+      ignore
+        (Loop_graph.make (Pg.fig4_small ())
+           [ { Loop_graph.src = 0; dst = 1; distance = 0 } ]))
+
+let check_modulo ~patterns loop m =
+  (match Modulo.validate ~patterns loop m with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invalid modulo schedule: %s" msg);
+  (* The decisive check: unroll 4 iterations and validate the flat
+     schedule against the same allowed patterns. *)
+  let flat, sched = Modulo.to_unrolled ~iterations:4 loop m in
+  match Schedule.validate ~allowed:patterns ~capacity:5 flat sched with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "unrolled: %a" (Schedule.pp_violation flat) v
+
+let test_mac_pipelines_to_ii1 () =
+  let loop = mac_loop () in
+  let patterns = pats [ "ac" ] in
+  let m = Modulo.schedule ~patterns loop in
+  Alcotest.(check int) "II = 1" 1 m.Modulo.ii;
+  check_modulo ~patterns loop m
+
+let test_slack_loop () =
+  let loop = slack_loop () in
+  let patterns = pats [ "aa" ] in
+  let m = Modulo.schedule ~patterns loop in
+  Alcotest.(check int) "II = RecMII = 2" 2 m.Modulo.ii;
+  check_modulo ~patterns loop m
+
+let test_resource_bound_bites () =
+  (* Six independent adds with a single-add pattern: II >= 6. *)
+  let g =
+    Dfg.of_alist (List.init 6 (fun i -> (Printf.sprintf "a%d" i, Color.add))) []
+  in
+  let loop = Loop_graph.make g [] in
+  let patterns = pats [ "a" ] in
+  let m = Modulo.schedule ~patterns loop in
+  Alcotest.(check int) "II = 6" 6 m.Modulo.ii;
+  check_modulo ~patterns loop m;
+  (* With a 3-add pattern the same body pipelines at II = 2. *)
+  let patterns = pats [ "aaa" ] in
+  let m = Modulo.schedule ~patterns loop in
+  Alcotest.(check int) "II = 2" 2 m.Modulo.ii;
+  check_modulo ~patterns loop m
+
+let test_3dft_as_loop_body () =
+  (* Stream the paper's 3DFT: one transform per block, no carried deps —
+     modulo scheduling then overlaps consecutive transforms and the II
+     beats the 7-cycle single-shot schedule. *)
+  let g = Pg.fig2_3dft () in
+  let loop = Loop_graph.make g [] in
+  let patterns = pats [ "aabcc"; "aaacc" ] in
+  let single_shot = Mp.cycles ~patterns g in
+  let m = Modulo.schedule ~patterns loop in
+  check_modulo ~patterns loop m;
+  Alcotest.(check bool)
+    (Printf.sprintf "II %d < single-shot %d" m.Modulo.ii single_shot)
+    true
+    (m.Modulo.ii < single_shot);
+  (* 24 nodes over capacity-5 patterns: II can never beat 5; the bound
+     here is the 14 adds over at most 3 add slots per cycle. *)
+  Alcotest.(check bool) "II >= 5" true (m.Modulo.ii >= 5)
+
+let test_uncovered_color () =
+  let loop = mac_loop () in
+  Alcotest.check_raises "mul color uncovered"
+    (Mp.Unschedulable [ Color.mul ])
+    (fun () -> ignore (Modulo.schedule ~patterns:(pats [ "aa" ]) loop))
+
+let test_max_ii_exhausted () =
+  let loop = slack_loop () in
+  match Modulo.schedule ~max_ii:1 ~patterns:(pats [ "aaa" ]) loop with
+  | exception Modulo.No_schedule { tried_up_to } ->
+      Alcotest.(check int) "tried up to 1" 1 tried_up_to
+  | _ -> Alcotest.fail "II=1 should be infeasible for the recurrence"
+
+(* Random loops: random DAG bodies plus random backward carried edges. *)
+let loop_gen =
+  QCheck2.Gen.(
+    map
+      (fun (seed, extra) ->
+        let params =
+          { Random_dag.default_params with Random_dag.layers = 4; width = 3 }
+        in
+        let g = Random_dag.generate ~params ~seed () in
+        let n = Dfg.node_count g in
+        let rng = Mps_util.Rng.create ~seed:(seed + 7919) in
+        let carried =
+          List.init (min extra (max 1 (n / 3))) (fun _ ->
+              let src = Mps_util.Rng.int rng n in
+              let dst = Mps_util.Rng.int rng n in
+              { Loop_graph.src; dst; distance = 1 + Mps_util.Rng.int rng 2 })
+        in
+        Loop_graph.make g carried)
+      (pair (0 -- 3_000) (0 -- 3)))
+
+let modulo_props =
+  [
+    qtest "modulo schedules validate and unroll cleanly" loop_gen (fun loop ->
+        let patterns = pats [ "aabcc"; "abbcc"; "aaabb" ] in
+        match Modulo.schedule ~patterns loop with
+        | m -> (
+            Modulo.validate ~patterns loop m = Ok ()
+            &&
+            let flat, sched = Modulo.to_unrolled ~iterations:3 loop m in
+            Schedule.validate ~allowed:patterns ~capacity:5 flat sched = [])
+        | exception Modulo.No_schedule _ -> true (* budget ran out: allowed *));
+    qtest "achieved II never beats the MII bound" loop_gen (fun loop ->
+        let patterns = pats [ "aabcc"; "abbcc"; "aaabb" ] in
+        match Modulo.schedule ~patterns loop with
+        | m -> m.Modulo.ii >= Loop_graph.mii loop ~patterns
+        | exception Modulo.No_schedule _ -> true);
+  ]
+
+let () =
+  Alcotest.run "modulo"
+    [
+      ( "bounds",
+        [ Alcotest.test_case "rec/res MII" `Quick test_bounds ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "mac loop at II=1" `Quick test_mac_pipelines_to_ii1;
+          Alcotest.test_case "slack recurrence at II=2" `Quick test_slack_loop;
+          Alcotest.test_case "resource bound" `Quick test_resource_bound_bites;
+          Alcotest.test_case "3dft streamed" `Quick test_3dft_as_loop_body;
+          Alcotest.test_case "uncovered color" `Quick test_uncovered_color;
+          Alcotest.test_case "max_ii exhausted" `Quick test_max_ii_exhausted;
+        ]
+        @ modulo_props );
+    ]

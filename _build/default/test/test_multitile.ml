@@ -1,0 +1,170 @@
+(* Multi-tile mapping: level-slice partitioning, cross-tile release timing,
+   and the release-time extension of the core scheduler it relies on. *)
+
+module Dfg = Mps_dfg.Dfg
+module Levels = Mps_dfg.Levels
+module Pattern = Mps_pattern.Pattern
+module Schedule = Mps_scheduler.Schedule
+module Mp = Mps_scheduler.Multi_pattern
+module Multi_tile = Mps_montium.Multi_tile
+module Program = Mps_frontend.Program
+module Dft = Mps_workloads.Dft
+module Kernels = Mps_workloads.Kernels
+module Random_dag = Mps_workloads.Random_dag
+module Pg = Mps_workloads.Paper_graphs
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- release-time scheduling (the hook multi-tile uses) --- *)
+
+let test_release_defaults_to_paper () =
+  let g = Pg.fig2_3dft () in
+  let pats = [ Pattern.of_string "aabcc"; Pattern.of_string "aaacc" ] in
+  let plain = (Mp.schedule ~patterns:pats g).Mp.schedule in
+  let zero = Array.make (Dfg.node_count g) 0 in
+  let released = (Mp.schedule ~release:zero ~patterns:pats g).Mp.schedule in
+  Alcotest.(check int) "same cycles" (Schedule.cycles plain) (Schedule.cycles released);
+  Dfg.iter_nodes
+    (fun i ->
+      Alcotest.(check int) "same placement" (Schedule.cycle_of plain i)
+        (Schedule.cycle_of released i))
+    g
+
+let test_release_delays_and_idles () =
+  (* Delay every source by 3: the whole schedule shifts, with idle lead-in
+     cycles, and every release is respected. *)
+  let g = Pg.fig4_small () in
+  let pats = [ Pattern.of_string "aabb" ] in
+  let release = Array.make (Dfg.node_count g) 0 in
+  List.iter (fun i -> release.(i) <- 3) (Dfg.sources g);
+  let s = (Mp.schedule ~release ~patterns:pats g).Mp.schedule in
+  Dfg.iter_nodes
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "release respected at %s" (Dfg.name g i))
+        true
+        (Schedule.cycle_of s i >= release.(i)))
+    g;
+  Alcotest.(check int) "length = 3 idle + 3 busy" 6 (Schedule.cycles s);
+  (match Schedule.validate ~capacity:5 g s with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "invalid: %a" (Schedule.pp_violation g) v);
+  Alcotest.check_raises "length check"
+    (Invalid_argument "Multi_pattern.schedule: release array length mismatch")
+    (fun () -> ignore (Mp.schedule ~release:[| 0 |] ~patterns:pats g))
+
+(* --- multi-tile mapping --- *)
+
+let workloads =
+  [
+    ("3dft", Pg.fig2_3dft ());
+    ("fft8", Program.dfg (Dft.radix2_fft ~n:8));
+    ("dct8", Program.dfg (Kernels.dct8 ()));
+  ]
+
+let test_mapping_valid () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun tiles ->
+          let options = { Multi_tile.default_options with Multi_tile.tiles } in
+          let m = Multi_tile.map ~options g in
+          match Multi_tile.validate g options m with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s x%d: %s" name tiles msg)
+        [ 1; 2; 3 ])
+    workloads
+
+let test_single_tile_degenerates () =
+  let g = Pg.fig2_3dft () in
+  let options = { Multi_tile.default_options with Multi_tile.tiles = 1 } in
+  let m = Multi_tile.map ~options g in
+  Alcotest.(check int) "no cut" 0 m.Multi_tile.cut_edges;
+  Alcotest.(check int) "matches single-tile flow" m.Multi_tile.single_tile_cycles
+    m.Multi_tile.makespan
+
+let test_partition_is_level_sliced () =
+  let g = Program.dfg (Dft.radix2_fft ~n:8) in
+  let options = { Multi_tile.default_options with Multi_tile.tiles = 2 } in
+  let m = Multi_tile.map ~options g in
+  let lv = Levels.compute g in
+  (* Every tile-0 node sits at a level <= every tile-1 node's level. *)
+  match m.Multi_tile.mappings with
+  | [ t0; t1 ] ->
+      let max0 =
+        List.fold_left (fun acc i -> max acc (Levels.asap lv i)) 0 t0.Multi_tile.tile_nodes
+      in
+      let min1 =
+        List.fold_left
+          (fun acc i -> min acc (Levels.asap lv i))
+          max_int t1.Multi_tile.tile_nodes
+      in
+      Alcotest.(check bool) "forward slicing" true (max0 <= min1)
+  | _ -> Alcotest.fail "expected two mappings"
+
+let test_free_communication_matches_pipeline_split () =
+  (* With zero hop latency, splitting can still cost cycles (smaller
+     per-tile parallelism pools) but must never break validity; and the
+     makespan cannot beat the critical path. *)
+  let g = Program.dfg (Kernels.dct8 ()) in
+  let lv = Levels.compute g in
+  let options =
+    { Multi_tile.default_options with Multi_tile.tiles = 2; hop_latency = 0 }
+  in
+  let m = Multi_tile.map ~options g in
+  Alcotest.(check bool) "above critical path" true
+    (m.Multi_tile.makespan >= Levels.lower_bound_cycles lv)
+
+let test_rejects () =
+  let g = Pg.fig4_small () in
+  Alcotest.check_raises "too many tiles"
+    (Invalid_argument "Multi_tile.map: more tiles than nodes") (fun () ->
+      ignore
+        (Multi_tile.map
+           ~options:{ Multi_tile.default_options with Multi_tile.tiles = 99 }
+           g))
+
+let multi_tile_props =
+  [
+    qtest ~count:12 "random DAGs map validly on 2 and 3 tiles"
+      QCheck2.Gen.(pair (0 -- 2_000) (2 -- 3))
+      (fun (seed, tiles) ->
+        let g = Random_dag.generate ~seed () in
+        if tiles > Dfg.node_count g then true
+        else begin
+          let options = { Multi_tile.default_options with Multi_tile.tiles } in
+          let m = Multi_tile.map ~options g in
+          Multi_tile.validate g options m = Ok ()
+        end);
+    qtest ~count:10 "higher hop latency never helps" QCheck2.Gen.(0 -- 1_000) (fun seed ->
+        let g = Random_dag.generate ~seed () in
+        let at hop =
+          (Multi_tile.map
+             ~options:
+               { Multi_tile.default_options with Multi_tile.tiles = 2; hop_latency = hop }
+             g)
+            .Multi_tile.makespan
+        in
+        at 0 <= at 4);
+  ]
+
+let () =
+  Alcotest.run "multitile"
+    [
+      ( "release-times",
+        [
+          Alcotest.test_case "zero release = paper" `Quick test_release_defaults_to_paper;
+          Alcotest.test_case "delays and idles" `Quick test_release_delays_and_idles;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "validity" `Quick test_mapping_valid;
+          Alcotest.test_case "single tile degenerate" `Quick test_single_tile_degenerates;
+          Alcotest.test_case "level slicing" `Quick test_partition_is_level_sliced;
+          Alcotest.test_case "free communication" `Quick
+            test_free_communication_matches_pipeline_split;
+          Alcotest.test_case "rejections" `Quick test_rejects;
+        ]
+        @ multi_tile_props );
+    ]

@@ -1,0 +1,96 @@
+(* The OFDM receiver chain: reference equivalence, structure, and the full
+   mapping path on the five-color composite workload. *)
+
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Program = Mps_frontend.Program
+module Ofdm = Mps_workloads.Ofdm
+module Pipeline = Core.Pipeline
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs b)
+
+let sample_inputs n seed =
+  let rng = Mps_util.Rng.create ~seed in
+  let draw () =
+    ( Mps_util.Rng.float rng 2.0 -. 1.0,
+      Mps_util.Rng.float rng 2.0 -. 1.0 )
+  in
+  (Array.init n (fun _ -> draw ()), Array.init n (fun _ -> draw ()))
+
+let check_receiver n seed =
+  let samples, channel = sample_inputs n seed in
+  let prog = Ofdm.receiver ~n in
+  let out = Program.eval ~env:(Ofdm.env ~samples ~channel) prog in
+  let got = Ofdm.output_symbols ~n out in
+  let want = Ofdm.reference ~n ~samples ~channel in
+  Array.for_all2
+    (fun (gr, gi) (wr, wi) -> close gr wr && close gi wi)
+    got want
+
+let test_reference_equivalence () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "n=%d" n) true (check_receiver n (n + 17)))
+    [ 2; 4; 8 ]
+
+let test_five_colors () =
+  let g = Program.dfg (Ofdm.receiver ~n:4) in
+  let colors = List.map Color.to_char (Dfg.colors g) in
+  Alcotest.(check (list char)) "a b c h i" [ 'a'; 'b'; 'c'; 'h'; 'i' ] colors
+
+let test_clamping_really_clamps () =
+  (* A loud channel saturates the slicer. *)
+  let n = 4 in
+  let samples = Array.make n (10.0, -10.0) in
+  let channel = Array.make n (5.0, 3.0) in
+  let prog = Ofdm.receiver ~n in
+  let out = Program.eval ~env:(Ofdm.env ~samples ~channel) prog in
+  let syms = Ofdm.output_symbols ~n out in
+  Array.iter
+    (fun (re, im) ->
+      Alcotest.(check bool) "within [-1,1]" true
+        (re >= -1.0 && re <= 1.0 && im >= -1.0 && im <= 1.0))
+    syms
+
+let test_maps_to_tile () =
+  let prog = Ofdm.receiver ~n:4 in
+  let options =
+    { Pipeline.default_options with Pipeline.pdef = 6; enumeration_budget = Some 2_000_000 }
+  in
+  match Pipeline.map_program ~options prog with
+  | Error m -> Alcotest.failf "mapping: %s" m
+  | Ok mapped -> (
+      let samples, channel = sample_inputs 4 99 in
+      match Pipeline.verify mapped ~env:(Ofdm.env ~samples ~channel) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "simulation: %s" m)
+
+let test_reference_validates_lengths () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Ofdm.reference: length mismatch") (fun () ->
+      ignore (Ofdm.reference ~n:4 ~samples:[| (0., 0.) |] ~channel:[| (0., 0.) |]))
+
+let props =
+  [
+    qtest "receiver = reference for random symbols" QCheck2.Gen.(0 -- 5_000)
+      (fun seed -> check_receiver 4 seed);
+    qtest ~count:15 "n=8 receiver = reference" QCheck2.Gen.(0 -- 1_000)
+      (fun seed -> check_receiver 8 seed);
+  ]
+
+let () =
+  Alcotest.run "ofdm"
+    [
+      ( "receiver",
+        [
+          Alcotest.test_case "reference equivalence" `Quick test_reference_equivalence;
+          Alcotest.test_case "five colors" `Quick test_five_colors;
+          Alcotest.test_case "slicer clamps" `Quick test_clamping_really_clamps;
+          Alcotest.test_case "maps and simulates" `Quick test_maps_to_tile;
+          Alcotest.test_case "argument validation" `Quick test_reference_validates_lengths;
+        ]
+        @ props );
+    ]

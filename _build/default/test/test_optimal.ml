@@ -1,0 +1,123 @@
+(* The exact branch-and-bound scheduler: sanity against the list heuristic,
+   the paper's pattern sets, and brute-force-verifiable small graphs. *)
+
+module Dfg = Mps_dfg.Dfg
+module Levels = Mps_dfg.Levels
+module Pattern = Mps_pattern.Pattern
+module Schedule = Mps_scheduler.Schedule
+module Mp = Mps_scheduler.Multi_pattern
+module Optimal = Mps_scheduler.Optimal
+module Random_dag = Mps_workloads.Random_dag
+module Pg = Mps_workloads.Paper_graphs
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let pats = List.map Pattern.of_string
+
+let check_valid g allowed sched =
+  match Schedule.validate ~allowed ~capacity:5 g sched with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "invalid: %a" (Schedule.pp_violation g) v
+
+let test_section4_optimal () =
+  let g = Pg.fig2_3dft () in
+  let allowed = pats [ "aabcc"; "aaacc" ] in
+  let o = Optimal.schedule ~patterns:allowed g in
+  Alcotest.(check bool) "proven" true o.Optimal.proven_optimal;
+  check_valid g allowed o.Optimal.schedule;
+  (* The proven optimum under the §4.3 patterns is 7 — the paper's list
+     heuristic is exactly optimal on its own worked example. *)
+  Alcotest.(check int) "optimum" 7 o.Optimal.cycles;
+  Alcotest.(check int) "list heuristic matches the optimum" o.Optimal.cycles
+    (Mp.cycles ~patterns:allowed g)
+
+let test_table3_optima () =
+  let g = Pg.fig2_3dft () in
+  List.iter
+    (fun (set, _) ->
+      let allowed = pats set in
+      let o = Optimal.schedule ~patterns:allowed g in
+      Alcotest.(check bool) "proven" true o.Optimal.proven_optimal;
+      check_valid g allowed o.Optimal.schedule;
+      let lst = Mp.cycles ~patterns:allowed g in
+      Alcotest.(check bool)
+        (Printf.sprintf "optimal %d <= list %d" o.Optimal.cycles lst)
+        true
+        (o.Optimal.cycles <= lst);
+      Alcotest.(check bool) "above critical path" true (o.Optimal.cycles >= 5))
+    Pg.table3_pattern_sets
+
+let test_single_full_pattern_is_greedy_bound () =
+  (* With one pattern of one color and k slots, the optimum is exactly the
+     per-level packing: a chain of adds of length L with width 1 needs L. *)
+  let b = Dfg.Builder.create () in
+  let prev = ref None in
+  for _ = 1 to 6 do
+    let id = Dfg.Builder.add_node b Mps_dfg.Color.add in
+    (match !prev with Some p -> Dfg.Builder.add_edge b p id | None -> ());
+    prev := Some id
+  done;
+  let g = Dfg.Builder.build b in
+  let o = Optimal.schedule ~patterns:(pats [ "aaaaa" ]) g in
+  Alcotest.(check int) "chain length" 6 o.Optimal.cycles;
+  Alcotest.(check bool) "proven" true o.Optimal.proven_optimal
+
+let test_rejects () =
+  let g = Pg.fig4_small () in
+  Alcotest.check_raises "no patterns"
+    (Invalid_argument "Optimal.schedule: no patterns") (fun () ->
+      ignore (Optimal.schedule ~patterns:[] g));
+  Alcotest.check_raises "uncovered colors"
+    (Mp.Unschedulable [ Mps_dfg.Color.sub ])
+    (fun () -> ignore (Optimal.schedule ~patterns:(pats [ "aa" ]) g))
+
+let test_state_cap_anytime () =
+  let g = Pg.fig2_3dft () in
+  let allowed = pats [ "aabcc"; "aaacc" ] in
+  let o = Optimal.schedule ~max_states:5 ~patterns:allowed g in
+  Alcotest.(check bool) "not proven under tiny cap" false o.Optimal.proven_optimal;
+  (* Anytime: still a valid schedule no worse than the list heuristic. *)
+  check_valid g allowed o.Optimal.schedule;
+  Alcotest.(check bool) "within list bound" true
+    (o.Optimal.cycles <= Mp.cycles ~patterns:allowed g)
+
+let small_dag_gen =
+  let params =
+    { Random_dag.default_params with Random_dag.layers = 4; width = 3 }
+  in
+  QCheck2.Gen.(map (fun seed -> Random_dag.generate ~params ~seed ()) (0 -- 3_000))
+
+let props =
+  [
+    qtest "optimal <= list scheduler, valid, proven" small_dag_gen (fun g ->
+        let allowed = pats [ "aabcc"; "abbcc"; "aaabb" ] in
+        let o = Optimal.schedule ~patterns:allowed g in
+        let lst = Mp.cycles ~patterns:allowed g in
+        o.Optimal.proven_optimal
+        && o.Optimal.cycles <= lst
+        && Schedule.validate ~allowed ~capacity:5 g o.Optimal.schedule = []
+        && o.Optimal.cycles
+           >= Levels.lower_bound_cycles (Levels.compute g));
+    qtest "optimal is monotone in the pattern set" small_dag_gen (fun g ->
+        (* Adding a pattern can only help. *)
+        let small = pats [ "aabcc" ] in
+        let large = pats [ "aabcc"; "abbbc" ] in
+        let o_small = Optimal.schedule ~patterns:small g in
+        let o_large = Optimal.schedule ~patterns:large g in
+        o_large.Optimal.cycles <= o_small.Optimal.cycles);
+  ]
+
+let () =
+  Alcotest.run "optimal"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "section 4.3 optimum is 6" `Quick test_section4_optimal;
+          Alcotest.test_case "table 3 optima" `Quick test_table3_optima;
+          Alcotest.test_case "chain bound" `Quick test_single_full_pattern_is_greedy_bound;
+          Alcotest.test_case "rejections" `Quick test_rejects;
+          Alcotest.test_case "anytime under state cap" `Quick test_state_cap_anytime;
+        ]
+        @ props );
+    ]

@@ -1,0 +1,121 @@
+(* Pattern algebra: canonical spellings, the subpattern partial order,
+   enumeration, random draws. *)
+
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Rng = Mps_util.Rng
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let pat = Pattern.of_string
+
+let pattern_gen =
+  QCheck2.Gen.(
+    map
+      (fun chars -> Pattern.of_colors (List.map Color.of_char chars))
+      (list_size (0 -- 6) (char_range 'a' 'd')))
+
+let test_string_round_trip () =
+  Alcotest.(check string) "canonical" "aabcc" (Pattern.to_string (pat "cabca"));
+  Alcotest.(check string) "dummies skipped" "ab" (Pattern.to_string (pat "a-b--"));
+  Alcotest.(check string) "padded" "aab--" (Pattern.to_padded_string ~capacity:5 (pat "aba"));
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Pattern.to_padded_string: \"aabcc\" exceeds capacity 3")
+    (fun () -> ignore (Pattern.to_padded_string ~capacity:3 (pat "aabcc")))
+
+let test_counts () =
+  let p = pat "aabcc" in
+  Alcotest.(check int) "size" 5 (Pattern.size p);
+  Alcotest.(check int) "count a" 2 (Pattern.count p Color.add);
+  Alcotest.(check int) "count b" 1 (Pattern.count p Color.sub);
+  Alcotest.(check bool) "mem" true (Pattern.mem p Color.mul);
+  Alcotest.(check int) "distinct colors" 3 (List.length (Pattern.colors p));
+  Alcotest.(check bool) "fits 5" true (Pattern.fits_capacity ~capacity:5 p);
+  Alcotest.(check bool) "not 4" false (Pattern.fits_capacity ~capacity:4 p)
+
+let test_subpattern () =
+  Alcotest.(check bool) "aa sub aabcc" true (Pattern.subpattern (pat "aa") ~of_:(pat "aabcc"));
+  Alcotest.(check bool) "aaa not sub aabcc" false
+    (Pattern.subpattern (pat "aaa") ~of_:(pat "aabcc"));
+  Alcotest.(check bool) "reflexive" true (Pattern.subpattern (pat "ab") ~of_:(pat "ab"));
+  Alcotest.(check bool) "proper excludes equal" false
+    (Pattern.proper_subpattern (pat "ab") ~of_:(pat "ab"));
+  Alcotest.(check bool) "empty sub anything" true
+    (Pattern.subpattern Pattern.empty ~of_:(pat "a"))
+
+let test_lattice_ops () =
+  Alcotest.(check string) "join" "aabbc"
+    (Pattern.to_string (Pattern.join (pat "aab") (pat "abbc")));
+  Alcotest.(check string) "meet" "ab"
+    (Pattern.to_string (Pattern.meet (pat "aab") (pat "abbc")));
+  Alcotest.(check string) "sum" "aaabbbc"
+    (Pattern.to_string (Pattern.sum (pat "aab") (pat "abbc")))
+
+let test_enumerate () =
+  let colors = List.map Color.of_char [ 'a'; 'b'; 'c' ] in
+  let ps = Pattern.enumerate ~colors ~max_size:2 in
+  Alcotest.(check (list string)) "all size<=2 patterns over 3 colors"
+    [ "a"; "b"; "c"; "aa"; "ab"; "ac"; "bb"; "bc"; "cc" ]
+    (List.map Pattern.to_string ps);
+  (* Count formula: sum over s of C(k+s-1, s). *)
+  let ps5 = Pattern.enumerate ~colors ~max_size:5 in
+  Alcotest.(check int) "3+6+10+15+21" 55 (List.length ps5)
+
+let test_random_pattern () =
+  let rng = Rng.create ~seed:17 in
+  let colors = List.map Color.of_char [ 'a'; 'b'; 'c' ] in
+  for _ = 1 to 50 do
+    let p = Pattern.random rng ~colors ~size:5 in
+    Alcotest.(check int) "full size" 5 (Pattern.size p);
+    List.iter
+      (fun c -> Alcotest.(check bool) "color from palette" true (List.mem c colors))
+      (Pattern.colors p)
+  done;
+  Alcotest.check_raises "empty colors" (Invalid_argument "Pattern.random: no colors")
+    (fun () -> ignore (Pattern.random rng ~colors:[] ~size:3))
+
+let props =
+  [
+    qtest "pattern: of_string . to_string = id" pattern_gen (fun p ->
+        Pattern.equal p (Pattern.of_string (Pattern.to_string p)));
+    qtest "pattern: subpattern partial order (antisym)"
+      QCheck2.Gen.(pair pattern_gen pattern_gen)
+      (fun (p, q) ->
+        (not (Pattern.subpattern p ~of_:q && Pattern.subpattern q ~of_:p))
+        || Pattern.equal p q);
+    qtest "pattern: subpattern transitive"
+      QCheck2.Gen.(triple pattern_gen pattern_gen pattern_gen)
+      (fun (p, q, r) ->
+        (not (Pattern.subpattern p ~of_:q && Pattern.subpattern q ~of_:r))
+        || Pattern.subpattern p ~of_:r);
+    qtest "pattern: join is least upper bound"
+      QCheck2.Gen.(pair pattern_gen pattern_gen)
+      (fun (p, q) ->
+        let j = Pattern.join p q in
+        Pattern.subpattern p ~of_:j && Pattern.subpattern q ~of_:j
+        && Pattern.size j <= Pattern.size p + Pattern.size q);
+    qtest "pattern: meet below both"
+      QCheck2.Gen.(pair pattern_gen pattern_gen)
+      (fun (p, q) ->
+        let m = Pattern.meet p q in
+        Pattern.subpattern m ~of_:p && Pattern.subpattern m ~of_:q);
+    qtest "pattern: compare consistent with equal"
+      QCheck2.Gen.(pair pattern_gen pattern_gen)
+      (fun (p, q) -> Pattern.equal p q = (Pattern.compare p q = 0));
+  ]
+
+let () =
+  Alcotest.run "pattern"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "string round trip" `Quick test_string_round_trip;
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "subpattern" `Quick test_subpattern;
+          Alcotest.test_case "lattice ops" `Quick test_lattice_ops;
+          Alcotest.test_case "enumerate" `Quick test_enumerate;
+          Alcotest.test_case "random" `Quick test_random_pattern;
+        ] );
+      ("properties", props);
+    ]

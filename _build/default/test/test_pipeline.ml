@@ -1,0 +1,206 @@
+(* Clustering phase and the end-to-end pipeline (the umbrella library). *)
+
+module Dfg = Core.Dfg
+module Color = Core.Color
+module Pattern = Core.Pattern
+module Schedule = Core.Schedule
+module Cluster = Core.Cluster
+module Pipeline = Core.Pipeline
+module Program = Core.Program
+module Dft = Core.Dft
+module Kernels = Core.Kernels
+module Pg = Core.Paper_graphs
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- clustering --- *)
+
+let test_identity_clustering () =
+  let g = Pg.fig2_3dft () in
+  let c = Cluster.identity g in
+  Alcotest.(check int) "same node count" (Dfg.node_count g) (Cluster.cluster_count c);
+  Alcotest.(check int) "no fusions" 0 (Cluster.fused_pairs c);
+  Alcotest.(check bool) "graph unchanged" true (Dfg.equal g c.Cluster.clustered)
+
+let test_mac_clustering_fig2 () =
+  (* In Fig. 2 four multiplications (c9, c12, c13, c14) feed exactly one
+     add each and fuse; c10 and c11 feed two consumers and must stay. *)
+  let g = Pg.fig2_3dft () in
+  let c = Cluster.mac g in
+  Alcotest.(check int) "4 fused pairs" 4 (Cluster.fused_pairs c);
+  Alcotest.(check int) "24 - 4 clusters" 20 (Cluster.cluster_count c);
+  let colors = List.map Color.to_char (Dfg.colors c.Cluster.clustered) in
+  Alcotest.(check bool) "c10/c11 keep their color" true (List.mem 'c' colors);
+  Alcotest.(check bool) "mac present" true (List.mem 'm' colors);
+  let count ch =
+    List.length
+      (List.filter
+         (fun i -> Color.to_char (Dfg.color c.Cluster.clustered i) = ch)
+         (Dfg.nodes c.Cluster.clustered))
+  in
+  Alcotest.(check int) "two bare muls left" 2 (count 'c');
+  Alcotest.(check int) "four macs" 4 (count 'm');
+  (* Mapping is a partition. *)
+  let total =
+    Array.fold_left (fun acc m -> acc + List.length m) 0 c.Cluster.members
+  in
+  Alcotest.(check int) "members partition" 24 total;
+  Array.iteri
+    (fun new_id members ->
+      List.iter
+        (fun old_id ->
+          Alcotest.(check int) "of_original consistent" new_id
+            c.Cluster.of_original.(old_id))
+        members)
+    c.Cluster.members
+
+let test_mac_respects_multi_consumer () =
+  (* A mul with two consumers must not fuse. *)
+  let g =
+    Dfg.of_alist
+      [ ("c0", Color.mul); ("a1", Color.add); ("a2", Color.add) ]
+      [ ("c0", "a1"); ("c0", "a2") ]
+  in
+  let c = Cluster.mac g in
+  Alcotest.(check int) "no fusion" 0 (Cluster.fused_pairs c)
+
+let test_mac_shortens_schedules () =
+  let g = Pg.fig2_3dft () in
+  let c = Cluster.mac g in
+  let lb g = Mps_dfg.Levels.lower_bound_cycles (Mps_dfg.Levels.compute g) in
+  Alcotest.(check bool) "critical path shrinks" true (lb c.Cluster.clustered < lb g)
+
+let dag_gen =
+  QCheck2.Gen.(
+    map (fun seed -> Mps_workloads.Random_dag.generate ~seed ()) (0 -- 3_000))
+
+let clustering_props =
+  [
+    qtest "mac clustering yields a DAG partition" dag_gen (fun g ->
+        let c = Cluster.mac g in
+        let total =
+          Array.fold_left (fun acc m -> acc + List.length m) 0 c.Cluster.members
+        in
+        total = Dfg.node_count g
+        && Cluster.cluster_count c = Dfg.node_count g - Cluster.fused_pairs c);
+    qtest "mac preserves reachability between unfused nodes" dag_gen (fun g ->
+        let c = Cluster.mac g in
+        let r = Mps_dfg.Reachability.compute g in
+        let r' = Mps_dfg.Reachability.compute c.Cluster.clustered in
+        List.for_all
+          (fun i ->
+            List.for_all
+              (fun j ->
+                let ci = c.Cluster.of_original.(i) and cj = c.Cluster.of_original.(j) in
+                ci = cj
+                || (not (Mps_dfg.Reachability.is_follower r ~of_:i j))
+                || Mps_dfg.Reachability.is_follower r' ~of_:ci cj)
+              (Dfg.nodes g))
+          (Dfg.nodes g));
+  ]
+
+(* --- pipeline --- *)
+
+let test_pipeline_3dft_defaults () =
+  let g = Pg.fig2_3dft () in
+  let t = Pipeline.run g in
+  Alcotest.(check int) "paper's Pdef=4 cycles" 7 t.Pipeline.cycles;
+  Alcotest.(check bool) "config fits" true t.Pipeline.config.Core.Config_space.fits;
+  (match
+     Schedule.validate ~allowed:t.Pipeline.patterns ~capacity:5 g t.Pipeline.schedule
+   with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "invalid schedule: %a" (Schedule.pp_violation g) v);
+  Alcotest.(check bool) "selection covers colors" true
+    (Core.Select.covers_all_colors g t.Pipeline.patterns)
+
+let test_pipeline_clustered () =
+  let g = Pg.fig2_3dft () in
+  let options = { Pipeline.default_options with Pipeline.cluster = true } in
+  let t = Pipeline.run ~options g in
+  (match t.Pipeline.clustering with
+  | Some c -> Alcotest.(check int) "fused" 4 (Cluster.fused_pairs c)
+  | None -> Alcotest.fail "clustering requested but absent");
+  Alcotest.(check bool) "clustered schedule no longer" true (t.Pipeline.cycles <= 7)
+
+let test_pipeline_bad_options () =
+  let g = Pg.fig4_small () in
+  Alcotest.check_raises "pdef 0" (Invalid_argument "Pipeline.run: pdef < 1") (fun () ->
+      ignore
+        (Pipeline.run ~options:{ Pipeline.default_options with Pipeline.pdef = 0 } g))
+
+let test_map_program_and_verify () =
+  let prog = Dft.winograd3 () in
+  match Pipeline.map_program prog with
+  | Error m -> Alcotest.failf "mapping failed: %s" m
+  | Ok mapped ->
+      let env = Dft.input_env [| (0.5, 1.0); (2.0, -1.0); (-0.25, 0.75) |] in
+      (match Pipeline.verify mapped ~env with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "verification failed: %s" m);
+      Alcotest.(check bool) "energy positive" true
+        (mapped.Pipeline.energy.Core.Energy.total > 0.0)
+
+let test_map_program_kernels () =
+  List.iter
+    (fun (name, prog) ->
+      match Pipeline.map_program prog with
+      | Error m -> Alcotest.failf "%s failed: %s" name m
+      | Ok mapped ->
+          let env =
+            let inputs = Program.inputs prog in
+            let tbl = Hashtbl.create 16 in
+            List.iteri
+              (fun i n -> Hashtbl.replace tbl n (cos (float_of_int i) *. 2.0))
+              inputs;
+            fun n -> Hashtbl.find tbl n
+          in
+          (match Pipeline.verify mapped ~env with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "%s verification: %s" name m))
+    [
+      ("fft8", Dft.radix2_fft ~n:8);
+      ("dct8", Kernels.dct8 ());
+      ("fir", Kernels.fir ~taps:[ 1.0; -0.5; 0.25 ] ~block:5);
+      ("winograd5", Dft.winograd5 ());
+    ]
+
+let pipeline_props =
+  [
+    qtest ~count:25 "pipeline on random DAGs: valid and within bounds" dag_gen
+      (fun g ->
+        let t = Pipeline.run g in
+        let lower =
+          Mps_dfg.Levels.lower_bound_cycles (Mps_dfg.Levels.compute g)
+        in
+        Schedule.validate ~allowed:t.Pipeline.patterns ~capacity:5 g
+          t.Pipeline.schedule
+        = []
+        && t.Pipeline.cycles >= lower
+        && t.Pipeline.cycles <= Dfg.node_count g);
+  ]
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "clustering",
+        [
+          Alcotest.test_case "identity" `Quick test_identity_clustering;
+          Alcotest.test_case "mac on fig2" `Quick test_mac_clustering_fig2;
+          Alcotest.test_case "multi-consumer blocked" `Quick
+            test_mac_respects_multi_consumer;
+          Alcotest.test_case "shortens critical path" `Quick test_mac_shortens_schedules;
+        ]
+        @ clustering_props );
+      ( "pipeline",
+        [
+          Alcotest.test_case "3dft defaults" `Quick test_pipeline_3dft_defaults;
+          Alcotest.test_case "clustered" `Quick test_pipeline_clustered;
+          Alcotest.test_case "bad options" `Quick test_pipeline_bad_options;
+          Alcotest.test_case "map and verify winograd3" `Quick test_map_program_and_verify;
+          Alcotest.test_case "map and verify kernels" `Quick test_map_program_kernels;
+        ]
+        @ pipeline_props );
+    ]

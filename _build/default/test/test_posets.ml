@@ -1,0 +1,117 @@
+(* Dilworth / Mirsky poset analyses: verified against brute force on small
+   graphs and against each other's structure theorems everywhere. *)
+
+module Dfg = Mps_dfg.Dfg
+module Levels = Mps_dfg.Levels
+module Reachability = Mps_dfg.Reachability
+module Topo = Mps_dfg.Topo
+module Posets = Mps_antichain.Posets
+module Random_dag = Mps_workloads.Random_dag
+module Pg = Mps_workloads.Paper_graphs
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let small_dag_gen =
+  let params = { Random_dag.default_params with Random_dag.layers = 4; width = 3 } in
+  QCheck2.Gen.(map (fun seed -> Random_dag.generate ~params ~seed ()) (0 -- 5_000))
+
+let dag_gen =
+  QCheck2.Gen.(map (fun seed -> Random_dag.generate ~seed ()) (0 -- 5_000))
+
+(* Exponential reference: the largest subset that is an antichain. *)
+let brute_force_width g =
+  let reach = Reachability.compute g in
+  let n = Dfg.node_count g in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let members = List.filter (fun i -> mask land (1 lsl i) <> 0) (Dfg.nodes g) in
+    if List.length members > !best && Reachability.is_antichain reach members then
+      best := List.length members
+  done;
+  !best
+
+let test_fig2_width () =
+  let g = Pg.fig2_3dft () in
+  let p = Posets.analyze g in
+  (* Size-6 antichains exist (the §3 example A1); Table 5's size-5 counts
+     are non-zero, and the width caps how much of the 5-ALU tile a single
+     cycle can ever use. *)
+  Alcotest.(check bool) "width >= 6" true (Posets.width p >= 6);
+  let reach = Reachability.compute g in
+  Alcotest.(check bool) "max antichain valid" true
+    (Reachability.is_antichain reach (Posets.max_antichain p));
+  Alcotest.(check int) "dilworth equality"
+    (Posets.width p)
+    (List.length (Posets.min_chain_cover p));
+  Alcotest.(check int) "mirsky = longest chain" 5
+    (List.length (Posets.mirsky_cover p))
+
+let test_fig4 () =
+  let p = Posets.analyze (Pg.fig4_small ()) in
+  Alcotest.(check int) "width 2" 2 (Posets.width p);
+  Alcotest.(check int) "two chains" 2 (List.length (Posets.min_chain_cover p));
+  Alcotest.(check int) "three levels" 3 (List.length (Posets.mirsky_cover p))
+
+let test_chain_structure () =
+  let g = Pg.fig2_3dft () in
+  let p = Posets.analyze g in
+  let reach = Reachability.compute g in
+  (* Chains partition the nodes and each really is a chain. *)
+  let all = List.concat (Posets.min_chain_cover p) in
+  Alcotest.(check (list int)) "partition" (Dfg.nodes g) (List.sort compare all);
+  List.iter
+    (fun chain ->
+      let rec ordered = function
+        | a :: (b :: _ as rest) ->
+            Alcotest.(check bool) "consecutive comparable" true
+              (Reachability.is_follower reach ~of_:a b);
+            ordered rest
+        | _ -> ()
+      in
+      ordered chain)
+    (Posets.min_chain_cover p)
+
+let test_lower_bound () =
+  let g = Pg.fig2_3dft () in
+  let p = Posets.analyze g in
+  (* 24 nodes, capacity 5: at least ceil(24/5) = 5 = critical path too. *)
+  Alcotest.(check int) "capacity-5 bound" 5 (Posets.lower_bound_cycles p ~capacity:5);
+  (* capacity 2: ceil(24/2) = 12. *)
+  Alcotest.(check int) "capacity-2 bound" 12 (Posets.lower_bound_cycles p ~capacity:2)
+
+let props =
+  [
+    qtest ~count:40 "width = brute force on small graphs" small_dag_gen (fun g ->
+        Dfg.node_count g > 14
+        || Posets.width (Posets.analyze g) = brute_force_width g);
+    qtest "dilworth and mirsky equalities" dag_gen (fun g ->
+        let p = Posets.analyze g in
+        Posets.width p = List.length (Posets.min_chain_cover p)
+        && List.length (Posets.mirsky_cover p) = Topo.longest_path_length g);
+    qtest "max antichain is an antichain" dag_gen (fun g ->
+        let p = Posets.analyze g in
+        Reachability.is_antichain (Reachability.compute g) (Posets.max_antichain p));
+    qtest "mirsky cover cells are antichains" dag_gen (fun g ->
+        let p = Posets.analyze g in
+        let reach = Reachability.compute g in
+        List.for_all (Reachability.is_antichain reach) (Posets.mirsky_cover p));
+    qtest "poset bound never exceeds real schedules" dag_gen (fun g ->
+        let p = Posets.analyze g in
+        let s = Mps_scheduler.Reference.greedy_capacity ~capacity:5 g in
+        Posets.lower_bound_cycles p ~capacity:5
+        <= Mps_scheduler.Schedule.cycles s);
+  ]
+
+let () =
+  Alcotest.run "posets"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "fig2 width and covers" `Quick test_fig2_width;
+          Alcotest.test_case "fig4" `Quick test_fig4;
+          Alcotest.test_case "chain structure" `Quick test_chain_structure;
+          Alcotest.test_case "lower bound" `Quick test_lower_bound;
+        ]
+        @ props );
+    ]

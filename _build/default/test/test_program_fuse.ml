@@ -1,0 +1,186 @@
+(* Program-level MAC fusion: the fused program still evaluates, maps onto
+   the tile, simulates, and generates executable listings. *)
+
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Mp = Mps_scheduler.Multi_pattern
+module Opcode = Mps_frontend.Opcode
+module Expr = Mps_frontend.Expr
+module Lower = Mps_frontend.Lower
+module Program = Mps_frontend.Program
+module Program_fuse = Mps_clustering.Program_fuse
+module Allocation = Mps_montium.Allocation
+module Codegen = Mps_montium.Codegen
+module Listing_vm = Mps_montium.Listing_vm
+module Dft = Mps_workloads.Dft
+module Kernels = Mps_workloads.Kernels
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let env_for prog =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i name -> Hashtbl.replace tbl name (sin (float_of_int (i + 2)) *. 2.0))
+    (Program.inputs prog);
+  fun name -> Hashtbl.find tbl name
+
+let count_opcode prog op =
+  let g = Program.dfg prog in
+  List.length
+    (List.filter
+       (fun i -> (Program.instruction prog i).Program.opcode = op)
+       (Dfg.nodes g))
+
+let test_fuses_fir () =
+  (* FIR: every multiply feeds exactly one add except the one consumed by
+     the first add of each output chain... after left-deep lowering each
+     output is mul + fold of adds, so most muls fuse. *)
+  let prog = Kernels.fir ~taps:[ 0.5; 0.25; -0.75; 0.125 ] ~block:2 in
+  let fused = Program_fuse.fuse prog in
+  Alcotest.(check bool) "some fusion happened" true
+    (Program_fuse.fused_count ~before:prog ~after:fused > 0);
+  Alcotest.(check bool) "macs present" true (count_opcode fused Opcode.Mac > 0);
+  (* Exact float semantics preserved. *)
+  let env = env_for prog in
+  List.iter2
+    (fun (n1, v1) (n2, v2) ->
+      Alcotest.(check string) "output order" n1 n2;
+      Alcotest.(check (float 0.)) n1 v1 v2)
+    (Program.eval ~env prog)
+    (Program.eval ~env fused)
+
+let test_output_mul_not_fused () =
+  (* A multiply that IS an output must survive (its value is observable). *)
+  let bindings =
+    [ ("m", Expr.(var "x" * var "y")); ("s", Expr.((var "x" * var "y") + var "z")) ]
+  in
+  let prog = Lower.lower bindings in
+  (* CSE shares the mul; it has one consumer (the add) but is also an
+     output: fusion must leave it alone. *)
+  let fused = Program_fuse.fuse prog in
+  Alcotest.(check int) "mul kept" 1 (count_opcode fused Opcode.Mul);
+  Alcotest.(check int) "no mac" 0 (count_opcode fused Opcode.Mac);
+  let env = function "x" -> 2.0 | "y" -> 3.0 | "z" -> 1.0 | _ -> raise Not_found in
+  Alcotest.(check (float 0.)) "m" 6.0 (List.assoc "m" (Program.eval ~env fused));
+  Alcotest.(check (float 0.)) "s" 7.0 (List.assoc "s" (Program.eval ~env fused))
+
+let test_multi_consumer_mul_not_fused () =
+  let bindings =
+    [ ("a", Expr.((var "x" * var "y") + var "z"));
+      ("b", Expr.((var "x" * var "y") + var "w")) ]
+  in
+  let prog = Lower.lower bindings in
+  let fused = Program_fuse.fuse prog in
+  (* The shared mul has two consumers: no fusion. *)
+  Alcotest.(check int) "mul kept" 1 (count_opcode fused Opcode.Mul);
+  Alcotest.(check int) "no mac" 0 (count_opcode fused Opcode.Mac)
+
+let test_fused_maps_and_simulates () =
+  let prog = Program_fuse.fuse (Dft.winograd3 ()) in
+  Alcotest.(check bool) "macs present" true (count_opcode prog Opcode.Mac > 0);
+  let patterns = [ Pattern.of_string "aamm"; Pattern.of_string "abbcc" ] in
+  let sched = (Mp.schedule ~patterns (Program.dfg prog)).Mp.schedule in
+  match Allocation.allocate prog sched with
+  | Error m -> Alcotest.failf "allocation: %s" m
+  | Ok alloc -> (
+      let env =
+        Dft.input_env [| (0.25, -1.0); (1.5, 0.75); (-0.5, 2.0) |]
+      in
+      (match
+         Mps_montium.Simulator.check_against_reference prog sched alloc ~env
+       with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "simulation: %s" m);
+      (* And through the listing VM. *)
+      match Codegen.generate prog sched alloc with
+      | Error m -> Alcotest.failf "codegen: %s" m
+      | Ok listing -> (
+          match Listing_vm.load listing with
+          | Error m -> Alcotest.failf "load: %s" m
+          | Ok vm -> (
+              match Listing_vm.run vm ~env with
+              | Error m -> Alcotest.failf "vm: %s" m
+              | Ok per_node ->
+                  let g = Program.dfg prog in
+                  let reference = Program.eval_nodes ~env prog in
+                  Dfg.iter_nodes
+                    (fun i ->
+                      match List.assoc_opt (Dfg.name g i) per_node with
+                      | Some v ->
+                          Alcotest.(check (float 0.)) (Dfg.name g i) reference.(i) v
+                      | None -> Alcotest.failf "missing %s" (Dfg.name g i))
+                    g)))
+
+let test_fusion_shortens_schedules () =
+  let prog = Kernels.fir ~taps:[ 0.5; 0.25; -0.75; 0.125; 0.9 ] ~block:4 in
+  let fused = Program_fuse.fuse prog in
+  let cycles p pats =
+    Mp.cycles ~patterns:(List.map Pattern.of_string pats) (Program.dfg p)
+  in
+  (* Same ALU budget, MAC-capable patterns for the fused program. *)
+  let plain = cycles prog [ "aaccc"; "aaacc" ] in
+  let with_mac = cycles fused [ "mmmcc"; "mmmmc" ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "fused %d <= plain %d" with_mac plain)
+    true (with_mac <= plain)
+
+let fuse_props =
+  [
+    qtest "fusion preserves float semantics exactly"
+      QCheck2.Gen.(0 -- 1_000)
+      (fun seed ->
+        (* Random MAC-heavy kernels: sums of products. *)
+        let rng = Mps_util.Rng.create ~seed in
+        let terms = 1 + Mps_util.Rng.int rng 5 in
+        let bindings =
+          [
+            ( "y",
+              List.init terms (fun i ->
+                  Expr.(
+                    var (Printf.sprintf "a%d" i) * var (Printf.sprintf "b%d" i)))
+              |> function
+              | first :: rest -> List.fold_left Expr.( + ) first rest
+              | [] -> assert false );
+          ]
+        in
+        let prog = Lower.lower bindings in
+        let fused = Program_fuse.fuse prog in
+        let env = env_for prog in
+        Float.equal
+          (List.assoc "y" (Program.eval ~env prog))
+          (List.assoc "y" (Program.eval ~env fused)));
+  ]
+
+let test_pipeline_clustered_mapping () =
+  (* The full clustered path: map_program with cluster on fuses first, and
+     verify simulates the fused program against the float reference. *)
+  let prog = Kernels.fir ~taps:[ 0.5; 0.25; -0.75 ] ~block:4 in
+  let options = { Core.Pipeline.default_options with Core.Pipeline.cluster = true } in
+  match Core.Pipeline.map_program ~options prog with
+  | Error m -> Alcotest.failf "mapping: %s" m
+  | Ok mapped ->
+      Alcotest.(check bool) "mapped program is fused" true
+        (count_opcode mapped.Core.Pipeline.program Opcode.Mac > 0);
+      (match Core.Pipeline.verify mapped ~env:(env_for prog) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "verify: %s" m)
+
+let () =
+  Alcotest.run "program_fuse"
+    [
+      ( "fusion",
+        [
+          Alcotest.test_case "fir fuses" `Quick test_fuses_fir;
+          Alcotest.test_case "output mul survives" `Quick test_output_mul_not_fused;
+          Alcotest.test_case "multi-consumer survives" `Quick
+            test_multi_consumer_mul_not_fused;
+          Alcotest.test_case "maps, simulates, executes as listing" `Quick
+            test_fused_maps_and_simulates;
+          Alcotest.test_case "shortens schedules" `Quick test_fusion_shortens_schedules;
+          Alcotest.test_case "clustered pipeline mapping" `Quick
+            test_pipeline_clustered_mapping;
+        ]
+        @ fuse_props );
+    ]

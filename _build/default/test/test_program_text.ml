@@ -1,0 +1,117 @@
+(* The textual program format: lossless round-trips and parse errors. *)
+
+module Dfg = Mps_dfg.Dfg
+module Program = Mps_frontend.Program
+module Program_text = Mps_frontend.Program_text
+module Expr = Mps_frontend.Expr
+module Lower = Mps_frontend.Lower
+module Dft = Mps_workloads.Dft
+module Kernels = Mps_workloads.Kernels
+module Program_fuse = Mps_clustering.Program_fuse
+
+let qtest ?(count = 80) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let programs =
+  [
+    ("winograd3", Dft.winograd3 ());
+    ("fft4", Dft.radix2_fft ~n:4);
+    ("fir", Kernels.fir ~taps:[ 0.5; -0.25; 0.125 ] ~block:3);
+    ("fused-fir", Program_fuse.fuse (Kernels.fir ~taps:[ 0.5; -0.25 ] ~block:2));
+    ("bitonic4", Mps_workloads.Sorting.bitonic ~n:4);
+    ("horner", Kernels.horner ~degree:4);
+  ]
+
+let env_for prog =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i name -> Hashtbl.replace tbl name (cos (float_of_int (3 * i)) *. 1.5))
+    (Program.inputs prog);
+  fun name -> Hashtbl.find tbl name
+
+let test_round_trips () =
+  List.iter
+    (fun (name, prog) ->
+      let text = Program_text.to_string prog in
+      let back = Program_text.of_string text in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: graphs equal" name)
+        true
+        (Dfg.equal (Program.dfg prog) (Program.dfg back));
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "%s: outputs equal" name)
+        (Program.outputs prog) (Program.outputs back);
+      (* Bit-exact evaluation after the round trip. *)
+      let env = env_for prog in
+      List.iter2
+        (fun (n1, v1) (n2, v2) ->
+          Alcotest.(check string) "name" n1 n2;
+          Alcotest.(check (float 0.)) n1 v1 v2)
+        (Program.eval ~env prog)
+        (Program.eval ~env back))
+    programs
+
+let test_hand_written () =
+  let text =
+    "# a tiny mac kernel\n%t0 = mul x0, #0.5\n%t1 = mac x1, #0.25, %t0\nout y = %t1\n"
+  in
+  let prog = Program_text.of_string text in
+  Alcotest.(check int) "two instructions" 2 (Dfg.node_count (Program.dfg prog));
+  let env = function "x0" -> 4.0 | "x1" -> 8.0 | _ -> raise Not_found in
+  Alcotest.(check (float 1e-12)) "value" 4.0 (List.assoc "y" (Program.eval ~env prog))
+
+let expect_error text fragment =
+  match Program_text.of_string text with
+  | exception Program_text.Parse_error { message; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %s" fragment)
+        true
+        (let n = String.length message and m = String.length fragment in
+         let rec go i = i + m <= n && (String.sub message i m = fragment || go (i + 1)) in
+         m = 0 || go 0)
+  | _ -> Alcotest.failf "accepted %S" text
+
+let test_parse_errors () =
+  expect_error "%a = frob x, y\n" "unknown opcode";
+  expect_error "%a = add x, %later\n%later = add x, y\n" "unknown (or forward)";
+  expect_error "%a = add x\n" "takes 2 operands";
+  expect_error "%a = add x, y\n%a = add x, y\n" "duplicate";
+  expect_error "out y = %nope\n" "unknown value";
+  expect_error "nonsense\n" "expected"
+
+let roundtrip_prop =
+  qtest "random expression programs round-trip bit-exactly"
+    (let open QCheck2.Gen in
+     sized @@ QCheck2.Gen.fix (fun self n ->
+         if n <= 0 then
+           oneof
+             [
+               map Expr.var (oneofl [ "u"; "v"; "w" ]);
+               map (fun k -> Expr.const (float_of_int k /. 3.0)) (-9 -- 9);
+             ]
+         else
+           oneof
+             [
+               map2 Expr.( + ) (self (n / 2)) (self (n / 2));
+               map2 Expr.( - ) (self (n / 2)) (self (n / 2));
+               map2 Expr.( * ) (self (n / 2)) (self (n / 2));
+             ]))
+    (fun e ->
+      let prog = Lower.lower [ ("y", e) ] in
+      let back = Program_text.of_string (Program_text.to_string prog) in
+      let env = function "u" -> 1.25 | "v" -> -0.5 | "w" -> 3.0 | _ -> raise Not_found in
+      Float.equal
+        (List.assoc "y" (Program.eval ~env prog))
+        (List.assoc "y" (Program.eval ~env back)))
+
+let () =
+  Alcotest.run "program_text"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "round trips" `Quick test_round_trips;
+          Alcotest.test_case "hand written" `Quick test_hand_written;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          roundtrip_prop;
+        ] );
+    ]

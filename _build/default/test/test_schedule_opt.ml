@@ -1,0 +1,121 @@
+(* Schedule post-passes: validity-, length- and pattern-preservation, plus
+   measured register-pressure effects through the allocator. *)
+
+module Dfg = Mps_dfg.Dfg
+module Pattern = Mps_pattern.Pattern
+module Schedule = Mps_scheduler.Schedule
+module Schedule_opt = Mps_scheduler.Schedule_opt
+module Mp = Mps_scheduler.Multi_pattern
+module Program = Mps_frontend.Program
+module Allocation = Mps_montium.Allocation
+module Random_dag = Mps_workloads.Random_dag
+module Dft = Mps_workloads.Dft
+module Pg = Mps_workloads.Paper_graphs
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let pats = [ Pattern.of_string "aabcc"; Pattern.of_string "abbcc"; Pattern.of_string "aaacc" ]
+
+let schedule_of g = (Mp.schedule ~patterns:pats g).Mp.schedule
+
+let preserved ?(allow_shorter = false) g before after =
+  (* Hoisting can empty the final cycles and legitimately shorten the
+     schedule; sinking never can. *)
+  (if allow_shorter then Schedule.cycles after <= Schedule.cycles before
+   else Schedule.cycles before = Schedule.cycles after)
+  && Schedule.validate ~allowed:pats ~capacity:5 g after = []
+  && List.init (Schedule.cycles after) (fun c ->
+         Pattern.equal (Schedule.pattern_at before c) (Schedule.pattern_at after c))
+     |> List.for_all Fun.id
+
+let test_sink_late_3dft () =
+  let g = Pg.fig2_3dft () in
+  let s = schedule_of g in
+  let late = Schedule_opt.sink_late g s in
+  Alcotest.(check bool) "preserved" true (preserved g s late);
+  (* Sinks end as late as a free slot allows — at least one moved. *)
+  let moved =
+    List.exists (fun i -> Schedule.cycle_of late i <> Schedule.cycle_of s i) (Dfg.nodes g)
+  in
+  Alcotest.(check bool) "something moved" true moved;
+  Dfg.iter_nodes
+    (fun i ->
+      Alcotest.(check bool) "never earlier" true
+        (Schedule.cycle_of late i >= Schedule.cycle_of s i))
+    g
+
+let test_hoist_early_inverts_direction () =
+  let g = Pg.fig2_3dft () in
+  let s = schedule_of g in
+  let early = Schedule_opt.hoist_early g s in
+  Alcotest.(check bool) "preserved" true (preserved ~allow_shorter:true g s early);
+  Dfg.iter_nodes
+    (fun i ->
+      Alcotest.(check bool) "never later" true
+        (Schedule.cycle_of early i <= Schedule.cycle_of s i))
+    g
+
+let test_idempotent () =
+  let g = Pg.fig2_3dft () in
+  let s = Schedule_opt.sink_late g (schedule_of g) in
+  let s2 = Schedule_opt.sink_late g s in
+  Dfg.iter_nodes
+    (fun i ->
+      Alcotest.(check int) "fixed point" (Schedule.cycle_of s i) (Schedule.cycle_of s2 i))
+    g
+
+let test_pressure_measured () =
+  (* On the winograd3 mapping, report (and sanity-bound) the pressure
+     delta; the claim is measured, not theoretical. *)
+  let prog = Dft.winograd3 () in
+  let g = Program.dfg prog in
+  let s = schedule_of g in
+  let late = Schedule_opt.sink_late g s in
+  let pressure sched =
+    match Allocation.allocate prog sched with
+    | Ok a -> (Allocation.stats a).Allocation.peak_registers
+    | Error m -> Alcotest.failf "allocation: %s" m
+  in
+  let before = pressure s and after = pressure late in
+  Alcotest.(check bool)
+    (Printf.sprintf "pressure stays sane (%d -> %d)" before after)
+    true
+    (after <= before + 2)
+
+let dag_gen =
+  QCheck2.Gen.(map (fun seed -> Random_dag.generate ~seed ()) (0 -- 4_000))
+
+let props =
+  [
+    qtest "sink_late preserves everything" dag_gen (fun g ->
+        match Mp.schedule ~patterns:pats g with
+        | r -> preserved g r.Mp.schedule (Schedule_opt.sink_late g r.Mp.schedule)
+        | exception Mp.Unschedulable _ -> true);
+    qtest "hoist_early preserves everything" dag_gen (fun g ->
+        match Mp.schedule ~patterns:pats g with
+        | r ->
+            preserved ~allow_shorter:true g r.Mp.schedule
+              (Schedule_opt.hoist_early g r.Mp.schedule)
+        | exception Mp.Unschedulable _ -> true);
+    qtest "hoist after sink returns within the envelope" dag_gen (fun g ->
+        match Mp.schedule ~patterns:pats g with
+        | exception Mp.Unschedulable _ -> true
+        | r ->
+            let s = r.Mp.schedule in
+            let back = Schedule_opt.hoist_early g (Schedule_opt.sink_late g s) in
+            preserved ~allow_shorter:true g s back);
+  ]
+
+let () =
+  Alcotest.run "schedule_opt"
+    [
+      ( "post-passes",
+        [
+          Alcotest.test_case "sink late on 3dft" `Quick test_sink_late_3dft;
+          Alcotest.test_case "hoist early" `Quick test_hoist_early_inverts_direction;
+          Alcotest.test_case "idempotent" `Quick test_idempotent;
+          Alcotest.test_case "pressure measured" `Quick test_pressure_measured;
+        ]
+        @ props );
+    ]

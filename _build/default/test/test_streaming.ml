@@ -1,0 +1,164 @@
+(* Streaming loop kernels and the prologue/kernel/epilogue expansion. *)
+
+module Dfg = Mps_dfg.Dfg
+module Pattern = Mps_pattern.Pattern
+module Schedule = Mps_scheduler.Schedule
+module Loop_graph = Mps_scheduler.Loop_graph
+module Modulo = Mps_scheduler.Modulo
+module Pipeline_code = Mps_scheduler.Pipeline_code
+module Loops = Mps_workloads.Loops
+
+let pats ss = List.map Pattern.of_string ss
+let default_pats = pats [ "aabcc"; "abbcc"; "aaacc" ]
+
+let scheduled kernel =
+  (kernel, Modulo.schedule ~patterns:default_pats kernel.Loops.loop)
+
+(* --- loop kernels --- *)
+
+let test_loop_shapes () =
+  let fir = Loops.fir_stream ~taps:8 in
+  Alcotest.(check int) "fir8: 8 muls + 7 adds" 15
+    (Dfg.node_count (Loop_graph.body fir.Loops.loop));
+  Alcotest.(check int) "fir has no recurrence" 1 (Loop_graph.rec_mii fir.Loops.loop);
+  let acc = Loops.accumulator ~width:4 in
+  Alcotest.(check int) "acc RecMII" 1 (Loop_graph.rec_mii acc.Loops.loop);
+  let iir = Loops.iir_stream () in
+  (* y -> m_a1 -> s_fb -> y is a 3-op cycle at distance 1: RecMII = 3. *)
+  Alcotest.(check int) "iir RecMII" 3 (Loop_graph.rec_mii iir.Loops.loop);
+  let mavg = Loops.moving_average ~window:8 in
+  (* add_new -> sub_old -> (carried) -> add_new: latency 2, distance 1. *)
+  Alcotest.(check int) "mavg RecMII" 2 (Loop_graph.rec_mii mavg.Loops.loop)
+
+let test_all_loops_pipeline () =
+  List.iter
+    (fun kernel ->
+      let k, m = scheduled kernel in
+      (match Modulo.validate ~patterns:default_pats k.Loops.loop m with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: %s" k.Loops.label msg);
+      let flat, sched = Modulo.to_unrolled ~iterations:3 k.Loops.loop m in
+      match Schedule.validate ~allowed:default_pats ~capacity:5 flat sched with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "%s unrolled: %a" k.Loops.label (Schedule.pp_violation flat) v)
+    (Loops.all ())
+
+let test_iir_ii_is_recurrence_bound () =
+  let k, m = scheduled (Loops.iir_stream ()) in
+  Alcotest.(check int) "II = RecMII" (Loop_graph.rec_mii k.Loops.loop) m.Modulo.ii
+
+(* --- pipeline expansion --- *)
+
+let test_expansion_conservation () =
+  (* Every (node, relative iteration) appears exactly once per kernel
+     instance; prologue and epilogue mirror each other in size. *)
+  List.iter
+    (fun kernel ->
+      let k, m = scheduled kernel in
+      let g = Loop_graph.body k.Loops.loop in
+      let p = Pipeline_code.expand k.Loops.loop m in
+      Alcotest.(check int)
+        (Printf.sprintf "%s kernel length = II" k.Loops.label)
+        m.Modulo.ii
+        (List.length p.Pipeline_code.kernel);
+      let kernel_ops =
+        List.concat_map (fun c -> c.Pipeline_code.operations) p.Pipeline_code.kernel
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s kernel covers the body once" k.Loops.label)
+        (Dfg.node_count g)
+        (List.length kernel_ops);
+      let sorted = List.sort compare (List.map fst kernel_ops) in
+      Alcotest.(check (list int)) "each node exactly once" (Dfg.nodes g) sorted;
+      Alcotest.(check int) "prologue length = L - II"
+        (max 0 (m.Modulo.makespan - m.Modulo.ii))
+        (List.length p.Pipeline_code.prologue);
+      Alcotest.(check int) "epilogue mirrors prologue"
+        (List.length p.Pipeline_code.prologue)
+        (List.length p.Pipeline_code.epilogue);
+      (* Prologue + one kernel instance = one full iteration 0 plus the
+         heads of later iterations; check iteration 0 appears completely
+         across prologue+kernel with relative indexing respected. *)
+      let pro_ops =
+        List.concat_map (fun c -> c.Pipeline_code.operations) p.Pipeline_code.prologue
+      in
+      List.iter
+        (fun (_, r) ->
+          Alcotest.(check bool) "prologue iterations are in-flight ones" true
+            (r >= 0 && r < p.Pipeline_code.overlap))
+        pro_ops)
+    (Loops.all ())
+
+let test_expansion_pattern_covers_load () =
+  List.iter
+    (fun kernel ->
+      let k, m = scheduled kernel in
+      let g = Loop_graph.body k.Loops.loop in
+      let p = Pipeline_code.expand k.Loops.loop m in
+      List.iter
+        (fun phase ->
+          List.iter
+            (fun { Pipeline_code.operations; pattern } ->
+              let bag =
+                Pattern.of_colors (List.map (fun (i, _) -> Dfg.color g i) operations)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s phase cycle load fits" k.Loops.label)
+                true
+                (Pattern.subpattern bag ~of_:pattern))
+            phase)
+        [ p.Pipeline_code.prologue; p.Pipeline_code.kernel; p.Pipeline_code.epilogue ])
+    (Loops.all ())
+
+let test_total_cycles () =
+  let k, m = scheduled (Loops.accumulator ~width:4) in
+  ignore k;
+  Alcotest.(check int) "one iteration = latency" m.Modulo.makespan
+    (Pipeline_code.total_cycles m ~iterations:1);
+  Alcotest.(check int) "100 iterations"
+    ((99 * m.Modulo.ii) + m.Modulo.makespan)
+    (Pipeline_code.total_cycles m ~iterations:100);
+  Alcotest.check_raises "iterations < 1"
+    (Invalid_argument "Pipeline_code.total_cycles: iterations < 1") (fun () ->
+      ignore (Pipeline_code.total_cycles m ~iterations:0))
+
+let test_throughput_beats_single_shot () =
+  (* Amortized cost per iteration (II) is at most the single-shot length;
+     over many iterations the pipeline wins or ties for every kernel. *)
+  List.iter
+    (fun kernel ->
+      let k, m = scheduled kernel in
+      let g = Loop_graph.body k.Loops.loop in
+      let single =
+        Schedule.cycles
+          (Mps_scheduler.Multi_pattern.schedule ~patterns:default_pats g)
+            .Mps_scheduler.Multi_pattern.schedule
+      in
+      let n = 1000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: pipelined %d <= %d sequential" k.Loops.label
+           (Pipeline_code.total_cycles m ~iterations:n)
+           (n * single))
+        true
+        (Pipeline_code.total_cycles m ~iterations:n <= n * single))
+    (Loops.all ())
+
+let () =
+  Alcotest.run "streaming"
+    [
+      ( "loop-kernels",
+        [
+          Alcotest.test_case "shapes and bounds" `Quick test_loop_shapes;
+          Alcotest.test_case "all pipeline and unroll" `Quick test_all_loops_pipeline;
+          Alcotest.test_case "iir hits recurrence bound" `Quick
+            test_iir_ii_is_recurrence_bound;
+        ] );
+      ( "expansion",
+        [
+          Alcotest.test_case "conservation" `Quick test_expansion_conservation;
+          Alcotest.test_case "pattern coverage" `Quick test_expansion_pattern_covers_load;
+          Alcotest.test_case "total cycles" `Quick test_total_cycles;
+          Alcotest.test_case "throughput wins" `Quick test_throughput_beats_single_shot;
+        ] );
+    ]

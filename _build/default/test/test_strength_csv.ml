@@ -1,0 +1,146 @@
+(* Strength reduction (mul-by-2^k -> shift) and the CSV writer. *)
+
+module Expr = Mps_frontend.Expr
+module Opcode = Mps_frontend.Opcode
+module Strength = Mps_frontend.Strength
+module Lower = Mps_frontend.Lower
+module Program = Mps_frontend.Program
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Fp = Mps_montium.Fixed_point
+module Csv = Mps_util.Csv
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- strength reduction --- *)
+
+let test_power_of_two () =
+  Alcotest.(check (option int)) "8" (Some 3) (Strength.power_of_two 8.0);
+  Alcotest.(check (option int)) "1" (Some 0) (Strength.power_of_two 1.0);
+  Alcotest.(check (option int)) "16384" (Some 14) (Strength.power_of_two 16384.0);
+  Alcotest.(check (option int)) "32768 out of range" None (Strength.power_of_two 32768.0);
+  Alcotest.(check (option int)) "6" None (Strength.power_of_two 6.0);
+  Alcotest.(check (option int)) "0.5" None (Strength.power_of_two 0.5);
+  Alcotest.(check (option int)) "-4" None (Strength.power_of_two (-4.0))
+
+let count_color prog ch =
+  let g = Program.dfg prog in
+  List.length (List.filter (fun i -> Color.to_char (Dfg.color g i) = ch) (Dfg.nodes g))
+
+let test_rewrites_muls_to_shifts () =
+  let bindings =
+    [
+      ("y", Expr.((const 8.0 * var "x") + (const 3.0 * var "z")));
+      ("w", Expr.(var "x" * const (-4.0)));
+    ]
+  in
+  let plain = Lower.lower bindings in
+  let reduced = Strength.program bindings in
+  Alcotest.(check int) "three muls before" 3 (count_color plain 'c');
+  Alcotest.(check int) "one mul left (the x3)" 1 (count_color reduced 'c');
+  Alcotest.(check int) "shifts introduced" 2 (count_color reduced 'g');
+  Alcotest.(check int) "negation for -4" 1 (count_color reduced 'b')
+
+let test_integer_semantics_preserved () =
+  let bindings = [ ("y", Expr.((const 8.0 * var "x") - (var "z" * const 2.0))) ] in
+  let plain = Lower.lower bindings in
+  let reduced = Strength.program bindings in
+  let env = function "x" -> 37.0 | "z" -> -12.0 | _ -> raise Not_found in
+  Alcotest.(check (float 0.)) "same on integers"
+    (List.assoc "y" (Program.eval ~env plain))
+    (List.assoc "y" (Program.eval ~env reduced))
+
+let test_fixed_point_equivalence () =
+  (* In Q0 fixed point, shift-left k == multiply by 2^k exactly. *)
+  let bindings = [ ("y", Expr.((const 4.0 * var "x") + var "z")) ] in
+  let plain = Lower.lower bindings in
+  let reduced = Strength.program bindings in
+  let env = function "x" -> 123.0 | "z" -> -77.0 | _ -> raise Not_found in
+  let fmt = Fp.q 0 in
+  Alcotest.(check (float 0.)) "fixed-point equal"
+    (List.assoc "y" (Fp.eval fmt plain ~env))
+    (List.assoc "y" (Fp.eval fmt reduced ~env))
+
+let strength_props =
+  [
+    qtest "integer semantics preserved on random programs"
+      QCheck2.Gen.(
+        triple (int_range (-50) 50) (int_range (-50) 50)
+          (list_size (1 -- 4) (int_range 0 5)))
+      (fun (xv, zv, ks) ->
+        let terms =
+          List.mapi
+            (fun i k ->
+              let v = if i mod 2 = 0 then Expr.var "x" else Expr.var "z" in
+              Expr.(const (Float.pow 2.0 (float_of_int k)) * v))
+            ks
+        in
+        let sum =
+          match terms with
+          | first :: rest -> List.fold_left Expr.( + ) first rest
+          | [] -> assert false
+        in
+        let bindings = [ ("y", sum) ] in
+        let env = function
+          | "x" -> float_of_int xv
+          | "z" -> float_of_int zv
+          | _ -> raise Not_found
+        in
+        Float.equal
+          (List.assoc "y" (Program.eval ~env (Lower.lower bindings)))
+          (List.assoc "y" (Program.eval ~env (Strength.program bindings))));
+    qtest "never increases multiplier count"
+      QCheck2.Gen.(list_size (1 -- 5) (float_range (-9.) 9.))
+      (fun coeffs ->
+        let terms = List.mapi (fun i c -> Expr.(const c * var (Printf.sprintf "x%d" i))) coeffs in
+        let sum =
+          match terms with
+          | first :: rest -> List.fold_left Expr.( + ) first rest
+          | [] -> assert false
+        in
+        let bindings = [ ("y", sum) ] in
+        count_color (Strength.program bindings) 'c'
+        <= count_color (Lower.lower bindings) 'c');
+  ]
+
+(* --- csv --- *)
+
+let test_csv_basic () =
+  let t = Csv.create ~header:[ "name"; "value" ] in
+  Csv.add_row t [ "plain"; "1" ];
+  Csv.add_row t [ "with,comma"; "2" ];
+  Csv.add_row t [ "with\"quote"; "3" ];
+  Alcotest.(check string) "rendering"
+    "name,value\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+    (Csv.render t);
+  Alcotest.check_raises "width check" (Invalid_argument "Csv.add_row: row width mismatch")
+    (fun () -> Csv.add_row t [ "too"; "many"; "fields" ])
+
+let test_csv_save () =
+  let t = Csv.of_table_rows ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  let path = Filename.temp_file "mpsched" ".csv" in
+  Csv.save ~path t;
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file content" "a,b\n1,2\n3,4\n" content
+
+let () =
+  Alcotest.run "strength_csv"
+    [
+      ( "strength",
+        [
+          Alcotest.test_case "power_of_two" `Quick test_power_of_two;
+          Alcotest.test_case "rewrites" `Quick test_rewrites_muls_to_shifts;
+          Alcotest.test_case "integer semantics" `Quick test_integer_semantics_preserved;
+          Alcotest.test_case "fixed-point equivalence" `Quick test_fixed_point_equivalence;
+        ]
+        @ strength_props );
+      ( "csv",
+        [
+          Alcotest.test_case "quoting" `Quick test_csv_basic;
+          Alcotest.test_case "save" `Quick test_csv_save;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+(* Workload generators: every kernel checked against an independent
+   reference implementation, plus structural properties of the random DAGs. *)
+
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Program = Mps_frontend.Program
+module Dft = Mps_workloads.Dft
+module Kernels = Mps_workloads.Kernels
+module Random_dag = Mps_workloads.Random_dag
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs b)
+
+let complex_vec_gen n =
+  QCheck2.Gen.(
+    array_size (pure n)
+      (pair (float_range (-10.) 10.) (float_range (-10.) 10.)))
+
+let check_dft name prog n xs =
+  let out = Program.eval ~env:(Dft.input_env xs) prog in
+  let got = Dft.output_spectrum ~n out in
+  let want = Dft.reference ~n xs in
+  Array.for_all2
+    (fun (gr, gi) (wr, wi) -> close gr wr && close gi wi)
+    got want
+  || (Printf.printf "%s mismatch\n" name;
+      false)
+
+let dft_props =
+  [
+    qtest "direct3 = reference" (complex_vec_gen 3) (fun xs ->
+        check_dft "direct3" (Dft.direct ~n:3) 3 xs);
+    qtest "direct5 = reference" ~count:20 (complex_vec_gen 5) (fun xs ->
+        check_dft "direct5" (Dft.direct ~n:5) 5 xs);
+    qtest "winograd3 = reference" (complex_vec_gen 3) (fun xs ->
+        check_dft "winograd3" (Dft.winograd3 ()) 3 xs);
+    qtest "winograd5 = reference" (complex_vec_gen 5) (fun xs ->
+        check_dft "winograd5" (Dft.winograd5 ()) 5 xs);
+    qtest "fft8 = reference" ~count:20 (complex_vec_gen 8) (fun xs ->
+        check_dft "fft8" (Dft.radix2_fft ~n:8) 8 xs);
+  ]
+
+let test_dft_shapes () =
+  let shape p = Dfg.node_count (Program.dfg p) in
+  Alcotest.(check int) "winograd3 is 16 ops" 16 (shape (Dft.winograd3 ()));
+  Alcotest.(check int) "winograd5 is 45 ops" 45 (shape (Dft.winograd5 ()));
+  Alcotest.(check bool) "direct5 much larger" true (shape (Dft.direct ~n:5) > 100);
+  Alcotest.check_raises "fft needs power of two"
+    (Invalid_argument "Dft.radix2_fft: n must be a power of two >= 2") (fun () ->
+      ignore (Dft.radix2_fft ~n:6));
+  Alcotest.check_raises "direct needs n>=2"
+    (Invalid_argument "Dft.direct: n must be >= 2") (fun () ->
+      ignore (Dft.direct ~n:1))
+
+let test_paperlike_color_mix () =
+  (* winograd3's op mix resembles Fig. 2's 14a/4b/6c (exact equality is not
+     expected: the paper's graph folds the X0 outputs differently). *)
+  let g = Program.dfg (Dft.winograd3 ()) in
+  let count ch =
+    match List.assoc_opt (Color.of_char ch) (Dfg.color_counts g) with
+    | Some k -> k
+    | None -> 0
+  in
+  Alcotest.(check bool) "adds dominate" true (count 'a' > count 'b');
+  Alcotest.(check int) "4 real multiplies" 4 (count 'c')
+
+(* --- FIR --- *)
+
+let fir_window_gen =
+  QCheck2.Gen.(array_size (pure 8) (float_range (-5.) 5.))
+
+let fir_props =
+  [
+    qtest "fir = reference" fir_window_gen (fun window ->
+        let taps = [ 0.25; 0.5; -0.125; 1.0 ] in
+        let block = Array.length window - List.length taps + 1 in
+        let prog = Kernels.fir ~taps ~block in
+        let env name =
+          match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+          | Some i when name.[0] = 'x' -> window.(i)
+          | _ -> raise Not_found
+        in
+        let got = Program.eval ~env prog in
+        let want = Kernels.fir_reference ~taps window in
+        List.for_all
+          (fun (name, v) ->
+            let i = int_of_string (String.sub name 1 (String.length name - 1)) in
+            close v want.(i))
+          got);
+  ]
+
+let test_fir_args () =
+  Alcotest.check_raises "empty taps" (Invalid_argument "Kernels.fir: empty taps")
+    (fun () -> ignore (Kernels.fir ~taps:[] ~block:2));
+  Alcotest.check_raises "bad block" (Invalid_argument "Kernels.fir: block < 1")
+    (fun () -> ignore (Kernels.fir ~taps:[ 1.0 ] ~block:0))
+
+(* --- IIR --- *)
+
+let test_iir_matches_direct_recurrence () =
+  let b = (0.2, 0.3, 0.1) and a = (-0.5, 0.25) in
+  let block = 6 in
+  let prog = Kernels.iir_biquad ~b ~a ~block in
+  let xs = [| 1.0; -2.0; 0.5; 3.0; 0.0; -1.0 |] in
+  let x_1 = 0.7 and x_2 = -0.3 and y_1 = 0.1 and y_2 = 0.4 in
+  let env name =
+    match name with
+    | "x_1" -> x_1
+    | "x_2" -> x_2
+    | "y_1" -> y_1
+    | "y_2" -> y_2
+    | _ -> xs.(int_of_string (String.sub name 1 (String.length name - 1)))
+  in
+  let got = Program.eval ~env prog in
+  (* independent recurrence *)
+  let b0, b1, b2 = b and a1, a2 = a in
+  let ys = Array.make block 0.0 in
+  let x i = if i >= 0 then xs.(i) else if i = -1 then x_1 else x_2 in
+  let y i = if i >= 0 then ys.(i) else if i = -1 then y_1 else y_2 in
+  for n = 0 to block - 1 do
+    ys.(n) <-
+      (b0 *. x n) +. (b1 *. x (n - 1)) +. (b2 *. x (n - 2)) -. (a1 *. y (n - 1))
+      -. (a2 *. y (n - 2))
+  done;
+  List.iter
+    (fun (name, v) ->
+      let i = int_of_string (String.sub name 1 (String.length name - 1)) in
+      Alcotest.(check bool) (Printf.sprintf "%s close" name) true (close v ys.(i)))
+    got
+
+let test_iir_serial_structure () =
+  (* The recurrence forces depth ~ block. *)
+  let prog = Kernels.iir_biquad ~b:(0.2, 0.3, 0.1) ~a:(-0.5, 0.25) ~block:8 in
+  let g = Program.dfg prog in
+  let lv = Mps_dfg.Levels.compute g in
+  Alcotest.(check bool) "critical path at least block long" true
+    (Mps_dfg.Levels.lower_bound_cycles lv >= 8)
+
+(* --- DCT --- *)
+
+let dct_props =
+  [
+    qtest "dct8 = reference" (QCheck2.Gen.array_size (QCheck2.Gen.pure 8)
+                                (QCheck2.Gen.float_range (-4.) 4.)) (fun xs ->
+        let prog = Kernels.dct8 () in
+        let env name = xs.(int_of_string (String.sub name 1 1)) in
+        let got = Program.eval ~env prog in
+        let want = Kernels.dct8_reference xs in
+        List.for_all
+          (fun (name, v) ->
+            close v want.(int_of_string (String.sub name 1 1)))
+          got);
+  ]
+
+(* --- matmul --- *)
+
+let test_matmul () =
+  let prog = Kernels.matmul ~m:2 ~k:3 ~n:2 in
+  let a = [| [| 1.0; 2.0; 3.0 |]; [| -1.0; 0.5; 2.0 |] |] in
+  let b = [| [| 2.0; 0.0 |]; [| 1.0; -1.0 |]; [| 0.5; 3.0 |] |] in
+  let coords name =
+    match String.split_on_char '_' name with
+    | [ m; i; j ] -> (m, int_of_string i, int_of_string j)
+    | _ -> raise Not_found
+  in
+  let env name =
+    let m, i, j = coords name in
+    match m with "a" -> a.(i).(j) | "b" -> b.(i).(j) | _ -> raise Not_found
+  in
+  let got = Program.eval ~env prog in
+  List.iter
+    (fun (name, v) ->
+      let _, i, j = coords name in
+      let want =
+        (a.(i).(0) *. b.(0).(j)) +. (a.(i).(1) *. b.(1).(j)) +. (a.(i).(2) *. b.(2).(j))
+      in
+      Alcotest.(check bool) name true (close v want))
+    got;
+  Alcotest.(check int) "12 muls + 8 adds" 20 (Dfg.node_count (Program.dfg prog))
+
+let test_horner () =
+  let prog = Kernels.horner ~degree:4 in
+  let coeffs = [| 2.0; -1.0; 0.5; 3.0; 1.0 |] in
+  let xv = 1.5 in
+  let env = function
+    | "x" -> xv
+    | name -> coeffs.(int_of_string (String.sub name 1 (String.length name - 1)))
+  in
+  let got = List.assoc "y" (Program.eval ~env prog) in
+  let want =
+    Array.to_list coeffs
+    |> List.rev
+    |> List.fold_left (fun acc c -> (acc *. xv) +. c) 0.0
+  in
+  Alcotest.(check bool) "horner value" true (close got want);
+  (* Fully serial: depth = node count. *)
+  let g = Program.dfg prog in
+  Alcotest.(check int) "depth equals ops"
+    (Dfg.node_count g)
+    (Mps_dfg.Levels.lower_bound_cycles (Mps_dfg.Levels.compute g))
+
+(* --- random DAGs --- *)
+
+let test_random_dag_determinism () =
+  let g1 = Random_dag.generate ~seed:99 () and g2 = Random_dag.generate ~seed:99 () in
+  Alcotest.(check bool) "same seed same graph" true (Dfg.equal g1 g2);
+  let g3 = Random_dag.generate ~seed:100 () in
+  Alcotest.(check bool) "different seed differs" false (Dfg.equal g1 g3)
+
+let test_random_dag_validation () =
+  Alcotest.check_raises "bad edge_prob"
+    (Invalid_argument "Random_dag.generate: edge_prob outside [0,1]") (fun () ->
+      ignore
+        (Random_dag.generate
+           ~params:{ Random_dag.default_params with edge_prob = 1.5 }
+           ~seed:0 ()))
+
+let random_dag_props =
+  [
+    qtest "random dags: layered sources only in layer 0"
+      QCheck2.Gen.(0 -- 2_000)
+      (fun seed ->
+        let g = Random_dag.generate ~seed () in
+        (* invariant promised by the docs: every non-source node has a
+           parent; acyclicity is enforced by the builder *)
+        Dfg.node_count g >= Random_dag.default_params.Random_dag.layers
+        && List.for_all
+             (fun i -> Dfg.in_degree g i = 0 || Dfg.preds g i <> [])
+             (Dfg.nodes g));
+    qtest "random dags: colors from palette" QCheck2.Gen.(0 -- 2_000) (fun seed ->
+        let g = Random_dag.generate ~seed () in
+        let palette =
+          List.map fst Random_dag.default_params.Random_dag.palette
+        in
+        List.for_all (fun i -> List.mem (Dfg.color g i) palette) (Dfg.nodes g));
+  ]
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "dft",
+        [
+          Alcotest.test_case "shapes and argument checks" `Quick test_dft_shapes;
+          Alcotest.test_case "winograd3 color mix" `Quick test_paperlike_color_mix;
+        ]
+        @ dft_props );
+      ( "fir",
+        [ Alcotest.test_case "argument checks" `Quick test_fir_args ] @ fir_props );
+      ( "iir",
+        [
+          Alcotest.test_case "matches recurrence" `Quick test_iir_matches_direct_recurrence;
+          Alcotest.test_case "serial structure" `Quick test_iir_serial_structure;
+        ] );
+      ("dct", dct_props);
+      ( "linear-algebra",
+        [
+          Alcotest.test_case "matmul 2x3x2" `Quick test_matmul;
+          Alcotest.test_case "horner" `Quick test_horner;
+        ] );
+      ( "random-dag",
+        [
+          Alcotest.test_case "determinism" `Quick test_random_dag_determinism;
+          Alcotest.test_case "validation" `Quick test_random_dag_validation;
+        ]
+        @ random_dag_props );
+    ]
