@@ -107,3 +107,122 @@ let run_all () =
   run_group "tables" table_tests;
   Printf.printf "\n=== Performance: scaling on random DAGs ===\n";
   run_group "scaling" scaling_tests
+
+(* --- domain scaling: sequential vs parallel, determinism-checked -------
+
+   Measures the execution engine (Mps_exec.Pool) on the two wired hot
+   paths: the portfolio workload sweep (classification + every selection
+   strategy per graph) and raw antichain enumeration.  The parallel pass
+   must produce results identical to the sequential pass — that assertion
+   is the hard gate; the speedup number is the report.  On a host with
+   fewer cores than [jobs] no speedup is physically possible (OCaml
+   domains are OS threads and the minor GC is stop-the-world), so the
+   harness prints the core count next to the ratio rather than failing. *)
+
+module Pool = Core.Pool
+module Portfolio = Core.Portfolio
+module Ofdm = Core.Ofdm
+module Kernels = Core.Kernels
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Everything that must be bit-identical between the two passes, in a
+   shape polymorphic [=] compares structurally. *)
+type sweep_result = {
+  sw_name : string;
+  sw_antichains : int;
+  sw_pattern_pool : int;
+  sw_entries : (string * string list * int) list;  (* strategy, patterns, cycles *)
+}
+
+let sweep_graph ?pool (name, graph) =
+  let cls =
+    Classify.compute ?pool ~span_limit:1 ~capacity (Enumerate.make_ctx graph)
+  in
+  let o = Portfolio.run ?pool ~pdef:4 cls in
+  {
+    sw_name = name;
+    sw_antichains = Classify.total_antichains cls;
+    sw_pattern_pool = Classify.pattern_count cls;
+    sw_entries =
+      List.map
+        (fun e ->
+          ( e.Portfolio.strategy,
+            List.map Pattern.to_string e.Portfolio.patterns,
+            e.Portfolio.cycles ))
+        o.Portfolio.all;
+  }
+
+let scaling_workloads ~smoke =
+  let base =
+    [
+      ("3dft", lazy (Pg.fig2_3dft ()));
+      ("fig4", lazy (Pg.fig4_small ()));
+      ("w5dft", lazy w5dft);
+    ]
+  in
+  let heavy =
+    [
+      ("fft8", lazy (Program.dfg (Dft.radix2_fft ~n:8)));
+      ("ofdm4", lazy (Program.dfg (Ofdm.receiver ~n:4)));
+      ("dct8", lazy (Program.dfg (Kernels.dct8 ())));
+      ( "rand-16x12",
+        lazy
+          (Random_dag.generate
+             ~params:{ Random_dag.default_params with Random_dag.layers = 16; width = 12 }
+             ~seed:1 ()) );
+    ]
+  in
+  List.map
+    (fun (n, g) -> (n, Lazy.force g))
+    (if smoke then base else base @ heavy)
+
+let pp_speedup label tseq tpar =
+  Printf.printf "  %-24s seq %8.3f s   par %8.3f s   speedup %.2fx\n" label tseq
+    tpar
+    (if tpar > 0. then tseq /. tpar else Float.nan)
+
+let run_scaling ?(smoke = false) ?(jobs = 4) () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "\n=== Domain scaling: sequential vs --jobs %d (host cores: %d) ===\n"
+    jobs cores;
+  let workloads = scaling_workloads ~smoke in
+  (* Portfolio sweep: classification dominated, parallel inside each graph
+     (root fan-out + one task per strategy). *)
+  let seq, t_seq = wall (fun () -> List.map (fun w -> sweep_graph w) workloads) in
+  let par, t_par =
+    Pool.with_pool ~jobs (fun pool ->
+        wall (fun () -> List.map (fun w -> sweep_graph ~pool w) workloads))
+  in
+  let sweep_ok = seq = par in
+  pp_speedup "portfolio-sweep" t_seq t_par;
+  (* Raw enumeration on the widest workload of the set. *)
+  let _, last_graph = List.nth workloads (List.length workloads - 1) in
+  let ctx = Enumerate.make_ctx last_graph in
+  let span = if smoke then 1 else 2 in
+  let c_seq, te_seq =
+    wall (fun () -> Enumerate.count ~span_limit:span ~max_size:capacity ctx)
+  in
+  let c_par, te_par =
+    Pool.with_pool ~jobs (fun pool ->
+        wall (fun () ->
+            Enumerate.count ~pool ~span_limit:span ~max_size:capacity ctx))
+  in
+  let enum_ok = c_seq = c_par in
+  pp_speedup "enumerate-count" te_seq te_par;
+  if not (sweep_ok && enum_ok) then begin
+    Printf.printf
+      "DETERMINISM MISMATCH: parallel results differ from sequential (sweep %b, \
+       enumerate %b)\n"
+      sweep_ok enum_ok;
+    exit 1
+  end;
+  Printf.printf "  determinism: parallel results identical to sequential (%d workloads)\n"
+    (List.length workloads);
+  if cores < jobs then
+    Printf.printf
+      "  note: host has %d core(s) for %d domains; speedup requires >= %d cores\n"
+      cores jobs jobs

@@ -68,11 +68,30 @@ let pdef_arg =
     value & opt int 4
     & info [ "n"; "pdef" ] ~docv:"PDEF" ~doc:"Number of patterns to select.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the parallel phases (enumeration, \
+           classification, portfolio).  1 (default) runs the exact \
+           sequential path; 0 means one per core.  Results are identical \
+           for every value.")
+
 let or_fail = function
   | Ok x -> x
   | Error m ->
       prerr_endline ("mpsched: " ^ m);
       exit 1
+
+(* A pool sized by --jobs, or none for the sequential default.  Every
+   subcommand funnels through here, so 'byte-identical output for any
+   --jobs' is checked by diffing the CLI itself (check.sh does). *)
+let with_jobs jobs f =
+  if jobs < 0 then or_fail (Error "--jobs must be >= 0");
+  let jobs = if jobs = 0 then C.Pool.default_jobs () else jobs in
+  if jobs = 1 then f None
+  else C.Pool.with_pool ~jobs (fun pool -> f (Some pool))
 
 (* --- levels --- *)
 
@@ -101,12 +120,15 @@ let levels_cmd =
 (* --- antichains --- *)
 
 let antichains_cmd =
-  let run spec capacity =
+  let run spec capacity jobs =
     let g = or_fail (load_graph spec) in
     let ctx = C.Enumerate.make_ctx g in
     let lv = C.Enumerate.ctx_levels ctx in
     let max_span = max 0 (C.Levels.asap_max lv) in
-    let m = C.Enumerate.count_matrix ~max_size:capacity ~max_span ctx in
+    let m =
+      with_jobs jobs (fun pool ->
+          C.Enumerate.count_matrix ?pool ~max_size:capacity ~max_span ctx)
+    in
     let header =
       "span limit" :: List.init capacity (fun s -> Printf.sprintf "size%d" (s + 1))
     in
@@ -120,15 +142,17 @@ let antichains_cmd =
   in
   Cmd.v
     (Cmd.info "antichains" ~doc:"Antichain counts per size and span limit (Table 5)")
-    Term.(const run $ graph_arg $ capacity_arg)
+    Term.(const run $ graph_arg $ capacity_arg $ jobs_arg)
 
 (* --- patterns --- *)
 
 let patterns_cmd =
-  let run spec capacity span =
+  let run spec capacity span jobs =
     let g = or_fail (load_graph spec) in
     let cls =
-      C.Classify.compute ?span_limit:(span_of span) ~capacity (C.Enumerate.make_ctx g)
+      with_jobs jobs (fun pool ->
+          C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
+            (C.Enumerate.make_ctx g))
     in
     let t = C.Ascii_table.create ~header:[ "pattern"; "antichains" ] () in
     C.Classify.fold
@@ -141,15 +165,17 @@ let patterns_cmd =
   in
   Cmd.v
     (Cmd.info "patterns" ~doc:"The classified pattern pool (§5.1)")
-    Term.(const run $ graph_arg $ capacity_arg $ span_arg)
+    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ jobs_arg)
 
 (* --- select --- *)
 
 let select_cmd =
-  let run spec capacity span pdef verbose =
+  let run spec capacity span pdef verbose jobs =
     let g = or_fail (load_graph spec) in
     let cls =
-      C.Classify.compute ?span_limit:(span_of span) ~capacity (C.Enumerate.make_ctx g)
+      with_jobs jobs (fun pool ->
+          C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
+            (C.Enumerate.make_ctx g))
     in
     let report = C.Select.select_report ~pdef cls in
     List.iteri
@@ -169,7 +195,7 @@ let select_cmd =
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Run the pattern selection algorithm (§5.2)")
-    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ verbose)
+    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ verbose $ jobs_arg)
 
 (* --- schedule --- *)
 
@@ -205,7 +231,7 @@ let schedule_cmd =
 (* --- pipeline --- *)
 
 let pipeline_cmd =
-  let run spec capacity span pdef cluster =
+  let run spec capacity span pdef cluster jobs =
     let g = or_fail (load_graph spec) in
     let options =
       {
@@ -216,7 +242,7 @@ let pipeline_cmd =
         cluster;
       }
     in
-    let t = C.Pipeline.run ~options g in
+    let t = with_jobs jobs (fun pool -> C.Pipeline.run ?pool ~options g) in
     Format.printf "%a@." C.Pipeline.pp_summary t;
     Format.printf "%a@." (C.Schedule.pp t.C.Pipeline.graph) t.C.Pipeline.schedule
   in
@@ -225,7 +251,38 @@ let pipeline_cmd =
   in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Full flow: select, schedule, configuration report")
-    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ cluster)
+    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ cluster $ jobs_arg)
+
+(* --- portfolio --- *)
+
+let portfolio_cmd =
+  let run spec capacity span pdef jobs =
+    let g = or_fail (load_graph spec) in
+    with_jobs jobs (fun pool ->
+        let cls =
+          C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
+            (C.Enumerate.make_ctx g)
+        in
+        let o = C.Portfolio.run ?pool ~pdef cls in
+        let t = C.Ascii_table.create ~header:[ "strategy"; "patterns"; "cycles" ] () in
+        List.iter
+          (fun e ->
+            C.Ascii_table.add_row t
+              [
+                e.C.Portfolio.strategy;
+                String.concat " " (List.map C.Pattern.to_string e.C.Portfolio.patterns);
+                (if e.C.Portfolio.cycles = max_int then "unschedulable"
+                 else string_of_int e.C.Portfolio.cycles);
+              ])
+          o.C.Portfolio.all;
+        C.Ascii_table.print t;
+        Printf.printf "winner: %s (%d cycles)\n" o.C.Portfolio.best.C.Portfolio.strategy
+          o.C.Portfolio.best.C.Portfolio.cycles)
+  in
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:"Try every selection strategy and keep the winner (parallel with --jobs)")
+    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ jobs_arg)
 
 (* --- optimal --- *)
 
@@ -480,5 +537,5 @@ let () =
           [
             levels_cmd; antichains_cmd; patterns_cmd; select_cmd; schedule_cmd;
             optimal_cmd; anneal_cmd; codegen_cmd; stream_cmd; analyze_cmd;
-            pipeline_cmd; dot_cmd; workload_cmd; program_cmd;
+            pipeline_cmd; portfolio_cmd; dot_cmd; workload_cmd; program_cmd;
           ]))

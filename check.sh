@@ -1,0 +1,47 @@
+#!/bin/sh
+# Repo gate: build, full test suite, CLI determinism across --jobs, and the
+# scaling benchmark in smoke mode at --jobs 1 and --jobs 4.
+#
+#   ./check.sh          # the whole gate
+#   ./check.sh --fast   # build + tests only
+#
+# Exits non-zero on the first failure.  The scaling benchmark hard-fails on
+# any sequential/parallel divergence; the speedup figure it prints is
+# informational (it needs as many cores as domains to show >1).
+set -e
+
+say() { printf '\n== %s ==\n' "$*"; }
+
+say "dune build"
+dune build
+
+say "dune runtest"
+dune runtest
+
+[ "$1" = "--fast" ] && exit 0
+
+say "CLI determinism: mpsched output must be byte-identical for any --jobs"
+tmp1=$(mktemp) tmp4=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp4"' EXIT
+for spec in "pipeline 3dft" "pipeline fig4" "pipeline w3dft" "pipeline w5dft" \
+            "pipeline fft8" "antichains 3dft" \
+            "select w5dft" "patterns fft8" "portfolio 3dft"; do
+  # shellcheck disable=SC2086
+  dune exec --no-build bin/mpsched.exe -- $spec --jobs 1 > "$tmp1"
+  # shellcheck disable=SC2086
+  dune exec --no-build bin/mpsched.exe -- $spec --jobs 4 > "$tmp4"
+  if ! cmp -s "$tmp1" "$tmp4"; then
+    echo "FAIL: mpsched $spec differs between --jobs 1 and --jobs 4" >&2
+    diff "$tmp1" "$tmp4" | head -20 >&2
+    exit 1
+  fi
+  echo "  ok: mpsched $spec"
+done
+
+say "scaling benchmark (smoke, --jobs 1)"
+dune exec --no-build bench/main.exe -- --scaling --smoke --jobs 1
+
+say "scaling benchmark (smoke, --jobs 4)"
+dune exec --no-build bench/main.exe -- --scaling --smoke --jobs 4
+
+say "all checks passed"

@@ -1,5 +1,6 @@
 module Dfg = Mps_dfg.Dfg
 module Pattern = Mps_pattern.Pattern
+module Pool = Mps_exec.Pool
 
 type entry = {
   mutable count : int;
@@ -16,32 +17,133 @@ type t = {
   truncated : bool;
 }
 
-let compute ?span_limit ?budget ?(keep_antichains = false) ~capacity ctx =
+(* One table accumulating one domain's share of the enumeration; the
+   sequential path uses a single table for everything. *)
+type partial = {
+  mutable p_entries : entry Pattern.Map.t;
+  mutable p_total : int;
+}
+
+let classify_into ~graph ~n ~keep_antichains part a =
+  part.p_total <- part.p_total + 1;
+  let p = Antichain.pattern graph a in
+  let e =
+    match Pattern.Map.find_opt p part.p_entries with
+    | Some e -> e
+    | None ->
+        let e = { count = 0; freq = Array.make n 0; kept = [] } in
+        part.p_entries <- Pattern.Map.add p e part.p_entries;
+        e
+  in
+  e.count <- e.count + 1;
+  List.iter (fun i -> e.freq.(i) <- e.freq.(i) + 1) (Antichain.nodes a);
+  if keep_antichains then e.kept <- a :: e.kept
+
+(* Merge [later] into [earlier].  [kept] lists are reversed, so the later
+   root's antichains are prepended — re-reversal then yields exactly the
+   sequential enumeration order. *)
+let merge_partials earlier later =
+  later.p_entries
+  |> Pattern.Map.iter (fun p le ->
+         match Pattern.Map.find_opt p earlier.p_entries with
+         | None -> earlier.p_entries <- Pattern.Map.add p le earlier.p_entries
+         | Some ee ->
+             ee.count <- ee.count + le.count;
+             Array.iteri (fun i c -> ee.freq.(i) <- ee.freq.(i) + c) le.freq;
+             ee.kept <- le.kept @ ee.kept);
+  earlier.p_total <- earlier.p_total + later.p_total;
+  earlier
+
+exception Over_budget
+(* Internal to the parallel path; never escapes [compute]. *)
+
+(* How many locally-classified antichains a parallel task accumulates
+   before publishing them to the shared budget counter.  Bounds both the
+   atomic traffic (one RMW per block) and the overshoot past the budget
+   (at most one block per domain). *)
+let budget_flush_block = 1024
+
+let compute ?pool ?span_limit ?budget ?(keep_antichains = false) ~capacity ctx =
   let graph = Enumerate.ctx_graph ctx in
   let n = Dfg.node_count graph in
-  let entries = ref Pattern.Map.empty in
-  let total = ref 0 in
-  let classify a =
-    incr total;
-    let p = Antichain.pattern graph a in
-    let e =
-      match Pattern.Map.find_opt p !entries with
-      | Some e -> e
-      | None ->
-          let e = { count = 0; freq = Array.make n 0; kept = [] } in
-          entries := Pattern.Map.add p e !entries;
-          e
+  let fresh () = { p_entries = Pattern.Map.empty; p_total = 0 } in
+  let sequential () =
+    let part = fresh () in
+    let truncated =
+      match
+        Enumerate.iter ?span_limit ?budget ~max_size:capacity ctx
+          ~f:(classify_into ~graph ~n ~keep_antichains part)
+      with
+      | () -> false
+      | exception Enumerate.Budget_exhausted -> true
     in
-    e.count <- e.count + 1;
-    List.iter (fun i -> e.freq.(i) <- e.freq.(i) + 1) (Antichain.nodes a);
-    if keep_antichains then e.kept <- a :: e.kept
+    (part, truncated)
   in
-  let truncated =
-    match Enumerate.iter ?span_limit ?budget ~max_size:capacity ctx ~f:classify with
-    | () -> false
-    | exception Enumerate.Budget_exhausted -> true
+  (* Fan the independent root subtrees out across the pool, each task
+     classifying into its own table; merging the tables in root
+     (= submission) order makes the result identical to the sequential
+     walk.
+
+     A budget is a property of the sequential visit order (keep the first
+     [b] antichains), so it cannot be honored by a parallel schedule
+     directly.  Instead the parallel walk is optimistic: tasks publish
+     their progress to a shared counter in blocks, and the moment the
+     published total can exceed the budget everything aborts and the
+     budgeted sequential walk runs instead.  A graph within budget never
+     aborts (the counter never passes [b]) and pays one atomic RMW per
+     block; a graph beyond it does bounded extra work (at most
+     budget + jobs·block antichains) before the sequential pass — which
+     itself stops at the budget.  Either way the returned classification
+     is bit-identical to the sequential one. *)
+  let parallel pool =
+    let shared_budget =
+      match budget with
+      | None -> None
+      | Some b -> Some (b, Atomic.make 0, Atomic.make false)
+    in
+    let task root =
+      let part = fresh () in
+      let local = ref 0 in
+      let publish () =
+        match shared_budget with
+        | None -> ()
+        | Some (b, published, aborted) ->
+            if Atomic.fetch_and_add published !local + !local > b then begin
+              Atomic.set aborted true;
+              raise Over_budget
+            end;
+            local := 0
+      in
+      Enumerate.iter_root ?span_limit ~max_size:capacity ctx root ~f:(fun a ->
+          (match shared_budget with
+          | Some (_, _, aborted) when Atomic.get aborted -> raise Over_budget
+          | _ -> ());
+          classify_into ~graph ~n ~keep_antichains part a;
+          incr local;
+          if !local >= budget_flush_block then publish ());
+      if !local > 0 then publish ();
+      part
+    in
+    match
+      Pool.map_reduce pool ~map:task ~reduce:merge_partials ~init:(fresh ())
+        (List.init n Fun.id)
+    with
+    | part -> (part, false)
+    | exception Over_budget -> sequential ()
   in
-  { graph; capacity; span_limit; entries = !entries; total = !total; truncated }
+  let merged, truncated =
+    match pool with
+    | Some pool when Pool.jobs pool > 1 && n > 0 -> parallel pool
+    | _ -> sequential ()
+  in
+  {
+    graph;
+    capacity;
+    span_limit;
+    entries = merged.p_entries;
+    total = merged.p_total;
+    truncated;
+  }
 
 let truncated t = t.truncated
 

@@ -15,6 +15,7 @@
 type t
 
 val compute :
+  ?pool:Mps_exec.Pool.t ->
   ?span_limit:int ->
   ?budget:int ->
   ?keep_antichains:bool ->
@@ -27,7 +28,18 @@ val compute :
     triggers, the classification covers only the visited prefix and
     {!truncated} reports it — selection on a truncated pool is still sound
     (the color-condition fallback guarantees coverage) but no longer sees
-    every pattern. *)
+    every pattern.
+
+    [pool] fans the enumeration's root subtrees out across domains
+    ({!Enumerate.iter_root}); per-root tables are merged in root order, so
+    the classification — counts, frequency vectors, kept-antichain order,
+    total — is identical to the sequential one.  With a [budget], the
+    parallel walk is optimistic: if the enumeration stays within budget the
+    parallel result is returned (and is what the sequential walk would have
+    produced); the moment the budget is exceeded the parallel walk aborts
+    and the budgeted {e sequential} walk runs instead, so truncated
+    classifications are byte-identical too, at the price of bounded
+    duplicated work on over-budget graphs. *)
 
 val truncated : t -> bool
 (** Whether the enumeration budget cut the classification short. *)

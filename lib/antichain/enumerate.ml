@@ -2,6 +2,7 @@ module Dfg = Mps_dfg.Dfg
 module Levels = Mps_dfg.Levels
 module Reachability = Mps_dfg.Reachability
 module Bitset = Mps_util.Bitset
+module Pool = Mps_exec.Pool
 
 type ctx = {
   graph : Dfg.t;
@@ -18,24 +19,23 @@ let ctx_reachability ctx = ctx.reach
 
 exception Budget_exhausted
 
-(* The span of a growing set is tracked incrementally: adding a node can only
-   raise max(ASAP) and lower min(ALAP), so span never shrinks along a branch
-   and a limit violation prunes the whole subtree. *)
-let iter_spanned ?span_limit ?budget ~max_size ctx ~f =
+let check_args ?span_limit ?budget ~max_size () =
   if max_size < 1 then invalid_arg "Enumerate.iter: max_size must be >= 1";
   (match span_limit with
   | Some l when l < 0 -> invalid_arg "Enumerate.iter: negative span_limit"
   | _ -> ());
-  (match budget with
+  match budget with
   | Some b when b < 0 -> invalid_arg "Enumerate.iter: negative budget"
-  | _ -> ());
-  let remaining = ref (Option.value budget ~default:max_int) in
-  let f ~span nodes =
-    if !remaining = 0 then raise Budget_exhausted;
-    decr remaining;
-    f ~span nodes
-  in
-  let n = Dfg.node_count ctx.graph in
+  | _ -> ()
+
+(* The span of a growing set is tracked incrementally: adding a node can only
+   raise max(ASAP) and lower min(ALAP), so span never shrinks along a branch
+   and a limit violation prunes the whole subtree.
+
+   [walk_root] visits every antichain whose smallest node id is [root]: the
+   root subtrees partition the enumeration, which is what both the
+   sequential loop and the domain-parallel fan-out are built on. *)
+let walk_root ?span_limit ~max_size ctx ~f root =
   let lv = ctx.levels in
   let within_limit span =
     match span_limit with None -> true | Some l -> span <= l
@@ -63,41 +63,127 @@ let iter_spanned ?span_limit ?budget ~max_size ctx ~f =
            survived the span check: a later node may have milder levels. *)
         extend chosen size compat max_asap min_alap j ~span
   in
-  for i = 0 to n - 1 do
-    let chosen = [ i ] in
-    f ~span:0 chosen;
-    if max_size > 1 then
-      extend chosen 1
-        (Bitset.copy (Reachability.parallel_set ctx.reach i))
-        (Levels.asap lv i) (Levels.alap lv i) i ~span:0
+  f ~span:0 [ root ];
+  if max_size > 1 then
+    extend [ root ] 1
+      (Bitset.copy (Reachability.parallel_set ctx.reach root))
+      (Levels.asap lv root) (Levels.alap lv root) root ~span:0
+
+let iter_spanned ?span_limit ?budget ~max_size ctx ~f =
+  check_args ?span_limit ?budget ~max_size ();
+  let remaining = ref (Option.value budget ~default:max_int) in
+  let f ~span nodes =
+    if !remaining = 0 then raise Budget_exhausted;
+    decr remaining;
+    f ~span nodes
+  in
+  for root = 0 to Dfg.node_count ctx.graph - 1 do
+    walk_root ?span_limit ~max_size ctx ~f root
   done
 
 let iter ?span_limit ?budget ~max_size ctx ~f =
   iter_spanned ?span_limit ?budget ~max_size ctx ~f:(fun ~span:_ nodes ->
       f (Antichain.of_nodes_unchecked nodes))
 
-let all ?span_limit ~max_size ctx =
-  let acc = ref [] in
-  iter ?span_limit ~max_size ctx ~f:(fun a -> acc := a :: !acc);
-  List.rev !acc
+let iter_root ?span_limit ~max_size ctx ~f root =
+  check_args ?span_limit ~max_size ();
+  if root < 0 || root >= Dfg.node_count ctx.graph then
+    invalid_arg "Enumerate.iter_root: root out of range";
+  walk_root ?span_limit ~max_size ctx root ~f:(fun ~span:_ nodes ->
+      f (Antichain.of_nodes_unchecked nodes))
 
-let count ?span_limit ~max_size ctx =
-  let c = ref 0 in
-  iter_spanned ?span_limit ~max_size ctx ~f:(fun ~span:_ _ -> incr c);
-  !c
+(* --- domain-parallel fan-out ----------------------------------------- *)
 
-let count_by_size ?span_limit ~max_size ctx =
+(* Root subtrees are independent, so each becomes one pool task; per-root
+   results are merged in root order, which reproduces the sequential visit
+   order exactly.  Chunk 1 everywhere: subtree sizes are wildly skewed (a
+   source above a wide layer owns most of the antichains), so dynamic
+   scheduling is what buys the speedup.  A [budget] is inherently
+   sequential — it cuts a prefix of the visit order — so the budgeted entry
+   points ({!iter}) take no pool. *)
+
+let use_pool = function
+  | Some p when Pool.jobs p > 1 -> Some p
+  | _ -> None
+
+let map_roots pool ?span_limit ~max_size ctx task =
+  Pool.map pool
+    ~f:(fun root -> task ?span_limit ~max_size ctx root)
+    (List.init (Dfg.node_count ctx.graph) Fun.id)
+
+let all ?pool ?span_limit ~max_size ctx =
+  check_args ?span_limit ~max_size ();
+  match use_pool pool with
+  | Some pool ->
+      let root_all ?span_limit ~max_size ctx root =
+        let acc = ref [] in
+        walk_root ?span_limit ~max_size ctx root ~f:(fun ~span:_ nodes ->
+            acc := Antichain.of_nodes_unchecked nodes :: !acc);
+        List.rev !acc
+      in
+      List.concat (map_roots pool ?span_limit ~max_size ctx root_all)
+  | None ->
+      let acc = ref [] in
+      iter ?span_limit ~max_size ctx ~f:(fun a -> acc := a :: !acc);
+      List.rev !acc
+
+let count ?pool ?span_limit ~max_size ctx =
+  check_args ?span_limit ~max_size ();
+  match use_pool pool with
+  | Some pool ->
+      let root_count ?span_limit ~max_size ctx root =
+        let c = ref 0 in
+        walk_root ?span_limit ~max_size ctx root ~f:(fun ~span:_ _ -> incr c);
+        !c
+      in
+      List.fold_left ( + ) 0 (map_roots pool ?span_limit ~max_size ctx root_count)
+  | None ->
+      let c = ref 0 in
+      iter_spanned ?span_limit ~max_size ctx ~f:(fun ~span:_ _ -> incr c);
+      !c
+
+let count_by_size ?pool ?span_limit ~max_size ctx =
+  check_args ?span_limit ~max_size ();
   let counts = Array.make (max_size + 1) 0 in
-  iter_spanned ?span_limit ~max_size ctx ~f:(fun ~span:_ nodes ->
-      let s = List.length nodes in
-      counts.(s) <- counts.(s) + 1);
+  (match use_pool pool with
+  | Some pool ->
+      let root_counts ?span_limit ~max_size ctx root =
+        let counts = Array.make (max_size + 1) 0 in
+        walk_root ?span_limit ~max_size ctx root ~f:(fun ~span:_ nodes ->
+            let s = List.length nodes in
+            counts.(s) <- counts.(s) + 1);
+        counts
+      in
+      List.iter
+        (Array.iteri (fun s c -> counts.(s) <- counts.(s) + c))
+        (map_roots pool ?span_limit ~max_size ctx root_counts)
+  | None ->
+      iter_spanned ?span_limit ~max_size ctx ~f:(fun ~span:_ nodes ->
+          let s = List.length nodes in
+          counts.(s) <- counts.(s) + 1));
   counts
 
-let count_matrix ~max_size ~max_span ctx =
+let count_matrix ?pool ~max_size ~max_span ctx =
+  check_args ~span_limit:max_span ~max_size ();
   let exact = Array.make_matrix (max_span + 1) (max_size + 1) 0 in
-  iter_spanned ~span_limit:max_span ~max_size ctx ~f:(fun ~span nodes ->
-      let s = List.length nodes in
-      exact.(span).(s) <- exact.(span).(s) + 1);
+  (match use_pool pool with
+  | Some pool ->
+      let root_matrix ?span_limit ~max_size ctx root =
+        let span_limit = Option.value span_limit ~default:max_span in
+        let m = Array.make_matrix (span_limit + 1) (max_size + 1) 0 in
+        walk_root ~span_limit ~max_size ctx root ~f:(fun ~span nodes ->
+            let s = List.length nodes in
+            m.(span).(s) <- m.(span).(s) + 1);
+        m
+      in
+      List.iter
+        (Array.iteri (fun l ->
+             Array.iteri (fun s c -> exact.(l).(s) <- exact.(l).(s) + c)))
+        (map_roots pool ~span_limit:max_span ~max_size ctx root_matrix)
+  | None ->
+      iter_spanned ~span_limit:max_span ~max_size ctx ~f:(fun ~span nodes ->
+          let s = List.length nodes in
+          exact.(span).(s) <- exact.(span).(s) + 1));
   (* Prefix-sum over span so row l counts span <= l. *)
   let m = Array.make_matrix (max_span + 1) (max_size + 1) 0 in
   for l = 0 to max_span do

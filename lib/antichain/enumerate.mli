@@ -7,11 +7,22 @@
     adding nodes, so the search prunes whole subtrees.
 
     The walk visits node ids in increasing order; within one [iter] the
-    antichains appear in lexicographic order of their id lists. *)
+    antichains appear in lexicographic order of their id lists.
+
+    The search tree partitions by its root: every antichain belongs to
+    exactly one root subtree, the one of its minimum node id.  The
+    [?pool] entry points fan those subtrees out across a
+    {!Mps_exec.Pool} and merge per-root results in root order, so their
+    output is identical — element for element — to the sequential walk,
+    whatever the worker count.  Budgeted enumeration stays sequential (a
+    budget cuts a prefix of the visit order, which is meaningless under
+    reordering), hence [iter] takes no pool. *)
 
 type ctx
 (** Precomputed per-graph state (reachability bitsets + levels), reusable
-    across enumerations with different limits. *)
+    across enumerations with different limits.  Read-only after
+    construction, so one [ctx] is safely shared by all domains of a
+    pool. *)
 
 val make_ctx : Mps_dfg.Dfg.t -> ctx
 
@@ -41,19 +52,38 @@ val iter :
     @raise Invalid_argument if [max_size < 1], [span_limit < 0], or
     [budget < 0]. *)
 
-val all :
-  ?span_limit:int -> max_size:int -> ctx -> Antichain.t list
-(** Materialized [iter] — only for graphs known to be small. *)
+val iter_root :
+  ?span_limit:int ->
+  max_size:int ->
+  ctx ->
+  f:(Antichain.t -> unit) ->
+  int ->
+  unit
+(** [iter_root ... root] visits only the antichains whose minimum node id
+    is [root], in the same relative order [iter] would.  Running it for
+    every node id in order is exactly [iter]; running the roots on
+    different domains and merging in root order is the parallel
+    enumeration — {!Classify.compute} builds its parallel path on this.
+    @raise Invalid_argument on bad limits or if [root] is out of range. *)
 
-val count : ?span_limit:int -> max_size:int -> ctx -> int
+val all :
+  ?pool:Mps_exec.Pool.t ->
+  ?span_limit:int ->
+  max_size:int ->
+  ctx ->
+  Antichain.t list
+(** Materialized [iter] — only for graphs known to be small.  The result
+    is in sequential enumeration order regardless of [pool]. *)
+
+val count : ?pool:Mps_exec.Pool.t -> ?span_limit:int -> max_size:int -> ctx -> int
 
 val count_by_size :
-  ?span_limit:int -> max_size:int -> ctx -> int array
+  ?pool:Mps_exec.Pool.t -> ?span_limit:int -> max_size:int -> ctx -> int array
 (** Index s holds the number of antichains of size exactly s
     (index 0 unused, kept 0). *)
 
 val count_matrix :
-  max_size:int -> max_span:int -> ctx -> int array array
+  ?pool:Mps_exec.Pool.t -> max_size:int -> max_span:int -> ctx -> int array array
 (** [m.(span_limit).(size)] = number of antichains of that exact size with
     span ≤ that limit — Table 5 in one pass.  Antichains with span beyond
     [max_span] are not counted anywhere. *)

@@ -5,6 +5,7 @@
     EXPERIMENTS.md for the paper-vs-measured record. *)
 
 (* Utilities *)
+module Pool = Mps_exec.Pool
 module Rng = Mps_util.Rng
 module Multiset = Mps_util.Multiset
 module Bitset = Mps_util.Bitset

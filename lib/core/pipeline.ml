@@ -12,6 +12,7 @@ module Config_space = Mps_montium.Config_space
 module Energy = Mps_montium.Energy
 module Simulator = Mps_montium.Simulator
 module Program = Mps_frontend.Program
+module Pool = Mps_exec.Pool
 
 type options = {
   capacity : int;
@@ -22,6 +23,7 @@ type options = {
   priority : Mp.pattern_priority;
   cluster : bool;
   tile : Tile.t;
+  jobs : int;
 }
 
 let default_options =
@@ -34,6 +36,7 @@ let default_options =
     priority = Mp.F2;
     cluster = false;
     tile = Tile.default;
+    jobs = 1;
   }
 
 type t = {
@@ -50,17 +53,25 @@ type t = {
   config : Config_space.t;
 }
 
-let run ?(options = default_options) dfg =
+let run ?pool ?(options = default_options) dfg =
   if options.capacity < 1 then invalid_arg "Pipeline.run: capacity < 1";
   if options.pdef < 1 then invalid_arg "Pipeline.run: pdef < 1";
+  if options.jobs < 1 then invalid_arg "Pipeline.run: jobs < 1";
   let clustering = if options.cluster then Some (Cluster.mac dfg) else None in
   let graph =
     match clustering with Some c -> c.Cluster.clustered | None -> dfg
   in
   let ctx = Enumerate.make_ctx graph in
-  let classify =
-    Classify.compute ?span_limit:options.span_limit
+  let classify_with pool =
+    Classify.compute ?pool ?span_limit:options.span_limit
       ?budget:options.enumeration_budget ~capacity:options.capacity ctx
+  in
+  let classify =
+    match pool with
+    | Some _ -> classify_with pool
+    | None when options.jobs > 1 ->
+        Pool.with_pool ~jobs:options.jobs (fun p -> classify_with (Some p))
+    | None -> classify_with None
   in
   let selection_report =
     Select.select_report ~params:options.selection ~pdef:options.pdef classify
@@ -90,14 +101,14 @@ type mapped = {
   energy : Energy.breakdown;
 }
 
-let map_program ?(options = default_options) program =
+let map_program ?pool ?(options = default_options) program =
   (* Clustering on a program goes through the executable MAC fusion, so the
      instruction view stays in lockstep with the scheduled graph. *)
   let program =
     if options.cluster then Mps_clustering.Program_fuse.fuse program else program
   in
   let options = { options with cluster = false } in
-  let pipeline = run ~options (Program.dfg program) in
+  let pipeline = run ?pool ~options (Program.dfg program) in
   match Allocation.allocate ~tile:options.tile program pipeline.schedule with
   | Error m -> Error m
   | Ok allocation ->

@@ -21,12 +21,16 @@ type options = {
   priority : Mps_scheduler.Multi_pattern.pattern_priority;
   cluster : bool;  (** Fuse multiply-accumulate pairs first. *)
   tile : Mps_montium.Tile.t;
+  jobs : int;
+      (** Worker domains for the antichain enumeration/classification
+          phase.  1 = sequential; the result is identical for any value
+          (see {!Mps_antichain.Classify.compute}). *)
 }
 
 val default_options : options
 (** capacity 5, pdef 4, span limit 1, a 5-million-antichain enumeration
     budget, paper selection params, F2 priority, no clustering, default
-    tile. *)
+    tile, jobs 1. *)
 
 type t = {
   options : options;
@@ -42,9 +46,13 @@ type t = {
   config : Mps_montium.Config_space.t;
 }
 
-val run : ?options:options -> Mps_dfg.Dfg.t -> t
-(** Full flow on a bare DFG.
-    @raise Invalid_argument on nonsensical options (pdef or capacity < 1). *)
+val run : ?pool:Mps_exec.Pool.t -> ?options:options -> Mps_dfg.Dfg.t -> t
+(** Full flow on a bare DFG.  An explicit [pool] overrides [options.jobs]
+    (callers running many pipelines reuse one pool instead of respawning
+    domains per graph); otherwise [options.jobs > 1] creates a pool for
+    the duration of the call.
+    @raise Invalid_argument on nonsensical options (pdef, capacity or
+    jobs < 1). *)
 
 type mapped = {
   program : Mps_frontend.Program.t;
@@ -55,7 +63,11 @@ type mapped = {
   energy : Mps_montium.Energy.breakdown;
 }
 
-val map_program : ?options:options -> Mps_frontend.Program.t -> (mapped, string) result
+val map_program :
+  ?pool:Mps_exec.Pool.t ->
+  ?options:options ->
+  Mps_frontend.Program.t ->
+  (mapped, string) result
 (** [run] plus allocation and the energy estimate.  With [cluster] set the
     program is first rewritten by {!Mps_clustering.Program_fuse} (multiply→
     add pairs become MAC instructions), so the clustered path stays fully

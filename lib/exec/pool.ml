@@ -1,0 +1,170 @@
+(* Deterministic fixed-size domain pool.
+
+   One mutex/condvar pair coordinates batch hand-off; inside a batch the
+   only shared state is two atomics (a cursor over chunk indices and a
+   completion counter), so workers never contend on the lock while there is
+   work left.  Determinism comes for free from the result layout: task [i]
+   writes slot [i], and the merge reads slots 0..n-1. *)
+
+type batch = {
+  run_chunk : int -> unit;  (* runs every item of chunk [ci]; never raises *)
+  chunks : int;
+  cursor : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+type t = {
+  jobs : int;
+  mutable workers : unit Domain.t list;
+  lock : Mutex.t;
+  have_work : Condition.t;  (* signalled on new batch and on shutdown *)
+  work_done : Condition.t;  (* signalled when a batch's last chunk finishes *)
+  mutable current : batch option;
+  mutable generation : int;  (* bumped per batch; workers key off it *)
+  mutable stopping : bool;
+  mutable closed : bool;
+}
+
+let jobs t = t.jobs
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Pull chunks until the cursor runs off the end; wake the submitter when
+   the last chunk of the batch completes. *)
+let drain t b =
+  let rec go () =
+    let ci = Atomic.fetch_and_add b.cursor 1 in
+    if ci < b.chunks then begin
+      b.run_chunk ci;
+      let finished = 1 + Atomic.fetch_and_add b.completed 1 in
+      if finished = b.chunks then begin
+        Mutex.lock t.lock;
+        Condition.broadcast t.work_done;
+        Mutex.unlock t.lock
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let rec worker t seen_generation =
+  Mutex.lock t.lock;
+  while (not t.stopping) && t.generation = seen_generation do
+    Condition.wait t.have_work t.lock
+  done;
+  if t.stopping then Mutex.unlock t.lock
+  else begin
+    let generation = t.generation in
+    let b = t.current in
+    Mutex.unlock t.lock;
+    (* [current] can be [None] if the batch retired before we woke; just
+       catch up to the new generation and wait again. *)
+    Option.iter (drain t) b;
+    worker t generation
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      workers = [];
+      lock = Mutex.create ();
+      have_work = Condition.create ();
+      work_done = Condition.create ();
+      current = None;
+      generation = 0;
+      stopping = false;
+      closed = false;
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let shutdown t =
+  if not t.closed then begin
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.broadcast t.have_work;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    t.closed <- true
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let check_open t = if t.closed then invalid_arg "Pool: used after shutdown"
+
+(* Run [run_item] on 0..size-1 across the pool, blocking until all done. *)
+let run_batch t ~chunk ~size run_item =
+  let chunks = (size + chunk - 1) / chunk in
+  let b =
+    {
+      run_chunk =
+        (fun ci ->
+          let lo = ci * chunk in
+          let hi = min size (lo + chunk) in
+          for i = lo to hi - 1 do
+            run_item i
+          done);
+      chunks;
+      cursor = Atomic.make 0;
+      completed = Atomic.make 0;
+    }
+  in
+  Mutex.lock t.lock;
+  check_open t;
+  t.current <- Some b;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.have_work;
+  Mutex.unlock t.lock;
+  (* The submitting domain is a worker too. *)
+  drain t b;
+  Mutex.lock t.lock;
+  while Atomic.get b.completed < b.chunks do
+    Condition.wait t.work_done t.lock
+  done;
+  t.current <- None;
+  Mutex.unlock t.lock
+
+(* Left-to-right by construction — the jobs=1 path must be exactly the
+   sequential loop, and Array.map's evaluation order is unspecified. *)
+let seq_map_array f tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f tasks.(0)) in
+    for i = 1 to n - 1 do
+      out.(i) <- f tasks.(i)
+    done;
+    out
+  end
+
+let map_array ?(chunk = 1) t ~f tasks =
+  if chunk < 1 then invalid_arg "Pool.map: chunk must be >= 1";
+  check_open t;
+  let n = Array.length tasks in
+  if t.jobs = 1 || n <= 1 then seq_map_array f tasks
+  else begin
+    let results = Array.make n None in
+    run_batch t ~chunk ~size:n (fun i ->
+        let r = match f tasks.(i) with v -> Ok v | exception e -> Error e in
+        results.(i) <- Some r);
+    (* Every slot is filled — run_batch returns only after all chunks
+       completed.  Raise the earliest failure in submission order, if any,
+       so even the raised exception is independent of timing. *)
+    seq_map_array
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let map ?chunk t ~f xs =
+  Array.to_list (map_array ?chunk t ~f (Array.of_list xs))
+
+let map_reduce ?chunk t ~map:m ~reduce ~init xs =
+  List.fold_left reduce init (map ?chunk t ~f:m xs)

@@ -2,6 +2,7 @@ module Pattern = Mps_pattern.Pattern
 module Classify = Mps_antichain.Classify
 module Mp = Mps_scheduler.Multi_pattern
 module Schedule = Mps_scheduler.Schedule
+module Pool = Mps_exec.Pool
 
 type entry = {
   strategy : string;
@@ -11,7 +12,7 @@ type entry = {
 
 type outcome = { best : entry; all : entry list }
 
-let run ?(beam_width = 4) ?annealing ~pdef classify =
+let run ?pool ?(beam_width = 4) ?annealing ~pdef classify =
   if pdef < 1 then invalid_arg "Portfolio.run: pdef must be >= 1";
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
@@ -23,39 +24,53 @@ let run ?(beam_width = 4) ?annealing ~pdef classify =
       | exception Mp.Unschedulable _ -> max_int
   in
   let entry strategy patterns = { strategy; patterns; cycles = cost patterns } in
-  let candidates =
-    [ entry "eq8" (Select.select ~pdef classify) ]
+  (* Each strategy is one thunk: independent of the others, so the set runs
+     unchanged on one domain or many.  Thunk order is the tie-break order
+     (cheaper strategies first), and the pool returns results in submission
+     order, so ranking is identical however the work is spread. *)
+  let tasks : (unit -> entry) list =
+    [ (fun () -> entry "eq8" (Select.select ~pdef classify)) ]
     @ List.filter_map
         (fun v ->
           if v.Priority_variants.name = "paper" then None
           else
             Some
-              (entry
-                 ("variant:" ^ v.Priority_variants.name)
-                 (Priority_variants.select v ~pdef classify)))
+              (fun () ->
+                entry
+                  ("variant:" ^ v.Priority_variants.name)
+                  (Priority_variants.select v ~pdef classify)))
         Priority_variants.all
     @ [
-        entry "greedy-count" (Greedy_cover.select ~pdef classify);
-        entry "harvest:greedy"
-          (Pattern_source.harvest ~method_:Pattern_source.Greedy ~capacity ~pdef g);
-        entry "harvest:fds"
-          (Pattern_source.harvest ~method_:Pattern_source.Force_directed ~capacity
-             ~pdef g);
-        (let b = Beam.search ~width:beam_width ~pdef classify in
-         { strategy = "beam"; patterns = b.Beam.patterns; cycles = b.Beam.cycles });
+        (fun () -> entry "greedy-count" (Greedy_cover.select ~pdef classify));
+        (fun () ->
+          entry "harvest:greedy"
+            (Pattern_source.harvest ~method_:Pattern_source.Greedy ~capacity ~pdef g));
+        (fun () ->
+          entry "harvest:fds"
+            (Pattern_source.harvest ~method_:Pattern_source.Force_directed ~capacity
+               ~pdef g));
+        (fun () ->
+          let b = Beam.search ~width:beam_width ~pdef classify in
+          { strategy = "beam"; patterns = b.Beam.patterns; cycles = b.Beam.cycles });
       ]
     @
     match annealing with
     | None -> []
     | Some (rng, iterations) ->
-        let a = Annealing.search ~iterations rng ~pdef classify in
         [
-          {
-            strategy = "annealing";
-            patterns = a.Annealing.patterns;
-            cycles = a.Annealing.cycles;
-          };
+          (fun () ->
+            let a = Annealing.search ~iterations rng ~pdef classify in
+            {
+              strategy = "annealing";
+              patterns = a.Annealing.patterns;
+              cycles = a.Annealing.cycles;
+            });
         ]
+  in
+  let candidates =
+    match pool with
+    | Some pool -> Pool.map pool ~f:(fun task -> task ()) tasks
+    | None -> List.map (fun task -> task ()) tasks
   in
   let ranked = List.stable_sort (fun a b -> compare a.cycles b.cycles) candidates in
   match ranked with

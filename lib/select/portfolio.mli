@@ -23,6 +23,7 @@ type outcome = {
 }
 
 val run :
+  ?pool:Mps_exec.Pool.t ->
   ?beam_width:int ->
   ?annealing:Mps_util.Rng.t * int ->
   pdef:int ->
@@ -30,4 +31,10 @@ val run :
   outcome
 (** [beam_width] defaults to 4; [annealing] is (generator, iterations) and
     is skipped when absent.  Ties go to the earlier (cheaper) strategy.
+
+    [pool] evaluates the strategies on the pool's domains, one task per
+    strategy.  Every strategy is deterministic given its inputs (the
+    annealing task owns its generator), and ranking ties break on
+    submission order, so the outcome — winner, ranking, cycles — is
+    identical to the sequential run for any worker count.
     @raise Invalid_argument if [pdef < 1]. *)

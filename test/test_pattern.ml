@@ -79,6 +79,16 @@ let props =
   [
     qtest "pattern: of_string . to_string = id" pattern_gen (fun p ->
         Pattern.equal p (Pattern.of_string (Pattern.to_string p)));
+    qtest "pattern: padded spelling round-trips" pattern_gen (fun p ->
+        Pattern.equal p (Pattern.of_string (Pattern.to_padded_string ~capacity:6 p)));
+    qtest "pattern: to_string canonical (sorted, multiplicity-faithful)"
+      pattern_gen
+      (fun p ->
+        let s = Pattern.to_string p in
+        let chars = List.init (String.length s) (String.get s) in
+        chars = List.sort compare chars && String.length s = Pattern.size p);
+    qtest "pattern: subpattern reflexive" pattern_gen (fun p ->
+        Pattern.subpattern p ~of_:p && not (Pattern.proper_subpattern p ~of_:p));
     qtest "pattern: subpattern partial order (antisym)"
       QCheck2.Gen.(pair pattern_gen pattern_gen)
       (fun (p, q) ->
@@ -103,6 +113,21 @@ let props =
     qtest "pattern: compare consistent with equal"
       QCheck2.Gen.(pair pattern_gen pattern_gen)
       (fun (p, q) -> Pattern.equal p q = (Pattern.compare p q = 0));
+    qtest "pattern: subpattern agrees with canonical strings"
+      QCheck2.Gen.(pair pattern_gen pattern_gen)
+      (fun (p, q) ->
+        (* An independent model of the relation: every color's count in p
+           is <= its count in q, read off the canonical spellings. *)
+        let counts s =
+          List.init 26 (fun i ->
+              let c = Char.chr (Char.code 'a' + i) in
+              String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 s)
+        in
+        let model =
+          List.for_all2 ( <= ) (counts (Pattern.to_string p))
+            (counts (Pattern.to_string q))
+        in
+        Pattern.subpattern p ~of_:q = model);
   ]
 
 let () =

@@ -132,6 +132,27 @@ let multiset_props =
       (fun (l1, l2) ->
         let a = Cms.of_list l1 and b = Cms.of_list l2 in
         Cms.equal (Cms.sum (Cms.diff a b) (Cms.inter a b)) a);
+    (* subset is the pattern algebra's subpattern relation; pin down that
+       it is a partial order. *)
+    qtest "multiset: subset reflexive" char_list_gen (fun l ->
+        let a = Cms.of_list l in
+        Cms.subset a a);
+    qtest "multiset: subset antisymmetric"
+      QCheck2.Gen.(pair char_list_gen char_list_gen)
+      (fun (l1, l2) ->
+        let a = Cms.of_list l1 and b = Cms.of_list l2 in
+        (not (Cms.subset a b && Cms.subset b a)) || Cms.equal a b);
+    qtest "multiset: subset transitive"
+      QCheck2.Gen.(triple char_list_gen char_list_gen char_list_gen)
+      (fun (l1, l2, l3) ->
+        let a = Cms.of_list l1 and b = Cms.of_list l2 and c = Cms.of_list l3 in
+        (not (Cms.subset a b && Cms.subset b c)) || Cms.subset a c);
+    qtest "multiset: union/inter lattice absorption"
+      QCheck2.Gen.(pair char_list_gen char_list_gen)
+      (fun (l1, l2) ->
+        let a = Cms.of_list l1 and b = Cms.of_list l2 in
+        Cms.equal (Cms.union a (Cms.inter a b)) a
+        && Cms.equal (Cms.inter a (Cms.union a b)) a);
   ]
 
 (* --- bitset --- *)
@@ -195,6 +216,60 @@ let bitset_props =
             prev := i)
           s;
         !ok);
+  ]
+
+(* Model-based check against the stdlib's Set over int: same answers for
+   union/inter/diff/cardinal/mem/iter/first_from, at the word-boundary
+   universes 63/64/65 where the packed representation's last-word masking
+   can go wrong (plus one comfortably multi-word size). *)
+module Int_set = Set.Make (Int)
+
+let bitset_model_props =
+  let gen =
+    QCheck2.Gen.(
+      bind (oneofl [ 63; 64; 65; 130 ]) (fun u ->
+          let elems = list_size (0 -- 40) (int_bound (u - 1)) in
+          map (fun (l1, l2) -> (u, l1, l2)) (pair elems elems)))
+  in
+  let check_same name op_bitset op_model =
+    qtest ("bitset vs model: " ^ name) gen (fun (u, l1, l2) ->
+        let b1 = Bitset.of_list u l1 and b2 = Bitset.of_list u l2 in
+        let m1 = Int_set.of_list l1 and m2 = Int_set.of_list l2 in
+        op_bitset u b1 b2 = op_model u m1 m2)
+  in
+  [
+    check_same "union elements"
+      (fun _ a b -> Bitset.elements (Bitset.union a b))
+      (fun _ a b -> Int_set.elements (Int_set.union a b));
+    check_same "inter elements"
+      (fun _ a b -> Bitset.elements (Bitset.inter a b))
+      (fun _ a b -> Int_set.elements (Int_set.inter a b));
+    check_same "diff elements"
+      (fun _ a b -> Bitset.elements (Bitset.diff a b))
+      (fun _ a b -> Int_set.elements (Int_set.diff a b));
+    check_same "cardinal of union"
+      (fun _ a b -> Bitset.cardinal (Bitset.union a b))
+      (fun _ a b -> Int_set.cardinal (Int_set.union a b));
+    check_same "iter visits the model's elements"
+      (fun _ a b ->
+        let acc = ref [] in
+        Bitset.iter (fun i -> acc := i :: !acc) (Bitset.inter a b);
+        List.rev !acc)
+      (fun _ a b -> Int_set.elements (Int_set.inter a b));
+    check_same "subset"
+      (fun _ a b -> Bitset.subset a b)
+      (fun _ a b -> Int_set.subset a b);
+    check_same "mem across the whole universe"
+      (fun u a b -> List.init u (fun i -> Bitset.mem (Bitset.union a b) i))
+      (fun u a b -> List.init u (fun i -> Int_set.mem i (Int_set.union a b)));
+    check_same "first_from across the whole universe"
+      (fun u a _ -> List.init (u + 1) (fun i -> Bitset.first_from a i))
+      (fun u a _ ->
+        List.init (u + 1) (fun i -> Int_set.find_first_opt (fun x -> x >= i) a));
+    check_same "full minus set = complement"
+      (fun u a _ -> Bitset.elements (Bitset.diff (Bitset.full u) a))
+      (fun u a _ ->
+        List.filter (fun i -> not (Int_set.mem i a)) (List.init u Fun.id));
   ]
 
 (* --- heap --- *)
@@ -278,7 +353,7 @@ let () =
           Alcotest.test_case "full and ops" `Quick test_bitset_full_and_ops;
           Alcotest.test_case "first_from" `Quick test_bitset_first_from;
         ]
-        @ bitset_props );
+        @ bitset_props @ bitset_model_props );
       ( "heap",
         [
           Alcotest.test_case "sorts" `Quick test_heap_sorts;
