@@ -226,3 +226,74 @@ let run_scaling ?(smoke = false) ?(jobs = 4) () =
     Printf.printf
       "  note: host has %d core(s) for %d domains; speedup requires >= %d cores\n"
       cores jobs jobs
+
+(* --- pattern ops: interning + matrix vs direct subpattern --------------
+
+   Times the three primitives the universe exists for: interning a pool of
+   patterns, and all-pairs subpattern tests answered directly (multiset
+   walk) vs from the warmed dominance matrix.  The two all-pairs passes
+   must agree exactly, and the matrix must beat the walk by at least 5x —
+   both are hard gates (check.sh runs the smoke variant). *)
+
+module Universe = Core.Universe
+
+let run_pattern_ops ?(smoke = false) () =
+  let colors = List.map Core.Color.of_char [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f' ] in
+  let pats = Array.of_list (Pattern.enumerate ~colors ~max_size:capacity) in
+  let n = Array.length pats in
+  let reps = if smoke then 50 else 400 in
+  let (), t_intern =
+    wall (fun () ->
+        for _ = 1 to reps do
+          let u = Universe.create ~expected:n () in
+          Array.iter (fun p -> ignore (Universe.intern u p)) pats
+        done)
+  in
+  let hits_direct = ref 0 in
+  let (), t_direct =
+    wall (fun () ->
+        for _ = 1 to reps do
+          for i = 0 to n - 1 do
+            let p = pats.(i) in
+            for j = 0 to n - 1 do
+              if Pattern.subpattern pats.(j) ~of_:p then incr hits_direct
+            done
+          done
+        done)
+  in
+  let u = Universe.create ~expected:n () in
+  let ids = Array.map (Universe.intern u) pats in
+  (* First query pays the lazy matrix build; warm it outside the clock. *)
+  ignore (Universe.subpattern u ids.(0) ~of_:ids.(0));
+  let hits_matrix = ref 0 in
+  let (), t_matrix =
+    wall (fun () ->
+        for _ = 1 to reps do
+          for i = 0 to n - 1 do
+            let pid = ids.(i) in
+            for j = 0 to n - 1 do
+              if Universe.subpattern u ids.(j) ~of_:pid then incr hits_matrix
+            done
+          done
+        done)
+  in
+  let queries = float_of_int (reps * n * n) in
+  let per_query t = t *. 1e9 /. queries in
+  Printf.printf "\n=== Pattern ops: %d patterns, %d reps ===\n" n reps;
+  Printf.printf "  intern             %10.1f ns/pattern\n"
+    (t_intern *. 1e9 /. float_of_int (reps * n));
+  Printf.printf "  subpattern/direct  %10.1f ns/query (%d positive)\n"
+    (per_query t_direct) !hits_direct;
+  Printf.printf "  subpattern/matrix  %10.1f ns/query (%d positive)\n"
+    (per_query t_matrix) !hits_matrix;
+  if !hits_direct <> !hits_matrix then begin
+    Printf.printf "MISMATCH: matrix answers differ from the direct multiset walk\n";
+    exit 1
+  end;
+  let speedup = if t_matrix > 0. then t_direct /. t_matrix else Float.infinity in
+  Printf.printf "  matrix speedup     %10.2fx\n" speedup;
+  if speedup < 5.0 then begin
+    Printf.printf
+      "REGRESSION: matrix subpattern under 5x faster than the multiset walk\n";
+    exit 1
+  end

@@ -84,6 +84,13 @@ let or_fail = function
       prerr_endline ("mpsched: " ^ m);
       exit 1
 
+(* -p PATTERN operands, validated against the machine capacity so an
+   oversized spelling fails with a clear message instead of scheduling
+   for a machine that doesn't exist. *)
+let parse_patterns ~capacity specs =
+  try List.map (C.Pattern.of_string ~capacity) specs
+  with Invalid_argument m -> or_fail (Error m)
+
 (* A pool sized by --jobs, or none for the sequential default.  Every
    subcommand funnels through here, so 'byte-identical output for any
    --jobs' is checked by diffing the CLI itself (check.sh does). *)
@@ -200,10 +207,10 @@ let select_cmd =
 (* --- schedule --- *)
 
 let schedule_cmd =
-  let run spec patterns trace =
+  let run spec capacity patterns trace =
     let g = or_fail (load_graph spec) in
     if patterns = [] then or_fail (Error "need at least one -p PATTERN");
-    let pats = List.map C.Pattern.of_string patterns in
+    let pats = parse_patterns ~capacity patterns in
     match C.Multi_pattern.schedule ~trace ~patterns:pats g with
     | exception C.Multi_pattern.Unschedulable colors ->
         or_fail
@@ -226,7 +233,7 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Multi-pattern list scheduling (§4)")
-    Term.(const run $ graph_arg $ patterns $ trace)
+    Term.(const run $ graph_arg $ capacity_arg $ patterns $ trace)
 
 (* --- pipeline --- *)
 
@@ -287,10 +294,10 @@ let portfolio_cmd =
 (* --- optimal --- *)
 
 let optimal_cmd =
-  let run spec patterns max_states =
+  let run spec capacity patterns max_states =
     let g = or_fail (load_graph spec) in
     if patterns = [] then or_fail (Error "need at least one -p PATTERN");
-    let pats = List.map C.Pattern.of_string patterns in
+    let pats = parse_patterns ~capacity patterns in
     match C.Optimal.schedule ~max_states ~patterns:pats g with
     | exception C.Multi_pattern.Unschedulable colors ->
         or_fail
@@ -317,7 +324,7 @@ let optimal_cmd =
   in
   Cmd.v
     (Cmd.info "optimal" ~doc:"Exact minimum-cycle schedule by branch and bound")
-    Term.(const run $ graph_arg $ patterns $ max_states)
+    Term.(const run $ graph_arg $ capacity_arg $ patterns $ max_states)
 
 (* --- anneal --- *)
 
@@ -376,7 +383,7 @@ let stream_cmd =
   let run spec patterns pdef span capacity =
     let g = or_fail (load_graph spec) in
     let patterns =
-      if patterns <> [] then List.map C.Pattern.of_string patterns
+      if patterns <> [] then parse_patterns ~capacity patterns
       else begin
         let cls =
           C.Classify.compute ?span_limit:(span_of span) ~capacity

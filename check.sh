@@ -38,6 +38,14 @@ for spec in "pipeline 3dft" "pipeline fig4" "pipeline w3dft" "pipeline w5dft" \
   echo "  ok: mpsched $spec"
 done
 
+say "pattern-ops microbenchmark (smoke, release profile)"
+# Release profile: the dev profile's -opaque flag blocks cross-module
+# inlining, which is precisely what the matrix probe is measuring.  The
+# benchmark exits 1 if the matrix answers diverge from the direct multiset
+# walk or the speedup falls under 5x.
+dune build --profile release bench/main.exe
+dune exec --no-build --profile release bench/main.exe -- --pattern-ops --smoke
+
 say "scaling benchmark (smoke, --jobs 1)"
 dune exec --no-build bench/main.exe -- --scaling --smoke --jobs 1
 

@@ -1,5 +1,7 @@
 module Dfg = Mps_dfg.Dfg
 module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
+module Id = Mps_pattern.Pattern.Id
 module Pool = Mps_exec.Pool
 
 type entry = {
@@ -12,45 +14,72 @@ type t = {
   graph : Dfg.t;
   capacity : int;
   span_limit : int option;
-  entries : entry Pattern.Map.t;
+  universe : Universe.t;
+  slots : entry option array; (* bucket per universe id; None = no antichain *)
+  order : Id.t array; (* ids with buckets, sorted by pattern *)
   total : int;
   truncated : bool;
 }
 
-(* One table accumulating one domain's share of the enumeration; the
-   sequential path uses a single table for everything. *)
+(* One id-keyed table accumulating one domain's share of the enumeration.
+   The sequential path interns straight into the master universe; parallel
+   tasks intern into scratch universes whose ids are remapped at merge. *)
 type partial = {
-  mutable p_entries : entry Pattern.Map.t;
+  p_universe : Universe.t;
+  mutable p_slots : entry option array;
   mutable p_total : int;
 }
+
+let fresh_partial universe =
+  { p_universe = universe; p_slots = [||]; p_total = 0 }
+
+let slot_of part id =
+  let i = Id.to_int id in
+  let len = Array.length part.p_slots in
+  if i >= len then begin
+    let slots = Array.make (max (i + 1) (max 16 (2 * len))) None in
+    Array.blit part.p_slots 0 slots 0 len;
+    part.p_slots <- slots
+  end;
+  i
 
 let classify_into ~graph ~n ~keep_antichains part a =
   part.p_total <- part.p_total + 1;
   let p = Antichain.pattern graph a in
+  let i = slot_of part (Universe.intern part.p_universe p) in
   let e =
-    match Pattern.Map.find_opt p part.p_entries with
+    match part.p_slots.(i) with
     | Some e -> e
     | None ->
         let e = { count = 0; freq = Array.make n 0; kept = [] } in
-        part.p_entries <- Pattern.Map.add p e part.p_entries;
+        part.p_slots.(i) <- Some e;
         e
   in
   e.count <- e.count + 1;
   List.iter (fun i -> e.freq.(i) <- e.freq.(i) + 1) (Antichain.nodes a);
   if keep_antichains then e.kept <- a :: e.kept
 
-(* Merge [later] into [earlier].  [kept] lists are reversed, so the later
-   root's antichains are prepended — re-reversal then yields exactly the
+(* Merge [later] into [earlier].  [later]'s universe is folded into
+   [earlier]'s in id (= first-visit) order, so merging per-root partials in
+   root submission order reproduces exactly the ids the sequential walk
+   would have allocated.  [kept] lists are reversed, so the later root's
+   antichains are prepended — re-reversal then yields exactly the
    sequential enumeration order. *)
 let merge_partials earlier later =
-  later.p_entries
-  |> Pattern.Map.iter (fun p le ->
-         match Pattern.Map.find_opt p earlier.p_entries with
-         | None -> earlier.p_entries <- Pattern.Map.add p le earlier.p_entries
-         | Some ee ->
-             ee.count <- ee.count + le.count;
-             Array.iteri (fun i c -> ee.freq.(i) <- ee.freq.(i) + c) le.freq;
-             ee.kept <- le.kept @ ee.kept);
+  let remap = Universe.merge ~into:earlier.p_universe later.p_universe in
+  Array.iteri
+    (fun li le ->
+      match le with
+      | None -> ()
+      | Some le -> (
+          let i = slot_of earlier remap.(li) in
+          match earlier.p_slots.(i) with
+          | None -> earlier.p_slots.(i) <- Some le
+          | Some ee ->
+              ee.count <- ee.count + le.count;
+              Array.iteri (fun i c -> ee.freq.(i) <- ee.freq.(i) + c) le.freq;
+              ee.kept <- le.kept @ ee.kept))
+    later.p_slots;
   earlier.p_total <- earlier.p_total + later.p_total;
   earlier
 
@@ -63,12 +92,13 @@ exception Over_budget
    (at most one block per domain). *)
 let budget_flush_block = 1024
 
-let compute ?pool ?span_limit ?budget ?(keep_antichains = false) ~capacity ctx =
+let compute ?pool ?universe ?span_limit ?budget ?(keep_antichains = false)
+    ~capacity ctx =
   let graph = Enumerate.ctx_graph ctx in
   let n = Dfg.node_count graph in
-  let fresh () = { p_entries = Pattern.Map.empty; p_total = 0 } in
+  let universe = match universe with Some u -> u | None -> Universe.create () in
   let sequential () =
-    let part = fresh () in
+    let part = fresh_partial universe in
     let truncated =
       match
         Enumerate.iter ?span_limit ?budget ~max_size:capacity ctx
@@ -80,9 +110,12 @@ let compute ?pool ?span_limit ?budget ?(keep_antichains = false) ~capacity ctx =
     (part, truncated)
   in
   (* Fan the independent root subtrees out across the pool, each task
-     classifying into its own table; merging the tables in root
-     (= submission) order makes the result identical to the sequential
-     walk.
+     classifying into its own scratch universe and table; merging in root
+     (= submission) order makes the result — buckets, frequency vectors,
+     and the master universe's id assignment — identical to the sequential
+     walk.  The scratch accumulator keeps the master universe untouched
+     until the parallel walk has fully succeeded, so a budget abort cannot
+     leave stray ids behind.
 
      A budget is a property of the sequential visit order (keep the first
      [b] antichains), so it cannot be honored by a parallel schedule
@@ -102,7 +135,7 @@ let compute ?pool ?span_limit ?budget ?(keep_antichains = false) ~capacity ctx =
       | Some b -> Some (b, Atomic.make 0, Atomic.make false)
     in
     let task root =
-      let part = fresh () in
+      let part = fresh_partial (Universe.create ()) in
       let local = ref 0 in
       let publish () =
         match shared_budget with
@@ -125,10 +158,11 @@ let compute ?pool ?span_limit ?budget ?(keep_antichains = false) ~capacity ctx =
       part
     in
     match
-      Pool.map_reduce pool ~map:task ~reduce:merge_partials ~init:(fresh ())
+      Pool.map_reduce pool ~map:task ~reduce:merge_partials
+        ~init:(fresh_partial (Universe.create ()))
         (List.init n Fun.id)
     with
-    | part -> (part, false)
+    | scratch -> (merge_partials (fresh_partial universe) scratch, false)
     | exception Over_budget -> sequential ()
   in
   let merged, truncated =
@@ -136,24 +170,55 @@ let compute ?pool ?span_limit ?budget ?(keep_antichains = false) ~capacity ctx =
     | Some pool when Pool.jobs pool > 1 && n > 0 -> parallel pool
     | _ -> sequential ()
   in
+  let present =
+    Universe.fold
+      (fun id _ acc ->
+        let i = Id.to_int id in
+        if i < Array.length merged.p_slots && merged.p_slots.(i) <> None then
+          id :: acc
+        else acc)
+      universe []
+  in
+  let order = Array.of_list present in
+  Array.sort
+    (fun a b ->
+      Pattern.compare (Universe.pattern universe a) (Universe.pattern universe b))
+    order;
+  let slots =
+    Array.init (Universe.cardinal universe) (fun i ->
+        if i < Array.length merged.p_slots then merged.p_slots.(i) else None)
+  in
   {
     graph;
     capacity;
     span_limit;
-    entries = merged.p_entries;
+    universe;
+    slots;
+    order;
     total = merged.p_total;
     truncated;
   }
 
 let truncated t = t.truncated
-
 let graph t = t.graph
 let capacity t = t.capacity
 let span_limit t = t.span_limit
-let patterns t = List.map fst (Pattern.Map.bindings t.entries)
-let pattern_count t = Pattern.Map.cardinal t.entries
-let find t p = Pattern.Map.find_opt p t.entries
+let universe t = t.universe
+let ids t = Array.to_list t.order
+let pattern_count t = Array.length t.order
+let patterns t = List.map (Universe.pattern t.universe) (ids t)
+
+let find_id t id =
+  let i = Id.to_int id in
+  if i < Array.length t.slots then t.slots.(i) else None
+
+let find t p =
+  match Universe.find t.universe p with
+  | None -> None
+  | Some id -> find_id t id
+
 let count t p = match find t p with Some e -> e.count | None -> 0
+let count_id t id = match find_id t id with Some e -> e.count | None -> 0
 
 let node_frequency t p =
   match find t p with
@@ -164,10 +229,26 @@ let frequency t p n = match find t p with Some e -> e.freq.(n) | None -> 0
 let antichains t p = match find t p with Some e -> List.rev e.kept | None -> []
 let total_antichains t = t.total
 
+let fold_ids f t acc =
+  Array.fold_left
+    (fun acc id ->
+      match find_id t id with
+      | Some e -> f id ~count:e.count ~freq:e.freq acc
+      | None -> acc)
+    acc t.order
+
 let fold f t acc =
-  Pattern.Map.fold (fun p e acc -> f p ~count:e.count ~freq:e.freq acc) t.entries acc
+  fold_ids
+    (fun id ~count ~freq acc -> f (Universe.pattern t.universe id) ~count ~freq acc)
+    t acc
 
 let pp_table ppf t =
-  Pattern.Map.iter
-    (fun p e -> Format.fprintf ppf "%a: %d antichains@." Pattern.pp p e.count)
-    t.entries
+  Array.iter
+    (fun id ->
+      match find_id t id with
+      | Some e ->
+          Format.fprintf ppf "%a: %d antichains@." Pattern.pp
+            (Universe.pattern t.universe id)
+            e.count
+      | None -> ())
+    t.order

@@ -10,12 +10,18 @@
     - optionally the antichains themselves (Table 4 prints them; large
       graphs should not keep them).
 
-    The classification is the input to the selection algorithm (§5.2). *)
+    The classification is the input to the selection algorithm (§5.2).
+
+    Patterns are interned into a {!Mps_pattern.Universe}: buckets are keyed
+    by dense pattern id, and the universe's memoized facts (spelling, size,
+    color set) and dominance matrix are shared with every later phase that
+    consumes the classification. *)
 
 type t
 
 val compute :
   ?pool:Mps_exec.Pool.t ->
+  ?universe:Mps_pattern.Universe.t ->
   ?span_limit:int ->
   ?budget:int ->
   ?keep_antichains:bool ->
@@ -30,16 +36,25 @@ val compute :
     (the color-condition fallback guarantees coverage) but no longer sees
     every pattern.
 
+    [universe] is the interning arena the classification registers its
+    patterns in (a fresh one is created when omitted).  The caller that
+    supplies it — typically the pipeline — owns its lifetime and may keep
+    interning into it afterwards (selection does, for fabricated fallback
+    patterns); ids handed out here stay valid.  Ids are assigned in
+    first-visit enumeration order, identically for every [pool] size.
+
     [pool] fans the enumeration's root subtrees out across domains
-    ({!Enumerate.iter_root}); per-root tables are merged in root order, so
-    the classification — counts, frequency vectors, kept-antichain order,
-    total — is identical to the sequential one.  With a [budget], the
-    parallel walk is optimistic: if the enumeration stays within budget the
-    parallel result is returned (and is what the sequential walk would have
-    produced); the moment the budget is exceeded the parallel walk aborts
-    and the budgeted {e sequential} walk runs instead, so truncated
-    classifications are byte-identical too, at the price of bounded
-    duplicated work on over-budget graphs. *)
+    ({!Enumerate.iter_root}); per-root tables intern into per-domain
+    scratch universes, and both tables and universes are merged in root
+    (= submission) order, so the classification — counts, frequency
+    vectors, kept-antichain order, total, and universe id assignment — is
+    identical to the sequential one.  With a [budget], the parallel walk is
+    optimistic: if the enumeration stays within budget the parallel result
+    is returned (and is what the sequential walk would have produced); the
+    moment the budget is exceeded the parallel walk aborts and the budgeted
+    {e sequential} walk runs instead, so truncated classifications are
+    byte-identical too, at the price of bounded duplicated work on
+    over-budget graphs. *)
 
 val truncated : t -> bool
 (** Whether the enumeration budget cut the classification short. *)
@@ -48,6 +63,14 @@ val graph : t -> Mps_dfg.Dfg.t
 val capacity : t -> int
 val span_limit : t -> int option
 
+val universe : t -> Mps_pattern.Universe.t
+(** The interning arena the classification's patterns live in.  Consumers
+    run their pattern tests (dominance, color sets, sizes) against it. *)
+
+val ids : t -> Mps_pattern.Pattern.Id.t list
+(** Ids of all patterns that have at least one antichain, in the canonical
+    sorted-by-pattern order (the order {!patterns} and {!fold} use). *)
+
 val patterns : t -> Mps_pattern.Pattern.t list
 (** All patterns that have at least one antichain, sorted. *)
 
@@ -55,6 +78,9 @@ val pattern_count : t -> int
 
 val count : t -> Mps_pattern.Pattern.t -> int
 (** Number of antichains of the pattern (0 if the pattern never occurs). *)
+
+val count_id : t -> Mps_pattern.Pattern.Id.t -> int
+(** Same, keyed by universe id. *)
 
 val node_frequency : t -> Mps_pattern.Pattern.t -> int array
 (** The vector h(p̄), indexed by node id; an all-zero vector if the pattern
@@ -76,6 +102,14 @@ val fold :
   'a
 (** Folds over patterns in sorted order.  [freq] is the internal vector:
     read-only. *)
+
+val fold_ids :
+  (Mps_pattern.Pattern.Id.t -> count:int -> freq:int array -> 'a -> 'a) ->
+  t ->
+  'a ->
+  'a
+(** Same fold, handing out universe ids instead of patterns — the selection
+    phases build their candidate pools from this. *)
 
 val pp_table : Format.formatter -> t -> unit
 (** "pattern: antichain count" lines, the §5.1 classification shape. *)

@@ -8,6 +8,9 @@ type t = {
 }
 
 let mac_color = Color.of_char 'm'
+let mul_color = Color.of_char 'c'
+let add_color = Color.of_char 'a'
+let sub_color = Color.of_char 'b'
 
 let rebuild g groups =
   (* groups: list of member lists (original ids, dataflow order), covering
@@ -47,12 +50,12 @@ let mac g =
   let n = Dfg.node_count g in
   let partner = Array.make n (-1) in
   let absorbed = Array.make n false in
-  let is c ch = Color.equal c (Color.of_char ch) in
+  let is c color = Color.equal c color in
   Dfg.iter_nodes
     (fun u ->
-      if is (Dfg.color g u) 'c' && not absorbed.(u) then
+      if is (Dfg.color g u) mul_color && not absorbed.(u) then
         match Dfg.succs g u with
-        | [ v ] when (is (Dfg.color g v) 'a' || is (Dfg.color g v) 'b')
+        | [ v ] when (is (Dfg.color g v) add_color || is (Dfg.color g v) sub_color)
                      && partner.(v) = -1 && not absorbed.(v) ->
             partner.(v) <- u;
             absorbed.(u) <- true

@@ -25,6 +25,7 @@ module Dfg_parse = Mps_dfg.Parse
 
 (* Patterns and antichains (§3, §5.1) *)
 module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
 module Antichain = Mps_antichain.Antichain
 module Enumerate = Mps_antichain.Enumerate
 module Classify = Mps_antichain.Classify

@@ -1,5 +1,6 @@
 module Dfg = Mps_dfg.Dfg
 module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
 module Enumerate = Mps_antichain.Enumerate
 module Classify = Mps_antichain.Classify
 module Select = Mps_select.Select
@@ -43,6 +44,7 @@ type t = {
   options : options;
   graph : Dfg.t;
   clustering : Cluster.t option;
+  universe : Universe.t;
   pattern_pool : int;
   antichains : int;
   truncated : bool;
@@ -62,9 +64,14 @@ let run ?pool ?(options = default_options) dfg =
     match clustering with Some c -> c.Cluster.clustered | None -> dfg
   in
   let ctx = Enumerate.make_ctx graph in
+  (* The pipeline owns the pattern universe: classification interns every
+     distinct pattern into it (per-domain scratch universes are merged
+     deterministically under [jobs > 1]), selection reuses its dominance
+     matrix, and the scheduler hash-conses Pdef through it. *)
+  let universe = Universe.create () in
   let classify_with pool =
     Classify.compute ?pool ?span_limit:options.span_limit
-      ?budget:options.enumeration_budget ~capacity:options.capacity ctx
+      ?budget:options.enumeration_budget ~capacity:options.capacity ~universe ctx
   in
   let classify =
     match pool with
@@ -78,12 +85,13 @@ let run ?pool ?(options = default_options) dfg =
   in
   let patterns = selection_report.Select.patterns in
   let { Mp.schedule; _ } =
-    Mp.schedule ~priority:options.priority ~patterns graph
+    Mp.schedule ~priority:options.priority ~universe ~patterns graph
   in
   {
     options;
     graph;
     clustering;
+    universe;
     pattern_pool = Classify.pattern_count classify;
     antichains = Classify.total_antichains classify;
     truncated = Classify.truncated classify;

@@ -36,6 +36,10 @@ type t = {
   options : options;
   graph : Mps_dfg.Dfg.t;  (** The scheduled graph (clustered if enabled). *)
   clustering : Mps_clustering.Cluster.t option;
+  universe : Mps_pattern.Universe.t;
+      (** The pattern universe built during classification and shared by
+          selection and scheduling.  Ids are internal: nothing printed by
+          the flow depends on them. *)
   pattern_pool : int;  (** Distinct patterns found in the graph. *)
   antichains : int;  (** Antichains enumerated under the span limit. *)
   truncated : bool;  (** The enumeration budget cut pattern generation short. *)

@@ -6,10 +6,21 @@ type t = Cms.t
 let empty = Cms.empty
 let of_colors l = Cms.of_list l
 
-let of_string s =
-  String.fold_left
-    (fun acc ch -> if ch = '-' then acc else Cms.add (Color.of_char ch) acc)
-    Cms.empty s
+let of_string ?capacity s =
+  let p =
+    String.fold_left
+      (fun acc ch -> if ch = '-' then acc else Cms.add (Color.of_char ch) acc)
+      Cms.empty s
+  in
+  (match capacity with
+  | Some c when Cms.cardinal p > c ->
+      invalid_arg
+        (Printf.sprintf
+           "Pattern.of_string: %S has %d defined colors but the machine \
+            capacity is %d"
+           s (Cms.cardinal p) c)
+  | _ -> ());
+  p
 
 let to_string p =
   let buf = Buffer.create 8 in
@@ -40,7 +51,8 @@ let meet = Cms.inter
 let sum = Cms.sum
 let compare = Cms.compare
 let equal = Cms.equal
-let hash p = Hashtbl.hash (to_string p)
+let hash p =
+  Cms.fold (fun c k acc -> (((acc * 31) + Color.hash c) * 31) + k) p 0x811c9
 let pp ppf p = Format.fprintf ppf "{%s}" (to_string p)
 
 let of_antichain_colors g nodes =
@@ -77,3 +89,14 @@ end
 
 module Set = Set.Make (Ord)
 module Map = Map.Make (Ord)
+
+module Id = struct
+  type t = int
+
+  let of_int i = if i < 0 then invalid_arg "Pattern.Id.of_int: negative id" else i
+  let to_int i = i
+  let compare = Int.compare
+  let equal = Int.equal
+  let hash i = i
+  let pp ppf i = Format.fprintf ppf "#%d" i
+end

@@ -19,10 +19,15 @@ val empty : t
 
 val of_colors : Mps_dfg.Color.t list -> t
 
-val of_string : string -> t
+val of_string : ?capacity:int -> string -> t
 (** [of_string "aabcc"]: one color per character.  Dashes are skipped so
-    dummy-padded spellings like "aab--" round-trip.
-    @raise Invalid_argument on characters [Color.of_char] rejects. *)
+    dummy-padded spellings like "aab--" round-trip.  When [capacity] is
+    given, a spelling with more defined colors than the machine has ALUs is
+    rejected immediately — user-supplied patterns fail loudly at the parse
+    boundary instead of silently surviving until a later [fits_capacity]
+    check deep in selection.
+    @raise Invalid_argument on characters [Color.of_char] rejects, or when
+    the defined-color count exceeds [capacity]. *)
 
 val to_string : t -> string
 (** Canonical spelling: colors sorted, repeated per multiplicity,
@@ -91,3 +96,21 @@ val random : Mps_util.Rng.t -> colors:Mps_dfg.Color.t list -> size:int -> t
 
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
+
+(** Dense pattern identifiers handed out by {!Universe} interning arenas.
+    Ids are internal bookkeeping: they never appear in any text format or
+    CLI output, and are only meaningful relative to the universe that
+    allocated them. *)
+module Id : sig
+  type t = private int
+
+  val of_int : int -> t
+  (** For arena implementations and tests.  @raise Invalid_argument on a
+      negative id. *)
+
+  val to_int : t -> int
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end

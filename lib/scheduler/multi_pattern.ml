@@ -3,6 +3,7 @@ module Color = Mps_dfg.Color
 module Levels = Mps_dfg.Levels
 module Reachability = Mps_dfg.Reachability
 module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
 
 exception Unschedulable of Color.t list
 
@@ -17,22 +18,16 @@ type trace_row = {
 
 type result = { schedule : Schedule.t; trace : trace_row list }
 
-(* S(p, CL): walk the candidate list in priority order, taking each node
-   whose color still has a free slot in the pattern. *)
-let selected_set pattern sorted_cl g =
-  let remaining = ref pattern in
-  List.filter
-    (fun i ->
-      let c = Dfg.color g i in
-      if Pattern.count !remaining c > 0 then begin
-        remaining := Pattern.remove !remaining c;
-        true
-      end
-      else false)
-    sorted_cl
-
-let schedule ?(priority = F2) ?(trace = false) ?release ~patterns g =
+let schedule ?(priority = F2) ?(trace = false) ?release ?universe ~patterns g =
   if patterns = [] then invalid_arg "Multi_pattern.schedule: no patterns";
+  (* Hash-cons Pdef through the caller's universe when given: the declared
+     pattern of every cycle then shares the arena's canonical copy instead
+     of a per-call duplicate. *)
+  let patterns =
+    match universe with
+    | None -> patterns
+    | Some u -> List.map (fun p -> Universe.pattern u (Universe.intern u p)) patterns
+  in
   let n = Dfg.node_count g in
   (match release with
   | Some r when Array.length r <> n ->
@@ -44,6 +39,54 @@ let schedule ?(priority = F2) ?(trace = false) ?release ~patterns g =
   let reach = Reachability.compute g in
   let levels = Levels.compute g in
   let prio = Node_priority.compute g reach levels in
+  (* Dense per-color slot tables.  Every color of the graph or of Pdef gets
+     a small index; each pattern becomes a count table over those indices,
+     so S(p̄, CL) is a scratch-array walk (with early exit once the
+     pattern's slots are exhausted) instead of per-node multiset lookups.
+     The walk takes exactly the nodes the multiset version took, in the
+     same candidate order. *)
+  let cidx = Array.make 256 (-1) in
+  let ncolors = ref 0 in
+  let index_color c =
+    let k = Char.code (Color.to_char c) in
+    if cidx.(k) < 0 then begin
+      cidx.(k) <- !ncolors;
+      incr ncolors
+    end
+  in
+  List.iter index_color (Dfg.colors g);
+  List.iter (fun p -> List.iter index_color (Pattern.colors p)) patterns;
+  let node_color =
+    Array.init n (fun i -> cidx.(Char.code (Color.to_char (Dfg.color g i))))
+  in
+  let tabled =
+    List.map
+      (fun p ->
+        let table = Array.make !ncolors 0 in
+        List.iter
+          (fun (c, k) -> table.(cidx.(Char.code (Color.to_char c))) <- k)
+          (Pattern.to_counted_list p);
+        (p, table, Pattern.size p))
+      patterns
+  in
+  let scratch = Array.make !ncolors 0 in
+  let selected_set (_, table, size) sorted_cl =
+    Array.blit table 0 scratch 0 (Array.length table);
+    let slots = ref size in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | _ when !slots = 0 -> List.rev acc
+      | i :: rest ->
+          let k = node_color.(i) in
+          if scratch.(k) > 0 then begin
+            scratch.(k) <- scratch.(k) - 1;
+            decr slots;
+            go (i :: acc) rest
+          end
+          else go acc rest
+    in
+    go [] sorted_cl
+  in
   let cycle_of = Array.make n (-1) in
   let unscheduled_preds = Array.init n (Dfg.in_degree g) in
   let cl = ref (Dfg.sources g) in
@@ -53,7 +96,7 @@ let schedule ?(priority = F2) ?(trace = false) ?release ~patterns g =
   let score selected =
     match priority with
     | F1 -> List.length selected
-    | F2 -> List.fold_left (fun acc i -> acc + Node_priority.value prio i) 0 selected
+    | F2 -> Node_priority.sum_values prio selected
   in
   while !cl <> [] do
     (* Release-blocked candidates sit out this cycle; if nothing is ready
@@ -65,7 +108,9 @@ let schedule ?(priority = F2) ?(trace = false) ?release ~patterns g =
     end
     else begin
     let sorted = Node_priority.sort prio ready in
-    let per_pattern = List.map (fun p -> (p, selected_set p sorted g)) patterns in
+    let per_pattern =
+      List.map (fun ((p, _, _) as tp) -> (p, selected_set tp sorted)) tabled
+    in
     let best_idx, _ =
       List.fold_left
         (fun (best, best_score) (idx, (_, sel)) ->

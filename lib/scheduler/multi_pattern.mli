@@ -35,12 +35,18 @@ val schedule :
   ?priority:pattern_priority ->
   ?trace:bool ->
   ?release:int array ->
+  ?universe:Mps_pattern.Universe.t ->
   patterns:Mps_pattern.Pattern.t list ->
   Mps_dfg.Dfg.t ->
   result
 (** [priority] defaults to [F2] (the paper's refinement); [trace] defaults
     to [false].  Ties between patterns keep the earliest pattern in
     [patterns]; ties between equal-priority nodes keep the smaller node id.
+
+    [universe], when given, hash-conses [patterns] through the arena: the
+    patterns are interned and the schedule's per-cycle declared patterns
+    all share the arena's canonical copies.  Purely a sharing/speed knob —
+    the resulting schedule is identical with or without it.
 
     [release], when given, holds a per-node earliest start cycle (values
     ≤ 0 mean unconstrained) — the hook multi-tile mapping uses for values

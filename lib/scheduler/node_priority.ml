@@ -3,7 +3,13 @@ module Levels = Mps_dfg.Levels
 module Reachability = Mps_dfg.Reachability
 module Bitset = Mps_util.Bitset
 
-type t = { values : int array; keys : (int * int * int) array; s : int; t : int }
+type t = {
+  values : int array;
+  keys : (int * int * int) array;
+  rank : int array;
+  s : int;
+  t : int;
+}
 
 let compute g reach levels =
   let n = Dfg.node_count g in
@@ -21,7 +27,16 @@ let compute g reach levels =
     Array.init n (fun i -> (s_param * height.(i)) + (t_param * direct.(i)) + all.(i))
   in
   let keys = Array.init n (fun i -> (height.(i), direct.(i), all.(i))) in
-  { values; keys; s = s_param; t = t_param }
+  (* Precompute each node's position in the global descending priority
+     order (value desc, id asc — a total order).  Candidate sorts then
+     compare plain ranks instead of recomputing the two-level key. *)
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j -> match compare values.(j) values.(i) with 0 -> compare i j | c -> c)
+    order;
+  let rank = Array.make n 0 in
+  Array.iteri (fun pos i -> rank.(i) <- pos) order;
+  { values; keys; rank; s = s_param; t = t_param }
 
 let s_param p = p.s
 let t_param p = p.t
@@ -33,8 +48,10 @@ let get arr i =
 
 let value p i = get p.values i
 let key p i = get p.keys i
+let rank p i = get p.rank i
 
-let compare_desc p i j =
-  match compare (value p j) (value p i) with 0 -> compare i j | c -> c
-
+(* Rank order is exactly (value desc, id asc): comparing ranks gives the
+   same total order as the original two-step comparison. *)
+let compare_desc p i j = compare (rank p i) (rank p j)
 let sort p l = List.sort (compare_desc p) l
+let sum_values p l = List.fold_left (fun acc i -> acc + value p i) 0 l

@@ -28,9 +28,17 @@ val key : t -> int -> int * int * int
 (** (height, #direct successors, #all successors) — the lexicographic
     reading of f(n). *)
 
+val rank : t -> int -> int
+(** The node's position (0-based) in the global descending priority order
+    (f(n) desc, node id asc).  Ranks are distinct, so comparing ranks is
+    exactly {!compare_desc}. *)
+
 val compare_desc : t -> int -> int -> int
 (** Higher priority first; ties broken by increasing node id, making every
     consumer deterministic. *)
 
 val sort : t -> int list -> int list
 (** Sorts a candidate list, highest priority first. *)
+
+val sum_values : t -> int list -> int
+(** Sum of f(n) over a candidate list — the F2 pattern-priority score. *)

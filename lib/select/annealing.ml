@@ -1,6 +1,7 @@
 module Dfg = Mps_dfg.Dfg
 module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
 module Classify = Mps_antichain.Classify
 module Mp = Mps_scheduler.Multi_pattern
 module Schedule = Mps_scheduler.Schedule
@@ -13,11 +14,11 @@ type outcome = {
   improved : bool;
 }
 
-let covers all_colors patterns =
+let covers u all_colors ids =
   let covered =
     List.fold_left
-      (fun acc p -> Color.Set.union acc (Pattern.color_set p))
-      Color.Set.empty patterns
+      (fun acc id -> Color.Set.union acc (Universe.color_set u id))
+      Color.Set.empty ids
   in
   Color.Set.subset all_colors covered
 
@@ -30,17 +31,19 @@ let search ?(iterations = 2000) ?(initial_temperature = 2.0) ?(cooling = 0.995)
   if initial_temperature <= 0.0 then
     invalid_arg "Annealing.search: non-positive temperature";
   let g = Classify.graph classify in
+  let u = Classify.universe classify in
   let all_colors = Color.Set.of_list (Dfg.colors g) in
-  let pool = Array.of_list (Classify.patterns classify) in
+  let pool = Array.of_list (Classify.ids classify) in
   let evaluations = ref 0 in
-  let cost patterns =
+  let cost ids =
     incr evaluations;
+    let patterns = List.map (Universe.pattern u) ids in
     match Mp.schedule ~patterns g with
     | { Mp.schedule; _ } -> Schedule.cycles schedule
     | exception Mp.Unschedulable _ -> max_int
   in
   (* Start from the paper's heuristic so the search can only improve it. *)
-  let start = Select.select ~pdef classify in
+  let start = List.map (Universe.intern u) (Select.select ~pdef classify) in
   let start_cost = cost start in
   let current = ref (Array.of_list start) in
   let current_cost = ref start_cost in
@@ -53,7 +56,7 @@ let search ?(iterations = 2000) ?(initial_temperature = 2.0) ?(cooling = 0.995)
       let slot = Rng.int rng (Array.length candidate) in
       candidate.(slot) <- Rng.choice rng pool;
       let cand_list = Array.to_list candidate in
-      if covers all_colors cand_list then begin
+      if covers u all_colors cand_list then begin
         let c = cost cand_list in
         let delta = float_of_int (c - !current_cost) in
         let accept =
@@ -72,7 +75,7 @@ let search ?(iterations = 2000) ?(initial_temperature = 2.0) ?(cooling = 0.995)
       temperature := !temperature *. cooling
     done;
   {
-    patterns = Array.to_list !best;
+    patterns = List.map (Universe.pattern u) (Array.to_list !best);
     cycles = !best_cost;
     evaluations = !evaluations;
     improved = !best_cost < start_cost;

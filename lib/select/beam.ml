@@ -1,6 +1,8 @@
 module Dfg = Mps_dfg.Dfg
 module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
+module Id = Mps_pattern.Pattern.Id
 module Classify = Mps_antichain.Classify
 module Mp = Mps_scheduler.Multi_pattern
 module Schedule = Mps_scheduler.Schedule
@@ -11,14 +13,14 @@ type outcome = {
   evaluated_sets : int;
 }
 
-(* One partial selection: chosen patterns (reversed), accumulated per-node
-   coverage, covered colors, surviving pool, and the heuristic score that
-   ranks beams (sum of the Eq. 8 priorities of its picks). *)
+(* One partial selection: chosen pattern ids (reversed), accumulated
+   per-node coverage, covered colors, surviving pool, and the heuristic
+   score that ranks beams (sum of the Eq. 8 priorities of its picks). *)
 type state = {
-  chosen : Pattern.t list;
+  chosen : Id.t list;
   cover : int array;
   covered : Color.Set.t;
-  pool : (Pattern.t * int array) list;
+  pool : (Id.t * int array) list;
   heuristic : float;
 }
 
@@ -37,6 +39,7 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
   if width < 1 then invalid_arg "Beam.search: width must be >= 1";
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
+  let u = Classify.universe classify in
   let n = Dfg.node_count g in
   let all_colors = Color.Set.of_list (Dfg.colors g) in
   let initial =
@@ -45,7 +48,7 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
       cover = Array.make n 0;
       covered = Color.Set.empty;
       pool =
-        Classify.fold (fun p ~count:_ ~freq acc -> (p, freq) :: acc) classify []
+        Classify.fold_ids (fun id ~count:_ ~freq acc -> (id, freq) :: acc) classify []
         |> List.rev;
       heuristic = 0.0;
     }
@@ -53,32 +56,32 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
   let extend step state =
     let remaining_picks = pdef - step - 1 in
     let missing = Color.Set.cardinal (Color.Set.diff all_colors state.covered) in
-    let color_condition p =
+    let color_condition id =
       let new_colors =
-        Color.Set.cardinal (Color.Set.diff (Pattern.color_set p) state.covered)
+        Color.Set.cardinal (Color.Set.diff (Universe.color_set u id) state.covered)
       in
       new_colors >= missing - (capacity * remaining_picks)
     in
-    let apply p freq score =
+    let apply pid freq score =
       let cover = Array.copy state.cover in
       Array.iteri (fun k h -> cover.(k) <- cover.(k) + h) freq;
       {
-        chosen = p :: state.chosen;
+        chosen = pid :: state.chosen;
         cover;
-        covered = Color.Set.union state.covered (Pattern.color_set p);
+        covered = Color.Set.union state.covered (Universe.color_set u pid);
         pool =
-          List.filter (fun (q, _) -> not (Pattern.subpattern q ~of_:p)) state.pool;
+          List.filter (fun (q, _) -> not (Universe.subpattern u q ~of_:pid)) state.pool;
         heuristic = state.heuristic +. score;
       }
     in
     let scored =
       List.filter_map
-        (fun (p, freq) ->
-          if color_condition p then
+        (fun (id, freq) ->
+          if color_condition id then
             let s =
-              priority ~params ~cover:state.cover ~freq ~size:(Pattern.size p)
+              priority ~params ~cover:state.cover ~freq ~size:(Universe.size u id)
             in
-            Some (s, p, freq)
+            Some (s, id, freq)
           else None)
         state.pool
     in
@@ -93,21 +96,24 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
             | _ when k = 0 -> []
             | x :: rest -> x :: take (k - 1) rest
           in
-          let p = Pattern.of_colors (take capacity uncovered) in
-          [ apply p (Array.make n 0) 0.0 ]
+          let pid = Universe.intern u (Pattern.of_colors (take capacity uncovered)) in
+          [ apply pid (Array.make n 0) 0.0 ]
         end
     | _ ->
         List.sort (fun (s1, _, _) (s2, _, _) -> compare s2 s1) scored
         |> List.filteri (fun i _ -> i < width)
-        |> List.map (fun (s, p, freq) -> apply p freq s)
+        |> List.map (fun (s, id, freq) -> apply id freq s)
   in
   let rec steps i beam =
     if i = pdef then beam
     else begin
       let expanded = List.concat_map (extend i) beam in
       (* Keep the [width] most promising partial selections; dedupe on the
-         chosen multiset so permutations don't crowd the beam. *)
-      let key st = List.sort Pattern.compare st.chosen in
+         chosen multiset so permutations don't crowd the beam.  The key
+         stays the sorted pattern list (not ids): the dedupe order seeds
+         the stable heuristic sort's tie-breaks, and ids are allocated in
+         visit order, not pattern order. *)
+      let key st = List.sort Pattern.compare (List.map (Universe.pattern u) st.chosen) in
       let deduped =
         List.sort_uniq (fun a b -> compare (key a) (key b)) expanded
       in
@@ -122,7 +128,7 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
   let best =
     List.fold_left
       (fun acc state ->
-        let patterns = List.rev state.chosen in
+        let patterns = List.rev_map (Universe.pattern u) state.chosen |> List.rev in
         if patterns = [] then acc
         else begin
           match Mp.schedule ~patterns g with

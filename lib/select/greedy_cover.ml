@@ -1,15 +1,19 @@
 module Dfg = Mps_dfg.Dfg
 module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
 module Classify = Mps_antichain.Classify
 
 let select ~pdef classify =
   if pdef < 1 then invalid_arg "Greedy_cover.select: pdef must be >= 1";
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
+  let u = Classify.universe classify in
   let all_colors = Color.Set.of_list (Dfg.colors g) in
   let pool =
-    ref (Classify.fold (fun p ~count ~freq:_ acc -> (p, count) :: acc) classify [] |> List.rev)
+    ref
+      (Classify.fold_ids (fun id ~count ~freq:_ acc -> (id, count) :: acc) classify []
+      |> List.rev)
   in
   let covered = ref Color.Set.empty in
   let selected = ref [] in
@@ -20,26 +24,28 @@ let select ~pdef classify =
       let missing = Color.Set.cardinal (Color.Set.diff all_colors !covered) in
       let viable =
         List.filter
-          (fun (p, _) ->
+          (fun (id, _) ->
             let new_colors =
-              Color.Set.cardinal (Color.Set.diff (Pattern.color_set p) !covered)
+              Color.Set.cardinal (Color.Set.diff (Universe.color_set u id) !covered)
             in
             new_colors >= missing - (capacity * remaining_picks))
           !pool
       in
       let best =
         List.fold_left
-          (fun acc (p, count) ->
+          (fun acc (id, count) ->
             match acc with
             | Some (_, bc) when bc >= count -> acc
-            | _ -> Some (p, count))
+            | _ -> Some (id, count))
           None viable
       in
+      let commit pid =
+        pool := List.filter (fun (q, _) -> not (Universe.subpattern u q ~of_:pid)) !pool;
+        covered := Color.Set.union !covered (Universe.color_set u pid);
+        selected := Universe.pattern u pid :: !selected
+      in
       match best with
-      | Some (p, _) ->
-          pool := List.filter (fun (q, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
-          covered := Color.Set.union !covered (Pattern.color_set p);
-          selected := p :: !selected
+      | Some (pid, _) -> commit pid
       | None ->
           let uncovered = Color.Set.elements (Color.Set.diff all_colors !covered) in
           if uncovered = [] then stop := true
@@ -49,10 +55,7 @@ let select ~pdef classify =
               | _ when k = 0 -> []
               | x :: rest -> x :: take (k - 1) rest
             in
-            let p = Pattern.of_colors (take capacity uncovered) in
-            pool := List.filter (fun (q, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
-            covered := Color.Set.union !covered (Pattern.color_set p);
-            selected := p :: !selected
+            commit (Universe.intern u (Pattern.of_colors (take capacity uncovered)))
           end
     end
   done;

@@ -1,6 +1,7 @@
 module Dfg = Mps_dfg.Dfg
 module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
 module Classify = Mps_antichain.Classify
 
 type context = {
@@ -80,11 +81,13 @@ let select variant ~pdef classify =
   if pdef < 1 then invalid_arg "Priority_variants.select: pdef must be >= 1";
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
+  let u = Classify.universe classify in
   let n = Dfg.node_count g in
   let all_colors = Color.Set.of_list (Dfg.colors g) in
   let pool =
     ref
-      (Classify.fold (fun p ~count ~freq acc -> (p, count, freq) :: acc) classify []
+      (Classify.fold_ids (fun id ~count ~freq acc -> (id, count, freq) :: acc)
+         classify []
       |> List.rev)
   in
   let cover = Array.make n 0 in
@@ -95,34 +98,37 @@ let select variant ~pdef classify =
   while (not !stop) && !i < pdef do
     let remaining_picks = pdef - !i - 1 in
     let missing = Color.Set.cardinal (Color.Set.diff all_colors !covered) in
-    let color_condition p =
+    let color_condition id =
       let new_colors =
-        Color.Set.cardinal (Color.Set.diff (Pattern.color_set p) !covered)
+        Color.Set.cardinal (Color.Set.diff (Universe.color_set u id) !covered)
       in
       new_colors >= missing - (capacity * remaining_picks)
     in
     let best =
       List.fold_left
-        (fun acc (p, count, freq) ->
-          if not (color_condition p) then acc
+        (fun acc (id, count, freq) ->
+          if not (color_condition id) then acc
           else begin
             let s =
               variant.score
-                { freq; count; cover; size = Pattern.size p; capacity }
+                { freq; count; cover; size = Universe.size u id; capacity }
             in
             match acc with
             | Some (_, _, bs) when bs >= s -> acc
-            | _ when s > 0.0 -> Some (p, freq, s)
+            | _ when s > 0.0 -> Some (id, freq, s)
             | _ -> acc
           end)
         None !pool
     in
+    let delete_covered_by pid =
+      pool := List.filter (fun (q, _, _) -> not (Universe.subpattern u q ~of_:pid)) !pool
+    in
     (match best with
-    | Some (p, freq, _) ->
-        pool := List.filter (fun (q, _, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
+    | Some (pid, freq, _) ->
+        delete_covered_by pid;
         Array.iteri (fun k h -> cover.(k) <- cover.(k) + h) freq;
-        covered := Color.Set.union !covered (Pattern.color_set p);
-        selected := p :: !selected
+        covered := Color.Set.union !covered (Universe.color_set u pid);
+        selected := Universe.pattern u pid :: !selected
     | None ->
         let uncovered = Color.Set.elements (Color.Set.diff all_colors !covered) in
         if uncovered = [] then stop := true
@@ -132,10 +138,10 @@ let select variant ~pdef classify =
             | _ when k = 0 -> []
             | x :: rest -> x :: take (k - 1) rest
           in
-          let p = Pattern.of_colors (take capacity uncovered) in
-          pool := List.filter (fun (q, _, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
-          covered := Color.Set.union !covered (Pattern.color_set p);
-          selected := p :: !selected
+          let pid = Universe.intern u (Pattern.of_colors (take capacity uncovered)) in
+          delete_covered_by pid;
+          covered := Color.Set.union !covered (Universe.color_set u pid);
+          selected := Universe.pattern u pid :: !selected
         end);
     incr i
   done;

@@ -1,6 +1,7 @@
 module Dfg = Mps_dfg.Dfg
 module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
 module Classify = Mps_antichain.Classify
 
 type params = { epsilon : float; alpha : float }
@@ -38,15 +39,14 @@ let select_report ?(params = default_params) ~pdef classify =
   if pdef < 1 then invalid_arg "Select.select: pdef must be >= 1";
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
+  let u = Classify.universe classify in
   let n = Dfg.node_count g in
   let all_colors = Color.Set.of_list (Dfg.colors g) in
-  (* Candidate pool: every pattern with at least one antichain, each with its
-     (immutable) frequency vector. *)
+  (* Candidate pool: every pattern with at least one antichain, as a
+     universe id with its (immutable) frequency vector. *)
   let pool =
     ref
-      (Classify.fold
-         (fun p ~count:_ ~freq acc -> (p, freq) :: acc)
-         classify []
+      (Classify.fold_ids (fun id ~count:_ ~freq acc -> (id, freq) :: acc) classify []
       |> List.rev)
   in
   let cover = Array.make n 0 in
@@ -58,44 +58,54 @@ let select_report ?(params = default_params) ~pdef classify =
   while (not !stop) && !i < pdef do
     let remaining_picks = pdef - !i - 1 in
     let missing = Color.Set.cardinal (Color.Set.diff all_colors !covered) in
-    let color_condition p =
+    let color_condition id =
       let new_colors =
-        Color.Set.cardinal (Color.Set.diff (Pattern.color_set p) !covered)
+        Color.Set.cardinal (Color.Set.diff (Universe.color_set u id) !covered)
       in
       new_colors >= missing - (capacity * remaining_picks)
     in
     let scored =
       List.map
-        (fun (p, freq) ->
+        (fun (id, freq) ->
           let f =
-            if color_condition p then
-              priority_of ~params ~cover ~freq ~size_:(Pattern.size p)
+            if color_condition id then
+              priority_of ~params ~cover ~freq ~size_:(Universe.size u id)
             else 0.0
           in
-          (p, freq, f))
+          (id, freq, f))
         !pool
     in
     let best =
       List.fold_left
-        (fun acc (p, freq, f) ->
+        (fun acc (id, freq, f) ->
           match acc with
           | Some (_, _, bf) when bf >= f -> acc
-          | _ when f > 0.0 -> Some (p, freq, f)
+          | _ when f > 0.0 -> Some (id, freq, f)
           | _ -> acc)
         None scored
     in
-    let priorities = List.map (fun (p, _, f) -> (p, f)) scored in
+    let priorities = List.map (fun (id, _, f) -> (Universe.pattern u id, f)) scored in
+    let delete_covered_by pid =
+      let deleted, kept =
+        List.partition (fun (q, _) -> Universe.subpattern u q ~of_:pid) !pool
+      in
+      pool := kept;
+      List.map (fun (q, _) -> Universe.pattern u q) deleted
+    in
     (match best with
-    | Some (p, freq, f) ->
-        let deleted, kept =
-          List.partition (fun (q, _) -> Pattern.subpattern q ~of_:p) !pool
-        in
-        pool := kept;
+    | Some (pid, freq, f) ->
+        let deleted = delete_covered_by pid in
         Array.iteri (fun k h -> cover.(k) <- cover.(k) + h) freq;
-        covered := Color.Set.union !covered (Pattern.color_set p);
-        selected := p :: !selected;
+        covered := Color.Set.union !covered (Universe.color_set u pid);
+        selected := Universe.pattern u pid :: !selected;
         steps :=
-          { chosen = p; priority = f; fallback = false; deleted = List.map fst deleted; priorities }
+          {
+            chosen = Universe.pattern u pid;
+            priority = f;
+            fallback = false;
+            deleted;
+            priorities;
+          }
           :: !steps
     | None ->
         (* No candidate works: fabricate from uncovered colors (up to C).
@@ -109,15 +119,18 @@ let select_report ?(params = default_params) ~pdef classify =
             | _ when k = 0 -> []
             | x :: rest -> x :: take (k - 1) rest
           in
-          let p = Pattern.of_colors (take capacity uncovered) in
-          let deleted, kept =
-            List.partition (fun (q, _) -> Pattern.subpattern q ~of_:p) !pool
-          in
-          pool := kept;
-          covered := Color.Set.union !covered (Pattern.color_set p);
-          selected := p :: !selected;
+          let pid = Universe.intern u (Pattern.of_colors (take capacity uncovered)) in
+          let deleted = delete_covered_by pid in
+          covered := Color.Set.union !covered (Universe.color_set u pid);
+          selected := Universe.pattern u pid :: !selected;
           steps :=
-            { chosen = p; priority = 0.0; fallback = true; deleted = List.map fst deleted; priorities }
+            {
+              chosen = Universe.pattern u pid;
+              priority = 0.0;
+              fallback = true;
+              deleted;
+              priorities;
+            }
             :: !steps
         end);
     incr i

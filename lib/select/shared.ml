@@ -1,6 +1,7 @@
 module Dfg = Mps_dfg.Dfg
 module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
 module Classify = Mps_antichain.Classify
 module Enumerate = Mps_antichain.Enumerate
 module Mp = Mps_scheduler.Multi_pattern
@@ -39,18 +40,27 @@ let select ?(params = Select.default_params) ~pdef kernels =
       (fun acc k -> Color.Set.union acc (Color.Set.of_list (Dfg.colors k.graph)))
       Color.Set.empty kernels
   in
-  (* Pool: union of the kernels' pattern pools.  Per pattern keep, for each
-     kernel that realizes it, that kernel's frequency vector. *)
-  let pool = ref Pattern.Map.empty in
+  (* Pool: union of the kernels' pattern pools, interned into a universe
+     shared across kernels.  Per pattern keep, for each kernel that
+     realizes it, that kernel's frequency vector. *)
+  let u = Universe.create () in
+  let entries_of : (Pattern.Id.t, (int * int array) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
   List.iteri
     (fun ki k ->
       Classify.fold
         (fun p ~count:_ ~freq () ->
-          let prev = Option.value (Pattern.Map.find_opt p !pool) ~default:[] in
-          pool := Pattern.Map.add p ((ki, freq) :: prev) !pool)
+          let id = Universe.intern u p in
+          let prev = Option.value (Hashtbl.find_opt entries_of id) ~default:[] in
+          Hashtbl.replace entries_of id ((ki, freq) :: prev))
         k.classify ())
     kernels;
-  let pool = ref (Pattern.Map.bindings !pool) in
+  let pool =
+    ref
+      (Universe.sorted_ids u |> Array.to_list
+      |> List.map (fun id -> (id, Hashtbl.find entries_of id)))
+  in
   (* Per-kernel coverage vectors. *)
   let cover =
     List.map (fun k -> Array.make (Dfg.node_count k.graph) 0) kernels
@@ -63,9 +73,9 @@ let select ?(params = Select.default_params) ~pdef kernels =
   while (not !stop) && !i < pdef do
     let remaining_picks = pdef - !i - 1 in
     let missing = Color.Set.cardinal (Color.Set.diff all_colors !covered) in
-    let color_condition p =
+    let color_condition id =
       let new_colors =
-        Color.Set.cardinal (Color.Set.diff (Pattern.color_set p) !covered)
+        Color.Set.cardinal (Color.Set.diff (Universe.color_set u id) !covered)
       in
       new_colors >= missing - (capacity * remaining_picks)
     in
@@ -86,26 +96,29 @@ let select ?(params = Select.default_params) ~pdef kernels =
     in
     let best =
       List.fold_left
-        (fun acc (p, entries) ->
-          if not (color_condition p) then acc
+        (fun acc (id, entries) ->
+          if not (color_condition id) then acc
           else begin
-            let s = score entries (Pattern.size p) in
+            let s = score entries (Universe.size u id) in
             match acc with
             | Some (_, _, bs) when bs >= s -> acc
-            | _ when s > 0.0 -> Some (p, entries, s)
+            | _ when s > 0.0 -> Some (id, entries, s)
             | _ -> acc
           end)
         None !pool
     in
+    let delete_covered_by pid =
+      pool := List.filter (fun (q, _) -> not (Universe.subpattern u q ~of_:pid)) !pool
+    in
     (match best with
-    | Some (p, entries, _) ->
-        pool := List.filter (fun (q, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
+    | Some (pid, entries, _) ->
+        delete_covered_by pid;
         List.iter
           (fun (ki, freq) ->
             Array.iteri (fun n h -> cover.(ki).(n) <- cover.(ki).(n) + h) freq)
           entries;
-        covered := Color.Set.union !covered (Pattern.color_set p);
-        selected := p :: !selected
+        covered := Color.Set.union !covered (Universe.color_set u pid);
+        selected := Universe.pattern u pid :: !selected
     | None ->
         let uncovered = Color.Set.elements (Color.Set.diff all_colors !covered) in
         if uncovered = [] then stop := true
@@ -115,10 +128,10 @@ let select ?(params = Select.default_params) ~pdef kernels =
             | _ when k = 0 -> []
             | x :: rest -> x :: take (k - 1) rest
           in
-          let p = Pattern.of_colors (take capacity uncovered) in
-          pool := List.filter (fun (q, _) -> not (Pattern.subpattern q ~of_:p)) !pool;
-          covered := Color.Set.union !covered (Pattern.color_set p);
-          selected := p :: !selected
+          let pid = Universe.intern u (Pattern.of_colors (take capacity uncovered)) in
+          delete_covered_by pid;
+          covered := Color.Set.union !covered (Universe.color_set u pid);
+          selected := Universe.pattern u pid :: !selected
         end);
     incr i
   done;

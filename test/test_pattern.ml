@@ -24,6 +24,17 @@ let test_string_round_trip () =
     (Invalid_argument "Pattern.to_padded_string: \"aabcc\" exceeds capacity 3")
     (fun () -> ignore (Pattern.to_padded_string ~capacity:3 (pat "aabcc")))
 
+let test_of_string_capacity () =
+  Alcotest.(check string) "within capacity" "aabcc"
+    (Pattern.to_string (Pattern.of_string ~capacity:5 "cabca"));
+  Alcotest.(check string) "dummies don't count against capacity" "ab"
+    (Pattern.to_string (Pattern.of_string ~capacity:2 "a-b--"));
+  Alcotest.check_raises "oversized spelling rejected"
+    (Invalid_argument
+       "Pattern.of_string: \"aabbcc\" has 6 defined colors but the machine \
+        capacity is 5") (fun () ->
+      ignore (Pattern.of_string ~capacity:5 "aabbcc"))
+
 let test_counts () =
   let p = pat "aabcc" in
   Alcotest.(check int) "size" 5 (Pattern.size p);
@@ -136,6 +147,7 @@ let () =
       ( "basics",
         [
           Alcotest.test_case "string round trip" `Quick test_string_round_trip;
+          Alcotest.test_case "of_string capacity" `Quick test_of_string_capacity;
           Alcotest.test_case "counts" `Quick test_counts;
           Alcotest.test_case "subpattern" `Quick test_subpattern;
           Alcotest.test_case "lattice ops" `Quick test_lattice_ops;
