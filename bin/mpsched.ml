@@ -12,8 +12,12 @@
      mpsched workload   NAME             -- dump a built-in workload as a graph file
 
    GRAPH is a DFG text file ("node <name> <color>" / "edge <src> <dst>"
-   lines), or one of the built-in names (3dft, fig4, w3dft, w5dft, fft8,
-   dct8). *)
+   lines), a Graphviz .dot file in the subset Dfg_parse accepts, or one of
+   the built-in names (3dft, fig4, w3dft, w5dft, fft8, dct8).
+
+   Most phase subcommands take --stats (per-phase timing/counter summary on
+   stderr) and --trace FILE (Chrome trace-event JSON); neither changes the
+   primary output on stdout. *)
 
 module C = Core
 open Cmdliner
@@ -100,6 +104,44 @@ let with_jobs jobs f =
   if jobs = 1 then f None
   else C.Pool.with_pool ~jobs (fun pool -> f (Some pool))
 
+(* --stats / --trace: observability flags shared by the phase subcommands.
+   The summary goes to stderr and the trace to a file, so the primary
+   output on stdout stays byte-identical whether or not they are given
+   (check.sh diffs exactly that). *)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print a per-phase timing and counter summary to stderr after \
+           the run.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file (open in Perfetto or \
+           chrome://tracing; validate with $(b,mpsched tracecheck)).")
+
+let with_obs stats trace_out f =
+  if (not stats) && trace_out = None then f ()
+  else begin
+    let obs = C.Obs.create () in
+    let r = C.Obs.run obs f in
+    if stats then prerr_string (C.Obs.summary_table obs);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (C.Obs.chrome_trace obs)));
+    r
+  end
+
 (* --- levels --- *)
 
 let levels_cmd =
@@ -127,8 +169,9 @@ let levels_cmd =
 (* --- antichains --- *)
 
 let antichains_cmd =
-  let run spec capacity jobs =
+  let run spec capacity jobs stats trace_out =
     let g = or_fail (load_graph spec) in
+    with_obs stats trace_out @@ fun () ->
     let ctx = C.Enumerate.make_ctx g in
     let lv = C.Enumerate.ctx_levels ctx in
     let max_span = max 0 (C.Levels.asap_max lv) in
@@ -149,13 +192,14 @@ let antichains_cmd =
   in
   Cmd.v
     (Cmd.info "antichains" ~doc:"Antichain counts per size and span limit (Table 5)")
-    Term.(const run $ graph_arg $ capacity_arg $ jobs_arg)
+    Term.(const run $ graph_arg $ capacity_arg $ jobs_arg $ stats_arg $ trace_out_arg)
 
 (* --- patterns --- *)
 
 let patterns_cmd =
-  let run spec capacity span jobs =
+  let run spec capacity span jobs stats trace_out =
     let g = or_fail (load_graph spec) in
+    with_obs stats trace_out @@ fun () ->
     let cls =
       with_jobs jobs (fun pool ->
           C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
@@ -172,13 +216,16 @@ let patterns_cmd =
   in
   Cmd.v
     (Cmd.info "patterns" ~doc:"The classified pattern pool (§5.1)")
-    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ jobs_arg)
+    Term.(
+      const run $ graph_arg $ capacity_arg $ span_arg $ jobs_arg $ stats_arg
+      $ trace_out_arg)
 
 (* --- select --- *)
 
 let select_cmd =
-  let run spec capacity span pdef verbose jobs =
+  let run spec capacity span pdef verbose jobs stats trace_out =
     let g = or_fail (load_graph spec) in
+    with_obs stats trace_out @@ fun () ->
     let cls =
       with_jobs jobs (fun pool ->
           C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
@@ -202,15 +249,31 @@ let select_cmd =
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Run the pattern selection algorithm (§5.2)")
-    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ verbose $ jobs_arg)
+    Term.(
+      const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ verbose
+      $ jobs_arg $ stats_arg $ trace_out_arg)
 
 (* --- schedule --- *)
 
 let schedule_cmd =
-  let run spec capacity patterns trace =
+  let run spec capacity span pdef jobs patterns trace stats trace_out =
     let g = or_fail (load_graph spec) in
-    if patterns = [] then or_fail (Error "need at least one -p PATTERN");
-    let pats = parse_patterns ~capacity patterns in
+    with_obs stats trace_out @@ fun () ->
+    (* With no -p the selection algorithm picks Pdef first, so a bare
+       "mpsched schedule GRAPH" runs the paper's whole flow. *)
+    let pats =
+      if patterns <> [] then parse_patterns ~capacity patterns
+      else
+        with_jobs jobs (fun pool ->
+            let cls =
+              C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
+                (C.Enumerate.make_ctx g)
+            in
+            C.Select.select ~pdef cls)
+    in
+    if patterns = [] then
+      Printf.printf "patterns: %s\n"
+        (String.concat " " (List.map C.Pattern.to_string pats));
     match C.Multi_pattern.schedule ~trace ~patterns:pats g with
     | exception C.Multi_pattern.Unschedulable colors ->
         or_fail
@@ -226,20 +289,28 @@ let schedule_cmd =
   let patterns =
     Arg.(
       value & opt_all string []
-      & info [ "p"; "pattern" ] ~docv:"PATTERN" ~doc:"Allowed pattern, e.g. aabcc (repeatable).")
+      & info [ "p"; "pattern" ] ~docv:"PATTERN"
+          ~doc:
+            "Allowed pattern, e.g. aabcc (repeatable).  Omitted: run the \
+             selection algorithm first.")
   in
+  (* -t only: --trace is the Chrome-trace output shared with the other
+     subcommands. *)
   let trace =
-    Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Print the per-cycle trace (Table 2).")
+    Arg.(value & flag & info [ "t" ] ~doc:"Print the per-cycle trace (Table 2).")
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Multi-pattern list scheduling (§4)")
-    Term.(const run $ graph_arg $ capacity_arg $ patterns $ trace)
+    Term.(
+      const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ jobs_arg
+      $ patterns $ trace $ stats_arg $ trace_out_arg)
 
 (* --- pipeline --- *)
 
 let pipeline_cmd =
-  let run spec capacity span pdef cluster jobs =
+  let run spec capacity span pdef cluster jobs stats trace_out =
     let g = or_fail (load_graph spec) in
+    with_obs stats trace_out @@ fun () ->
     let options =
       {
         C.Pipeline.default_options with
@@ -258,13 +329,16 @@ let pipeline_cmd =
   in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Full flow: select, schedule, configuration report")
-    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ cluster $ jobs_arg)
+    Term.(
+      const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ cluster
+      $ jobs_arg $ stats_arg $ trace_out_arg)
 
 (* --- portfolio --- *)
 
 let portfolio_cmd =
-  let run spec capacity span pdef jobs =
+  let run spec capacity span pdef jobs stats trace_out =
     let g = or_fail (load_graph spec) in
+    with_obs stats trace_out @@ fun () ->
     with_jobs jobs (fun pool ->
         let cls =
           C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
@@ -289,15 +363,18 @@ let portfolio_cmd =
   Cmd.v
     (Cmd.info "portfolio"
        ~doc:"Try every selection strategy and keep the winner (parallel with --jobs)")
-    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ jobs_arg)
+    Term.(
+      const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ jobs_arg
+      $ stats_arg $ trace_out_arg)
 
 (* --- optimal --- *)
 
 let optimal_cmd =
-  let run spec capacity patterns max_states =
+  let run spec capacity patterns max_states stats trace_out =
     let g = or_fail (load_graph spec) in
     if patterns = [] then or_fail (Error "need at least one -p PATTERN");
     let pats = parse_patterns ~capacity patterns in
+    with_obs stats trace_out @@ fun () ->
     match C.Optimal.schedule ~max_states ~patterns:pats g with
     | exception C.Multi_pattern.Unschedulable colors ->
         or_fail
@@ -324,13 +401,16 @@ let optimal_cmd =
   in
   Cmd.v
     (Cmd.info "optimal" ~doc:"Exact minimum-cycle schedule by branch and bound")
-    Term.(const run $ graph_arg $ capacity_arg $ patterns $ max_states)
+    Term.(
+      const run $ graph_arg $ capacity_arg $ patterns $ max_states $ stats_arg
+      $ trace_out_arg)
 
 (* --- anneal --- *)
 
 let anneal_cmd =
-  let run spec capacity span pdef iterations seed =
+  let run spec capacity span pdef iterations seed stats trace_out =
     let g = or_fail (load_graph spec) in
+    with_obs stats trace_out @@ fun () ->
     let cls =
       C.Classify.compute ?span_limit:(span_of span) ~capacity (C.Enumerate.make_ctx g)
     in
@@ -348,7 +428,9 @@ let anneal_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
   Cmd.v
     (Cmd.info "anneal" ~doc:"Simulated-annealing pattern-set search")
-    Term.(const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ iterations $ seed)
+    Term.(
+      const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ iterations
+      $ seed $ stats_arg $ trace_out_arg)
 
 (* --- analyze --- *)
 
@@ -380,8 +462,9 @@ let analyze_cmd =
 (* --- stream --- *)
 
 let stream_cmd =
-  let run spec patterns pdef span capacity =
+  let run spec patterns pdef span capacity stats trace_out =
     let g = or_fail (load_graph spec) in
+    with_obs stats trace_out @@ fun () ->
     let patterns =
       if patterns <> [] then parse_patterns ~capacity patterns
       else begin
@@ -417,7 +500,9 @@ let stream_cmd =
   Cmd.v
     (Cmd.info "stream"
        ~doc:"Software-pipeline the graph as a streaming loop (modulo scheduling)")
-    Term.(const run $ graph_arg $ patterns $ pdef_arg $ span_arg $ capacity_arg)
+    Term.(
+      const run $ graph_arg $ patterns $ pdef_arg $ span_arg $ capacity_arg
+      $ stats_arg $ trace_out_arg)
 
 (* --- codegen --- *)
 
@@ -442,7 +527,7 @@ let load_program spec =
           Error (Printf.sprintf "%s:%d: %s" spec line message))
 
 let codegen_cmd =
-  let run name pdef out =
+  let run name pdef out stats trace_out =
     match load_program name with
     | Error m ->
         or_fail
@@ -454,13 +539,16 @@ let codegen_cmd =
     | Ok _ as loaded -> (
         let f () = Result.get_ok loaded in
         let prog = f () in
+        with_obs stats trace_out @@ fun () ->
         let options = { C.Pipeline.default_options with C.Pipeline.pdef } in
         match C.Pipeline.map_program ~options prog with
         | Error m -> or_fail (Error m)
         | Ok mapped -> (
             match
-              C.Codegen.generate prog mapped.C.Pipeline.pipeline.C.Pipeline.schedule
-                mapped.C.Pipeline.allocation
+              C.Obs.span "codegen" (fun () ->
+                  C.Codegen.generate prog
+                    mapped.C.Pipeline.pipeline.C.Pipeline.schedule
+                    mapped.C.Pipeline.allocation)
             with
             | Error m -> or_fail (Error m)
             | Ok listing -> (
@@ -479,7 +567,7 @@ let codegen_cmd =
   in
   Cmd.v
     (Cmd.info "codegen" ~doc:"Emit the Montium configuration listing for a mapped program")
-    Term.(const run $ prog_arg $ pdef_arg $ out)
+    Term.(const run $ prog_arg $ pdef_arg $ out $ stats_arg $ trace_out_arg)
 
 (* --- program dump --- *)
 
@@ -514,6 +602,35 @@ let dot_cmd =
   in
   Cmd.v (Cmd.info "dot" ~doc:"Graphviz export (Figures 2 and 4)") Term.(const run $ graph_arg $ out)
 
+(* --- tracecheck --- *)
+
+let tracecheck_cmd =
+  let run path =
+    let text =
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | t -> t
+      | exception Sys_error m -> or_fail (Error m)
+    in
+    match C.Obs.validate_chrome_trace text with
+    | Ok n -> Printf.printf "%s: ok, %d trace events\n" path n
+    | Error m -> or_fail (Error (Printf.sprintf "%s: %s" path m))
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A JSON file written by --trace.")
+  in
+  Cmd.v
+    (Cmd.info "tracecheck"
+       ~doc:"Validate a Chrome trace-event JSON file written by --trace")
+    Term.(const run $ path_arg)
+
 (* --- workload --- *)
 
 let workload_cmd =
@@ -545,4 +662,5 @@ let () =
             levels_cmd; antichains_cmd; patterns_cmd; select_cmd; schedule_cmd;
             optimal_cmd; anneal_cmd; codegen_cmd; stream_cmd; analyze_cmd;
             pipeline_cmd; portfolio_cmd; dot_cmd; workload_cmd; program_cmd;
+            tracecheck_cmd;
           ]))

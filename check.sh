@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repo gate: build, full test suite, CLI determinism across --jobs, and the
-# scaling benchmark in smoke mode at --jobs 1 and --jobs 4.
+# Repo gate: build, full test suite, odoc, CLI determinism across --jobs,
+# the observability no-perturbation gate, and the scaling benchmark in
+# smoke mode at --jobs 1 and --jobs 4.
 #
 #   ./check.sh          # the whole gate
 #   ./check.sh --fast   # build + tests only
@@ -20,6 +21,9 @@ dune runtest
 
 [ "$1" = "--fast" ] && exit 0
 
+say "dune build @doc (odoc must stay warning-clean enough to build)"
+dune build @doc
+
 say "CLI determinism: mpsched output must be byte-identical for any --jobs"
 tmp1=$(mktemp) tmp4=$(mktemp)
 trap 'rm -f "$tmp1" "$tmp4"' EXIT
@@ -37,6 +41,26 @@ for spec in "pipeline 3dft" "pipeline fig4" "pipeline w3dft" "pipeline w5dft" \
   fi
   echo "  ok: mpsched $spec"
 done
+
+say "observability: --stats/--trace must not perturb the primary output"
+trace=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp4" "$trace"' EXIT
+dune exec --no-build bin/mpsched.exe -- schedule fig2_3dft.dot > "$tmp1"
+dune exec --no-build bin/mpsched.exe -- schedule fig2_3dft.dot \
+  --stats --trace "$trace" > "$tmp4" 2>/dev/null
+if ! cmp -s "$tmp1" "$tmp4"; then
+  echo "FAIL: --stats/--trace changed the stdout of mpsched schedule" >&2
+  diff "$tmp1" "$tmp4" | head -20 >&2
+  exit 1
+fi
+echo "  ok: stdout byte-identical with and without --stats/--trace"
+dune exec --no-build bin/mpsched.exe -- tracecheck "$trace"
+if ! dune exec --no-build bin/mpsched.exe -- schedule fig2_3dft.dot --stats \
+    2>&1 >/dev/null | grep -q "classify"; then
+  echo "FAIL: --stats summary is missing the classify phase" >&2
+  exit 1
+fi
+echo "  ok: --stats reports the classify phase"
 
 say "pattern-ops microbenchmark (smoke, release profile)"
 # Release profile: the dev profile's -opaque flag blocks cross-module

@@ -3,6 +3,7 @@ module Pattern = Mps_pattern.Pattern
 module Universe = Mps_pattern.Universe
 module Id = Mps_pattern.Pattern.Id
 module Pool = Mps_exec.Pool
+module Obs = Mps_obs.Obs
 
 type entry = {
   mutable count : int;
@@ -94,6 +95,7 @@ let budget_flush_block = 1024
 
 let compute ?pool ?universe ?span_limit ?budget ?(keep_antichains = false)
     ~capacity ctx =
+  Obs.span "classify" @@ fun () ->
   let graph = Enumerate.ctx_graph ctx in
   let n = Dfg.node_count graph in
   let universe = match universe with Some u -> u | None -> Universe.create () in
@@ -188,6 +190,8 @@ let compute ?pool ?universe ?span_limit ?budget ?(keep_antichains = false)
     Array.init (Universe.cardinal universe) (fun i ->
         if i < Array.length merged.p_slots then merged.p_slots.(i) else None)
   in
+  Obs.count "classify.antichains" merged.p_total;
+  Obs.count "classify.patterns" (Array.length order);
   {
     graph;
     capacity;

@@ -3,6 +3,7 @@ module Levels = Mps_dfg.Levels
 module Reachability = Mps_dfg.Reachability
 module Bitset = Mps_util.Bitset
 module Pool = Mps_exec.Pool
+module Obs = Mps_obs.Obs
 
 type ctx = {
   graph : Dfg.t;
@@ -40,6 +41,11 @@ let walk_root ?span_limit ~max_size ctx ~f root =
   let within_limit span =
     match span_limit with None -> true | Some l -> span <= l
   in
+  (* Span-limit subtree prunes, reported as one counter increment per root
+     walk so the enumeration's pruning behaviour shows up in [--stats]
+     without any per-antichain instrumentation cost.  Summed per root, the
+     total is identical however the roots are spread over domains. *)
+  let pruned = ref 0 in
   (* chosen is kept reversed; emitted antichains are re-reversed, hence
      increasing. *)
   let rec extend chosen size compat max_asap min_alap last ~span =
@@ -58,7 +64,8 @@ let walk_root ?span_limit ~max_size ctx ~f root =
             Bitset.inter_into ~dst:compat' (Reachability.parallel_set ctx.reach j);
             extend chosen' (size + 1) compat' max_asap' min_alap' j ~span:span'
           end
-        end;
+        end
+        else incr pruned;
         (* Continue with the next candidate at this depth whether or not j
            survived the span check: a later node may have milder levels. *)
         extend chosen size compat max_asap min_alap j ~span
@@ -67,7 +74,8 @@ let walk_root ?span_limit ~max_size ctx ~f root =
   if max_size > 1 then
     extend [ root ] 1
       (Bitset.copy (Reachability.parallel_set ctx.reach root))
-      (Levels.asap lv root) (Levels.alap lv root) root ~span:0
+      (Levels.asap lv root) (Levels.alap lv root) root ~span:0;
+  if !pruned > 0 then Obs.count "enumerate.pruned" !pruned
 
 let iter_spanned ?span_limit ?budget ~max_size ctx ~f =
   check_args ?span_limit ?budget ~max_size ();
@@ -113,6 +121,7 @@ let map_roots pool ?span_limit ~max_size ctx task =
 
 let all ?pool ?span_limit ~max_size ctx =
   check_args ?span_limit ~max_size ();
+  Obs.span "enumerate" @@ fun () ->
   match use_pool pool with
   | Some pool ->
       let root_all ?span_limit ~max_size ctx root =
@@ -129,6 +138,7 @@ let all ?pool ?span_limit ~max_size ctx =
 
 let count ?pool ?span_limit ~max_size ctx =
   check_args ?span_limit ~max_size ();
+  Obs.span "enumerate" @@ fun () ->
   match use_pool pool with
   | Some pool ->
       let root_count ?span_limit ~max_size ctx root =
@@ -144,6 +154,7 @@ let count ?pool ?span_limit ~max_size ctx =
 
 let count_by_size ?pool ?span_limit ~max_size ctx =
   check_args ?span_limit ~max_size ();
+  Obs.span "enumerate" @@ fun () ->
   let counts = Array.make (max_size + 1) 0 in
   (match use_pool pool with
   | Some pool ->
@@ -165,6 +176,7 @@ let count_by_size ?pool ?span_limit ~max_size ctx =
 
 let count_matrix ?pool ~max_size ~max_span ctx =
   check_args ~span_limit:max_span ~max_size ();
+  Obs.span "enumerate" @@ fun () ->
   let exact = Array.make_matrix (max_span + 1) (max_size + 1) 0 in
   (match use_pool pool with
   | Some pool ->

@@ -6,6 +6,8 @@
 
 (* Utilities *)
 module Pool = Mps_exec.Pool
+module Obs = Mps_obs.Obs
+module Obs_json = Mps_obs.Json
 module Rng = Mps_util.Rng
 module Multiset = Mps_util.Multiset
 module Bitset = Mps_util.Bitset

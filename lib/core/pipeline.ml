@@ -14,6 +14,7 @@ module Energy = Mps_montium.Energy
 module Simulator = Mps_montium.Simulator
 module Program = Mps_frontend.Program
 module Pool = Mps_exec.Pool
+module Obs = Mps_obs.Obs
 
 type options = {
   capacity : int;
@@ -59,7 +60,11 @@ let run ?pool ?(options = default_options) dfg =
   if options.capacity < 1 then invalid_arg "Pipeline.run: capacity < 1";
   if options.pdef < 1 then invalid_arg "Pipeline.run: pdef < 1";
   if options.jobs < 1 then invalid_arg "Pipeline.run: jobs < 1";
-  let clustering = if options.cluster then Some (Cluster.mac dfg) else None in
+  Obs.span "pipeline" @@ fun () ->
+  let clustering =
+    if options.cluster then Some (Obs.span "cluster" (fun () -> Cluster.mac dfg))
+    else None
+  in
   let graph =
     match clustering with Some c -> c.Cluster.clustered | None -> dfg
   in
@@ -99,7 +104,9 @@ let run ?pool ?(options = default_options) dfg =
     selection_report;
     schedule;
     cycles = Schedule.cycles schedule;
-    config = Config_space.of_schedule ~tile:options.tile schedule;
+    config =
+      Obs.span "config" (fun () ->
+          Config_space.of_schedule ~tile:options.tile schedule);
   }
 
 type mapped = {
@@ -117,11 +124,16 @@ let map_program ?pool ?(options = default_options) program =
   in
   let options = { options with cluster = false } in
   let pipeline = run ?pool ~options (Program.dfg program) in
-  match Allocation.allocate ~tile:options.tile program pipeline.schedule with
+  match
+    Obs.span "allocate" (fun () ->
+        Allocation.allocate ~tile:options.tile program pipeline.schedule)
+  with
   | Error m -> Error m
   | Ok allocation ->
       let energy =
-        Energy.estimate ~tile:options.tile program pipeline.schedule allocation
+        Obs.span "energy" (fun () ->
+            Energy.estimate ~tile:options.tile program pipeline.schedule
+              allocation)
       in
       Ok { program; pipeline; allocation; energy }
 

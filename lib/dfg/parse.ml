@@ -13,7 +13,7 @@ let tokens s =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun t -> t <> "")
 
-let of_string text =
+let of_native_string text =
   let b = Dfg.Builder.create () in
   let ids = Hashtbl.create 64 in
   let resolve lineno name =
@@ -45,6 +45,144 @@ let of_string text =
       | cmd :: _ -> fail lineno "unknown directive %S" cmd)
     lines;
   Dfg.Builder.build b
+
+(* --- Graphviz DOT subset ----------------------------------------------- *)
+
+(* Just enough DOT to read back the files [Dot.render] writes (and hand-kept
+   figures like fig2_3dft.dot): one statement per line, node statements
+   ["name" [attrs];], edge chains ["a" -> "b" -> "c";].  Attributes are
+   ignored; the node's color is the first character of its name, which is
+   the repo-wide naming convention the DOT renderer itself relies on. *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let strip_line_comment s =
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then None
+    else if s.[i] = '/' && s.[i + 1] = '/' then Some i
+    else find (i + 1)
+  in
+  match find 0 with None -> s | Some i -> String.sub s 0 i
+
+let strip_semi s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = ';' then String.trim (String.sub s 0 (n - 1)) else s
+
+(* [parse_name lineno s] reads a (possibly quoted) node name off the front
+   of [s] and returns it with the trimmed remainder. *)
+let parse_name lineno s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then fail lineno "expected a node name"
+  else if s.[0] = '"' then
+    match String.index_from_opt s 1 '"' with
+    | None -> fail lineno "unterminated quoted name"
+    | Some j ->
+        (String.sub s 1 (j - 1), String.trim (String.sub s (j + 1) (n - j - 1)))
+  else begin
+    let j = ref 0 in
+    while !j < n && is_ident_char s.[!j] do
+      incr j
+    done;
+    if !j = 0 then fail lineno "expected a node name, got %S" s
+    else (String.sub s 0 !j, String.trim (String.sub s !j (n - !j)))
+  end
+
+let split_arrows s =
+  let n = String.length s in
+  let parts = ref [] in
+  let start = ref 0 in
+  let i = ref 0 in
+  while !i < n - 1 do
+    if s.[!i] = '-' && s.[!i + 1] = '>' then begin
+      parts := String.sub s !start (!i - !start) :: !parts;
+      start := !i + 2;
+      i := !i + 2
+    end
+    else incr i
+  done;
+  List.rev (String.sub s !start (n - !start) :: !parts)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let of_dot_string text =
+  let b = Dfg.Builder.create () in
+  let ids = Hashtbl.create 64 in
+  (* Nodes get ids in first-appearance order, whether declared explicitly
+     or implicitly by an edge — the standard DOT reading. *)
+  let declare lineno name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None ->
+        if name = "" then fail lineno "empty node name";
+        let color =
+          try Color.of_char name.[0]
+          with Invalid_argument m -> fail lineno "%s" m
+        in
+        let id =
+          try Dfg.Builder.add_node b ~name color
+          with Invalid_argument m -> fail lineno "%s" m
+        in
+        Hashtbl.add ids name id;
+        id
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = strip_semi (strip_comment (strip_line_comment raw)) in
+      if line = "" || line = "{" || line = "}" then ()
+      else if has_prefix ~prefix:"digraph" line || has_prefix ~prefix:"strict" line
+      then ()
+      else
+        match split_arrows line with
+        | [] -> ()
+        | [ stmt ] -> (
+            (* A lone statement: node declaration, attribute default
+               ([node [...]], [edge [...]], [graph [...]]) or graph-level
+               [key=value] — only the first declares anything. *)
+            let name, rest = parse_name lineno stmt in
+            match name with
+            | "node" | "edge" | "graph" -> ()
+            | _ when has_prefix ~prefix:"=" rest -> ()
+            | _ -> ignore (declare lineno name))
+        | _ :: _ :: _ as endpoints ->
+            let names = List.map (fun p -> fst (parse_name lineno p)) endpoints in
+            let rec chain = function
+              | src :: (dst :: _ as rest) ->
+                  (try
+                     Dfg.Builder.add_edge b (declare lineno src)
+                       (declare lineno dst)
+                   with Invalid_argument m -> fail lineno "%s" m);
+                  chain rest
+              | _ -> ()
+            in
+            chain names)
+    lines;
+  Dfg.Builder.build b
+
+(* Sniff the format: the first meaningful token of a DOT file is [digraph]
+   (or [strict]); the native format starts with [node]/[edge]. *)
+let is_dot text =
+  let rec go = function
+    | [] -> false
+    | l :: rest -> (
+        match tokens (strip_comment (strip_line_comment l)) with
+        | [] -> go rest
+        | t :: _ -> has_prefix ~prefix:"digraph" t || t = "strict")
+  in
+  go (String.split_on_char '\n' text)
+
+let of_string text =
+  if is_dot text then of_dot_string text else of_native_string text
 
 let to_string g =
   let buf = Buffer.create 256 in

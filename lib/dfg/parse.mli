@@ -1,6 +1,6 @@
-(** Textual DFG format: load and save graphs as plain files.
+(** Textual DFG formats: load and save graphs as plain files.
 
-    The format is line-based:
+    The native format is line-based:
 
     {v
     # comment (also after '#' on any line)
@@ -10,12 +10,24 @@
 
     Blank lines are ignored.  Nodes must be declared before edges mention
     them; node ids are assigned in declaration order, so a round-trip
-    through {!to_string}/{!of_string} preserves ids. *)
+    through {!to_string}/{!of_string} preserves ids.
+
+    {!of_string} and {!load} also accept a {b Graphviz DOT subset} — just
+    enough to read back what {!Dot.render} writes and the checked-in figure
+    files (e.g. [fig2_3dft.dot]).  A file whose first meaningful token is
+    [digraph] (or [strict]) is parsed as DOT: one statement per line, node
+    statements [["name" [attrs];]] and edge chains [["a" -> "b" -> "c";]].
+    Attributes, [rankdir=...] lines and [node]/[edge]/[graph] defaults are
+    ignored; a node's color is the first character of its name (the
+    repo-wide convention the DOT renderer itself uses), and nodes may be
+    declared implicitly by an edge.  Ids follow first appearance order. *)
 
 exception Parse_error of { line : int; message : string }
 
 val of_string : string -> Dfg.t
-(** @raise Parse_error on malformed input.
+(** Parses the native format, or the DOT subset when the text starts with
+    [digraph]/[strict].
+    @raise Parse_error on malformed input.
     @raise Dfg.Cycle if the described graph is cyclic. *)
 
 val to_string : Dfg.t -> string

@@ -1,3 +1,5 @@
+module Obs = Mps_obs.Obs
+
 (* Deterministic fixed-size domain pool.
 
    One mutex/condvar pair coordinates batch hand-off; inside a batch the
@@ -149,9 +151,29 @@ let map_array ?(chunk = 1) t ~f tasks =
   if t.jobs = 1 || n <= 1 then seq_map_array f tasks
   else begin
     let results = Array.make n None in
-    run_batch t ~chunk ~size:n (fun i ->
-        let r = match f tasks.(i) with v -> Ok v | exception e -> Error e in
-        results.(i) <- Some r);
+    (* When the submitting domain is collecting observability data, each
+       task records into its own buffer (installed on whatever domain runs
+       it) and the buffers are committed in submission order after the
+       batch — so counter totals and span order are independent of the
+       worker count, like every other result of the pool.  A failed batch
+       discards its buffers: the telemetry of a run is the telemetry of
+       the work that produced its result, not of abandoned attempts. *)
+    let obs = Obs.Task.begin_batch ~n in
+    let run_task i =
+      match obs with
+      | None -> f tasks.(i)
+      | Some bufs -> Obs.Task.run_in bufs.(i) (fun () -> f tasks.(i))
+    in
+    Obs.span "pool" (fun () ->
+        run_batch t ~chunk ~size:n (fun i ->
+            let r = match run_task i with v -> Ok v | exception e -> Error e in
+            results.(i) <- Some r);
+        let failed =
+          Array.exists (function Some (Error _) -> true | _ -> false) results
+        in
+        match obs with
+        | Some bufs when not failed -> Obs.Task.commit bufs
+        | _ -> ());
     (* Every slot is filled — run_batch returns only after all chunks
        completed.  Raise the earliest failure in submission order, if any,
        so even the raised exception is independent of timing. *)

@@ -29,6 +29,10 @@ val create : jobs:int -> t
     @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
+(** The worker count the pool was created with (including the submitting
+    domain), i.e. the [jobs] argument of {!create} — callers use it to
+    decide whether parallel set-up (scratch universes, per-root tables) is
+    worth building at all. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
@@ -56,6 +60,13 @@ val map : ?chunk:int -> t -> f:('a -> 'b) -> 'a list -> 'b list
     therefore be pure or at least safe to run speculatively.
 
     Not re-entrant: [f] must not call [map] on the same pool.
+
+    {b Observability.}  When the submitting domain has an active
+    {!Mps_obs.Obs} collector, each task records spans/counters into a
+    per-task buffer and the buffers are committed in submission order
+    after the batch, inside a ["pool"] span — so telemetry, like results,
+    is independent of worker count and timing.  If any task raised, the
+    whole batch's buffers are discarded before the exception is re-raised.
     @raise Invalid_argument if [chunk < 1]. *)
 
 val map_array : ?chunk:int -> t -> f:('a -> 'b) -> 'a array -> 'b array

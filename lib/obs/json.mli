@@ -1,0 +1,32 @@
+(** Minimal JSON tree: just enough to emit and re-read Chrome trace-event
+    files.
+
+    The emitter ({!to_string}) is what {!Obs.chrome_trace} renders through,
+    so every trace the CLI writes is valid by construction; the parser
+    ({!parse}) is the round-trip check — [mpsched tracecheck] and the test
+    suite load emitted traces back through it.  It is a strict
+    recursive-descent parser for the JSON subset the emitter produces
+    (objects, arrays, strings with escapes, numbers, booleans, null); it is
+    not a general standards-lawyer JSON implementation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace except after the
+    top-level commas of objects and arrays, for greppability).  Strings are
+    escaped per RFC 8259; numbers print through ["%.12g"] with integral
+    values rendered without a fractional part. *)
+
+val parse : string -> (t, string) result
+(** Parses one JSON value followed only by whitespace.  [Error] carries a
+    byte offset and a reason. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the first binding of [k]; [None] on any other
+    constructor. *)

@@ -78,6 +78,8 @@ val iter : (Pattern.Id.t -> Pattern.t -> unit) -> t -> unit
 (** Iterates live ids in increasing (= interning) order. *)
 
 val fold : (Pattern.Id.t -> Pattern.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f u init] folds [f] over the live ids in increasing (= interning)
+    order: the accumulator-threading counterpart of {!iter}. *)
 
 val sorted_ids : t -> Pattern.Id.t array
 (** All live ids ordered by [Pattern.compare] of their patterns — the

@@ -4,6 +4,7 @@ module Levels = Mps_dfg.Levels
 module Reachability = Mps_dfg.Reachability
 module Pattern = Mps_pattern.Pattern
 module Universe = Mps_pattern.Universe
+module Obs = Mps_obs.Obs
 
 exception Unschedulable of Color.t list
 
@@ -20,6 +21,7 @@ type result = { schedule : Schedule.t; trace : trace_row list }
 
 let schedule ?(priority = F2) ?(trace = false) ?release ?universe ~patterns g =
   if patterns = [] then invalid_arg "Multi_pattern.schedule: no patterns";
+  Obs.span "schedule" @@ fun () ->
   (* Hash-cons Pdef through the caller's universe when given: the declared
      pattern of every cycle then shares the arena's canonical copy instead
      of a per-call duplicate. *)
@@ -102,7 +104,9 @@ let schedule ?(priority = F2) ?(trace = false) ?release ?universe ~patterns g =
     (* Release-blocked candidates sit out this cycle; if nothing is ready
        the tile idles one cycle (values still in flight on the NoC). *)
     let ready = List.filter (fun i -> released i !cycle) !cl in
+    Obs.observe "schedule.ready" (List.length ready);
     if ready = [] then begin
+      Obs.count "schedule.idle_cycles" 1;
       chosen_patterns := List.hd patterns :: !chosen_patterns;
       incr cycle
     end
@@ -127,6 +131,7 @@ let schedule ?(priority = F2) ?(trace = false) ?release ?universe ~patterns g =
       raise (Unschedulable colors)
     end;
     chosen_patterns := chosen_pattern :: !chosen_patterns;
+    Obs.observe "schedule.placed" (List.length chosen_set);
     if trace then
       rows :=
         {
@@ -165,6 +170,7 @@ let schedule ?(priority = F2) ?(trace = false) ?release ?universe ~patterns g =
      used — what the Montium sequencer would be loaded with. *)
   let declared = Array.of_list (List.rev !chosen_patterns) in
   let schedule = Schedule.of_cycles ~patterns:declared g cycle_of in
+  Obs.count "schedule.cycles" !cycle;
   { schedule; trace = List.rev !rows }
 
 let cycles ?priority ~patterns g =

@@ -6,6 +6,7 @@ module Classify = Mps_antichain.Classify
 module Mp = Mps_scheduler.Multi_pattern
 module Schedule = Mps_scheduler.Schedule
 module Rng = Mps_util.Rng
+module Obs = Mps_obs.Obs
 
 type outcome = {
   patterns : Pattern.t list;
@@ -30,6 +31,7 @@ let search ?(iterations = 2000) ?(initial_temperature = 2.0) ?(cooling = 0.995)
     invalid_arg "Annealing.search: cooling outside (0,1]";
   if initial_temperature <= 0.0 then
     invalid_arg "Annealing.search: non-positive temperature";
+  Obs.span "anneal" @@ fun () ->
   let g = Classify.graph classify in
   let u = Classify.universe classify in
   let all_colors = Color.Set.of_list (Dfg.colors g) in
@@ -74,6 +76,7 @@ let search ?(iterations = 2000) ?(initial_temperature = 2.0) ?(cooling = 0.995)
       end;
       temperature := !temperature *. cooling
     done;
+  Obs.count "anneal.evaluations" !evaluations;
   {
     patterns = List.map (Universe.pattern u) (Array.to_list !best);
     cycles = !best_cost;

@@ -6,6 +6,7 @@ module Id = Mps_pattern.Pattern.Id
 module Classify = Mps_antichain.Classify
 module Mp = Mps_scheduler.Multi_pattern
 module Schedule = Mps_scheduler.Schedule
+module Obs = Mps_obs.Obs
 
 type outcome = {
   patterns : Pattern.t list;
@@ -37,6 +38,7 @@ let priority ~params ~cover ~freq ~size =
 let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
   if pdef < 1 then invalid_arg "Beam.search: pdef must be >= 1";
   if width < 1 then invalid_arg "Beam.search: width must be >= 1";
+  Obs.span "beam" @@ fun () ->
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
   let u = Classify.universe classify in
@@ -108,6 +110,7 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
     if i = pdef then beam
     else begin
       let expanded = List.concat_map (extend i) beam in
+      Obs.count "beam.expansions" (List.length expanded);
       (* Keep the [width] most promising partial selections; dedupe on the
          chosen multiset so permutations don't crowd the beam.  The key
          stays the sorted pattern list (not ids): the dedupe order seeds
@@ -143,10 +146,13 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
       None finalists
   in
   match best with
-  | Some (patterns, cycles) -> { patterns; cycles; evaluated_sets = !evaluated }
+  | Some (patterns, cycles) ->
+      Obs.count "beam.evaluated" !evaluated;
+      { patterns; cycles; evaluated_sets = !evaluated }
   | None ->
       (* Only possible when every finalist was empty/unschedulable; fall
          back to the paper's heuristic, which guarantees coverage. *)
       let patterns = Select.select ~params ~pdef classify in
       let cycles = Schedule.cycles (Mp.schedule ~patterns g).Mp.schedule in
+      Obs.count "beam.evaluated" (!evaluated + 1);
       { patterns; cycles; evaluated_sets = !evaluated + 1 }

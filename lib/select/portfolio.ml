@@ -3,6 +3,7 @@ module Classify = Mps_antichain.Classify
 module Mp = Mps_scheduler.Multi_pattern
 module Schedule = Mps_scheduler.Schedule
 module Pool = Mps_exec.Pool
+module Obs = Mps_obs.Obs
 
 type entry = {
   strategy : string;
@@ -14,6 +15,7 @@ type outcome = { best : entry; all : entry list }
 
 let run ?pool ?(beam_width = 4) ?annealing ~pdef classify =
   if pdef < 1 then invalid_arg "Portfolio.run: pdef must be >= 1";
+  Obs.span "portfolio" @@ fun () ->
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
   let cost patterns =
@@ -67,6 +69,7 @@ let run ?pool ?(beam_width = 4) ?annealing ~pdef classify =
             });
         ]
   in
+  Obs.count "portfolio.strategies" (List.length tasks);
   let candidates =
     match pool with
     | Some pool -> Pool.map pool ~f:(fun task -> task ()) tasks

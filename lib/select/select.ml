@@ -3,6 +3,7 @@ module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
 module Universe = Mps_pattern.Universe
 module Classify = Mps_antichain.Classify
+module Obs = Mps_obs.Obs
 
 type params = { epsilon : float; alpha : float }
 
@@ -37,6 +38,7 @@ let priority_of ~params ~cover ~freq ~size_ =
 
 let select_report ?(params = default_params) ~pdef classify =
   if pdef < 1 then invalid_arg "Select.select: pdef must be >= 1";
+  Obs.span "select" @@ fun () ->
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
   let u = Classify.universe classify in
@@ -135,6 +137,13 @@ let select_report ?(params = default_params) ~pdef classify =
         end);
     incr i
   done;
-  { patterns = List.rev !selected; steps = List.rev !steps }
+  let steps = List.rev !steps in
+  Obs.count "select.candidates" (Classify.pattern_count classify);
+  Obs.count "select.steps" (List.length steps);
+  Obs.count "select.fallbacks"
+    (List.length (List.filter (fun s -> s.fallback) steps));
+  Obs.count "select.deleted"
+    (List.fold_left (fun acc s -> acc + List.length s.deleted) 0 steps);
+  { patterns = List.rev !selected; steps }
 
 let select ?params ~pdef classify = (select_report ?params ~pdef classify).patterns

@@ -1,0 +1,21 @@
+(** Monotonic wall clock.
+
+    The observability layer ({!Mps_obs.Obs}) timestamps spans with a clock
+    that must never jump backwards — [Unix.gettimeofday] can (NTP slews,
+    manual clock changes), and [Sys.time] measures CPU seconds, not wall
+    time.  This module binds [clock_gettime(CLOCK_MONOTONIC)] directly via
+    a one-line C stub, so timestamps are comparable across the domains of
+    an {!Mps_exec.Pool} (the kernel clock is system-wide) and differences
+    are always non-negative. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the system monotonic clock.  The origin is arbitrary
+    (typically boot time): only differences between two readings are
+    meaningful. *)
+
+val ns_to_ms : int64 -> float
+(** Convenience: nanoseconds as fractional milliseconds. *)
+
+val ns_to_us : int64 -> float
+(** Nanoseconds as fractional microseconds (the unit Chrome trace-event
+    JSON uses for [ts]/[dur]). *)

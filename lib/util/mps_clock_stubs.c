@@ -1,0 +1,14 @@
+/* Monotonic clock binding for Mps_util.Clock. */
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value mps_clock_now_ns(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  CAMLreturn(caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec));
+}

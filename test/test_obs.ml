@@ -1,0 +1,131 @@
+(* Tests for Mps_obs: disabled collectors record nothing, span trees are
+   well-formed (even across exceptions), counter totals are identical for
+   any --jobs, and the Chrome trace JSON round-trips through the bundled
+   parser. *)
+
+module Obs = Mps_obs.Obs
+module Json = Mps_obs.Json
+module Pipeline = Core.Pipeline
+module Pg = Mps_workloads.Paper_graphs
+
+let test_disabled_is_noop () =
+  (* No collector installed: span/count/observe must be inert. *)
+  Alcotest.(check bool) "inactive outside run" false (Obs.active ());
+  let r =
+    Obs.span "ghost" (fun () ->
+        Obs.count "ghost.counter" 7;
+        Obs.observe "ghost.dist" 3;
+        42)
+  in
+  Alcotest.(check int) "span is transparent" 42 r;
+  (* And a fresh collector that never ran anything holds nothing. *)
+  let obs = Obs.create () in
+  Alcotest.(check int) "no events" 0 (Obs.event_count obs);
+  Alcotest.(check int) "no counters" 0 (List.length (Obs.counters obs));
+  Alcotest.(check string) "empty summary" "no events recorded\n"
+    (Obs.summary_table obs)
+
+let test_nesting_well_formed () =
+  let obs = Obs.create () in
+  Obs.run obs (fun () ->
+      Alcotest.(check bool) "active inside run" true (Obs.active ());
+      Obs.span "outer" (fun () ->
+          Obs.span "inner" (fun () -> Obs.count "c" 1);
+          (* A span body that raises must still close its span. *)
+          (try Obs.span "boom" (fun () -> failwith "boom")
+           with Failure _ -> ());
+          Obs.span "inner" (fun () -> Obs.count "c" 2)));
+  Alcotest.(check bool) "well formed" true (Obs.well_formed obs);
+  let paths = List.map (fun p -> p.Obs.path) (Obs.phases obs) in
+  Alcotest.(check (list string))
+    "phase paths"
+    [ "outer"; "outer/boom"; "outer/inner" ]
+    paths;
+  let inner = List.find (fun p -> p.Obs.path = "outer/inner") (Obs.phases obs) in
+  Alcotest.(check int) "inner called twice" 2 inner.Obs.calls;
+  match Obs.counters obs with
+  | [ c ] ->
+      Alcotest.(check string) "counter name" "c" c.Obs.name;
+      Alcotest.(check int) "counter total" 3 c.Obs.total;
+      Alcotest.(check int) "counter samples" 2 c.Obs.samples
+  | cs -> Alcotest.failf "expected one counter, got %d" (List.length cs)
+
+let pipeline_counters jobs =
+  let obs = Obs.create () in
+  let options = { Pipeline.default_options with Pipeline.jobs } in
+  let (_ : Pipeline.t) =
+    Obs.run obs (fun () -> Pipeline.run ~options (Pg.fig2_3dft ()))
+  in
+  List.map
+    (fun c ->
+      Printf.sprintf "%s/%s/%d/%d/%d/%d" c.Obs.name
+        (match c.Obs.kind with Obs.Sum -> "sum" | Obs.Dist -> "dist")
+        c.Obs.samples c.Obs.total c.Obs.vmin c.Obs.vmax)
+    (Obs.counters obs)
+
+let test_counters_jobs_invariant () =
+  let seq = pipeline_counters 1 in
+  Alcotest.(check bool) "some counters recorded" true (seq <> []);
+  Alcotest.(check (list string)) "jobs 4 = jobs 1" seq (pipeline_counters 4)
+
+let test_chrome_trace_roundtrip () =
+  let obs = Obs.create () in
+  let (_ : Pipeline.t) =
+    Obs.run obs (fun () -> Pipeline.run (Pg.fig2_3dft ()))
+  in
+  let text = Obs.chrome_trace obs in
+  (match Json.parse text with
+  | Error m -> Alcotest.failf "trace does not parse: %s" m
+  | Ok v -> (
+      match Json.member "traceEvents" v with
+      | Some (Json.Arr evs) ->
+          Alcotest.(check bool) "has events" true (evs <> [])
+      | _ -> Alcotest.fail "traceEvents missing or not an array"));
+  match Obs.validate_chrome_trace text with
+  | Ok n -> Alcotest.(check bool) "validated events" true (n > 0)
+  | Error m -> Alcotest.failf "trace fails validation: %s" m
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a \"quoted\"\n\ttab \\ slash");
+        ("n", Json.Num 3.25);
+        ("i", Json.Num 17.0);
+        ("neg", Json.Num (-4.0));
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("a", Json.Arr [ Json.Num 1.0; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round trips" true (v = v')
+  | Error m -> Alcotest.failf "emitted JSON does not parse: %s" m
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "{}trailing" ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "obs",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "nesting well-formed" `Quick
+            test_nesting_well_formed;
+          Alcotest.test_case "counters independent of jobs" `Quick
+            test_counters_jobs_invariant;
+          Alcotest.test_case "chrome trace round-trips" `Quick
+            test_chrome_trace_roundtrip;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+    ]
