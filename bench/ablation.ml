@@ -140,21 +140,23 @@ let selector_battle () =
   List.iter
     (fun (name, g) ->
       let cls = Classify.compute ~span_limit:1 ~budget:3_000_000 ~capacity (Enumerate.make_ctx g) in
-      let eq8 = cycles_of (Select.select ~pdef:4 cls) g in
-      let greedy = cycles_of (Greedy_cover.select ~pdef:4 cls) g in
+      let ev = Core.Eval.make g in
+      let eq8 = Core.Eval.cycles ev (Select.select ~pdef:4 cls) in
+      let greedy = Core.Eval.cycles ev (Greedy_cover.select ~pdef:4 cls) in
       let fds =
-        cycles_of (Pattern_source.harvest ~method_:Pattern_source.Force_directed ~capacity ~pdef:4 g) g
+        Core.Eval.cycles ev
+          (Pattern_source.harvest ~method_:Pattern_source.Force_directed ~capacity
+             ~pdef:4 g)
       in
       let gh =
-        cycles_of (Pattern_source.harvest ~method_:Pattern_source.Greedy ~capacity ~pdef:4 g) g
+        Core.Eval.cycles ev
+          (Pattern_source.harvest ~method_:Pattern_source.Greedy ~capacity ~pdef:4 g)
       in
       let rand =
-        let draws =
-          Random_select.trials rng ~runs:10 ~colors:(Dfg.colors g) ~capacity ~pdef:4
-        in
         Mstats.mean
           (Array.of_list
-             (List.map (fun ps -> float_of_int (cycles_of ps g)) draws))
+             (List.map float_of_int
+                (Random_select.trial_cycles rng ~eval:ev ~runs:10 ~capacity ~pdef:4)))
       in
       T.add_row t
         [
@@ -380,13 +382,13 @@ let random_workload_sweep () =
     let cls =
       Classify.compute ~span_limit:1 ~budget:3_000_000 ~capacity (Enumerate.make_ctx g)
     in
-    let sel = cycles_of (Select.select ~pdef:4 cls) g in
+    let ev = Core.Eval.make g in
+    let sel = Core.Eval.cycles ev (Select.select ~pdef:4 cls) in
     let rand_avg =
-      let draws =
-        Random_select.trials rng ~runs:10 ~colors:(Dfg.colors g) ~capacity ~pdef:4
-      in
       Mstats.mean
-        (Array.of_list (List.map (fun ps -> float_of_int (cycles_of ps g)) draws))
+        (Array.of_list
+           (List.map float_of_int
+              (Random_select.trial_cycles rng ~eval:ev ~runs:10 ~capacity ~pdef:4)))
     in
     let gain = rand_avg -. float_of_int sel in
     gains := (gain, gain /. rand_avg *. 100.0) :: !gains;

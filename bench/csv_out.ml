@@ -30,19 +30,15 @@ let table7_csv path g paper ~seed =
         [ "pdef"; "random_paper"; "random_measured_mean"; "random_measured_sd";
           "selected_paper"; "selected_measured" ]
   in
+  let ev = Core.Eval.make g in
   List.iter
     (fun (pdef, rp, sp) ->
       let sel = Select.select ~pdef cls in
-      let sel_cycles = Schedule.cycles (Mp.schedule ~patterns:sel g).Mp.schedule in
-      let draws =
-        Random_select.trials rng ~runs:10 ~colors:(Dfg.colors g) ~capacity ~pdef
-      in
+      let sel_cycles = Core.Eval.cycles ev sel in
       let samples =
         Array.of_list
-          (List.map
-             (fun ps ->
-               float_of_int (Schedule.cycles (Mp.schedule ~patterns:ps g).Mp.schedule))
-             draws)
+          (List.map float_of_int
+             (Random_select.trial_cycles rng ~eval:ev ~runs:10 ~capacity ~pdef))
       in
       Csv.add_row csv
         [

@@ -297,3 +297,131 @@ let run_pattern_ops ?(smoke = false) () =
       "REGRESSION: matrix subpattern under 5x faster than the multiset walk\n";
     exit 1
   end
+
+(* --- eval ops: cold schedule vs warm context vs memo cache -------------
+
+   Times the three ways a search can cost a pattern set on one graph: the
+   full [Multi_pattern.schedule] path (fresh analyses and a [Schedule.t]
+   per call), one shared [Eval] context evaluating distinct sets (analyses
+   amortized, dense inner loop, nothing cached yet), and the same context
+   re-answering sets it has already scheduled (pure memo-cache hits).  All
+   three must agree on every cycle count, the cache must report exactly
+   the expected hit/miss split, and the warm context must beat the cold
+   path by at least 5x — hard gates (check.sh runs the smoke variant).
+   The line starting with '{' is machine-readable JSON; BENCH_eval.json
+   at the repo root is one committed full-mode capture of it. *)
+
+module Rng = Core.Rng
+module Schedule = Core.Schedule
+module Eval = Core.Eval
+module Random_select = Core.Random_select
+
+(* Best-of-N wall time: the timed regions are a few milliseconds, so a
+   single sample is at the mercy of scheduler noise; the minimum of a few
+   trials is the stable figure (first trial also absorbs warm-up). *)
+let wall_min trials f =
+  let best = ref infinity in
+  for _ = 1 to trials do
+    let (), t = wall f in
+    if t < !best then best := t
+  done;
+  !best
+
+let run_eval_ops ?(smoke = false) () =
+  let g = dft3 in
+  let target = if smoke then 32 else 64 in
+  let reps = if smoke then 50 else 100 in
+  let trials = 3 in
+  let rng = Rng.create ~seed:7 in
+  let colors = Dfg.colors g in
+  (* Distinct coverage-complete sets; the canonical key ignores order so
+     the warm pass never accidentally hits the (order-insensitive) cache. *)
+  let seen = Hashtbl.create 97 in
+  let sets = ref [] in
+  let guard = ref 0 in
+  while List.length !sets < target && !guard < target * 50 do
+    incr guard;
+    let ps = Random_select.select rng ~colors ~capacity ~pdef:4 in
+    let key =
+      String.concat "|" (List.sort compare (List.map Pattern.to_string ps))
+    in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      sets := ps :: !sets
+    end
+  done;
+  let sets = Array.of_list (List.rev !sets) in
+  let nsets = Array.length sets in
+  let cold = Array.make nsets 0 in
+  let t_cold =
+    wall_min trials (fun () ->
+        for _ = 1 to reps do
+          for i = 0 to nsets - 1 do
+            let r = Mp.schedule ~patterns:sets.(i) g in
+            cold.(i) <- Schedule.cycles r.Mp.schedule
+          done
+        done)
+  in
+  let warm = Array.make nsets 0 in
+  let t_warm =
+    wall_min trials (fun () ->
+        for _ = 1 to reps do
+          (* Fresh context per rep: every set is a miss, so this times the
+             dense evaluation loop with analyses amortized over [nsets]. *)
+          let ev = Eval.make g in
+          for i = 0 to nsets - 1 do
+            warm.(i) <- Eval.cycles ev sets.(i)
+          done
+        done)
+  in
+  let ev = Eval.make g in
+  let hot = Array.make nsets 0 in
+  for i = 0 to nsets - 1 do
+    hot.(i) <- Eval.cycles ev sets.(i)
+  done;
+  let t_hit =
+    wall_min trials (fun () ->
+        for _ = 1 to reps do
+          for i = 0 to nsets - 1 do
+            hot.(i) <- Eval.cycles ev sets.(i)
+          done
+        done)
+  in
+  let hits, misses = Eval.cache_stats ev in
+  let evals = float_of_int (reps * nsets) in
+  let per t = t *. 1e9 /. evals in
+  let warm_speedup = if t_warm > 0. then t_cold /. t_warm else Float.infinity in
+  let hit_speedup = if t_hit > 0. then t_cold /. t_hit else Float.infinity in
+  Printf.printf "\n=== Eval ops: %d pattern sets on 3dft, %d reps ===\n" nsets
+    reps;
+  Printf.printf "  cold Multi_pattern.schedule %10.1f ns/eval\n" (per t_cold);
+  Printf.printf "  warm Eval.cycles (miss)     %10.1f ns/eval\n" (per t_warm);
+  Printf.printf "  hot  Eval.cycles (hit)      %10.1f ns/eval\n" (per t_hit);
+  Printf.printf "  warm speedup %10.2fx   hit speedup %10.2fx\n" warm_speedup
+    hit_speedup;
+  if cold <> warm || cold <> hot then begin
+    Printf.printf
+      "MISMATCH: cold/warm/hit cycle counts disagree on some pattern set\n";
+    exit 1
+  end;
+  if misses <> nsets || hits <> trials * reps * nsets then begin
+    Printf.printf
+      "MISMATCH: cache reports %d hits / %d misses, expected %d / %d\n" hits
+      misses
+      (trials * reps * nsets)
+      nsets;
+    exit 1
+  end;
+  Printf.printf
+    "{\"bench\":\"eval-ops\",\"graph\":\"3dft\",\"smoke\":%b,\"sets\":%d,\
+     \"reps\":%d,\"cold_ns_per_eval\":%.1f,\"warm_ns_per_eval\":%.1f,\
+     \"hit_ns_per_eval\":%.1f,\"warm_speedup\":%.2f,\"hit_speedup\":%.2f,\
+     \"cache_hits\":%d,\"cache_misses\":%d}\n"
+    smoke nsets reps (per t_cold) (per t_warm) (per t_hit) warm_speedup
+    hit_speedup hits misses;
+  if warm_speedup < 5.0 then begin
+    Printf.printf
+      "REGRESSION: warm Eval.cycles under 5x faster than cold \
+       Multi_pattern.schedule\n";
+    exit 1
+  end

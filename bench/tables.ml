@@ -188,16 +188,14 @@ let measure_table7 g paper_rows ~span_limit ~seed =
     Classify.compute ?span_limit ~capacity (Enumerate.make_ctx g)
   in
   let rng = Rng.create ~seed in
-  let colors = Dfg.colors g in
+  let ev = Core.Eval.make g in
   List.map
     (fun (pdef, paper_random, paper_selected) ->
       let sel = Select.select ~pdef classify in
-      let sel_cycles = Schedule.cycles (Mp.schedule ~patterns:sel g).Mp.schedule in
-      let draws = Random_select.trials rng ~runs:10 ~colors ~capacity ~pdef in
+      let sel_cycles = Core.Eval.cycles ev sel in
       let cycles =
-        List.map
-          (fun ps -> float_of_int (Schedule.cycles (Mp.schedule ~patterns:ps g).Mp.schedule))
-          draws
+        Random_select.trial_cycles rng ~eval:ev ~runs:10 ~capacity ~pdef
+        |> List.map float_of_int
       in
       let avg = Mstats.mean (Array.of_list cycles) in
       let sd = Mstats.stddev (Array.of_list cycles) in

@@ -70,6 +70,11 @@ say "pattern-ops microbenchmark (smoke, release profile)"
 dune build --profile release bench/main.exe
 dune exec --no-build --profile release bench/main.exe -- --pattern-ops --smoke
 
+say "eval-ops microbenchmark (smoke, release profile)"
+# Exits 1 if cold/warm/hit cycle counts disagree, the memo cache miscounts,
+# or the warm context falls under 5x faster than the cold schedule path.
+dune exec --no-build --profile release bench/main.exe -- --eval-ops --smoke
+
 say "scaling benchmark (smoke, --jobs 1)"
 dune exec --no-build bench/main.exe -- --scaling --smoke --jobs 1
 

@@ -15,6 +15,7 @@ module Heap = Mps_util.Heap
 module Mstats = Mps_util.Mstats
 module Csv = Mps_util.Csv
 module Ascii_table = Mps_util.Ascii_table
+module Listx = Mps_util.Listx
 
 (* Data-flow graphs (§3) *)
 module Color = Mps_dfg.Color
@@ -37,6 +38,7 @@ module Posets = Mps_antichain.Posets
 module Node_priority = Mps_scheduler.Node_priority
 module Schedule = Mps_scheduler.Schedule
 module Multi_pattern = Mps_scheduler.Multi_pattern
+module Eval = Mps_scheduler.Eval
 module Reference_sched = Mps_scheduler.Reference
 module Force_directed = Mps_scheduler.Force_directed
 module Optimal = Mps_scheduler.Optimal

@@ -5,6 +5,7 @@ module Enumerate = Mps_antichain.Enumerate
 module Classify = Mps_antichain.Classify
 module Select = Mps_select.Select
 module Mp = Mps_scheduler.Multi_pattern
+module Eval = Mps_scheduler.Eval
 module Schedule = Mps_scheduler.Schedule
 module Cluster = Mps_clustering.Cluster
 module Tile = Mps_montium.Tile
@@ -89,8 +90,10 @@ let run ?pool ?(options = default_options) dfg =
     Select.select_report ~params:options.selection ~pdef:options.pdef classify
   in
   let patterns = selection_report.Select.patterns in
+  (* Full-fidelity schedule through an evaluation context — the same
+     engine every search strategy costs candidates on. *)
   let { Mp.schedule; _ } =
-    Mp.schedule ~priority:options.priority ~universe ~patterns graph
+    Eval.schedule ~priority:options.priority (Eval.make ~universe graph) ~patterns
   in
   {
     options;

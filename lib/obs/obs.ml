@@ -72,6 +72,21 @@ let record kind name v =
 let count name v = record Sum name v
 let observe name v = record Dist name v
 
+let merge name kind ~samples ~total ~vmin ~vmax =
+  if samples > 0 then
+    match Domain.DLS.get ambient with
+    | None -> ()
+    | Some s -> (
+        match Hashtbl.find_opt s.ctable name with
+        | Some c ->
+            c.samples <- c.samples + samples;
+            c.total <- c.total + total;
+            if vmin < c.vmin then c.vmin <- vmin;
+            if vmax > c.vmax then c.vmax <- vmax
+        | None ->
+            Hashtbl.replace s.ctable name
+              { ckind = kind; samples; total; vmin; vmax })
+
 module Task = struct
   type buffer = sink
 

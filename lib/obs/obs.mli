@@ -105,6 +105,16 @@ val phases : t -> phase list
 
 type kind = Sum | Dist
 
+val merge : string -> kind -> samples:int -> total:int -> vmin:int -> vmax:int -> unit
+(** [merge name kind ~samples ~total ~vmin ~vmax] folds a precomputed
+    aggregate into the named counter, exactly as if [samples] individual
+    {!count}/{!observe} calls totalling [total] with extremes
+    [vmin]/[vmax] had been recorded one by one.  This is the replay
+    primitive behind memoization: a cache hit re-emits the counters of the
+    evaluation it skips (the scheduler's [Eval] cache), so counter tables stay
+    byte-identical whether or not a result came from the cache.  No-op
+    when no collector is installed or [samples <= 0]. *)
+
 type counter = {
   name : string;
   kind : kind;

@@ -111,12 +111,11 @@ let schedule ?target_cycles ~capacity g =
         |> List.map (fun i -> (self_force g dg frames i !cycle, i))
         |> List.sort compare
       in
-      let rec take k = function
-        | [] -> []
-        | _ when k = 0 -> []
-        | (_, i) :: rest -> i :: take (k - 1) rest
+      let chosen =
+        critical
+        @ Mps_util.Listx.take (capacity - List.length critical)
+            (List.map snd optional)
       in
-      let chosen = critical @ take (capacity - List.length critical) optional in
       List.iter
         (fun i ->
           cycle_of.(i) <- !cycle;

@@ -1,180 +1,30 @@
 module Dfg = Mps_dfg.Dfg
-module Color = Mps_dfg.Color
-module Levels = Mps_dfg.Levels
-module Reachability = Mps_dfg.Reachability
 module Pattern = Mps_pattern.Pattern
-module Universe = Mps_pattern.Universe
-module Obs = Mps_obs.Obs
 
-exception Unschedulable of Color.t list
+(* The implementation lives in {!Eval}: one per-graph context carries the
+   graph analyses and both the full-fidelity scheduler (this module) and
+   the fast memoized cycle counter (the search strategies).  Re-exported
+   aliases keep this interface — the paper-facing one — unchanged. *)
 
-type pattern_priority = F1 | F2
+exception Unschedulable = Eval.Unschedulable
 
-type trace_row = {
+type pattern_priority = Eval.pattern_priority = F1 | F2
+
+type trace_row = Eval.trace_row = {
   row_cycle : int;
   row_candidates : int list;
   row_selected : (Pattern.t * int list) list;
   row_chosen : int;
 }
 
-type result = { schedule : Schedule.t; trace : trace_row list }
+type result = Eval.result = { schedule : Schedule.t; trace : trace_row list }
 
-let schedule ?(priority = F2) ?(trace = false) ?release ?universe ~patterns g =
-  if patterns = [] then invalid_arg "Multi_pattern.schedule: no patterns";
-  Obs.span "schedule" @@ fun () ->
-  (* Hash-cons Pdef through the caller's universe when given: the declared
-     pattern of every cycle then shares the arena's canonical copy instead
-     of a per-call duplicate. *)
-  let patterns =
-    match universe with
-    | None -> patterns
-    | Some u -> List.map (fun p -> Universe.pattern u (Universe.intern u p)) patterns
-  in
-  let n = Dfg.node_count g in
-  (match release with
-  | Some r when Array.length r <> n ->
-      invalid_arg "Multi_pattern.schedule: release array length mismatch"
-  | _ -> ());
-  let released i c =
-    match release with None -> true | Some r -> r.(i) <= c
-  in
-  let reach = Reachability.compute g in
-  let levels = Levels.compute g in
-  let prio = Node_priority.compute g reach levels in
-  (* Dense per-color slot tables.  Every color of the graph or of Pdef gets
-     a small index; each pattern becomes a count table over those indices,
-     so S(p̄, CL) is a scratch-array walk (with early exit once the
-     pattern's slots are exhausted) instead of per-node multiset lookups.
-     The walk takes exactly the nodes the multiset version took, in the
-     same candidate order. *)
-  let cidx = Array.make 256 (-1) in
-  let ncolors = ref 0 in
-  let index_color c =
-    let k = Char.code (Color.to_char c) in
-    if cidx.(k) < 0 then begin
-      cidx.(k) <- !ncolors;
-      incr ncolors
-    end
-  in
-  List.iter index_color (Dfg.colors g);
-  List.iter (fun p -> List.iter index_color (Pattern.colors p)) patterns;
-  let node_color =
-    Array.init n (fun i -> cidx.(Char.code (Color.to_char (Dfg.color g i))))
-  in
-  let tabled =
-    List.map
-      (fun p ->
-        let table = Array.make !ncolors 0 in
-        List.iter
-          (fun (c, k) -> table.(cidx.(Char.code (Color.to_char c))) <- k)
-          (Pattern.to_counted_list p);
-        (p, table, Pattern.size p))
-      patterns
-  in
-  let scratch = Array.make !ncolors 0 in
-  let selected_set (_, table, size) sorted_cl =
-    Array.blit table 0 scratch 0 (Array.length table);
-    let slots = ref size in
-    let rec go acc = function
-      | [] -> List.rev acc
-      | _ when !slots = 0 -> List.rev acc
-      | i :: rest ->
-          let k = node_color.(i) in
-          if scratch.(k) > 0 then begin
-            scratch.(k) <- scratch.(k) - 1;
-            decr slots;
-            go (i :: acc) rest
-          end
-          else go acc rest
-    in
-    go [] sorted_cl
-  in
-  let cycle_of = Array.make n (-1) in
-  let unscheduled_preds = Array.init n (Dfg.in_degree g) in
-  let cl = ref (Dfg.sources g) in
-  let rows = ref [] in
-  let chosen_patterns = ref [] in
-  let cycle = ref 0 in
-  let score selected =
-    match priority with
-    | F1 -> List.length selected
-    | F2 -> Node_priority.sum_values prio selected
-  in
-  while !cl <> [] do
-    (* Release-blocked candidates sit out this cycle; if nothing is ready
-       the tile idles one cycle (values still in flight on the NoC). *)
-    let ready = List.filter (fun i -> released i !cycle) !cl in
-    Obs.observe "schedule.ready" (List.length ready);
-    if ready = [] then begin
-      Obs.count "schedule.idle_cycles" 1;
-      chosen_patterns := List.hd patterns :: !chosen_patterns;
-      incr cycle
-    end
-    else begin
-    let sorted = Node_priority.sort prio ready in
-    let per_pattern =
-      List.map (fun ((p, _, _) as tp) -> (p, selected_set tp sorted)) tabled
-    in
-    let best_idx, _ =
-      List.fold_left
-        (fun (best, best_score) (idx, (_, sel)) ->
-          let sc = score sel in
-          if sc > best_score then (idx, sc) else (best, best_score))
-        (-1, min_int)
-        (List.mapi (fun i x -> (i, x)) per_pattern)
-    in
-    let chosen_pattern, chosen_set = List.nth per_pattern best_idx in
-    if chosen_set = [] then begin
-      let colors =
-        List.sort_uniq Color.compare (List.map (Dfg.color g) sorted)
-      in
-      raise (Unschedulable colors)
-    end;
-    chosen_patterns := chosen_pattern :: !chosen_patterns;
-    Obs.observe "schedule.placed" (List.length chosen_set);
-    if trace then
-      rows :=
-        {
-          row_cycle = !cycle + 1;
-          row_candidates = sorted;
-          row_selected = per_pattern;
-          row_chosen = best_idx;
-        }
-        :: !rows;
-    List.iter
-      (fun i ->
-        cycle_of.(i) <- !cycle;
-        List.iter
-          (fun s -> unscheduled_preds.(s) <- unscheduled_preds.(s) - 1)
-          (Dfg.succs g i))
-      chosen_set;
-    (* Refill: drop the scheduled nodes, add the newly ready ones.  A node
-       freed this cycle becomes a candidate for the next cycle only, which
-       the strict per-cycle commit already guarantees. *)
-    let remaining = List.filter (fun i -> cycle_of.(i) < 0) !cl in
-    let freed =
-      List.concat_map
-        (fun i ->
-          List.filter
-            (fun s -> unscheduled_preds.(s) = 0 && cycle_of.(s) < 0)
-            (Dfg.succs g i))
-        chosen_set
-      |> List.sort_uniq Int.compare
-    in
-    cl := remaining @ freed;
-    incr cycle
-    end
-  done;
-  (* Each cycle declares the pattern the algorithm committed, so the
-     configuration table of the schedule is exactly the allowed patterns it
-     used — what the Montium sequencer would be loaded with. *)
-  let declared = Array.of_list (List.rev !chosen_patterns) in
-  let schedule = Schedule.of_cycles ~patterns:declared g cycle_of in
-  Obs.count "schedule.cycles" !cycle;
-  { schedule; trace = List.rev !rows }
+let schedule ?priority ?trace ?release ?universe ~patterns g =
+  Eval.schedule ?priority ?trace ?release (Eval.make ?universe g) ~patterns
 
 let cycles ?priority ~patterns g =
-  Schedule.cycles (schedule ?priority ~patterns g).schedule
+  if patterns = [] then invalid_arg "Multi_pattern.schedule: no patterns";
+  Eval.cycles ?priority (Eval.make g) patterns
 
 let pp_names g ppf l =
   Format.pp_print_list

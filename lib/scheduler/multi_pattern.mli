@@ -14,11 +14,13 @@ exception Unschedulable of Mps_dfg.Color.t list
 (** Raised when candidates remain but no allowed pattern covers any of their
     colors (the offending colors are reported).  Cannot happen when the
     patterns jointly cover every color of the graph — which the §5
-    selection algorithm guarantees by construction. *)
+    selection algorithm guarantees by construction.  The same exception as
+    {!Eval.Unschedulable} — this module is a full-fidelity wrapper over
+    the {!Eval} context. *)
 
-type pattern_priority = F1 | F2
+type pattern_priority = Eval.pattern_priority = F1 | F2
 
-type trace_row = {
+type trace_row = Eval.trace_row = {
   row_cycle : int;  (** 1-based, as in Table 2. *)
   row_candidates : int list;  (** CL sorted by decreasing node priority. *)
   row_selected : (Mps_pattern.Pattern.t * int list) list;
@@ -26,7 +28,7 @@ type trace_row = {
   row_chosen : int;  (** Index into [row_selected] of the committed pattern. *)
 }
 
-type result = {
+type result = Eval.result = {
   schedule : Schedule.t;
   trace : trace_row list;  (** In cycle order; [] unless [trace] was set. *)
 }
@@ -63,7 +65,9 @@ val cycles :
   patterns:Mps_pattern.Pattern.t list ->
   Mps_dfg.Dfg.t ->
   int
-(** Schedule length only. *)
+(** Schedule length only — a one-shot {!Eval.cycles}: the dense fast path,
+    no schedule construction.  A search costing many pattern sets on the
+    same graph should hold an {!Eval.t} and amortize the analyses. *)
 
 val pp_trace :
   Mps_dfg.Dfg.t -> Format.formatter -> trace_row list -> unit

@@ -22,12 +22,7 @@ let greedy_capacity ~capacity g =
   let cycle = ref 0 in
   while !cl <> [] do
     let sorted = Node_priority.sort prio !cl in
-    let rec take k = function
-      | [] -> []
-      | _ when k = 0 -> []
-      | x :: rest -> x :: take (k - 1) rest
-    in
-    let chosen = take capacity sorted in
+    let chosen = Mps_util.Listx.take capacity sorted in
     List.iter
       (fun i ->
         cycle_of.(i) <- !cycle;

@@ -3,8 +3,7 @@ module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
 module Universe = Mps_pattern.Universe
 module Classify = Mps_antichain.Classify
-module Mp = Mps_scheduler.Multi_pattern
-module Schedule = Mps_scheduler.Schedule
+module Eval = Mps_scheduler.Eval
 module Rng = Mps_util.Rng
 module Obs = Mps_obs.Obs
 
@@ -37,12 +36,15 @@ let search ?(iterations = 2000) ?(initial_temperature = 2.0) ?(cooling = 0.995)
   let all_colors = Color.Set.of_list (Dfg.colors g) in
   let pool = Array.of_list (Classify.ids classify) in
   let evaluations = ref 0 in
+  (* One evaluation context for the whole search: graph analyses amortized,
+     and the memo cache answers every revisited pattern set for free —
+     annealing walks a small neighborhood, so revisits dominate quickly. *)
+  let ectx = Eval.make ~universe:u g in
   let cost ids =
     incr evaluations;
-    let patterns = List.map (Universe.pattern u) ids in
-    match Mp.schedule ~patterns g with
-    | { Mp.schedule; _ } -> Schedule.cycles schedule
-    | exception Mp.Unschedulable _ -> max_int
+    match Eval.cycles_ids ectx ids with
+    | c -> c
+    | exception Eval.Unschedulable _ -> max_int
   in
   (* Start from the paper's heuristic so the search can only improve it. *)
   let start = List.map (Universe.intern u) (Select.select ~pdef classify) in
@@ -56,25 +58,31 @@ let search ?(iterations = 2000) ?(initial_temperature = 2.0) ?(cooling = 0.995)
     for _ = 1 to iterations do
       let candidate = Array.copy !current in
       let slot = Rng.int rng (Array.length candidate) in
-      candidate.(slot) <- Rng.choice rng pool;
-      let cand_list = Array.to_list candidate in
-      if covers u all_colors cand_list then begin
-        let c = cost cand_list in
-        let delta = float_of_int (c - !current_cost) in
-        let accept =
-          c < max_int
-          && (delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temperature))
-        in
-        if accept then begin
-          current := candidate;
-          current_cost := c;
-          if c < !best_cost then begin
-            best := Array.copy candidate;
-            best_cost := c
+      let replacement = Rng.choice rng pool in
+      (* A move that re-draws the displaced id proposes the current state
+         verbatim: delta would be 0 and it would be accepted back into
+         itself.  Don't burn an evaluation or a temperature step on it. *)
+      if not (Pattern.Id.equal replacement candidate.(slot)) then begin
+        candidate.(slot) <- replacement;
+        let cand_list = Array.to_list candidate in
+        if covers u all_colors cand_list then begin
+          let c = cost cand_list in
+          let delta = float_of_int (c - !current_cost) in
+          let accept =
+            c < max_int
+            && (delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temperature))
+          in
+          if accept then begin
+            current := candidate;
+            current_cost := c;
+            if c < !best_cost then begin
+              best := Array.copy candidate;
+              best_cost := c
+            end
           end
-        end
-      end;
-      temperature := !temperature *. cooling
+        end;
+        temperature := !temperature *. cooling
+      end
     done;
   Obs.count "anneal.evaluations" !evaluations;
   {

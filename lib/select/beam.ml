@@ -4,9 +4,9 @@ module Pattern = Mps_pattern.Pattern
 module Universe = Mps_pattern.Universe
 module Id = Mps_pattern.Pattern.Id
 module Classify = Mps_antichain.Classify
-module Mp = Mps_scheduler.Multi_pattern
-module Schedule = Mps_scheduler.Schedule
+module Eval = Mps_scheduler.Eval
 module Obs = Mps_obs.Obs
+module Listx = Mps_util.Listx
 
 type outcome = {
   patterns : Pattern.t list;
@@ -93,12 +93,9 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
         let uncovered = Color.Set.elements (Color.Set.diff all_colors state.covered) in
         if uncovered = [] then [ { state with chosen = state.chosen } ]
         else begin
-          let rec take k = function
-            | [] -> []
-            | _ when k = 0 -> []
-            | x :: rest -> x :: take (k - 1) rest
+          let pid =
+            Universe.intern u (Pattern.of_colors (Listx.take capacity uncovered))
           in
-          let pid = Universe.intern u (Pattern.of_colors (take capacity uncovered)) in
           [ apply pid (Array.make n 0) 0.0 ]
         end
     | _ ->
@@ -127,6 +124,10 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
     end
   in
   let finalists = steps 0 [ initial ] in
+  (* Finalists are scored on one shared evaluation context: the graph
+     analyses run once, and the memo cache absorbs any multiset the beam
+     reaches twice. *)
+  let ectx = Eval.make ~universe:u g in
   let evaluated = ref 0 in
   let best =
     List.fold_left
@@ -134,11 +135,10 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
         let patterns = List.rev_map (Universe.pattern u) state.chosen |> List.rev in
         if patterns = [] then acc
         else begin
-          match Mp.schedule ~patterns g with
-          | exception Mp.Unschedulable _ -> acc
-          | { Mp.schedule; _ } -> (
+          match Eval.cycles ectx patterns with
+          | exception Eval.Unschedulable _ -> acc
+          | c -> (
               incr evaluated;
-              let c = Schedule.cycles schedule in
               match acc with
               | Some (_, bc) when bc <= c -> acc
               | _ -> Some (patterns, c))
@@ -153,6 +153,6 @@ let search ?(width = 4) ?(params = Select.default_params) ~pdef classify =
       (* Only possible when every finalist was empty/unschedulable; fall
          back to the paper's heuristic, which guarantees coverage. *)
       let patterns = Select.select ~params ~pdef classify in
-      let cycles = Schedule.cycles (Mp.schedule ~patterns g).Mp.schedule in
+      let cycles = Eval.cycles ectx patterns in
       Obs.count "beam.evaluated" (!evaluated + 1);
       { patterns; cycles; evaluated_sets = !evaluated + 1 }

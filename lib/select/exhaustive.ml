@@ -2,8 +2,7 @@ module Dfg = Mps_dfg.Dfg
 module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
 module Classify = Mps_antichain.Classify
-module Mp = Mps_scheduler.Multi_pattern
-module Schedule = Mps_scheduler.Schedule
+module Eval = Mps_scheduler.Eval
 
 type outcome = {
   best : Pattern.t list;
@@ -20,18 +19,20 @@ let search ?priority ?(max_sets = 200_000) ~pdef classify =
   let pool = Array.of_list (Classify.patterns classify) in
   let best = ref [] and best_cycles = ref max_int in
   let evaluated = ref 0 and truncated = ref false in
+  (* One evaluation context across the whole enumeration; combinations that
+     complete to the same coverage set collapse into one cached schedule. *)
+  let ectx = Eval.make g in
   let consider patterns =
     if !evaluated >= max_sets then truncated := true
     else begin
       incr evaluated;
-      match Mp.schedule ?priority ~patterns g with
-      | { schedule; _ } ->
-          let c = Schedule.cycles schedule in
+      match Eval.cycles ?priority ectx patterns with
+      | c ->
           if c < !best_cycles then begin
             best_cycles := c;
             best := patterns
           end
-      | exception Mp.Unschedulable _ -> ()
+      | exception Eval.Unschedulable _ -> ()
     end
   in
   let complete chosen =

@@ -1,3 +1,4 @@
+module Listx = Mps_util.Listx
 module Dfg = Mps_dfg.Dfg
 module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
@@ -50,12 +51,7 @@ let select ~pdef classify =
           let uncovered = Color.Set.elements (Color.Set.diff all_colors !covered) in
           if uncovered = [] then stop := true
           else begin
-            let rec take k = function
-              | [] -> []
-              | _ when k = 0 -> []
-              | x :: rest -> x :: take (k - 1) rest
-            in
-            commit (Universe.intern u (Pattern.of_colors (take capacity uncovered)))
+            commit (Universe.intern u (Pattern.of_colors (Listx.take capacity uncovered)))
           end
     end
   done;

@@ -1,3 +1,4 @@
+module Listx = Mps_util.Listx
 module Dfg = Mps_dfg.Dfg
 module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
@@ -64,9 +65,4 @@ let harvest ~method_ ~capacity ~pdef g =
   let uncovered = Color.Set.elements (Color.Set.diff all_colors covered) in
   if uncovered = [] then kept
   else
-    let rec take k = function
-      | [] -> []
-      | _ when k = 0 -> []
-      | x :: rest -> x :: take (k - 1) rest
-    in
-    kept @ [ Pattern.of_colors (take capacity uncovered) ]
+    kept @ [ Pattern.of_colors (Listx.take capacity uncovered) ]

@@ -1,7 +1,6 @@
 module Pattern = Mps_pattern.Pattern
 module Classify = Mps_antichain.Classify
-module Mp = Mps_scheduler.Multi_pattern
-module Schedule = Mps_scheduler.Schedule
+module Eval = Mps_scheduler.Eval
 module Pool = Mps_exec.Pool
 module Obs = Mps_obs.Obs
 
@@ -18,42 +17,42 @@ let run ?pool ?(beam_width = 4) ?annealing ~pdef classify =
   Obs.span "portfolio" @@ fun () ->
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
-  let cost patterns =
-    if patterns = [] then max_int
-    else
-      match Mp.schedule ~patterns g with
-      | { Mp.schedule; _ } -> Schedule.cycles schedule
-      | exception Mp.Unschedulable _ -> max_int
-  in
-  let entry strategy patterns = { strategy; patterns; cycles = cost patterns } in
-  (* Each strategy is one thunk: independent of the others, so the set runs
-     unchanged on one domain or many.  Thunk order is the tie-break order
-     (cheaper strategies first), and the pool returns results in submission
-     order, so ranking is identical however the work is spread. *)
-  let tasks : (unit -> entry) list =
-    [ (fun () -> entry "eq8" (Select.select ~pdef classify)) ]
+  (* Each strategy is one thunk producing its pattern set: independent of
+     the others, so the set runs unchanged on one domain or many.  Thunk
+     order is the tie-break order (cheaper strategies first), and the pool
+     returns results in submission order, so ranking is identical however
+     the work is spread.  The searches that already cost their own result
+     (beam, annealing) return the known cycle count; every other set is
+     costed after the fan-in, on one shared evaluation context in
+     submission order — strategies that agree on a pattern set then share
+     one schedule through the memo cache, and the cache itself stays
+     single-domain. *)
+  let tasks : (unit -> string * Pattern.t list * int option) list =
+    [ (fun () -> ("eq8", Select.select ~pdef classify, None)) ]
     @ List.filter_map
         (fun v ->
           if v.Priority_variants.name = "paper" then None
           else
             Some
               (fun () ->
-                entry
-                  ("variant:" ^ v.Priority_variants.name)
-                  (Priority_variants.select v ~pdef classify)))
+                ( "variant:" ^ v.Priority_variants.name,
+                  Priority_variants.select v ~pdef classify,
+                  None )))
         Priority_variants.all
     @ [
-        (fun () -> entry "greedy-count" (Greedy_cover.select ~pdef classify));
+        (fun () -> ("greedy-count", Greedy_cover.select ~pdef classify, None));
         (fun () ->
-          entry "harvest:greedy"
-            (Pattern_source.harvest ~method_:Pattern_source.Greedy ~capacity ~pdef g));
+          ( "harvest:greedy",
+            Pattern_source.harvest ~method_:Pattern_source.Greedy ~capacity ~pdef g,
+            None ));
         (fun () ->
-          entry "harvest:fds"
-            (Pattern_source.harvest ~method_:Pattern_source.Force_directed ~capacity
-               ~pdef g));
+          ( "harvest:fds",
+            Pattern_source.harvest ~method_:Pattern_source.Force_directed ~capacity
+              ~pdef g,
+            None ));
         (fun () ->
           let b = Beam.search ~width:beam_width ~pdef classify in
-          { strategy = "beam"; patterns = b.Beam.patterns; cycles = b.Beam.cycles });
+          ("beam", b.Beam.patterns, Some b.Beam.cycles));
       ]
     @
     match annealing with
@@ -62,18 +61,31 @@ let run ?pool ?(beam_width = 4) ?annealing ~pdef classify =
         [
           (fun () ->
             let a = Annealing.search ~iterations rng ~pdef classify in
-            {
-              strategy = "annealing";
-              patterns = a.Annealing.patterns;
-              cycles = a.Annealing.cycles;
-            });
+            ("annealing", a.Annealing.patterns, Some a.Annealing.cycles));
         ]
   in
   Obs.count "portfolio.strategies" (List.length tasks);
-  let candidates =
+  let produced =
     match pool with
     | Some pool -> Pool.map pool ~f:(fun task -> task ()) tasks
     | None -> List.map (fun task -> task ()) tasks
+  in
+  let ectx = Eval.make g in
+  let candidates =
+    List.map
+      (fun (strategy, patterns, known) ->
+        let cycles =
+          match known with
+          | Some c -> c
+          | None ->
+              if patterns = [] then max_int
+              else (
+                match Eval.cycles ectx patterns with
+                | c -> c
+                | exception Eval.Unschedulable _ -> max_int)
+        in
+        { strategy; patterns; cycles })
+      produced
   in
   let ranked = List.stable_sort (fun a b -> compare a.cycles b.cycles) candidates in
   match ranked with

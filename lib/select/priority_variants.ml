@@ -1,3 +1,4 @@
+module Listx = Mps_util.Listx
 module Dfg = Mps_dfg.Dfg
 module Color = Mps_dfg.Color
 module Pattern = Mps_pattern.Pattern
@@ -133,12 +134,9 @@ let select variant ~pdef classify =
         let uncovered = Color.Set.elements (Color.Set.diff all_colors !covered) in
         if uncovered = [] then stop := true
         else begin
-          let rec take k = function
-            | [] -> []
-            | _ when k = 0 -> []
-            | x :: rest -> x :: take (k - 1) rest
+          let pid =
+            Universe.intern u (Pattern.of_colors (Listx.take capacity uncovered))
           in
-          let pid = Universe.intern u (Pattern.of_colors (take capacity uncovered)) in
           delete_covered_by pid;
           covered := Color.Set.union !covered (Universe.color_set u pid);
           selected := Universe.pattern u pid :: !selected

@@ -28,3 +28,12 @@ let select ?(ensure_coverage = true) rng ~colors ~capacity ~pdef =
 
 let trials ?ensure_coverage rng ~runs ~colors ~capacity ~pdef =
   List.init runs (fun _ -> select ?ensure_coverage rng ~colors ~capacity ~pdef)
+
+let trial_cycles ?ensure_coverage rng ~eval ~runs ~capacity ~pdef =
+  let module Eval = Mps_scheduler.Eval in
+  let colors = Mps_dfg.Dfg.colors (Eval.graph eval) in
+  trials ?ensure_coverage rng ~runs ~colors ~capacity ~pdef
+  |> List.map (fun patterns ->
+         match Eval.cycles eval patterns with
+         | c -> c
+         | exception Eval.Unschedulable _ -> max_int)

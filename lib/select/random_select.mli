@@ -29,3 +29,18 @@ val trials :
   pdef:int ->
   Mps_pattern.Pattern.t list list
 (** [runs] independent draws — the "tested ten times" protocol. *)
+
+val trial_cycles :
+  ?ensure_coverage:bool ->
+  Mps_util.Rng.t ->
+  eval:Mps_scheduler.Eval.t ->
+  runs:int ->
+  capacity:int ->
+  pdef:int ->
+  int list
+(** Cycle count of each of [runs] draws on [eval]'s graph — the costing
+    every Table-7-style bench repeats.  Draws exactly as {!trials} over the
+    graph's colors (same RNG stream), then schedules each set through the
+    shared context, so repeated draws of the same set hit the memo cache.
+    An unschedulable draw (possible only with [ensure_coverage:false])
+    costs [max_int]. *)

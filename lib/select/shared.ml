@@ -4,8 +4,8 @@ module Pattern = Mps_pattern.Pattern
 module Universe = Mps_pattern.Universe
 module Classify = Mps_antichain.Classify
 module Enumerate = Mps_antichain.Enumerate
-module Mp = Mps_scheduler.Multi_pattern
-module Schedule = Mps_scheduler.Schedule
+module Eval = Mps_scheduler.Eval
+module Listx = Mps_util.Listx
 
 type kernel = {
   label : string;
@@ -123,12 +123,9 @@ let select ?(params = Select.default_params) ~pdef kernels =
         let uncovered = Color.Set.elements (Color.Set.diff all_colors !covered) in
         if uncovered = [] then stop := true
         else begin
-          let rec take k = function
-            | [] -> []
-            | _ when k = 0 -> []
-            | x :: rest -> x :: take (k - 1) rest
+          let pid =
+            Universe.intern u (Pattern.of_colors (Listx.take capacity uncovered))
           in
-          let pid = Universe.intern u (Pattern.of_colors (take capacity uncovered)) in
           delete_covered_by pid;
           covered := Color.Set.union !covered (Universe.color_set u pid);
           selected := Universe.pattern u pid :: !selected
@@ -138,8 +135,7 @@ let select ?(params = Select.default_params) ~pdef kernels =
   let patterns = List.rev !selected in
   let per_kernel_cycles =
     List.map
-      (fun k ->
-        (k.label, Schedule.cycles (Mp.schedule ~patterns k.graph).Mp.schedule))
+      (fun k -> (k.label, Eval.cycles (Eval.make k.graph) patterns))
       kernels
   in
   {

@@ -1,0 +1,9 @@
+(** The list helpers the standard library lacks.
+
+    Tiny, total functions shared by the selection strategies and the
+    schedulers — each used to carry its own local copy. *)
+
+val take : int -> 'a list -> 'a list
+(** [take k l] is the first [k] elements of [l], in order — the whole list
+    when it is shorter, [[]] when [k <= 0].  Not tail-recursive; every
+    caller takes a capacity-bounded prefix (single digits). *)

@@ -1,0 +1,166 @@
+(* Eval: the shared evaluation context must be a perfect stand-in for the
+   full scheduler.
+
+   The contract under test: for any random DAG and any coverage-complete
+   pattern set, [Eval.cycles] (dense fast path, memo-cached) returns
+   exactly [Schedule.cycles] of [Multi_pattern.schedule] — under both
+   pattern priorities, through the id-based entry point, on cache misses
+   and on cache hits alike — and fails identically (same [Unschedulable]
+   colors) on sets that do not cover the graph.  On top of that, the
+   portfolio built on a shared context must stay byte-identical between
+   --jobs 1 and --jobs 4. *)
+
+module Dfg = Mps_dfg.Dfg
+module Color = Mps_dfg.Color
+module Pattern = Mps_pattern.Pattern
+module Universe = Mps_pattern.Universe
+module Schedule = Mps_scheduler.Schedule
+module Mp = Mps_scheduler.Multi_pattern
+module Eval = Mps_scheduler.Eval
+module Select = Mps_select.Select
+module Random_select = Mps_select.Random_select
+module Portfolio = Mps_select.Portfolio
+module Enumerate = Mps_antichain.Enumerate
+module Classify = Mps_antichain.Classify
+module Pool = Mps_exec.Pool
+module Random_dag = Mps_workloads.Random_dag
+module Rng = Mps_util.Rng
+
+let capacity = 5
+
+let random_graph ~seed =
+  let params =
+    {
+      Random_dag.default_params with
+      Random_dag.layers = 4 + (seed mod 3);
+      width = 3 + (seed mod 3);
+    }
+  in
+  Random_dag.generate ~params ~seed ()
+
+(* A handful of independent coverage-complete sets for one graph. *)
+let random_sets ~seed g =
+  let rng = Rng.create ~seed in
+  let colors = Dfg.colors g in
+  List.init 6 (fun _ -> Random_select.select rng ~colors ~capacity ~pdef:3)
+
+let qtest ?(count = 15) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let seed_gen = QCheck2.Gen.(1 -- 1000)
+
+(* The fast path equals the full scheduler, under both priorities, both
+   through a held context and through the one-shot wrapper. *)
+let cycles_match_schedule seed =
+  let g = random_graph ~seed in
+  let sets = random_sets ~seed g in
+  let ev = Eval.make g in
+  List.for_all
+    (fun patterns ->
+      Select.covers_all_colors g patterns
+      && List.for_all
+           (fun priority ->
+             let full =
+               Schedule.cycles
+                 (Mp.schedule ~priority ~patterns g).Mp.schedule
+             in
+             Eval.cycles ~priority ev patterns = full
+             && Mp.cycles ~priority ~patterns g = full)
+           [ Mp.F1; Mp.F2 ])
+    sets
+
+(* Re-asking a context answers from the memo cache — same counts, hits
+   advancing by exactly one per lookup, misses frozen.  The cache key is
+   a canonical multiset, so a permuted set must also hit. *)
+let cache_hits_are_identical seed =
+  let g = random_graph ~seed in
+  let sets = random_sets ~seed g in
+  let n = List.length sets in
+  let ev = Eval.make g in
+  let first = List.map (Eval.cycles ev) sets in
+  let h0, m0 = Eval.cache_stats ev in
+  let second = List.map (Eval.cycles ev) sets in
+  let h1, m1 = Eval.cache_stats ev in
+  let reversed = List.map (fun ps -> Eval.cycles ev (List.rev ps)) sets in
+  let h2, m2 = Eval.cache_stats ev in
+  first = second && reversed = first
+  && m1 = m0 && h1 = h0 + n
+  && m2 = m1 && h2 = h1 + n
+
+(* The id-based entry point (what the searches use) agrees with the
+   pattern-based one on a context sharing the caller's universe. *)
+let cycles_ids_match seed =
+  let g = random_graph ~seed in
+  let u = Universe.create () in
+  let ev = Eval.make ~universe:u g in
+  List.for_all
+    (fun patterns ->
+      let ids = List.map (Universe.intern u) patterns in
+      Eval.cycles_ids ev ids = Mp.cycles ~patterns g)
+    (random_sets ~seed g)
+
+(* A set that misses a color entirely must fail identically on both
+   paths: same exception, same offending colors. *)
+let unschedulable_match seed =
+  let g = random_graph ~seed in
+  match List.sort_uniq Color.compare (Dfg.colors g) with
+  | [] | [ _ ] -> true (* cannot build a non-covering set *)
+  | _ :: rest ->
+      let rng = Rng.create ~seed in
+      let patterns =
+        List.init 3 (fun _ -> Pattern.random rng ~colors:rest ~size:capacity)
+      in
+      let full =
+        match Mp.schedule ~patterns g with
+        | _ -> None
+        | exception Mp.Unschedulable cs -> Some cs
+      in
+      let fast =
+        match Eval.cycles (Eval.make g) patterns with
+        | _ -> None
+        | exception Eval.Unschedulable cs -> Some cs
+      in
+      (not (Select.covers_all_colors g patterns))
+      && full <> None && fast = full
+
+(* The portfolio costs every strategy on one shared context after the
+   fan-in; spreading the strategy work over domains must not move a
+   single byte of the ranking. *)
+let portfolio_jobs_identical seed =
+  let g = random_graph ~seed in
+  let cls = Classify.compute ~span_limit:1 ~capacity (Enumerate.make_ctx g) in
+  let fingerprint o =
+    List.map
+      (fun e ->
+        ( e.Portfolio.strategy,
+          List.map Pattern.to_string e.Portfolio.patterns,
+          e.Portfolio.cycles ))
+      o.Portfolio.all
+  in
+  let seq = fingerprint (Portfolio.run ~pdef:3 cls) in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      fingerprint (Portfolio.run ~pool ~pdef:3 cls) = seq)
+
+let () =
+  Alcotest.run "eval context"
+    [
+      ( "fidelity",
+        [
+          qtest "Eval.cycles = Schedule.cycles (Mp.schedule), F1 and F2"
+            seed_gen cycles_match_schedule;
+          qtest "cycles_ids via shared universe = Mp.cycles" seed_gen
+            cycles_ids_match;
+          qtest "non-covering sets fail identically on both paths" seed_gen
+            unschedulable_match;
+        ] );
+      ( "memo cache",
+        [
+          qtest "hits return identical counts; stats advance exactly"
+            seed_gen cache_hits_are_identical;
+        ] );
+      ( "determinism",
+        [
+          qtest ~count:10 "portfolio ranking identical at --jobs 1 and 4"
+            seed_gen portfolio_jobs_identical;
+        ] );
+    ]
