@@ -1,0 +1,134 @@
+(* Exact branch-and-bound bench: the heuristic's optimality gap and the
+   pruning power of the exact backend's rules on the bench suite.
+
+     dune exec bench/main.exe -- --exact [--smoke]
+
+   Three searches run per workload on one shared classification:
+
+     full      every pruning rule on, seeded with the Eq. 8/9 heuristic
+               (what [mpsched select --certify] runs);
+     ban+dom   only the ban list and dominance rules — the pair whose
+               node-elimination power is gated below;
+     baseline  pure enumeration ([Exact.no_pruning], no seeds).
+
+   Hard gates (exit 1):
+     - all three configs agree on the optimal cycle count and prove it;
+     - the certified gap is never negative (the heuristic seeds the
+       incumbent, so exact can only tie or beat it);
+     - ban+dominance alone eliminate at least 50% of the baseline's
+       visited nodes across the suite.
+
+   The line starting with '{' is machine-readable JSON; BENCH_exact.json
+   at the repo root is one committed capture of it. *)
+
+module Pg = Core.Paper_graphs
+module Program = Core.Program
+module Dft = Core.Dft
+module Enumerate = Core.Enumerate
+module Classify = Core.Classify
+module Select = Core.Select
+module Exact = Core.Exact
+module Eval = Core.Eval
+
+let capacity = Pg.montium_capacity
+
+let workloads ~smoke =
+  let base =
+    [
+      ("fig4", Pg.fig4_small (), 2);
+      ("3dft", Pg.fig2_3dft (), 4);
+    ]
+  in
+  if smoke then base else base @ [ ("w5dft", Program.dfg (Dft.winograd5 ()), 4) ]
+
+let ban_dom_only =
+  {
+    Exact.prune_span = false;
+    prune_color = false;
+    prune_ban = true;
+    prune_dominance = true;
+  }
+
+let run ?(smoke = false) () =
+  Printf.printf "\n=== Exact search: heuristic gap and pruning power ===\n";
+  Printf.printf "  %-6s %5s %9s %5s %6s %9s %9s %9s %6s\n" "graph" "pool"
+    "heuristic" "exact" "gap%" "full" "ban+dom" "baseline" "cut%";
+  let agg_bd = ref 0 and agg_base = ref 0 in
+  let failed = ref false in
+  let rows =
+    List.map
+      (fun (name, g, pdef) ->
+        let cls = Classify.compute ~span_limit:1 ~capacity (Enumerate.make_ctx g) in
+        let heuristic = Select.select ~pdef cls in
+        let full = Exact.search ~seeds:[ heuristic ] ~pdef cls in
+        let bd = Exact.search ~pruning:ban_dom_only ~pdef cls in
+        let baseline = Exact.search ~pruning:Exact.no_pruning ~pdef cls in
+        let h_cycles =
+          match Eval.cycles (Eval.make g) (Exact.canonical_order cls heuristic) with
+          | c -> c
+          | exception Eval.Unschedulable _ -> max_int
+        in
+        let e = full.Exact.optimal_cycles in
+        let gap =
+          if e = 0 || e = max_int then 0.
+          else float_of_int (h_cycles - e) /. float_of_int e *. 100.
+        in
+        if
+          (not full.Exact.proven)
+          || (not bd.Exact.proven)
+          || not baseline.Exact.proven
+        then begin
+          Printf.printf "MISMATCH: %s search hit the node cap (unproven)\n" name;
+          failed := true
+        end;
+        if bd.Exact.optimal_cycles <> e || baseline.Exact.optimal_cycles <> e
+        then begin
+          Printf.printf
+            "MISMATCH: %s pruning changed the optimum (full %d, ban+dom %d, \
+             baseline %d)\n"
+            name e bd.Exact.optimal_cycles baseline.Exact.optimal_cycles;
+          failed := true
+        end;
+        if gap < 0. then begin
+          Printf.printf "MISMATCH: %s negative gap %.1f%%\n" name gap;
+          failed := true
+        end;
+        let v_full = full.Exact.stats.Exact.nodes_visited in
+        let v_bd = bd.Exact.stats.Exact.nodes_visited in
+        let v_base = baseline.Exact.stats.Exact.nodes_visited in
+        agg_bd := !agg_bd + v_bd;
+        agg_base := !agg_base + v_base;
+        let cut = 100. *. (1. -. (float_of_int v_bd /. float_of_int v_base)) in
+        Printf.printf "  %-6s %5d %9d %5d %6.1f %9d %9d %9d %6.1f\n" name
+          (Classify.pattern_count cls)
+          h_cycles e gap v_full v_bd v_base cut;
+        (name, h_cycles, e, gap, v_full, v_bd, v_base))
+      (workloads ~smoke)
+  in
+  let reduction =
+    100. *. (1. -. (float_of_int !agg_bd /. float_of_int !agg_base))
+  in
+  Printf.printf
+    "  ban+dominance eliminate %.1f%% of baseline nodes across the suite\n"
+    reduction;
+  if reduction < 50. then begin
+    Printf.printf
+      "REGRESSION: ban+dominance pruning under the 50%% node-elimination gate\n";
+    failed := true
+  end;
+  if !failed then exit 1;
+  let json_rows =
+    String.concat ","
+      (List.map
+         (fun (name, h, e, gap, v_full, v_bd, v_base) ->
+           Printf.sprintf
+             "{\"graph\":\"%s\",\"heuristic_cycles\":%d,\"exact_cycles\":%d,\
+              \"gap_percent\":%.1f,\"visited_full\":%d,\"visited_ban_dom\":%d,\
+              \"visited_baseline\":%d}"
+             name h e gap v_full v_bd v_base)
+         rows)
+  in
+  Printf.printf
+    "{\"bench\":\"exact\",\"smoke\":%b,\"ban_dom_reduction_percent\":%.1f,\
+     \"workloads\":[%s]}\n"
+    smoke reduction json_rows

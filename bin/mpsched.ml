@@ -222,14 +222,25 @@ let patterns_cmd =
 
 (* --- select --- *)
 
+let pattern_list ps = String.concat " " (List.map C.Pattern.to_string ps)
+
+let print_exact_stats (ct : C.Exact.certificate) =
+  let s = ct.C.Exact.stats in
+  Printf.printf
+    "search: %d nodes visited, %d sets evaluated, pruned %d span / %d color \
+     / %d ban / %d dominance, %d ban entries\n"
+    s.C.Exact.nodes_visited s.C.Exact.evaluated s.C.Exact.pruned_span
+    s.C.Exact.pruned_color s.C.Exact.pruned_ban s.C.Exact.pruned_dominance
+    (List.length ct.C.Exact.bans)
+
 let select_cmd =
-  let run spec capacity span pdef verbose jobs stats trace_out =
+  let run spec capacity span pdef verbose certify jobs stats trace_out =
     let g = or_fail (load_graph spec) in
     with_obs stats trace_out @@ fun () ->
+    with_jobs jobs @@ fun pool ->
     let cls =
-      with_jobs jobs (fun pool ->
-          C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
-            (C.Enumerate.make_ctx g))
+      C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
+        (C.Enumerate.make_ctx g)
     in
     let report = C.Select.select_report ~pdef cls in
     List.iteri
@@ -242,16 +253,100 @@ let select_cmd =
           List.iter
             (fun (p, f) -> Printf.printf "     %-8s %.2f\n" (C.Pattern.to_string p) f)
             step.C.Select.priorities)
-      report.C.Select.steps
+      report.C.Select.steps;
+    if certify then begin
+      let options =
+        {
+          C.Pipeline.default_options with
+          C.Pipeline.capacity;
+          span_limit = span_of span;
+          pdef;
+        }
+      in
+      let cert = C.Pipeline.certify ?pool ~options g in
+      let ct = cert.C.Pipeline.exact in
+      Printf.printf "heuristic: %s  %d cycles\n"
+        (pattern_list cert.C.Pipeline.heuristic)
+        cert.C.Pipeline.heuristic_cycles;
+      if ct.C.Exact.optimal_cycles = max_int then
+        print_endline "exact:     no schedulable pattern set in the family"
+      else
+        Printf.printf "exact:     %s  %d cycles  (%s)\n"
+          (pattern_list ct.C.Exact.optimal)
+          ct.C.Exact.optimal_cycles
+          (if ct.C.Exact.proven then "proven optimal"
+           else "upper bound: node cap hit");
+      Printf.printf "gap: %.1f%%\n" cert.C.Pipeline.gap_percent;
+      print_exact_stats ct
+    end
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every candidate's priority.")
+  in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "After the heuristic selection, run the exact branch-and-bound \
+             seeded with it and report the optimality gap and the search \
+             certificate.")
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Run the pattern selection algorithm (§5.2)")
     Term.(
       const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ verbose
-      $ jobs_arg $ stats_arg $ trace_out_arg)
+      $ certify $ jobs_arg $ stats_arg $ trace_out_arg)
+
+(* --- exact --- *)
+
+let exact_cmd =
+  let run spec capacity span pdef max_nodes no_prune jobs stats trace_out =
+    let g = or_fail (load_graph spec) in
+    with_obs stats trace_out @@ fun () ->
+    with_jobs jobs @@ fun pool ->
+    let cls =
+      C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
+        (C.Enumerate.make_ctx g)
+    in
+    let pruning =
+      if no_prune then C.Exact.no_pruning else C.Exact.all_pruning
+    in
+    let ct = C.Exact.search ?pool ~pruning ~max_nodes ~pdef cls in
+    if ct.C.Exact.optimal_cycles = max_int then
+      print_endline "no schedulable pattern set in the family"
+    else begin
+      Printf.printf "optimal: %s\n" (pattern_list ct.C.Exact.optimal);
+      Printf.printf "%d cycles  (%s)\n" ct.C.Exact.optimal_cycles
+        (if ct.C.Exact.proven then "proven optimal"
+         else "upper bound: node cap hit")
+    end;
+    print_exact_stats ct
+  in
+  let max_nodes =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:
+            "Node budget per root subtree; when hit the result degrades to \
+             an upper bound and the certificate is marked unproven.")
+  in
+  let no_prune =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Disable every pruning rule (pure enumeration) — the baseline \
+             the pruning counters are measured against.")
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:
+         "Certified-optimal pattern selection by branch-and-bound over the \
+          classified pool")
+    Term.(
+      const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ max_nodes
+      $ no_prune $ jobs_arg $ stats_arg $ trace_out_arg)
 
 (* --- schedule --- *)
 
@@ -659,7 +754,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            levels_cmd; antichains_cmd; patterns_cmd; select_cmd; schedule_cmd;
+            levels_cmd; antichains_cmd; patterns_cmd; select_cmd; exact_cmd;
+            schedule_cmd;
             optimal_cmd; anneal_cmd; codegen_cmd; stream_cmd; analyze_cmd;
             pipeline_cmd; portfolio_cmd; dot_cmd; workload_cmd; program_cmd;
             tracecheck_cmd;

@@ -1,17 +1,30 @@
 #!/bin/sh
 # Repo gate: build, full test suite, odoc, CLI determinism across --jobs,
-# the observability no-perturbation gate, and the scaling benchmark in
-# smoke mode at --jobs 1 and --jobs 4.
+# the observability no-perturbation gate, the exact-search smoke gate, and
+# the scaling benchmark in smoke mode at --jobs 1 and --jobs 4.
 #
 #   ./check.sh          # the whole gate
 #   ./check.sh --fast   # build + tests only
 #
-# Exits non-zero on the first failure.  The scaling benchmark hard-fails on
-# any sequential/parallel divergence; the speedup figure it prints is
-# informational (it needs as many cores as domains to show >1).
+# Exits non-zero on the first failure and names the stage that failed (a
+# failing mid-pipeline gate used to report only dune's exit status).  The
+# scaling benchmark hard-fails on any sequential/parallel divergence; the
+# speedup figure it prints is informational (it needs as many cores as
+# domains to show >1).
 set -e
 
-say() { printf '\n== %s ==\n' "$*"; }
+STAGE="startup"
+tmp1="" tmp4="" trace=""
+on_exit() {
+  status=$?
+  rm -f "$tmp1" "$tmp4" "$trace"
+  if [ "$status" -ne 0 ]; then
+    printf '\nFAILED at stage: %s\n' "$STAGE" >&2
+  fi
+}
+trap on_exit EXIT
+
+say() { STAGE="$*"; printf '\n== %s ==\n' "$*"; }
 
 say "dune build"
 dune build
@@ -26,10 +39,10 @@ dune build @doc
 
 say "CLI determinism: mpsched output must be byte-identical for any --jobs"
 tmp1=$(mktemp) tmp4=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp4"' EXIT
 for spec in "pipeline 3dft" "pipeline fig4" "pipeline w3dft" "pipeline w5dft" \
             "pipeline fft8" "antichains 3dft" \
-            "select w5dft" "patterns fft8" "portfolio 3dft"; do
+            "select w5dft" "patterns fft8" "portfolio 3dft" \
+            "exact 3dft" "select 3dft --certify"; do
   # shellcheck disable=SC2086
   dune exec --no-build bin/mpsched.exe -- $spec --jobs 1 > "$tmp1"
   # shellcheck disable=SC2086
@@ -44,7 +57,6 @@ done
 
 say "observability: --stats/--trace must not perturb the primary output"
 trace=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp4" "$trace"' EXIT
 dune exec --no-build bin/mpsched.exe -- schedule fig2_3dft.dot > "$tmp1"
 dune exec --no-build bin/mpsched.exe -- schedule fig2_3dft.dot \
   --stats --trace "$trace" > "$tmp4" 2>/dev/null
@@ -61,6 +73,12 @@ if ! dune exec --no-build bin/mpsched.exe -- schedule fig2_3dft.dot --stats \
   exit 1
 fi
 echo "  ok: --stats reports the classify phase"
+
+say "exact search gate (smoke: oracle parity, gap >= 0, pruning power)"
+# Exits 1 if any pruning configuration disagrees on the optimum, a
+# certificate comes back unproven, the certified gap is negative, or
+# ban+dominance pruning falls under the 50% node-elimination gate.
+dune exec --no-build bench/main.exe -- --exact --smoke
 
 say "pattern-ops microbenchmark (smoke, release profile)"
 # Release profile: the dev profile's -opaque flag blocks cross-module
@@ -82,3 +100,4 @@ say "scaling benchmark (smoke, --jobs 4)"
 dune exec --no-build bench/main.exe -- --scaling --smoke --jobs 4
 
 say "all checks passed"
+STAGE="done"

@@ -52,6 +52,7 @@ module Select = Mps_select.Select
 module Random_select = Mps_select.Random_select
 module Greedy_cover = Mps_select.Greedy_cover
 module Exhaustive = Mps_select.Exhaustive
+module Exact = Mps_select.Exact
 module Pattern_source = Mps_select.Pattern_source
 module Annealing = Mps_select.Annealing
 module Beam = Mps_select.Beam

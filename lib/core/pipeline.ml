@@ -4,6 +4,7 @@ module Universe = Mps_pattern.Universe
 module Enumerate = Mps_antichain.Enumerate
 module Classify = Mps_antichain.Classify
 module Select = Mps_select.Select
+module Exact = Mps_select.Exact
 module Mp = Mps_scheduler.Multi_pattern
 module Eval = Mps_scheduler.Eval
 module Schedule = Mps_scheduler.Schedule
@@ -111,6 +112,63 @@ let run ?pool ?(options = default_options) dfg =
       Obs.span "config" (fun () ->
           Config_space.of_schedule ~tile:options.tile schedule);
   }
+
+type certification = {
+  heuristic : Pattern.t list;
+  heuristic_cycles : int;
+  exact : Exact.certificate;
+  gap_percent : float;
+}
+
+let certify ?pool ?(options = default_options) ?max_nodes dfg =
+  if options.capacity < 1 then invalid_arg "Pipeline.certify: capacity < 1";
+  if options.pdef < 1 then invalid_arg "Pipeline.certify: pdef < 1";
+  if options.jobs < 1 then invalid_arg "Pipeline.certify: jobs < 1";
+  Obs.span "certify" @@ fun () ->
+  let with_pool f =
+    match pool with
+    | Some _ -> f pool
+    | None when options.jobs > 1 ->
+        Pool.with_pool ~jobs:options.jobs (fun p -> f (Some p))
+    | None -> f None
+  in
+  with_pool @@ fun pool ->
+  let graph =
+    if options.cluster then (Cluster.mac dfg).Cluster.clustered else dfg
+  in
+  let classify =
+    Classify.compute ?pool ?span_limit:options.span_limit
+      ?budget:options.enumeration_budget ~capacity:options.capacity
+      (Enumerate.make_ctx graph)
+  in
+  let heuristic =
+    Select.select ~params:options.selection ~pdef:options.pdef classify
+  in
+  (* The heuristic's set seeds the branch-and-bound as its warm-start
+     incumbent, so the certified optimum can only tie or beat it and the
+     gap is never negative.  Both sides are costed canonically (see
+     Exact.canonical_order). *)
+  let exact =
+    Exact.search ?pool ~priority:options.priority ?max_nodes
+      ~seeds:[ heuristic ] ~pdef:options.pdef classify
+  in
+  let heuristic_cycles =
+    match
+      Eval.cycles ~priority:options.priority (Eval.make graph)
+        (Exact.canonical_order classify heuristic)
+    with
+    | c -> c
+    | exception Eval.Unschedulable _ -> max_int
+  in
+  let gap_percent =
+    if exact.Exact.optimal_cycles = max_int || exact.Exact.optimal_cycles = 0
+    then 0.
+    else
+      float_of_int (heuristic_cycles - exact.Exact.optimal_cycles)
+      /. float_of_int exact.Exact.optimal_cycles
+      *. 100.
+  in
+  { heuristic; heuristic_cycles; exact; gap_percent }
 
 type mapped = {
   program : Program.t;

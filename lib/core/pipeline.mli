@@ -58,6 +58,32 @@ val run : ?pool:Mps_exec.Pool.t -> ?options:options -> Mps_dfg.Dfg.t -> t
     @raise Invalid_argument on nonsensical options (pdef, capacity or
     jobs < 1). *)
 
+type certification = {
+  heuristic : Mps_pattern.Pattern.t list;
+      (** The Eq. 8/9 selection on the same classification. *)
+  heuristic_cycles : int;
+      (** Its canonical-order cycles ({!Mps_select.Exact.canonical_order}). *)
+  exact : Mps_select.Exact.certificate;
+      (** The branch-and-bound certificate, seeded with the heuristic. *)
+  gap_percent : float;
+      (** [(heuristic − exact) / exact × 100]; never negative because the
+          heuristic seeds the incumbent.  0 when the exact search found
+          nothing schedulable. *)
+}
+
+val certify :
+  ?pool:Mps_exec.Pool.t ->
+  ?options:options ->
+  ?max_nodes:int ->
+  Mps_dfg.Dfg.t ->
+  certification
+(** Runs the heuristic selection, then the exact branch-and-bound seeded
+    with it, on one shared classification — the evidence behind
+    [mpsched select --certify].  When [exact.proven] is set the gap is a
+    true optimality gap over the exact search family; otherwise it is only
+    an upper bound ([max_nodes] cut some subtree short).  Deterministic
+    for every [jobs]/[pool] value, like {!run}. *)
+
 type mapped = {
   program : Mps_frontend.Program.t;
       (** What was actually mapped: the input program, MAC-fused first when

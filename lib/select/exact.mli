@@ -1,0 +1,134 @@
+(** Exact pattern selection by certifying branch-and-bound.
+
+    {!Exhaustive.search} answers "what is the best pattern set?" by brute
+    force, which caps it at toy instances.  This backend answers the same
+    question — over exactly the same search family, so the two agree
+    wherever both terminate — with a branch-and-bound over the candidate
+    pool in canonical id order, pruned by four sound rules:
+
+    - {b span}: a structural lower bound (critical path, slot pressure,
+      per-color load given the largest pattern still reachable in the
+      subtree) already meets the incumbent, so nothing below can improve;
+    - {b color}: the Eq. 9-style feasibility test — the colors still
+      reachable from the suffix plus one fabricated fallback cannot cover
+      the graph, so the subtree holds no schedulable completion;
+    - {b ban}: the completed set was already costed (or proven
+      unschedulable) and sits in the ban list with its guide bound, so it
+      is never evaluated twice;
+    - {b dominance}: a candidate that is a proper subpattern of an
+      already-chosen pattern is skipped.  Sound for the list scheduler
+      because the selected-set of a subpattern is contained in its
+      dominator's and both pattern priorities are monotone over it, so the
+      subpattern never wins the strictly-greater argmax against its
+      earlier-listed dominator: every completion using it has an
+      equal-cycles twin without it, met later in the same subtree.
+
+    Candidate sets are costed through a per-task {!Mps_scheduler.Eval}
+    context (memo cache, counter replay), every evaluated or infeasible
+    completion is memoized in the ban list with an [Infeasible] or
+    [Cost c] guide bound, and the search returns a {e certificate}: the
+    optimal set, its cycles, the visited/pruned node accounting, the ban
+    list, and whether the search ran to completion ([proven]).
+
+    {2 Determinism and [--jobs]}
+
+    Root subtrees fan out over {!Mps_exec.Pool} in fixed-size batches.
+    Each task explores with the incumbent frozen at batch start (plus its
+    own local improvements); batch results fold back in submission order.
+    The batch layout is independent of the worker count, so the
+    certificate — optimal set, cycles, every counter, the full ban list —
+    is byte-identical for every [--jobs] value, including the poolless
+    sequential path. *)
+
+type pruning = {
+  prune_span : bool;  (** Structural lower-bound cut. *)
+  prune_color : bool;  (** Eq. 9-style coverage feasibility cut. *)
+  prune_ban : bool;  (** Skip completions already in the ban list. *)
+  prune_dominance : bool;  (** Skip candidates dominated by a chosen pattern. *)
+}
+
+val all_pruning : pruning
+(** Every rule on — the default. *)
+
+val no_pruning : pruning
+(** Pure enumeration, the baseline the pruning gates are measured against. *)
+
+type bound =
+  | Infeasible  (** The set cannot schedule the graph (misses colors). *)
+  | Cost of int  (** The set was costed: exactly this many cycles. *)
+
+type ban_entry = {
+  banned : Mps_pattern.Pattern.t list;
+      (** The completed set, in its canonical evaluation order — re-costing
+          it in this exact order reproduces a [Cost] bound verbatim. *)
+  bound : bound;  (** Its guide bound. *)
+}
+
+type stats = {
+  nodes_visited : int;  (** Branch nodes entered (root included). *)
+  pruned_span : int;
+  pruned_color : int;
+  pruned_ban : int;
+  pruned_dominance : int;  (** Subtrees cut, by rule. *)
+  evaluated : int;  (** Completed sets costed through [Eval]. *)
+}
+
+type certificate = {
+  optimal : Mps_pattern.Pattern.t list;
+      (** The best set found; [[]] if nothing schedulable exists. *)
+  optimal_cycles : int;  (** Its cycles; [max_int] if none. *)
+  stats : stats;
+  bans : ban_entry list;
+      (** The persistent ban list, in discovery order, deduplicated. *)
+  proven : bool;
+      (** No subtree hit [max_nodes]: [optimal] is certified optimal over
+          the search family (pool subsets of size ≤ pdef, plus one
+          fabricated fallback) and all [seeds]. *)
+}
+
+val pool_order : Mps_pattern.Pattern.t -> Mps_pattern.Pattern.t -> int
+(** The canonical candidate order: descending size, spelling to break
+    ties.  A proper subpattern is strictly smaller than its dominator, so
+    this is a linear extension of the proper-subpattern lattice — every
+    dominator precedes every pattern it dominates, which is what makes the
+    dominance prune fire on {e every} chosen-dominator pair.
+    {!Exhaustive.search} enumerates in the same order. *)
+
+val canonical_order :
+  Mps_antichain.Classify.t ->
+  Mps_pattern.Pattern.t list ->
+  Mps_pattern.Pattern.t list
+(** The canonical costing order of a set: pool members by {!pool_order},
+    foreign patterns last by spelling.  Costing a set in this order
+    through {!Mps_scheduler.Eval.cycles} reproduces exactly the cycles the
+    search ascribes to it (the list scheduler breaks score ties by list
+    position, so cycles are only well-defined relative to an order). *)
+
+val search :
+  ?pool:Mps_exec.Pool.t ->
+  ?priority:Mps_scheduler.Eval.pattern_priority ->
+  ?pruning:pruning ->
+  ?max_nodes:int ->
+  ?seeds:Mps_pattern.Pattern.t list list ->
+  pdef:int ->
+  Mps_antichain.Classify.t ->
+  certificate
+(** Branch-and-bound over the classification's pattern pool.
+
+    [seeds] (default none) are warm-start incumbents — typically the
+    heuristic's or the portfolio's sets.  They are costed first (and
+    ban-listed), so the reported optimum is the minimum over the search
+    family {e and} the seeds: with seeds, the exact answer can only tie or
+    beat them, which is what certification reports as the gap.  Without
+    seeds the search family is exactly {!Exhaustive.search}'s.
+
+    [max_nodes] (default [1_000_000]) caps the visited nodes of {e each}
+    root subtree — per-subtree, so the cap is [--jobs]-independent.  A
+    capped subtree clears [proven].
+
+    Observability: runs under an ["exact"] span and reports
+    [exact.nodes.visited], [exact.pruned.span], [exact.pruned.color],
+    [exact.pruned.ban], [exact.pruned.dominance] and [exact.evaluated]
+    counters, identical for every [--jobs].
+
+    @raise Invalid_argument if [pdef < 1] or [max_nodes < 1]. *)

@@ -16,7 +16,14 @@ let search ?priority ?(max_sets = 200_000) ~pdef classify =
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
   let all_colors = Color.Set.of_list (Dfg.colors g) in
+  (* Enumerate in the shared canonical pool order so every set is costed in
+     exactly the order the exact backend costs it — the two searches then
+     agree set-for-set, not just cycles-for-cycles. *)
   let pool = Array.of_list (Classify.patterns classify) in
+  Array.sort Exact.pool_order pool;
+  let pool_set =
+    Array.fold_left (fun acc p -> Pattern.Set.add p acc) Pattern.Set.empty pool
+  in
   let best = ref [] and best_cycles = ref max_int in
   let evaluated = ref 0 and truncated = ref false in
   (* One evaluation context across the whole enumeration; combinations that
@@ -44,8 +51,17 @@ let search ?priority ?(max_sets = 200_000) ~pdef classify =
     in
     let uncovered = Color.Set.elements (Color.Set.diff all_colors covered) in
     if uncovered = [] then Some chosen
-    else if List.length chosen < pdef && List.length uncovered <= capacity then
-      Some (chosen @ [ Pattern.of_colors uncovered ])
+    else if List.length chosen < pdef && List.length uncovered <= capacity then begin
+      (* A fabrication that coincides with a pool pattern is a
+         non-canonical duplicate of a pool-only combination enumerated
+         elsewhere: skip it, so every set is costed in exactly one pattern
+         order and the reported optimum is traversal-independent (the list
+         scheduler breaks score ties by list position).  The exact backend
+         applies the same rule, which is what makes the two searches agree
+         set-for-set wherever both terminate. *)
+      let fab = Pattern.of_colors uncovered in
+      if Pattern.Set.mem fab pool_set then None else Some (chosen @ [ fab ])
+    end
     else None
   in
   (* Choose up to pdef patterns from the pool, combinations without

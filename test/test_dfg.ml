@@ -257,6 +257,24 @@ let test_dot_output () =
          go 0))
     [ "digraph fig4"; "\"a1\" -> \"a2\""; "shape=box"; "fillcolor=lightgrey"; "0/0/h3" ]
 
+(* The DOT subset of [Parse] exists to read back what [Dot.to_dot] writes:
+   node statements come out in id order and names carry the color in their
+   first character, so emit → re-parse must reproduce the graph exactly. *)
+let dot_props =
+  [
+    qtest "dot: to_dot re-parses to an equal graph" dag_gen (fun g ->
+        Dfg.equal g (Parse.of_string (Dot.to_dot g)));
+    qtest "dot: level/highlight attributes don't disturb the round trip"
+      dag_gen
+      (fun g ->
+        let lv = Levels.compute g in
+        let dot =
+          Dot.to_dot ~graph_name:"rt" ~levels:lv ~highlight:(Dfg.sources g) g
+        in
+        let g' = Parse.of_string dot in
+        Dfg.equal g g' && Parse.to_string g = Parse.to_string g');
+  ]
+
 let () =
   Alcotest.run "dfg"
     [
@@ -290,5 +308,5 @@ let () =
           Alcotest.test_case "comments and errors" `Quick test_parse_comments_and_errors;
         ]
         @ parse_props );
-      ("dot", [ Alcotest.test_case "fragments" `Quick test_dot_output ]);
+      ("dot", Alcotest.test_case "fragments" `Quick test_dot_output :: dot_props);
     ]

@@ -85,6 +85,155 @@ let test_chrome_trace_roundtrip () =
   | Ok n -> Alcotest.(check bool) "validated events" true (n > 0)
   | Error m -> Alcotest.failf "trace fails validation: %s" m
 
+(* --- merge properties ----------------------------------------------------
+   [Obs.merge] is the replay primitive: folding a precomputed aggregate must
+   be indistinguishable from having recorded the individual samples, and
+   merging must be grouping-invariant (pre-merging any prefix then the rest
+   gives the same counter table).  These are the invariants the Eval memo
+   cache and the pool's per-task buffers lean on. *)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* An op stream over two Sum counters (via [count]) and two Dist counters
+   (via [observe]). *)
+let ops_gen = QCheck2.Gen.(list_size (1 -- 40) (pair (0 -- 3) (1 -- 100)))
+
+let record_op (idx, v) =
+  if idx < 2 then Obs.count (Printf.sprintf "s%d" idx) v
+  else Obs.observe (Printf.sprintf "d%d" (idx - 2)) v
+
+(* Per-name aggregates of an op stream, in first-appearance order. *)
+let aggregates ops =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (idx, v) ->
+      let name, kind =
+        if idx < 2 then (Printf.sprintf "s%d" idx, Obs.Sum)
+        else (Printf.sprintf "d%d" (idx - 2), Obs.Dist)
+      in
+      match Hashtbl.find_opt tbl name with
+      | None ->
+          order := name :: !order;
+          Hashtbl.replace tbl name (kind, 1, v, v, v)
+      | Some (k, s, t, mn, mx) ->
+          Hashtbl.replace tbl name (k, s + 1, t + v, min mn v, max mx v))
+    ops;
+  List.rev_map
+    (fun n ->
+      let k, s, t, mn, mx = Hashtbl.find tbl n in
+      (n, k, s, t, mn, mx))
+    !order
+
+let fingerprint obs =
+  List.map
+    (fun c ->
+      Printf.sprintf "%s/%s/%d/%d/%d/%d" c.Obs.name
+        (match c.Obs.kind with Obs.Sum -> "sum" | Obs.Dist -> "dist")
+        c.Obs.samples c.Obs.total c.Obs.vmin c.Obs.vmax)
+    (Obs.counters obs)
+
+let record_inline ops =
+  let obs = Obs.create () in
+  Obs.run obs (fun () -> List.iter record_op ops);
+  fingerprint obs
+
+let record_merged chunks =
+  let obs = Obs.create () in
+  Obs.run obs (fun () ->
+      List.iter
+        (fun chunk ->
+          List.iter
+            (fun (n, k, s, t, mn, mx) ->
+              Obs.merge n k ~samples:s ~total:t ~vmin:mn ~vmax:mx)
+            (aggregates chunk))
+        chunks);
+  fingerprint obs
+
+let record_tasked n ops =
+  let obs = Obs.create () in
+  Obs.run obs (fun () ->
+      match Obs.Task.begin_batch ~n with
+      | None -> Alcotest.fail "collector installed but no task buffers"
+      | Some bufs ->
+          List.iteri
+            (fun i op -> Obs.Task.run_in bufs.(i mod n) (fun () -> record_op op))
+            ops;
+          Obs.Task.commit bufs);
+  fingerprint obs
+
+let rec split_at k = function
+  | rest when k = 0 -> ([], rest)
+  | [] -> ([], [])
+  | x :: rest ->
+      let a, b = split_at (k - 1) rest in
+      (x :: a, b)
+
+let merge_props =
+  [
+    qtest "merge: replaying the aggregate = recording each sample" ops_gen
+      (fun ops -> record_merged [ ops ] = record_inline ops);
+    qtest "merge: grouping-invariant (any split point)"
+      QCheck2.Gen.(pair ops_gen (0 -- 40))
+      (fun (ops, k) ->
+        let a, b = split_at (min k (List.length ops)) ops in
+        record_merged [ a; b ] = record_inline ops);
+    qtest "merge: task-buffer commit = inline recording, any batch width"
+      QCheck2.Gen.(pair ops_gen (1 -- 4))
+      (fun (ops, n) -> record_tasked n ops = record_inline ops);
+  ]
+
+(* The end-to-end version of the same invariant: the --stats totals an
+   exact search reports are the sum of its per-task counters, so they match
+   the certificate's own accounting and are identical for any --jobs. *)
+let test_exact_counters_match_stats () =
+  let module Exact = Mps_select.Exact in
+  let module Classify = Mps_antichain.Classify in
+  let module Enumerate = Mps_antichain.Enumerate in
+  let module Pool = Mps_exec.Pool in
+  let g = Pg.fig2_3dft () in
+  let run jobs =
+    let obs = Obs.create () in
+    let ct =
+      Obs.run obs (fun () ->
+          let search pool =
+            Exact.search ?pool ~pdef:3
+              (Classify.compute ?pool ~span_limit:1 ~capacity:5
+                 (Enumerate.make_ctx g))
+          in
+          if jobs = 1 then search None
+          else Pool.with_pool ~jobs (fun p -> search (Some p)))
+    in
+    (fingerprint obs, ct)
+  in
+  let fp1, ct1 = run 1 in
+  let fp4, _ = run 4 in
+  Alcotest.(check (list string)) "counter tables jobs 4 = jobs 1" fp1 fp4;
+  let obs_total name =
+    match
+      List.find_opt
+        (fun line ->
+          String.length line > String.length name
+          && String.sub line 0 (String.length name) = name)
+        fp1
+    with
+    | Some line -> Scanf.sscanf line "%s@/sum/%d/%d/%d/%d" (fun _ _ t _ _ -> t)
+    | None -> Alcotest.failf "counter %s not recorded" name
+  in
+  let s = ct1.Exact.stats in
+  List.iter
+    (fun (name, expect) ->
+      Alcotest.(check int) (name ^ " total = certificate") expect (obs_total name))
+    [
+      ("exact.nodes.visited", s.Exact.nodes_visited);
+      ("exact.pruned.span", s.Exact.pruned_span);
+      ("exact.pruned.color", s.Exact.pruned_color);
+      ("exact.pruned.ban", s.Exact.pruned_ban);
+      ("exact.pruned.dominance", s.Exact.pruned_dominance);
+      ("exact.evaluated", s.Exact.evaluated);
+    ]
+
 let test_json_roundtrip () =
   let v =
     Json.Obj
@@ -123,6 +272,12 @@ let () =
           Alcotest.test_case "chrome trace round-trips" `Quick
             test_chrome_trace_roundtrip;
         ] );
+      ( "merge",
+        merge_props
+        @ [
+            Alcotest.test_case "exact --stats totals = certificate stats"
+              `Quick test_exact_counters_match_stats;
+          ] );
       ( "json",
         [
           Alcotest.test_case "round trip" `Quick test_json_roundtrip;
