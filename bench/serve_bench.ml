@@ -1,0 +1,219 @@
+(* Serve throughput: the warm-state payoff, measured end to end.
+
+   A load generator drives [Server.handle_line] — the whole protocol
+   minus the file descriptors — with pipeline and certify requests over a
+   corpus of built-in workloads and random DAGs shipped as inline DFG
+   text, in two mixes:
+
+     cold: every request names a graph the session has never seen, so
+           each one pays classification, context construction and (for
+           certify) the full branch-and-bound;
+     warm: requests cycle over four graphs, so after the first lap every
+           classification is a cache hit and every certification opens
+           with the full prior ban list.
+
+   Both mixes run at --jobs 1 and 4 (intra-request fan-out through the
+   session pool).  Hard gates (exit 1):
+
+     - every response is "ok":true (N.B. the generator sends no bad
+       requests);
+     - the jobs-1 and jobs-4 response streams are byte-identical per mix
+       (the serve determinism contract, checked at bench scale);
+     - at --jobs 4 the warm mix clears 3x the cold mix's requests/s —
+       the ISSUE's acceptance bar for the session layer actually earning
+       its keep.
+
+   The lines starting with '{' are machine-readable JSON; BENCH_serve.json
+   at the repo root is one committed full-mode capture.  Full mode also
+   rewrites results/serve_throughput.csv. *)
+
+module Session = Mps_serve.Session
+module Server = Mps_serve.Server
+module Protocol = Mps_serve.Protocol
+module Pool = Core.Pool
+module Random_dag = Core.Random_dag
+module Csv = Mps_util.Csv
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let wall_min trials f =
+  let best = ref infinity in
+  for _ = 1 to trials do
+    let (), t = wall f in
+    if t < !best then best := t
+  done;
+  !best
+
+(* Random graphs go over the wire as inline DFG text, like a real client
+   that schedules kernels the server has never heard of. *)
+let random_dfg_text ~seed =
+  Core.Dfg_parse.to_string (Random_dag.generate ~seed ())
+
+let request ~cmd ~source =
+  let id, src =
+    match source with
+    | `Builtin name -> (Protocol.Json.Str (cmd ^ ":" ^ name), Protocol.Builtin name)
+    | `Dfg (tag, text) ->
+        (Protocol.Json.Str (cmd ^ ":" ^ tag), Protocol.Dfg_text text)
+  in
+  let command =
+    match Protocol.command_of_string cmd with
+    | Some c -> c
+    | None -> invalid_arg ("serve bench: bad command " ^ cmd)
+  in
+  Protocol.request_to_line (Protocol.make ~id ~source:src command)
+
+(* Each graph is asked for the full pipeline and then a certification —
+   the two heaviest request kinds, and the two the warm state helps most
+   (classification + eval context for the first, ban list for the
+   second). *)
+let requests_over graphs =
+  List.concat_map
+    (fun source ->
+      [ request ~cmd:"pipeline" ~source; request ~cmd:"certify" ~source ])
+    graphs
+
+let builtin_sources = [ `Builtin "3dft"; `Builtin "fig4"; `Builtin "w3dft" ]
+
+let random_sources ~count ~first_seed =
+  List.init count (fun i ->
+      let seed = first_seed + i in
+      `Dfg (Printf.sprintf "rand%d" seed, random_dfg_text ~seed))
+
+let serve_all sess lines = List.map (Server.handle_line sess) lines
+
+let check_all_ok ~what responses =
+  List.iteri
+    (fun i r ->
+      let ok_marker = "\"ok\":true" in
+      let has_ok =
+        let rec find from =
+          if from + String.length ok_marker > String.length r then false
+          else if String.sub r from (String.length ok_marker) = ok_marker then
+            true
+          else find (from + 1)
+        in
+        find 0
+      in
+      if not has_ok then begin
+        Printf.printf "MISMATCH: %s response %d not ok: %s\n" what i r;
+        exit 1
+      end)
+    responses
+
+(* One (jobs, mix) measurement: requests/s over [lines], best of
+   [trials].  The cold mix rebuilds the session inside the timed region
+   (a fresh session per trial is the workload being measured); the warm
+   mix times a session that already served one full lap. *)
+let measure ~trials ~pool ~mix lines =
+  let nreq = List.length lines in
+  let responses = ref [] in
+  let t =
+    match mix with
+    | `Cold ->
+        wall_min trials (fun () ->
+            let sess = Session.create ?pool () in
+            responses := serve_all sess lines)
+    | `Warm ->
+        let sess = Session.create ?pool () in
+        ignore (serve_all sess lines);
+        wall_min trials (fun () -> responses := serve_all sess lines)
+  in
+  check_all_ok
+    ~what:(match mix with `Cold -> "cold" | `Warm -> "warm")
+    !responses;
+  (nreq, t, float_of_int nreq /. t, !responses)
+
+let run ?(smoke = false) () =
+  let trials = 3 in
+  let distinct = if smoke then 6 else 18 in
+  let laps = if smoke then 3 else 8 in
+  (* Cold corpus: every graph distinct.  Warm corpus: the same number of
+     requests cycling over four graphs. *)
+  let cold_sources =
+    builtin_sources @ random_sources ~count:(distinct - 3) ~first_seed:100
+  in
+  let warm_base = [ `Builtin "3dft"; `Builtin "fig4" ] @ random_sources ~count:2 ~first_seed:100 in
+  let warm_sources = List.concat (List.init laps (fun _ -> warm_base)) in
+  let cold_lines = requests_over cold_sources in
+  let warm_lines = requests_over warm_sources in
+  Printf.printf
+    "\n=== Serve throughput: %d cold / %d warm requests, pipeline+certify ===\n"
+    (List.length cold_lines) (List.length warm_lines);
+  let at_jobs jobs f =
+    if jobs = 1 then f None else Pool.with_pool ~jobs (fun p -> f (Some p))
+  in
+  let results =
+    List.map
+      (fun jobs ->
+        at_jobs jobs @@ fun pool ->
+        let _, cold_t, cold_rps, cold_resp =
+          measure ~trials ~pool ~mix:`Cold cold_lines
+        in
+        let _, warm_t, warm_rps, warm_resp =
+          measure ~trials ~pool ~mix:`Warm warm_lines
+        in
+        Printf.printf
+          "  jobs %d: cold %6.1f req/s (%.3fs)   warm %7.1f req/s (%.3fs)   \
+           warm/cold %.2fx\n"
+          jobs cold_rps cold_t warm_rps warm_t (warm_rps /. cold_rps);
+        (jobs, cold_t, cold_rps, warm_t, warm_rps, cold_resp, warm_resp))
+      [ 1; 4 ]
+  in
+  (* Determinism at bench scale: the response streams of both mixes must
+     not depend on the worker count. *)
+  (match results with
+  | [ (_, _, _, _, _, c1, w1); (_, _, _, _, _, c4, w4) ] ->
+      if c1 <> c4 || w1 <> w4 then begin
+        Printf.printf
+          "MISMATCH: serve responses differ between --jobs 1 and --jobs 4\n";
+        exit 1
+      end
+  | _ -> assert false);
+  let ratio4 =
+    match results with
+    | [ _; (_, _, cold_rps, _, warm_rps, _, _) ] -> warm_rps /. cold_rps
+    | _ -> assert false
+  in
+  List.iter
+    (fun (jobs, cold_t, cold_rps, warm_t, warm_rps, _, _) ->
+      Printf.printf
+        "{\"bench\":\"serve\",\"smoke\":%b,\"jobs\":%d,\
+         \"cold_requests\":%d,\"cold_wall_s\":%.4f,\"cold_rps\":%.1f,\
+         \"warm_requests\":%d,\"warm_wall_s\":%.4f,\"warm_rps\":%.1f,\
+         \"warm_over_cold\":%.2f}\n"
+        smoke jobs (List.length cold_lines) cold_t cold_rps
+        (List.length warm_lines) warm_t warm_rps (warm_rps /. cold_rps))
+    results;
+  if not smoke then begin
+    let csv =
+      Csv.create ~header:[ "jobs"; "mix"; "requests"; "wall_s"; "requests_per_s" ]
+    in
+    List.iter
+      (fun (jobs, cold_t, cold_rps, warm_t, warm_rps, _, _) ->
+        Csv.add_row csv
+          [
+            string_of_int jobs; "cold";
+            string_of_int (List.length cold_lines);
+            Printf.sprintf "%.4f" cold_t;
+            Printf.sprintf "%.1f" cold_rps;
+          ];
+        Csv.add_row csv
+          [
+            string_of_int jobs; "warm";
+            string_of_int (List.length warm_lines);
+            Printf.sprintf "%.4f" warm_t;
+            Printf.sprintf "%.1f" warm_rps;
+          ])
+      results;
+    Csv.save ~path:"results/serve_throughput.csv" csv;
+    Printf.printf "wrote results/serve_throughput.csv\n"
+  end;
+  if ratio4 < 3.0 then begin
+    Printf.printf
+      "REGRESSION: warm serve mix under 3x the cold throughput at --jobs 4\n";
+    exit 1
+  end

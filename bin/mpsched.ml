@@ -20,17 +20,13 @@
    primary output on stdout. *)
 
 module C = Core
+module Session = Mps_serve.Session
+module Server = Mps_serve.Server
 open Cmdliner
 
-let builtin_graphs =
-  [
-    ("3dft", fun () -> C.Paper_graphs.fig2_3dft ());
-    ("fig4", fun () -> C.Paper_graphs.fig4_small ());
-    ("w3dft", fun () -> C.Program.dfg (C.Dft.winograd3 ()));
-    ("w5dft", fun () -> C.Program.dfg (C.Dft.winograd5 ()));
-    ("fft8", fun () -> C.Program.dfg (C.Dft.radix2_fft ~n:8));
-    ("dct8", fun () -> C.Program.dfg (C.Kernels.dct8 ()));
-  ]
+(* One table for the wire protocol and the command line: GRAPH accepts
+   exactly the names a {"graph": ...} request does. *)
+let builtin_graphs = Server.builtins
 
 let load_graph spec =
   match List.assoc_opt spec builtin_graphs with
@@ -103,6 +99,14 @@ let with_jobs jobs f =
   let jobs = if jobs = 0 then C.Pool.default_jobs () else jobs in
   if jobs = 1 then f None
   else C.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
+(* The phase subcommands are thin clients of the serve session layer: a
+   one-shot run is a session serving a single request.  The session owns
+   classification/eval/ban caches, so the same code path is exercised cold
+   here and warm by `mpsched serve` — and stays byte-identical (check.sh
+   goldens pin it). *)
+let with_session jobs f =
+  with_jobs jobs (fun pool -> f (Session.create ?pool ()))
 
 (* --stats / --trace: observability flags shared by the phase subcommands.
    The summary goes to stderr and the trace to a file, so the primary
@@ -237,12 +241,21 @@ let select_cmd =
   let run spec capacity span pdef verbose certify jobs stats trace_out =
     let g = or_fail (load_graph spec) in
     with_obs stats trace_out @@ fun () ->
-    with_jobs jobs @@ fun pool ->
-    let cls =
-      C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
-        (C.Enumerate.make_ctx g)
+    with_session jobs @@ fun sess ->
+    let entry, _ = Session.intern sess g in
+    (* The phase commands classify unbudgeted, as they always did;
+       certification below uses the pipeline default budget — two distinct
+       cached families, mirroring the historical double classification. *)
+    let sel_options =
+      {
+        C.Pipeline.default_options with
+        C.Pipeline.capacity;
+        span_limit = span_of span;
+        pdef;
+        enumeration_budget = None;
+      }
     in
-    let report = C.Select.select_report ~pdef cls in
+    let report, _ = Session.select_report sess entry ~options:sel_options in
     List.iteri
       (fun i step ->
         Printf.printf "%d: %s%s  (priority %.2f)\n" (i + 1)
@@ -263,7 +276,7 @@ let select_cmd =
           pdef;
         }
       in
-      let cert = C.Pipeline.certify ?pool ~options g in
+      let cert, _ = Session.certify sess g ~options () in
       let ct = cert.C.Pipeline.exact in
       Printf.printf "heuristic: %s  %d cycles\n"
         (pattern_list cert.C.Pipeline.heuristic)
@@ -304,15 +317,21 @@ let exact_cmd =
   let run spec capacity span pdef max_nodes no_prune jobs stats trace_out =
     let g = or_fail (load_graph spec) in
     with_obs stats trace_out @@ fun () ->
-    with_jobs jobs @@ fun pool ->
-    let cls =
-      C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
-        (C.Enumerate.make_ctx g)
+    with_session jobs @@ fun sess ->
+    let entry, _ = Session.intern sess g in
+    let options =
+      {
+        C.Pipeline.default_options with
+        C.Pipeline.capacity;
+        span_limit = span_of span;
+        pdef;
+        enumeration_budget = None;
+      }
     in
     let pruning =
       if no_prune then C.Exact.no_pruning else C.Exact.all_pruning
     in
-    let ct = C.Exact.search ?pool ~pruning ~max_nodes ~pdef cls in
+    let ct, _ = Session.exact sess entry ~options ~pruning ~max_nodes () in
     if ct.C.Exact.optimal_cycles = max_int then
       print_endline "no schedulable pattern set in the family"
     else begin
@@ -353,33 +372,35 @@ let exact_cmd =
 let schedule_cmd =
   let run spec capacity span pdef jobs patterns trace stats trace_out =
     let g = or_fail (load_graph spec) in
+    let explicit = parse_patterns ~capacity patterns in
     with_obs stats trace_out @@ fun () ->
+    with_session jobs @@ fun sess ->
+    let entry, _ = Session.intern sess g in
+    let options =
+      {
+        C.Pipeline.default_options with
+        C.Pipeline.capacity;
+        span_limit = span_of span;
+        pdef;
+        enumeration_budget = None;
+      }
+    in
     (* With no -p the selection algorithm picks Pdef first, so a bare
        "mpsched schedule GRAPH" runs the paper's whole flow. *)
-    let pats =
-      if patterns <> [] then parse_patterns ~capacity patterns
-      else
-        with_jobs jobs (fun pool ->
-            let cls =
-              C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
-                (C.Enumerate.make_ctx g)
-            in
-            C.Select.select ~pdef cls)
-    in
-    if patterns = [] then
-      Printf.printf "patterns: %s\n"
-        (String.concat " " (List.map C.Pattern.to_string pats));
-    match C.Multi_pattern.schedule ~trace ~patterns:pats g with
+    match Session.schedule sess entry ~options ~trace ~patterns:explicit () with
     | exception C.Multi_pattern.Unschedulable colors ->
         or_fail
           (Error
              (Printf.sprintf "patterns cannot cover colors: %s"
                 (String.concat ", " (List.map C.Color.to_string colors))))
-    | r ->
+    | pats, r, _ ->
+        if patterns = [] then
+          Printf.printf "patterns: %s\n"
+            (String.concat " " (List.map C.Pattern.to_string pats));
         if trace then
-          Format.printf "%a@." (C.Multi_pattern.pp_trace g) r.C.Multi_pattern.trace;
-        Format.printf "%a@." (C.Schedule.pp g) r.C.Multi_pattern.schedule;
-        Printf.printf "%d cycles\n" (C.Schedule.cycles r.C.Multi_pattern.schedule)
+          Format.printf "%a@." (C.Multi_pattern.pp_trace g) r.C.Eval.trace;
+        Format.printf "%a@." (C.Schedule.pp g) r.C.Eval.schedule;
+        Printf.printf "%d cycles\n" (C.Schedule.cycles r.C.Eval.schedule)
   in
   let patterns =
     Arg.(
@@ -415,7 +436,9 @@ let pipeline_cmd =
         cluster;
       }
     in
-    let t = with_jobs jobs (fun pool -> C.Pipeline.run ?pool ~options g) in
+    let t =
+      with_session jobs (fun sess -> fst (Session.pipeline sess g ~options))
+    in
     Format.printf "%a@." C.Pipeline.pp_summary t;
     Format.printf "%a@." (C.Schedule.pp t.C.Pipeline.graph) t.C.Pipeline.schedule
   in
@@ -434,12 +457,18 @@ let portfolio_cmd =
   let run spec capacity span pdef jobs stats trace_out =
     let g = or_fail (load_graph spec) in
     with_obs stats trace_out @@ fun () ->
-    with_jobs jobs (fun pool ->
-        let cls =
-          C.Classify.compute ?pool ?span_limit:(span_of span) ~capacity
-            (C.Enumerate.make_ctx g)
+    with_session jobs (fun sess ->
+        let entry, _ = Session.intern sess g in
+        let options =
+          {
+            C.Pipeline.default_options with
+            C.Pipeline.capacity;
+            span_limit = span_of span;
+            pdef;
+            enumeration_budget = None;
+          }
         in
-        let o = C.Portfolio.run ?pool ~pdef cls in
+        let o, _ = Session.portfolio sess entry ~options in
         let t = C.Ascii_table.create ~header:[ "strategy"; "patterns"; "cycles" ] () in
         List.iter
           (fun e ->
@@ -726,6 +755,48 @@ let tracecheck_cmd =
        ~doc:"Validate a Chrome trace-event JSON file written by --trace")
     Term.(const run $ path_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let run use_stdin jobs batch stats trace_out =
+    if not use_stdin then
+      or_fail (Error "serve: pass --stdin (the only transport so far)");
+    with_obs stats trace_out @@ fun () ->
+    with_session jobs @@ fun sess ->
+    Server.run ~batch sess stdin stdout;
+    if stats then begin
+      let hits, misses = Session.session_cache_stats sess in
+      Printf.eprintf
+        "serve: %d requests over %d graphs, eval cache %d hits / %d misses\n"
+        (Session.request_count sess)
+        (Session.graph_count sess)
+        hits misses
+    end
+  in
+  let use_stdin =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "Serve line-delimited JSON requests from standard input, one \
+             response line per request on standard output.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "How many requests are read ahead per batch (parse fan-out \
+             across --jobs); never changes any response.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent scheduling service: line-delimited JSON requests on \
+          stdin, warm classification/eval/ban caches across requests, \
+          byte-identical responses for every --jobs value")
+    Term.(const run $ use_stdin $ jobs_arg $ batch $ stats_arg $ trace_out_arg)
+
 (* --- workload --- *)
 
 let workload_cmd =
@@ -757,6 +828,6 @@ let () =
             levels_cmd; antichains_cmd; patterns_cmd; select_cmd; exact_cmd;
             schedule_cmd;
             optimal_cmd; anneal_cmd; codegen_cmd; stream_cmd; analyze_cmd;
-            pipeline_cmd; portfolio_cmd; dot_cmd; workload_cmd; program_cmd;
-            tracecheck_cmd;
+            pipeline_cmd; portfolio_cmd; serve_cmd; dot_cmd; workload_cmd;
+            program_cmd; tracecheck_cmd;
           ]))

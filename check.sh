@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repo gate: build, full test suite, odoc, CLI determinism across --jobs,
-# the observability no-perturbation gate, the exact-search smoke gate, and
-# the scaling benchmark in smoke mode at --jobs 1 and --jobs 4.
+# the observability no-perturbation gate, the serve smoke gate (golden
+# stream, error recovery, --jobs invariance, warm >= 3x cold), the
+# exact-search smoke gate, and the scaling benchmark in smoke mode at
+# --jobs 1 and --jobs 4.
 #
 #   ./check.sh          # the whole gate
 #   ./check.sh --fast   # build + tests only
@@ -73,6 +75,49 @@ if ! dune exec --no-build bin/mpsched.exe -- schedule fig2_3dft.dot --stats \
   exit 1
 fi
 echo "  ok: --stats reports the classify phase"
+
+say "serve smoke: request stream must match golden and be --jobs invariant"
+# Three well-formed requests plus one malformed line: the malformed line
+# must produce an "ok":false response without killing the session, and the
+# whole response stream must be byte-identical at --jobs 1 and --jobs 4 and
+# match the committed golden.
+cat > "$trace" <<'EOF'
+{"id":1,"cmd":"select","graph":"3dft"}
+{"id":2,"cmd":"certify","graph":"3dft","options":{"pdef":4}}
+not a request
+{"id":3,"cmd":"stats"}
+EOF
+dune exec --no-build bin/mpsched.exe -- serve --stdin --jobs 1 \
+  < "$trace" > "$tmp1"
+dune exec --no-build bin/mpsched.exe -- serve --stdin --jobs 4 \
+  < "$trace" > "$tmp4"
+if ! cmp -s "$tmp1" "$tmp4"; then
+  echo "FAIL: serve response stream differs between --jobs 1 and --jobs 4" >&2
+  diff "$tmp1" "$tmp4" | head -20 >&2
+  exit 1
+fi
+echo "  ok: serve stream byte-identical across --jobs 1 and --jobs 4"
+if [ "$(grep -c '"ok":true' "$tmp1")" -ne 3 ] || \
+   [ "$(grep -c '"ok":false' "$tmp1")" -ne 1 ]; then
+  echo "FAIL: serve smoke expected 3 ok responses and 1 error, got:" >&2
+  cat "$tmp1" >&2
+  exit 1
+fi
+echo "  ok: malformed request answered with an error, session survived"
+dune exec --no-build bin/mpsched.exe -- serve --stdin \
+  < test/cli/serve_requests.txt > "$tmp1"
+if ! cmp -s test/cli/serve_smoke.expected "$tmp1"; then
+  echo "FAIL: serve output diverged from test/cli/serve_smoke.expected" >&2
+  diff test/cli/serve_smoke.expected "$tmp1" | head -20 >&2
+  exit 1
+fi
+echo "  ok: serve stream matches the committed golden"
+
+say "serve throughput benchmark (smoke: warm >= 3x cold at --jobs 4)"
+# Exits 1 if any generated request fails, the response stream differs
+# between --jobs 1 and --jobs 4, or the warm repeat-graph mix falls under
+# 3x the cold distinct-graph throughput at --jobs 4.
+dune exec --no-build bench/main.exe -- --serve --smoke
 
 say "exact search gate (smoke: oracle parity, gap >= 0, pruning power)"
 # Exits 1 if any pruning configuration disagrees on the optimum, a

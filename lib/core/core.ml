@@ -7,7 +7,7 @@
 (* Utilities *)
 module Pool = Mps_exec.Pool
 module Obs = Mps_obs.Obs
-module Obs_json = Mps_obs.Json
+module Json = Mps_util.Json
 module Rng = Mps_util.Rng
 module Multiset = Mps_util.Multiset
 module Bitset = Mps_util.Bitset

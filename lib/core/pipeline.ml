@@ -58,10 +58,54 @@ type t = {
   config : Config_space.t;
 }
 
+let validate_options ~who options =
+  if options.capacity < 1 then invalid_arg (who ^ ": capacity < 1");
+  if options.pdef < 1 then invalid_arg (who ^ ": pdef < 1");
+  if options.jobs < 1 then invalid_arg (who ^ ": jobs < 1")
+
+(* Selection + scheduling + configuration on an already-computed
+   classification — the part of the flow every request after the first hits
+   in a warm serve session.  [eval], when given, must be a context for the
+   classified graph sharing the classification's universe; the schedule it
+   produces is identical to a fresh context's (see {!Mps_scheduler.Eval}),
+   only the per-graph analyses are amortized. *)
+let classified_core ~options ~clustering ~eval classify =
+  let graph = Classify.graph classify in
+  let universe = Classify.universe classify in
+  let selection_report =
+    Select.select_report ~params:options.selection ~pdef:options.pdef classify
+  in
+  let patterns = selection_report.Select.patterns in
+  (* Full-fidelity schedule through an evaluation context — the same
+     engine every search strategy costs candidates on. *)
+  let ev = match eval with Some ev -> ev | None -> Eval.make ~universe graph in
+  let { Mp.schedule; _ } =
+    Eval.schedule ~priority:options.priority ev ~patterns
+  in
+  {
+    options;
+    graph;
+    clustering;
+    universe;
+    pattern_pool = Classify.pattern_count classify;
+    antichains = Classify.total_antichains classify;
+    truncated = Classify.truncated classify;
+    patterns;
+    selection_report;
+    schedule;
+    cycles = Schedule.cycles schedule;
+    config =
+      Obs.span "config" (fun () ->
+          Config_space.of_schedule ~tile:options.tile schedule);
+  }
+
+let run_classified ?(options = default_options) ?clustering ?eval classify =
+  validate_options ~who:"Pipeline.run_classified" options;
+  Obs.span "pipeline" @@ fun () ->
+  classified_core ~options ~clustering ~eval classify
+
 let run ?pool ?(options = default_options) dfg =
-  if options.capacity < 1 then invalid_arg "Pipeline.run: capacity < 1";
-  if options.pdef < 1 then invalid_arg "Pipeline.run: pdef < 1";
-  if options.jobs < 1 then invalid_arg "Pipeline.run: jobs < 1";
+  validate_options ~who:"Pipeline.run" options;
   Obs.span "pipeline" @@ fun () ->
   let clustering =
     if options.cluster then Some (Obs.span "cluster" (fun () -> Cluster.mac dfg))
@@ -87,31 +131,7 @@ let run ?pool ?(options = default_options) dfg =
         Pool.with_pool ~jobs:options.jobs (fun p -> classify_with (Some p))
     | None -> classify_with None
   in
-  let selection_report =
-    Select.select_report ~params:options.selection ~pdef:options.pdef classify
-  in
-  let patterns = selection_report.Select.patterns in
-  (* Full-fidelity schedule through an evaluation context — the same
-     engine every search strategy costs candidates on. *)
-  let { Mp.schedule; _ } =
-    Eval.schedule ~priority:options.priority (Eval.make ~universe graph) ~patterns
-  in
-  {
-    options;
-    graph;
-    clustering;
-    universe;
-    pattern_pool = Classify.pattern_count classify;
-    antichains = Classify.total_antichains classify;
-    truncated = Classify.truncated classify;
-    patterns;
-    selection_report;
-    schedule;
-    cycles = Schedule.cycles schedule;
-    config =
-      Obs.span "config" (fun () ->
-          Config_space.of_schedule ~tile:options.tile schedule);
-  }
+  classified_core ~options ~clustering ~eval:None classify
 
 type certification = {
   heuristic : Pattern.t list;
@@ -120,27 +140,8 @@ type certification = {
   gap_percent : float;
 }
 
-let certify ?pool ?(options = default_options) ?max_nodes dfg =
-  if options.capacity < 1 then invalid_arg "Pipeline.certify: capacity < 1";
-  if options.pdef < 1 then invalid_arg "Pipeline.certify: pdef < 1";
-  if options.jobs < 1 then invalid_arg "Pipeline.certify: jobs < 1";
-  Obs.span "certify" @@ fun () ->
-  let with_pool f =
-    match pool with
-    | Some _ -> f pool
-    | None when options.jobs > 1 ->
-        Pool.with_pool ~jobs:options.jobs (fun p -> f (Some p))
-    | None -> f None
-  in
-  with_pool @@ fun pool ->
-  let graph =
-    if options.cluster then (Cluster.mac dfg).Cluster.clustered else dfg
-  in
-  let classify =
-    Classify.compute ?pool ?span_limit:options.span_limit
-      ?budget:options.enumeration_budget ~capacity:options.capacity
-      (Enumerate.make_ctx graph)
-  in
+let certified_core ?pool ~options ?max_nodes ?bans classify =
+  let graph = Classify.graph classify in
   let heuristic =
     Select.select ~params:options.selection ~pdef:options.pdef classify
   in
@@ -150,7 +151,7 @@ let certify ?pool ?(options = default_options) ?max_nodes dfg =
      Exact.canonical_order). *)
   let exact =
     Exact.search ?pool ~priority:options.priority ?max_nodes
-      ~seeds:[ heuristic ] ~pdef:options.pdef classify
+      ~seeds:[ heuristic ] ?bans ~pdef:options.pdef classify
   in
   let heuristic_cycles =
     match
@@ -169,6 +170,33 @@ let certify ?pool ?(options = default_options) ?max_nodes dfg =
       *. 100.
   in
   { heuristic; heuristic_cycles; exact; gap_percent }
+
+let certify_classified ?pool ?(options = default_options) ?max_nodes ?bans
+    classify =
+  validate_options ~who:"Pipeline.certify_classified" options;
+  Obs.span "certify" @@ fun () ->
+  certified_core ?pool ~options ?max_nodes ?bans classify
+
+let certify ?pool ?(options = default_options) ?max_nodes dfg =
+  validate_options ~who:"Pipeline.certify" options;
+  Obs.span "certify" @@ fun () ->
+  let with_pool f =
+    match pool with
+    | Some _ -> f pool
+    | None when options.jobs > 1 ->
+        Pool.with_pool ~jobs:options.jobs (fun p -> f (Some p))
+    | None -> f None
+  in
+  with_pool @@ fun pool ->
+  let graph =
+    if options.cluster then (Cluster.mac dfg).Cluster.clustered else dfg
+  in
+  let classify =
+    Classify.compute ?pool ?span_limit:options.span_limit
+      ?budget:options.enumeration_budget ~capacity:options.capacity
+      (Enumerate.make_ctx graph)
+  in
+  certified_core ?pool ~options ?max_nodes classify
 
 type mapped = {
   program : Program.t;

@@ -58,6 +58,23 @@ val run : ?pool:Mps_exec.Pool.t -> ?options:options -> Mps_dfg.Dfg.t -> t
     @raise Invalid_argument on nonsensical options (pdef, capacity or
     jobs < 1). *)
 
+val run_classified :
+  ?options:options ->
+  ?clustering:Mps_clustering.Cluster.t ->
+  ?eval:Mps_scheduler.Eval.t ->
+  Mps_antichain.Classify.t ->
+  t
+(** The flow from an already-computed classification on: selection,
+    scheduling, configuration report.  This is {!run} minus pattern
+    generation — what a warm serve session runs when the graph's
+    classification is already cached — and produces exactly the [t] that
+    {!run} with matching options would (the classification's capacity and
+    span must be the ones [options] names).  [clustering] is threaded into
+    {!t.clustering} verbatim for callers that clustered upstream; [eval]
+    reuses a warm evaluation context for the classified graph (it must
+    share the classification's universe) instead of building one — the
+    schedule is identical either way. *)
+
 type certification = {
   heuristic : Mps_pattern.Pattern.t list;
       (** The Eq. 8/9 selection on the same classification. *)
@@ -83,6 +100,20 @@ val certify :
     true optimality gap over the exact search family; otherwise it is only
     an upper bound ([max_nodes] cut some subtree short).  Deterministic
     for every [jobs]/[pool] value, like {!run}. *)
+
+val certify_classified :
+  ?pool:Mps_exec.Pool.t ->
+  ?options:options ->
+  ?max_nodes:int ->
+  ?bans:Mps_select.Exact.ban_entry list ->
+  Mps_antichain.Classify.t ->
+  certification
+(** {!certify} from an already-computed classification, optionally warm:
+    [bans] is a previous certificate's ban list over the same family
+    ({!Mps_select.Exact.search}'s contract), so repeat certifications in a
+    serve session skip every already-costed set.  The certification's
+    optimal set and cycles are identical to a cold {!certify}; only the
+    search accounting (ban hits, evaluations) reflects the reuse. *)
 
 type mapped = {
   program : Mps_frontend.Program.t;

@@ -1,4 +1,5 @@
 module Clock = Mps_util.Clock
+module Json = Mps_util.Json
 module Csv = Mps_util.Csv
 module Ascii_table = Mps_util.Ascii_table
 

@@ -162,10 +162,28 @@ let canonical_order classify set =
   order_by (fun p -> Hashtbl.find_opt h (Pattern.to_string p)) set
 
 let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
-    ?(seeds = []) ~pdef classify =
+    ?(seeds = []) ?(bans = []) ~pdef classify =
   if pdef < 1 then invalid_arg "Exact.search: pdef must be >= 1";
   if max_nodes < 1 then invalid_arg "Exact.search: max_nodes must be >= 1";
   Obs.span "exact" @@ fun () ->
+  (* Warm start from a previous certificate's ban list: every prior entry
+     is a proven fact about its set (cost in canonical order, or
+     infeasibility), so a completion that hits the table is pruned without
+     re-evaluation, and the cheapest prior [Cost] set opens as the
+     incumbent.  The table is filled before the fan-out and only read
+     afterwards, so sharing it across worker domains is safe. *)
+  let prior = Hashtbl.create (2 * List.length bans + 1) in
+  let prior_best =
+    List.fold_left
+      (fun acc e ->
+        let k = key_of e.banned in
+        if not (Hashtbl.mem prior k) then Hashtbl.replace prior k e.bound;
+        match (e.bound, acc) with
+        | Cost c, None -> Some (c, e.banned)
+        | Cost c, Some (bc, _) when c < bc -> Some (c, e.banned)
+        | _ -> acc)
+      None bans
+  in
   let g = Classify.graph classify in
   let capacity = Classify.capacity classify in
   let u = Classify.universe classify in
@@ -224,9 +242,14 @@ let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
   let evaluate s set =
     if set <> [] then begin
       let key = key_of set in
-      match Hashtbl.find_opt s.tbl key with
+      let known =
+        match Hashtbl.find_opt s.tbl key with
+        | Some _ as b -> b
+        | None -> Hashtbl.find_opt prior key
+      in
+      match known with
       | Some _ when pruning.prune_ban -> s.p_ban <- s.p_ban + 1
-      | existing ->
+      | _ ->
           s.eval_count <- s.eval_count + 1;
           let bound =
             match Eval.cycles ?priority s.ev set with
@@ -238,7 +261,7 @@ let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
                 Cost c
             | exception Eval.Unschedulable _ -> Infeasible
           in
-          if existing = None then begin
+          if known = None then begin
             Hashtbl.replace s.tbl key bound;
             s.ban_rev <- { banned = set; bound } :: s.ban_rev
           end
@@ -334,6 +357,15 @@ let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
   (* Sequential seed phase: the root node's own completion (the pure
      fabrication), then the warm-start incumbents. *)
   let seed_s = make_session master max_int in
+  (* The prior incumbent is the earliest cheapest prior set — exactly the
+     optimum the producing search reported (its ban list is in discovery
+     order and the incumbent only ever improved strictly), so a warm
+     re-search returns the same optimal set when nothing beats it. *)
+  (match prior_best with
+  | Some (c, set) ->
+      seed_s.inc <- c;
+      seed_s.best <- Some set
+  | None -> ());
   seed_s.visited <- 1;
   consider seed_s [] Color.Set.empty 0;
   List.iter (fun set -> evaluate seed_s (canonical_seed set)) seeds;

@@ -110,6 +110,7 @@ val search :
   ?pruning:pruning ->
   ?max_nodes:int ->
   ?seeds:Mps_pattern.Pattern.t list list ->
+  ?bans:ban_entry list ->
   pdef:int ->
   Mps_antichain.Classify.t ->
   certificate
@@ -121,6 +122,18 @@ val search :
     family {e and} the seeds: with seeds, the exact answer can only tie or
     beat them, which is what certification reports as the gap.  Without
     seeds the search family is exactly {!Exhaustive.search}'s.
+
+    [bans] (default none) is a {e warm-start ban list} from a previous
+    [search] over the same family — same graph, classification parameters,
+    [pdef] and [priority] (a bound is only a fact relative to the canonical
+    costing order all of those induce; the serve session keys its persisted
+    lists on exactly that fingerprint).  Prior entries are never
+    re-evaluated (they count as [exact.pruned.ban] hits when the ban rule
+    is on) and the cheapest prior [Cost] set opens as the incumbent, so a
+    warm re-search of an unchanged family does no [Eval] work at all and
+    still returns the identical optimum.  The returned {!certificate.bans}
+    holds {e newly discovered} entries only — append it to the persistent
+    list you passed in.
 
     [max_nodes] (default [1_000_000]) caps the visited nodes of {e each}
     root subtree — per-subtree, so the cap is [--jobs]-independent.  A

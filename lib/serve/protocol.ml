@@ -1,0 +1,230 @@
+module Json = Mps_util.Json
+
+type source = Builtin of string | Dfg_text of string | Dot_text of string
+type command = Select | Schedule | Pipeline | Certify | Portfolio | Stats
+
+let command_to_string = function
+  | Select -> "select"
+  | Schedule -> "schedule"
+  | Pipeline -> "pipeline"
+  | Certify -> "certify"
+  | Portfolio -> "portfolio"
+  | Stats -> "stats"
+
+let command_of_string = function
+  | "select" -> Some Select
+  | "schedule" -> Some Schedule
+  | "pipeline" -> Some Pipeline
+  | "certify" -> Some Certify
+  | "portfolio" -> Some Portfolio
+  | "stats" -> Some Stats
+  | _ -> None
+
+type request = {
+  id : Json.t option;
+  command : command;
+  source : source option;
+  capacity : int option;
+  span : int option;
+  pdef : int option;
+  priority : string option;
+  cluster : bool;
+  budget : int option;
+  max_nodes : int option;
+  patterns : string list;
+}
+
+let make ?id ?source ?capacity ?span ?pdef ?priority ?(cluster = false) ?budget
+    ?max_nodes ?(patterns = []) command =
+  {
+    id;
+    command;
+    source;
+    capacity;
+    span;
+    pdef;
+    priority;
+    cluster;
+    budget;
+    max_nodes;
+    patterns;
+  }
+
+type error = { err_id : Json.t option; message : string }
+
+let num n = Json.Num (float_of_int n)
+
+let request_to_json r =
+  let fields = ref [] in
+  let add k v = fields := (k, v) :: !fields in
+  (match r.id with Some id -> add "id" id | None -> ());
+  add "cmd" (Json.Str (command_to_string r.command));
+  (match r.source with
+  | Some (Builtin n) -> add "graph" (Json.Str n)
+  | Some (Dfg_text t) -> add "dfg" (Json.Str t)
+  | Some (Dot_text t) -> add "dot" (Json.Str t)
+  | None -> ());
+  let opts = ref [] in
+  let addo k v = opts := (k, v) :: !opts in
+  (match r.capacity with Some c -> addo "capacity" (num c) | None -> ());
+  (match r.span with Some s -> addo "span" (num s) | None -> ());
+  (match r.pdef with Some p -> addo "pdef" (num p) | None -> ());
+  (match r.priority with Some p -> addo "priority" (Json.Str p) | None -> ());
+  if r.cluster then addo "cluster" (Json.Bool true);
+  (match r.budget with Some b -> addo "budget" (num b) | None -> ());
+  (match r.max_nodes with Some m -> addo "max_nodes" (num m) | None -> ());
+  if r.patterns <> [] then
+    addo "patterns" (Json.Arr (List.map (fun s -> Json.Str s) r.patterns));
+  if !opts <> [] then add "options" (Json.Obj (List.rev !opts));
+  Json.Obj (List.rev !fields)
+
+(* Strict decoding: the wire shape is small enough that rejecting unknown
+   keys costs nothing and turns every typo into a clear error instead of a
+   silently-defaulted option. *)
+
+let as_int what = function
+  | Json.Num f when Float.is_integer f && Float.abs f <= 1e15 ->
+      Ok (int_of_float f)
+  | _ -> Error (what ^ " must be an integer")
+
+let as_string what = function
+  | Json.Str s -> Ok s
+  | _ -> Error (what ^ " must be a string")
+
+let ( let* ) = Result.bind
+
+let opt_field what as_ty fields key =
+  match List.assoc_opt key fields with
+  | None -> Ok None
+  | Some v ->
+      let* x = as_ty what v in
+      Ok (Some x)
+
+let request_of_json j =
+  match j with
+  | Json.Obj fields ->
+      let id = List.assoc_opt "id" fields in
+      let fail m = Error { err_id = id; message = m } in
+      let lift = function Ok x -> Ok x | Error m -> fail m in
+      let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e in
+      let* () =
+        match
+          List.find_opt
+            (fun (k, _) ->
+              not (List.mem k [ "id"; "cmd"; "graph"; "dfg"; "dot"; "options" ]))
+            fields
+        with
+        | Some (k, _) -> fail (Printf.sprintf "unknown request field %S" k)
+        | None -> Ok ()
+      in
+      let* command =
+        match List.assoc_opt "cmd" fields with
+        | None -> fail "missing \"cmd\""
+        | Some (Json.Str s) -> (
+            match command_of_string s with
+            | Some c -> Ok c
+            | None -> fail (Printf.sprintf "unknown command %S" s))
+        | Some _ -> fail "\"cmd\" must be a string"
+      in
+      let* source =
+        let named =
+          List.filter_map
+            (fun (key, wrap) ->
+              match List.assoc_opt key fields with
+              | Some v -> Some (key, wrap, v)
+              | None -> None)
+            [
+              ("graph", fun s -> Builtin s);
+              ("dfg", fun s -> Dfg_text s);
+              ("dot", fun s -> Dot_text s);
+            ]
+        in
+        match (named, command) with
+        | [], Stats -> Ok None
+        | [], _ ->
+            fail "request needs a graph (\"graph\", \"dfg\" or \"dot\")"
+        | _ :: _, Stats -> fail "\"stats\" takes no graph"
+        | [ (key, wrap, v) ], _ ->
+            let* s = lift (as_string (Printf.sprintf "%S" key) v) in
+            Ok (Some (wrap s))
+        | _ :: _ :: _, _ ->
+            fail "give exactly one of \"graph\", \"dfg\", \"dot\""
+      in
+      let* opts =
+        match List.assoc_opt "options" fields with
+        | None -> Ok []
+        | Some (Json.Obj o) -> Ok o
+        | Some _ -> fail "\"options\" must be an object"
+      in
+      let known =
+        [
+          "capacity"; "span"; "pdef"; "priority"; "cluster"; "budget";
+          "max_nodes"; "patterns";
+        ]
+      in
+      let* () =
+        match List.find_opt (fun (k, _) -> not (List.mem k known)) opts with
+        | Some (k, _) -> fail (Printf.sprintf "unknown option %S" k)
+        | None -> Ok ()
+      in
+      let int_opt key = lift (opt_field (Printf.sprintf "%S" key) as_int opts key) in
+      let* capacity = int_opt "capacity" in
+      let* span = int_opt "span" in
+      let* pdef = int_opt "pdef" in
+      let* budget = int_opt "budget" in
+      let* max_nodes = int_opt "max_nodes" in
+      let* priority =
+        let* p =
+          lift (opt_field "\"priority\"" as_string opts "priority")
+        in
+        match p with
+        | None | Some "f1" | Some "f2" -> Ok p
+        | Some other ->
+            fail (Printf.sprintf "priority must be \"f1\" or \"f2\", not %S" other)
+      in
+      let* cluster =
+        match List.assoc_opt "cluster" opts with
+        | None -> Ok false
+        | Some (Json.Bool b) -> Ok b
+        | Some _ -> fail "\"cluster\" must be a boolean"
+      in
+      let* patterns =
+        match List.assoc_opt "patterns" opts with
+        | None -> Ok []
+        | Some (Json.Arr items) ->
+            List.fold_left
+              (fun acc v ->
+                let* acc = acc in
+                let* s = lift (as_string "\"patterns\" element" v) in
+                Ok (s :: acc))
+              (Ok []) items
+            |> Result.map List.rev
+        | Some _ -> fail "\"patterns\" must be an array of strings"
+      in
+      Ok
+        {
+          id;
+          command;
+          source;
+          capacity;
+          span;
+          pdef;
+          priority;
+          cluster;
+          budget;
+          max_nodes;
+          patterns;
+        }
+  | _ -> Error { err_id = None; message = "request must be a JSON object" }
+
+let request_to_line r = Json.to_line (request_to_json r)
+
+let request_of_line line =
+  match Json.parse line with
+  | Ok j -> request_of_json j
+  | Error m -> Error { err_id = None; message = "bad JSON: " ^ m }
+
+let error_response ~id message =
+  Json.Obj
+    ((match id with Some id -> [ ("id", id) ] | None -> [])
+    @ [ ("ok", Json.Bool false); ("error", Json.Str message) ])

@@ -1,0 +1,90 @@
+(** The line-delimited JSON protocol of the scheduling service.
+
+    One request is one ['\n']-terminated line holding a single JSON
+    object; the response to it is likewise one line.  The grammar:
+
+    {v
+    request  = { "id"?: any, "cmd": string, GRAPH?, "options"?: OPTIONS }
+    GRAPH    = "graph": string      -- a built-in workload name
+             | "dfg": string        -- DFG text ("node ..." / "edge ..." lines)
+             | "dot": string        -- the Graphviz DOT subset Dfg_parse accepts
+    OPTIONS  = { "capacity"?: int, "span"?: int, "pdef"?: int,
+                 "priority"?: "f1"|"f2", "cluster"?: bool, "budget"?: int,
+                 "max_nodes"?: int, "patterns"?: [string] }
+    v}
+
+    ["id"] is an arbitrary JSON value echoed verbatim in the response, so
+    clients can correlate out-of-band.  ["span"] and ["budget"] accept a
+    negative value meaning {e unlimited}; omitted options fall back to the
+    same defaults the one-shot CLI uses.  [cmd] is one of [select],
+    [schedule], [pipeline], [certify], [portfolio], [stats]; every command
+    except [stats] requires exactly one graph field, and [stats] takes
+    none.
+
+    Responses are built by {!Server}; this module only owns their error
+    shape ({!error_response}) and the request codec.  The codec is strict:
+    unknown fields are rejected, so a typo fails loudly instead of being
+    silently ignored. *)
+
+module Json = Mps_util.Json
+
+type source =
+  | Builtin of string  (** A built-in workload name, e.g. ["3dft"]. *)
+  | Dfg_text of string  (** Inline DFG text. *)
+  | Dot_text of string  (** Inline Graphviz DOT (the accepted subset). *)
+
+type command = Select | Schedule | Pipeline | Certify | Portfolio | Stats
+
+val command_to_string : command -> string
+val command_of_string : string -> command option
+
+type request = {
+  id : Json.t option;  (** Echoed verbatim in the response. *)
+  command : command;
+  source : source option;  (** [None] only for {!Stats}. *)
+  capacity : int option;
+  span : int option;  (** Raw wire value: negative means unlimited. *)
+  pdef : int option;
+  priority : string option;  (** Validated: ["f1"] or ["f2"]. *)
+  cluster : bool;
+  budget : int option;  (** Raw wire value: negative means unlimited. *)
+  max_nodes : int option;
+  patterns : string list;  (** [schedule] only; [[]] = run selection. *)
+}
+
+val make :
+  ?id:Json.t ->
+  ?source:source ->
+  ?capacity:int ->
+  ?span:int ->
+  ?pdef:int ->
+  ?priority:string ->
+  ?cluster:bool ->
+  ?budget:int ->
+  ?max_nodes:int ->
+  ?patterns:string list ->
+  command ->
+  request
+(** A request with every unspecified option omitted from the wire. *)
+
+type error = {
+  err_id : Json.t option;
+      (** The offending request's [id] when one could be recovered, so
+          even a rejected request gets a correlatable response. *)
+  message : string;
+}
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, error) result
+
+val request_to_line : request -> string
+(** One line, no trailing newline: [Json.to_line (request_to_json r)]. *)
+
+val request_of_line : string -> (request, error) result
+(** Parses one line.  Round-trips with {!request_to_line}:
+    [request_of_line (request_to_line r) = Ok r] for every [r] that
+    {!request_of_json} accepts. *)
+
+val error_response : id:Json.t option -> string -> Json.t
+(** [{"id"?: id, "ok": false, "error": message}] — the response shape for
+    a request that failed to parse, resolve or execute. *)

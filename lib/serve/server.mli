@@ -1,0 +1,57 @@
+(** The service loop: line-delimited requests in, line-delimited
+    responses out, warm {!Session} state in between.
+
+    Every ok response is one line of the shape
+
+    {v
+    { "id"?: any, "ok": true, "cmd": string, ...command fields...,
+      "warm": bool,
+      "stats": { "eval_cache": { "hits": int, "misses": int,
+                                 "session_hits": int, "session_misses": int } } }
+    v}
+
+    where [warm] says the request hit an already-cached classification,
+    and [eval_cache] reports the scheduler memo cache {e for this
+    request} (the delta) and {e for the session so far} (cumulative) —
+    the per-request/per-session split ISSUE'd for [--stats].  Cycle
+    counts that are [max_int] (unschedulable) render as [null].  A
+    request that fails — unparseable line, unknown graph, invalid
+    options, unschedulable pattern set — gets
+    {!Protocol.error_response}'s shape, and the session survives to
+    serve the next line.
+
+    {2 Batching and determinism}
+
+    {!run} reads up to [batch] lines, parses and resolves their graphs
+    in parallel across the session's pool (a pure fan-out through
+    {!Core.Pool.map}, results in submission order), then {e executes
+    them sequentially in submission order} against the warm session and
+    writes the responses in that same order.  Intra-request parallelism
+    (classification, exact search, portfolio) uses the pool's
+    jobs-deterministic phases, so the full response stream — and every
+    counter — is byte-identical for any [--jobs] value.
+
+    Observability: each batch runs under a ["serve.batch"] span
+    (observing [serve.batch.size]), each request under a
+    ["serve.request"] span, with [serve.requests], [serve.errors],
+    [serve.warm] and [serve.cold] counters. *)
+
+val builtins : (string * (unit -> Core.Dfg.t)) list
+(** The built-in workload table ([3dft], [fig4], [w3dft], [w5dft],
+    [fft8], [dct8]) — shared with the CLI's GRAPH argument so the wire
+    protocol and the command line accept the same names. *)
+
+val resolve_source : Protocol.source -> (Core.Dfg.t, string) result
+(** A request's graph: built-in lookup, or DFG/DOT text through
+    {!Core.Dfg_parse.of_string}.  Pure — safe to fan out. *)
+
+val handle_line : Session.t -> string -> string
+(** One request line to one response line (no trailing newline) — the
+    whole protocol for callers that do their own transport (tests, the
+    bench load generator). *)
+
+val run : ?batch:int -> Session.t -> in_channel -> out_channel -> unit
+(** The stdin/stdout service loop described above, until end of input.
+    Blank lines are skipped.  [batch] (default 32, clamped to ≥ 1) caps
+    how many requests are read ahead for parse fan-out; it never changes
+    any response, only pipelining. *)

@@ -1,0 +1,206 @@
+module C = Core
+
+(* One classification parameter set's warm artifacts.  The universe lives
+   inside [classify]; the eval context shares it, so selection fallbacks
+   interned later stay valid for id-based costing. *)
+type family = { classify : C.Classify.t; f_eval : C.Eval.t }
+
+type entry = {
+  e_graph : C.Dfg.t;
+  e_fingerprint : string;
+  mutable e_plain : C.Eval.t option;
+      (* Context for explicit-pattern scheduling, built without a
+         universe exactly like [Multi_pattern.schedule]'s. *)
+  e_families : (string, family) Hashtbl.t;
+  e_bans : (string, C.Exact.ban_entry list) Hashtbl.t;
+  mutable e_evals : C.Eval.t list;  (* Every context owned, newest first. *)
+}
+
+type t = {
+  s_pool : C.Pool.t option;
+  entries : (string, entry) Hashtbl.t;
+  mutable entry_list : entry list;  (* Interning order, newest first. *)
+  mutable requests : int;
+}
+
+let create ?pool () =
+  { s_pool = pool; entries = Hashtbl.create 16; entry_list = []; requests = 0 }
+
+let pool t = t.s_pool
+let graph_count t = List.length t.entry_list
+let request_count t = t.requests
+let note_request t = t.requests <- t.requests + 1
+
+let intern t g =
+  let key = Digest.to_hex (Digest.string (C.Dfg_parse.to_string g)) in
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> (e, true)
+  | None ->
+      let e =
+        {
+          e_graph = g;
+          e_fingerprint = key;
+          e_plain = None;
+          e_families = Hashtbl.create 4;
+          e_bans = Hashtbl.create 4;
+          e_evals = [];
+        }
+      in
+      Hashtbl.replace t.entries key e;
+      t.entry_list <- e :: t.entry_list;
+      (e, false)
+
+let graph e = e.e_graph
+let fingerprint e = e.e_fingerprint
+
+let cache_stats e =
+  List.fold_left
+    (fun (h, m) ev ->
+      let h', m' = C.Eval.cache_stats ev in
+      (h + h', m + m'))
+    (0, 0) e.e_evals
+
+let session_cache_stats t =
+  List.fold_left
+    (fun (h, m) e ->
+      let h', m' = cache_stats e in
+      (h + h', m + m'))
+    (0, 0) t.entry_list
+
+(* Classification cache key: exactly the parameters Classify.compute sees.
+   Selection parameters are deliberately not part of it — selection is
+   cheap and runs per request on the cached classification. *)
+let cls_key ~capacity ~span_limit ~budget =
+  Printf.sprintf "%d/%s/%s" capacity
+    (match span_limit with None -> "-" | Some s -> string_of_int s)
+    (match budget with None -> "-" | Some b -> string_of_int b)
+
+let family t e ~capacity ~span_limit ~budget =
+  let key = cls_key ~capacity ~span_limit ~budget in
+  match Hashtbl.find_opt e.e_families key with
+  | Some f -> (f, true)
+  | None ->
+      let universe = C.Universe.create () in
+      let classify =
+        C.Classify.compute ?pool:t.s_pool ?span_limit ?budget ~capacity
+          ~universe
+          (C.Enumerate.make_ctx e.e_graph)
+      in
+      let f_eval = C.Eval.make ~universe e.e_graph in
+      let f = { classify; f_eval } in
+      Hashtbl.replace e.e_families key f;
+      e.e_evals <- f_eval :: e.e_evals;
+      (f, false)
+
+let family_of_options t e ~(options : C.Pipeline.options) =
+  family t e ~capacity:options.C.Pipeline.capacity
+    ~span_limit:options.C.Pipeline.span_limit
+    ~budget:options.C.Pipeline.enumeration_budget
+
+let classification t e ~capacity ~span_limit ~budget =
+  let f, warm = family t e ~capacity ~span_limit ~budget in
+  (f.classify, warm)
+
+let plain_eval e =
+  match e.e_plain with
+  | Some ev -> ev
+  | None ->
+      let ev = C.Eval.make e.e_graph in
+      e.e_plain <- Some ev;
+      e.e_evals <- ev :: e.e_evals;
+      ev
+
+(* The exact backend's ban entries are facts only relative to the
+   canonical costing order, which the classification parameters, pdef and
+   the pattern priority jointly induce — so that tuple is the persistence
+   key (see Exact.search's contract). *)
+let ban_key ~(options : C.Pipeline.options) =
+  Printf.sprintf "%s/%d/%s"
+    (cls_key ~capacity:options.C.Pipeline.capacity
+       ~span_limit:options.C.Pipeline.span_limit
+       ~budget:options.C.Pipeline.enumeration_budget)
+    options.C.Pipeline.pdef
+    (match options.C.Pipeline.priority with
+    | C.Multi_pattern.F1 -> "f1"
+    | C.Multi_pattern.F2 -> "f2")
+
+let prior_bans e key =
+  Option.value (Hashtbl.find_opt e.e_bans key) ~default:[]
+
+let select_report t e ~options =
+  let f, warm = family_of_options t e ~options in
+  ( C.Select.select_report ~params:options.C.Pipeline.selection
+      ~pdef:options.C.Pipeline.pdef f.classify,
+    warm )
+
+let set_cycles t e ~options patterns =
+  let f, _ = family_of_options t e ~options in
+  C.Eval.cycles ~priority:options.C.Pipeline.priority f.f_eval patterns
+
+let schedule t e ~options ?(trace = false) ~patterns () =
+  match patterns with
+  | [] ->
+      let f, warm = family_of_options t e ~options in
+      let pats =
+        C.Select.select ~params:options.C.Pipeline.selection
+          ~pdef:options.C.Pipeline.pdef f.classify
+      in
+      let r =
+        C.Eval.schedule ~priority:options.C.Pipeline.priority ~trace f.f_eval
+          ~patterns:pats
+      in
+      (pats, r, warm)
+  | pats ->
+      let warm = e.e_plain <> None in
+      let r =
+        C.Eval.schedule ~priority:options.C.Pipeline.priority ~trace
+          (plain_eval e) ~patterns:pats
+      in
+      (pats, r, warm)
+
+let pipeline t dfg ~options =
+  let clustering =
+    if options.C.Pipeline.cluster then
+      Some (C.Obs.span "cluster" (fun () -> C.Cluster.mac dfg))
+    else None
+  in
+  let graph =
+    match clustering with Some c -> c.C.Cluster.clustered | None -> dfg
+  in
+  let e, _ = intern t graph in
+  let f, warm = family_of_options t e ~options in
+  let r =
+    C.Pipeline.run_classified ~options ?clustering ~eval:f.f_eval f.classify
+  in
+  (r, warm)
+
+let portfolio t e ~options =
+  let f, warm = family_of_options t e ~options in
+  (C.Portfolio.run ?pool:t.s_pool ~pdef:options.C.Pipeline.pdef f.classify, warm)
+
+let exact t e ~options ?pruning ?max_nodes () =
+  let f, warm = family_of_options t e ~options in
+  let key = ban_key ~options in
+  let prior = prior_bans e key in
+  let ct =
+    C.Exact.search ?pool:t.s_pool ~priority:options.C.Pipeline.priority
+      ?pruning ?max_nodes ~bans:prior ~pdef:options.C.Pipeline.pdef f.classify
+  in
+  Hashtbl.replace e.e_bans key (prior @ ct.C.Exact.bans);
+  (ct, warm)
+
+let certify t dfg ~options ?max_nodes () =
+  let graph =
+    if options.C.Pipeline.cluster then (C.Cluster.mac dfg).C.Cluster.clustered
+    else dfg
+  in
+  let e, _ = intern t graph in
+  let f, warm = family_of_options t e ~options in
+  let key = ban_key ~options in
+  let prior = prior_bans e key in
+  let cert =
+    C.Pipeline.certify_classified ?pool:t.s_pool ~options ?max_nodes
+      ~bans:prior f.classify
+  in
+  Hashtbl.replace e.e_bans key (prior @ cert.C.Pipeline.exact.C.Exact.bans);
+  (cert, warm)

@@ -29,7 +29,7 @@ let number_to_string f =
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%.12g" f
 
-let to_string v =
+let render ~sep v =
   let buf = Buffer.create 1024 in
   let rec go = function
     | Null -> Buffer.add_string buf "null"
@@ -40,7 +40,7 @@ let to_string v =
         Buffer.add_char buf '[';
         List.iteri
           (fun i x ->
-            if i > 0 then Buffer.add_string buf ",\n";
+            if i > 0 then Buffer.add_string buf sep;
             go x)
           xs;
         Buffer.add_char buf ']'
@@ -48,7 +48,7 @@ let to_string v =
         Buffer.add_char buf '{';
         List.iteri
           (fun i (k, x) ->
-            if i > 0 then Buffer.add_string buf ",\n";
+            if i > 0 then Buffer.add_string buf sep;
             escape_into buf k;
             Buffer.add_char buf ':';
             go x)
@@ -57,6 +57,11 @@ let to_string v =
   in
   go v;
   Buffer.contents buf
+
+(* Traces keep the newline separators for greppability; the serve protocol
+   needs one value per line. *)
+let to_string v = render ~sep:",\n" v
+let to_line v = render ~sep:"," v
 
 (* --- parsing --- *)
 

@@ -1,0 +1,40 @@
+(** Minimal JSON tree, shared by every JSON producer and consumer in the
+    repo: the Chrome trace-event files {!Mps_obs.Obs.chrome_trace} emits,
+    and the line-delimited request/response protocol of the scheduling
+    service ([lib/serve]).
+
+    The emitter ({!to_string}) is what trace writing renders through, so
+    every trace the CLI writes is valid by construction; {!to_line} is the
+    single-line variant the wire protocol needs; the parser ({!parse}) is
+    the round-trip check — [mpsched tracecheck], the serve request reader
+    and the test suite all load emitted JSON back through it.  It is a
+    strict recursive-descent parser for the JSON subset the emitters
+    produce (objects, arrays, strings with escapes, numbers, booleans,
+    null); it is not a general standards-lawyer JSON implementation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace except after the
+    top-level commas of objects and arrays, for greppability).  Strings are
+    escaped per RFC 8259; numbers print through ["%.12g"] with integral
+    values rendered without a fractional part. *)
+
+val to_line : t -> string
+(** Like {!to_string} but with plain [","] separators — one line whatever
+    the value, which is what the line-delimited serve protocol requires
+    (a request or response is exactly one ['\n']-terminated line). *)
+
+val parse : string -> (t, string) result
+(** Parses one JSON value followed only by whitespace.  [Error] carries a
+    byte offset and a reason. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the first binding of [k]; [None] on any other
+    constructor. *)

@@ -4,7 +4,7 @@
    parser. *)
 
 module Obs = Mps_obs.Obs
-module Json = Mps_obs.Json
+module Json = Mps_util.Json
 module Pipeline = Core.Pipeline
 module Pg = Mps_workloads.Paper_graphs
 

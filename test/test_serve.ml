@@ -1,0 +1,366 @@
+(* Tests for the scheduling service: the protocol codec round-trips, serve
+   responses agree with the direct library calls they wrap, warm requests
+   return the same results as cold ones (with the exact backend doing zero
+   re-evaluation), the response stream is identical for any pool size, and
+   a malformed request never takes the session down. *)
+
+module Json = Mps_util.Json
+module Protocol = Mps_serve.Protocol
+module Session = Mps_serve.Session
+module Server = Mps_serve.Server
+module Pool = Mps_exec.Pool
+module Pipeline = Core.Pipeline
+module Select = Core.Select
+module Pattern = Core.Pattern
+module Schedule = Core.Schedule
+module Random_dag = Core.Random_dag
+
+let qtest ?(count = 15) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let seed_gen = QCheck2.Gen.(1 -- 1000)
+
+let random_graph ~seed =
+  let params =
+    {
+      Random_dag.default_params with
+      Random_dag.layers = 4 + (seed mod 3);
+      width = 3 + (seed mod 3);
+    }
+  in
+  Random_dag.generate ~params ~seed ()
+
+let random_dfg_text ~seed = Core.Dfg_parse.to_string (random_graph ~seed)
+
+(* --- protocol round-trip ------------------------------------------------ *)
+
+let request_gen =
+  let open QCheck2.Gen in
+  let command =
+    oneofl
+      Protocol.[ Select; Schedule; Pipeline; Certify; Portfolio; Stats ]
+  in
+  let source cmd =
+    match cmd with
+    | Protocol.Stats -> return None
+    | _ ->
+        oneof
+          [
+            map (fun n -> Some (Protocol.Builtin n)) (oneofl [ "3dft"; "fig4" ]);
+            map
+              (fun s -> Some (Protocol.Dfg_text (random_dfg_text ~seed:s)))
+              (1 -- 50);
+            map (fun s -> Some (Protocol.Dot_text ("digraph " ^ s))) (oneofl [ "g{}"; "x{a->b}" ]);
+          ]
+  in
+  let opt g = oneof [ return None; map Option.some g ] in
+  command >>= fun command ->
+  source command >>= fun source ->
+  opt (1 -- 6) >>= fun capacity ->
+  opt (-1 -- 3) >>= fun span ->
+  opt (1 -- 5) >>= fun pdef ->
+  opt (oneofl [ "f1"; "f2" ]) >>= fun priority ->
+  bool >>= fun cluster ->
+  opt (oneofl [ -1; 1000; 5_000_000 ]) >>= fun budget ->
+  opt (oneofl [ 100; 1_000_000 ]) >>= fun max_nodes ->
+  list_size (0 -- 3) (oneofl [ "aabcc"; "abc"; "aa" ]) >>= fun patterns ->
+  opt (map (fun n -> Json.Num (float_of_int n)) (0 -- 99)) >>= fun id ->
+  return
+    (Protocol.make ?id ?source ?capacity ?span ?pdef ?priority ~cluster
+       ?budget ?max_nodes ~patterns command)
+
+let request_roundtrip r =
+  match Protocol.request_of_line (Protocol.request_to_line r) with
+  | Ok r' -> r' = r
+  | Error e -> QCheck2.Test.fail_reportf "rejected own encoding: %s" e.Protocol.message
+
+(* Every response the server produces must be one line that parses back to
+   the same JSON tree — to_line/parse as inverses on real traffic. *)
+let response_line_roundtrip seed =
+  let sess = Session.create () in
+  let lines =
+    [
+      Printf.sprintf "{\"id\":%d,\"cmd\":\"select\",\"graph\":\"fig4\"}" seed;
+      Printf.sprintf "{\"cmd\":\"schedule\",\"dfg\":%s}"
+        (Json.to_line (Json.Str (random_dfg_text ~seed)));
+      "{\"cmd\":\"stats\"}";
+      "not json at all";
+    ]
+  in
+  List.for_all
+    (fun line ->
+      let resp = Server.handle_line sess line in
+      String.index_opt resp '\n' = None
+      &&
+      match Json.parse resp with
+      | Ok j -> Json.to_line j = resp
+      | Error m -> QCheck2.Test.fail_reportf "unparseable response %s: %s" resp m)
+    lines
+
+(* --- serve = direct library calls --------------------------------------- *)
+
+let member_exn what k j =
+  match Json.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: response lacks %S" what k
+
+let as_int = function
+  | Json.Num f -> int_of_float f
+  | Json.Null -> max_int
+  | _ -> Alcotest.fail "expected a number"
+
+let string_list = function
+  | Json.Arr items ->
+      List.map (function Json.Str s -> s | _ -> Alcotest.fail "expected string") items
+  | _ -> Alcotest.fail "expected an array"
+
+let parse_ok what resp =
+  match Json.parse resp with
+  | Ok j ->
+      (match Json.member "ok" j with
+      | Some (Json.Bool true) -> ()
+      | _ -> Alcotest.failf "%s: not ok: %s" what resp);
+      j
+  | Error m -> Alcotest.failf "%s: bad response JSON: %s" what m
+
+let serve_matches_pipeline seed =
+  let text = random_dfg_text ~seed in
+  let g = Core.Dfg_parse.of_string text in
+  let sess = Session.create () in
+  let line =
+    Json.to_line
+      (Json.Obj [ ("cmd", Json.Str "pipeline"); ("dfg", Json.Str text) ])
+  in
+  let resp = parse_ok "pipeline" (Server.handle_line sess line) in
+  let direct = Pipeline.run g in
+  string_list (member_exn "pipeline" "patterns" resp)
+  = List.map Pattern.to_string direct.Pipeline.patterns
+  && as_int (member_exn "pipeline" "cycles" resp) = direct.Pipeline.cycles
+  && as_int (member_exn "pipeline" "antichains" resp)
+     = direct.Pipeline.antichains
+
+let serve_matches_select seed =
+  let text = random_dfg_text ~seed in
+  let g = Core.Dfg_parse.of_string text in
+  let sess = Session.create () in
+  let line =
+    Json.to_line
+      (Json.Obj [ ("cmd", Json.Str "select"); ("dfg", Json.Str text) ])
+  in
+  let resp = parse_ok "select" (Server.handle_line sess line) in
+  let direct =
+    Select.select ~pdef:4
+      (Core.Classify.compute ~span_limit:1 ~capacity:5
+         (Core.Enumerate.make_ctx g))
+  in
+  string_list (member_exn "select" "patterns" resp)
+  = List.map Pattern.to_string direct
+
+(* --- warm = cold --------------------------------------------------------- *)
+
+(* Everything that legitimately differs between a cold and a warm answer:
+   the warm bit, the cache stats, and (for certify) the search accounting
+   the ban reuse changes.  The scheduling *results* must be identical. *)
+let strip_volatile = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.filter
+           (fun (k, _) -> not (List.mem k [ "warm"; "stats"; "search" ]))
+           fields)
+  | j -> j
+
+let warm_equals_cold seed =
+  let text = random_dfg_text ~seed in
+  List.for_all
+    (fun cmd ->
+      (* Fresh session per command: pipeline and certify share a
+         classification family, so on one session the second command's
+         first request would already be warm. *)
+      let sess = Session.create () in
+      let line =
+        Json.to_line (Json.Obj [ ("cmd", Json.Str cmd); ("dfg", Json.Str text) ])
+      in
+      let cold = parse_ok (cmd ^ " cold") (Server.handle_line sess line) in
+      let warm = parse_ok (cmd ^ " warm") (Server.handle_line sess line) in
+      strip_volatile cold = strip_volatile warm
+      && Json.member "warm" cold = Some (Json.Bool false)
+      && Json.member "warm" warm = Some (Json.Bool true))
+    [ "select"; "pipeline"; "certify" ]
+
+(* A warm re-certification of an unchanged family must re-evaluate nothing:
+   every completion is already in the persisted ban list, and the reported
+   optimum is identical. *)
+let warm_certify_evaluates_nothing seed =
+  let text = random_dfg_text ~seed in
+  let sess = Session.create () in
+  let line =
+    Json.to_line
+      (Json.Obj [ ("cmd", Json.Str "certify"); ("dfg", Json.Str text) ])
+  in
+  let cold = parse_ok "certify cold" (Server.handle_line sess line) in
+  let warm = parse_ok "certify warm" (Server.handle_line sess line) in
+  let search j = member_exn "certify" "search" j in
+  let exact j = member_exn "certify" "exact" j in
+  exact cold = exact warm
+  && as_int (member_exn "certify" "evaluated" (search warm)) = 0
+  && as_int (member_exn "certify" "new_bans" (search warm)) = 0
+
+(* The same reuse at the session API level, against a cold Pipeline.certify. *)
+let session_certify_matches_cold seed =
+  let g = random_graph ~seed in
+  let sess = Session.create () in
+  let options = Pipeline.default_options in
+  let cold = Pipeline.certify g in
+  let first, _ = Session.certify sess g ~options () in
+  let second, _ = Session.certify sess g ~options () in
+  first.Pipeline.exact.Core.Exact.optimal
+  = cold.Pipeline.exact.Core.Exact.optimal
+  && first.Pipeline.exact.Core.Exact.optimal_cycles
+     = cold.Pipeline.exact.Core.Exact.optimal_cycles
+  && second.Pipeline.exact.Core.Exact.optimal
+     = cold.Pipeline.exact.Core.Exact.optimal
+  && second.Pipeline.exact.Core.Exact.optimal_cycles
+     = cold.Pipeline.exact.Core.Exact.optimal_cycles
+  && second.Pipeline.exact.Core.Exact.stats.Core.Exact.evaluated = 0
+
+(* --- determinism --------------------------------------------------------- *)
+
+(* The full response stream — including error responses and every stats
+   field — must be byte-identical whatever the pool size. *)
+let jobs_identical seed =
+  let text = random_dfg_text ~seed in
+  let lines =
+    [
+      "{\"id\":1,\"cmd\":\"select\",\"graph\":\"3dft\"}";
+      Json.to_line
+        (Json.Obj
+           [ ("id", Json.Num 2.); ("cmd", Json.Str "certify"); ("dfg", Json.Str text) ]);
+      Json.to_line
+        (Json.Obj
+           [ ("id", Json.Num 3.); ("cmd", Json.Str "certify"); ("dfg", Json.Str text) ]);
+      "{\"cmd\":\"portfolio\",\"graph\":\"fig4\"}";
+      "definitely not json";
+      "{\"cmd\":\"stats\"}";
+    ]
+  in
+  let stream pool =
+    let sess = Session.create ?pool () in
+    String.concat "\n" (List.map (Server.handle_line sess) lines)
+  in
+  let seq = stream None in
+  let par = Pool.with_pool ~jobs:4 (fun p -> stream (Some p)) in
+  if seq <> par then
+    QCheck2.Test.fail_reportf "serve responses differ between jobs 1 and 4";
+  true
+
+(* --- failure handling ----------------------------------------------------- *)
+
+let test_malformed_keeps_session_alive () =
+  let sess = Session.create () in
+  let expect_error what line =
+    let resp = Server.handle_line sess line in
+    match Json.parse resp with
+    | Ok j -> (
+        match (Json.member "ok" j, Json.member "error" j) with
+        | Some (Json.Bool false), Some (Json.Str _) -> ()
+        | _ -> Alcotest.failf "%s: expected an error response, got %s" what resp)
+    | Error m -> Alcotest.failf "%s: bad response JSON: %s" what m
+  in
+  expect_error "bad JSON" "{{{";
+  expect_error "not an object" "[1,2]";
+  expect_error "missing cmd" "{\"graph\":\"3dft\"}";
+  expect_error "unknown cmd" "{\"cmd\":\"explode\",\"graph\":\"3dft\"}";
+  expect_error "unknown graph" "{\"cmd\":\"select\",\"graph\":\"nope\"}";
+  expect_error "missing graph" "{\"cmd\":\"select\"}";
+  expect_error "two graphs" "{\"cmd\":\"select\",\"graph\":\"3dft\",\"dfg\":\"x\"}";
+  expect_error "unknown option"
+    "{\"cmd\":\"select\",\"graph\":\"3dft\",\"options\":{\"capaciti\":4}}";
+  expect_error "bad priority"
+    "{\"cmd\":\"select\",\"graph\":\"3dft\",\"options\":{\"priority\":\"f3\"}}";
+  expect_error "bad graph text" "{\"cmd\":\"select\",\"dfg\":\"node a qq\"}";
+  expect_error "uncoverable patterns"
+    "{\"cmd\":\"schedule\",\"graph\":\"3dft\",\"options\":{\"patterns\":[\"aa\"]}}";
+  expect_error "oversized pattern"
+    "{\"cmd\":\"schedule\",\"graph\":\"3dft\",\"options\":{\"patterns\":[\"aaaaaaaa\"]}}";
+  (* After all of that, the session still answers. *)
+  let resp =
+    parse_ok "post-error select"
+      (Server.handle_line sess "{\"cmd\":\"select\",\"graph\":\"3dft\"}")
+  in
+  Alcotest.(check (list string))
+    "session survives and serves"
+    [ "aabcc"; "aaaaa"; "aaacc"; "aabbc" ]
+    (string_list (member_exn "select" "patterns" resp))
+
+(* The id is echoed even when the request is rejected after parsing. *)
+let test_error_echoes_id () =
+  let sess = Session.create () in
+  let resp = Server.handle_line sess "{\"id\":\"q7\",\"cmd\":\"select\"}" in
+  match Json.parse resp with
+  | Ok j ->
+      Alcotest.(check bool) "id echoed" true
+        (Json.member "id" j = Some (Json.Str "q7"))
+  | Error m -> Alcotest.failf "bad response JSON: %s" m
+
+(* Per-request cache stats are deltas; session stats are cumulative. *)
+let test_cache_stats_accumulate () =
+  let sess = Session.create () in
+  let line = "{\"cmd\":\"select\",\"graph\":\"3dft\"}" in
+  let stats j =
+    let s =
+      member_exn "select" "eval_cache" (member_exn "select" "stats" j)
+    in
+    ( as_int (member_exn "select" "hits" s),
+      as_int (member_exn "select" "misses" s),
+      as_int (member_exn "select" "session_hits" s),
+      as_int (member_exn "select" "session_misses" s) )
+  in
+  let h1, m1, sh1, sm1 = stats (parse_ok "first" (Server.handle_line sess line)) in
+  let h2, m2, sh2, sm2 = stats (parse_ok "second" (Server.handle_line sess line)) in
+  (* First request costs the selected set once: a miss.  The repeat is a
+     pure memo hit, and the session totals accumulate both. *)
+  Alcotest.(check (pair int int)) "cold request delta" (0, 1) (h1, m1);
+  Alcotest.(check (pair int int)) "cold session totals" (0, 1) (sh1, sm1);
+  Alcotest.(check (pair int int)) "warm request delta" (1, 0) (h2, m2);
+  Alcotest.(check (pair int int)) "warm session totals" (1, 1) (sh2, sm2);
+  let h, m = Session.session_cache_stats sess in
+  Alcotest.(check (pair int int)) "session_cache_stats agrees" (sh2, sm2) (h, m)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          qtest ~count:100 "request_of_line inverts request_to_line"
+            request_gen request_roundtrip;
+          qtest ~count:10 "responses are single parseable lines" seed_gen
+            response_line_roundtrip;
+        ] );
+      ( "fidelity",
+        [
+          qtest ~count:10 "serve pipeline = Pipeline.run" seed_gen
+            serve_matches_pipeline;
+          qtest ~count:10 "serve select = Select.select" seed_gen
+            serve_matches_select;
+        ] );
+      ( "warm state",
+        [
+          qtest ~count:8 "warm responses = cold responses" seed_gen
+            warm_equals_cold;
+          qtest ~count:8 "warm certify re-evaluates nothing" seed_gen
+            warm_certify_evaluates_nothing;
+          qtest ~count:8 "session certify = cold Pipeline.certify" seed_gen
+            session_certify_matches_cold;
+        ] );
+      ( "determinism",
+        [ qtest ~count:5 "response stream identical at jobs 1 and 4" seed_gen jobs_identical ] );
+      ( "failure handling",
+        [
+          Alcotest.test_case "malformed requests leave the session serving"
+            `Quick test_malformed_keeps_session_alive;
+          Alcotest.test_case "errors echo the request id" `Quick
+            test_error_echoes_id;
+          Alcotest.test_case "cache stats: per-request deltas, session totals"
+            `Quick test_cache_stats_accumulate;
+        ] );
+    ]
