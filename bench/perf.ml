@@ -412,16 +412,155 @@ let run_eval_ops ?(smoke = false) () =
       nsets;
     exit 1
   end;
+  (* --- delta row: suffix replay vs full re-evaluation ---------------
+
+     A move stream where delta shines: a deep two-wide pipeline whose
+     first [layers - 9] layers are all one color and only the nine tail
+     layers cycle through the colors the moves touch (c, d, e).  A set is
+     the constant "aa" plus one single-color pattern per tail color;
+     every move swaps one of those three slots for a different size, so
+     the first divergent cycle is the first tail cycle — placed one past
+     the checkpoint ladder's 211 so [Eval.cycles_delta] restores there
+     and replays only the tail, while the full path re-steps the whole
+     pipeline.  Walking the 5x5x5 size grid in snake order gives 124
+     single-swap moves over 125 distinct sets per context, so the one
+     recorded full evaluation opening each stream is amortized exactly as
+     it is in an annealing or beam move loop.  Each rep walks the stream
+     on a fresh context (every set a miss), but the contexts are built
+     outside the clock, with a major collection between: graph analyses
+     cost the same on both sides and their garbage would otherwise be
+     collected inside the timed region. *)
+  let dlayers = 221 in
+  let dtail = 9 in
+  let dreps = if smoke then 4 else 10 in
+  let dg =
+    let name l k = Printf.sprintf "n%d_%d" l k in
+    let color l =
+      if l < dlayers - dtail then 'a'
+      else [| 'c'; 'd'; 'e' |].((l - (dlayers - dtail)) mod 3)
+    in
+    let nodes = ref [] and edges = ref [] in
+    for l = dlayers - 1 downto 0 do
+      for k = 1 downto 0 do
+        nodes := (name l k, Core.Color.of_char (color l)) :: !nodes;
+        if l > 0 then
+          for p = 0 to 1 do
+            edges := (name (l - 1) p, name l k) :: !edges
+          done
+      done
+    done;
+    Dfg.of_alist !nodes !edges
+  in
+  let base = Pattern.of_string "aa" in
+  let slot c k = Pattern.of_string (String.make (k + 1) c) in
+  let set (i, j, k) = [ base; slot 'c' i; slot 'd' j; slot 'e' k ] in
+  (* Boustrophedon walk of the size grid: consecutive triples differ in
+     exactly one coordinate, by one size step. *)
+  let stream =
+    let acc = ref [] in
+    for i = 0 to 4 do
+      let js = if i mod 2 = 0 then [ 0; 1; 2; 3; 4 ] else [ 4; 3; 2; 1; 0 ] in
+      List.iteri
+        (fun jx j ->
+          let ks =
+            if (i * 5 + jx) mod 2 = 0 then [ 0; 1; 2; 3; 4 ]
+            else [ 4; 3; 2; 1; 0 ]
+          in
+          List.iter (fun k -> acc := (i, j, k) :: !acc) ks)
+        js
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let nv = Array.length stream in
+  let moved prev next =
+    (* The one slot the snake walk changed. *)
+    let (pi, pj, pk), (ni, nj, nk) = (prev, next) in
+    if pi <> ni then (slot 'c' pi, slot 'c' ni)
+    else if pj <> nj then (slot 'd' pj, slot 'd' nj)
+    else (slot 'e' pk, slot 'e' nk)
+  in
+  let wall_min_fresh ~delta f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let evs = Array.init dreps (fun _ -> Eval.make ~delta dg) in
+      Gc.full_major ();
+      let (), t = wall (fun () -> Array.iter f evs) in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let dfull = Array.make nv 0 in
+  let t_dfull =
+    wall_min_fresh ~delta:false (fun ev ->
+        for i = 0 to nv - 1 do
+          dfull.(i) <- Eval.cycles ev (set stream.(i))
+        done)
+  in
+  let walk_delta out ev =
+    out.(0) <- Eval.cycles ev (set stream.(0));
+    for i = 1 to nv - 1 do
+      let removed, added = moved stream.(i - 1) stream.(i) in
+      out.(i) <-
+        Eval.cycles_delta ev ~removed ~prev:(set stream.(i - 1)) ~added
+    done
+  in
+  let ddelta = Array.make nv 0 in
+  let t_ddelta = wall_min_fresh ~delta:true (walk_delta ddelta) in
+  (* One untimed pass to pin the accounting: every move a delta hit, no
+     fallbacks, every set exactly one cache miss. *)
+  let ev = Eval.make ~delta:true dg in
+  walk_delta ddelta ev;
+  let d_hits, d_fallbacks, d_saved = Eval.delta_stats ev in
+  let dch, dcm = Eval.cache_stats ev in
+  let devals = float_of_int (dreps * nv) in
+  let dper t = t *. 1e9 /. devals in
+  let delta_speedup =
+    if t_ddelta > 0. then t_dfull /. t_ddelta else Float.infinity
+  in
+  Printf.printf "\n=== Eval delta: %d-swap stream on deep%dx2, %d reps ===\n"
+    (nv - 1) dlayers dreps;
+  Printf.printf "  full Eval.cycles (miss)     %10.1f ns/eval\n" (dper t_dfull);
+  Printf.printf "  delta suffix replay         %10.1f ns/eval\n" (dper t_ddelta);
+  Printf.printf "  delta speedup %9.2fx   (%d hits, %d fallbacks, %d cycles saved)\n"
+    delta_speedup d_hits d_fallbacks d_saved;
+  if dfull <> ddelta then begin
+    Printf.printf
+      "MISMATCH: delta and full cycle counts disagree on some move\n";
+    exit 1
+  end;
+  if d_hits <> nv - 1 || d_fallbacks <> 0 || d_saved <= 0 then begin
+    Printf.printf
+      "MISMATCH: delta stats report %d hits / %d fallbacks / %d saved, \
+       expected %d / 0 / >0\n"
+      d_hits d_fallbacks d_saved (nv - 1);
+    exit 1
+  end;
+  if dch <> 0 || dcm <> nv then begin
+    Printf.printf
+      "MISMATCH: delta pass cache reports %d hits / %d misses, expected 0 / %d\n"
+      dch dcm nv;
+    exit 1
+  end;
   Printf.printf
     "{\"bench\":\"eval-ops\",\"graph\":\"3dft\",\"smoke\":%b,\"sets\":%d,\
      \"reps\":%d,\"cold_ns_per_eval\":%.1f,\"warm_ns_per_eval\":%.1f,\
      \"hit_ns_per_eval\":%.1f,\"warm_speedup\":%.2f,\"hit_speedup\":%.2f,\
-     \"cache_hits\":%d,\"cache_misses\":%d}\n"
+     \"cache_hits\":%d,\"cache_misses\":%d,\"delta_graph\":\"deep%dx2\",\
+     \"delta_moves\":%d,\"delta_reps\":%d,\"delta_full_ns_per_eval\":%.1f,\
+     \"delta_ns_per_eval\":%.1f,\"delta_speedup\":%.2f,\"delta_hits\":%d,\
+     \"delta_fallbacks\":%d,\"delta_cycles_saved\":%d}\n"
     smoke nsets reps (per t_cold) (per t_warm) (per t_hit) warm_speedup
-    hit_speedup hits misses;
+    hit_speedup hits misses dlayers (nv - 1) dreps (dper t_dfull)
+    (dper t_ddelta) delta_speedup d_hits d_fallbacks d_saved;
   if warm_speedup < 5.0 then begin
     Printf.printf
       "REGRESSION: warm Eval.cycles under 5x faster than cold \
        Multi_pattern.schedule\n";
+    exit 1
+  end;
+  if delta_speedup < 3.0 then begin
+    Printf.printf
+      "REGRESSION: Eval.cycles_delta under 3x faster than full \
+       re-evaluation on the move stream\n";
     exit 1
   end

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Repo gate: build, full test suite, odoc, CLI determinism across --jobs,
 # the observability no-perturbation gate, the serve smoke gate (golden
-# stream, error recovery, --jobs invariance, warm >= 3x cold), the
-# exact-search smoke gate, and the scaling benchmark in smoke mode at
-# --jobs 1 and --jobs 4.
+# stream, error recovery, --jobs invariance, warm >= 3x cold), the delta
+# smoke gate (suffix replay leaves counters and the serve edit stream
+# byte-identical at any --jobs), the exact-search smoke gate, and the
+# scaling benchmark in smoke mode at --jobs 1 and --jobs 4.
 #
 #   ./check.sh          # the whole gate
 #   ./check.sh --fast   # build + tests only
@@ -113,6 +114,38 @@ if ! cmp -s test/cli/serve_smoke.expected "$tmp1"; then
 fi
 echo "  ok: serve stream matches the committed golden"
 
+say "delta smoke: suffix replay must not perturb any observable stream"
+# The delta-evaluation path (annealing swap moves, beam one-move finalists,
+# exact incumbent re-costing, serve edits) commits its counters in
+# submission order, so the eval.* counter rows of --stats must be
+# byte-identical at --jobs 1 and --jobs 4, with the delta path actually
+# taken (eval.delta.hits present).  The serve golden stream above already
+# carries warm "edit" requests; replay it at --jobs 4 to prove the edit
+# path is jobs-invariant too.
+dune exec --no-build bin/mpsched.exe -- exact 3dft --stats --jobs 1 \
+  2>&1 >/dev/null | grep '| eval\.' > "$tmp1"
+dune exec --no-build bin/mpsched.exe -- exact 3dft --stats --jobs 4 \
+  2>&1 >/dev/null | grep '| eval\.' > "$tmp4"
+if ! cmp -s "$tmp1" "$tmp4"; then
+  echo "FAIL: eval.* counters differ between --jobs 1 and --jobs 4" >&2
+  diff "$tmp1" "$tmp4" >&2
+  exit 1
+fi
+if ! grep -q 'eval\.delta\.hits' "$tmp1"; then
+  echo "FAIL: exact search never took the delta path (no eval.delta.hits)" >&2
+  cat "$tmp1" >&2
+  exit 1
+fi
+echo "  ok: eval.* counters identical across --jobs, delta path taken"
+dune exec --no-build bin/mpsched.exe -- serve --stdin --jobs 4 \
+  < test/cli/serve_requests.txt > "$tmp1"
+if ! cmp -s test/cli/serve_smoke.expected "$tmp1"; then
+  echo "FAIL: serve edit stream at --jobs 4 diverged from the golden" >&2
+  diff test/cli/serve_smoke.expected "$tmp1" | head -20 >&2
+  exit 1
+fi
+echo "  ok: serve edit stream at --jobs 4 matches the committed golden"
+
 say "serve throughput benchmark (smoke: warm >= 3x cold at --jobs 4)"
 # Exits 1 if any generated request fails, the response stream differs
 # between --jobs 1 and --jobs 4, or the warm repeat-graph mix falls under
@@ -135,7 +168,9 @@ dune exec --no-build --profile release bench/main.exe -- --pattern-ops --smoke
 
 say "eval-ops microbenchmark (smoke, release profile)"
 # Exits 1 if cold/warm/hit cycle counts disagree, the memo cache miscounts,
-# or the warm context falls under 5x faster than the cold schedule path.
+# the warm context falls under 5x faster than the cold schedule path, or
+# the delta move stream falls under 3x faster than warm full re-evaluation
+# (with any hit/fallback/cache miscount on the stream also fatal).
 dune exec --no-build --profile release bench/main.exe -- --eval-ops --smoke
 
 say "scaling benchmark (smoke, --jobs 1)"

@@ -65,6 +65,10 @@ let batch_size = 8
 type session = {
   ev : Eval.t;
   tbl : (string, bound) Hashtbl.t;
+  (* The last set actually costed through [ev] (never a ban-table skip):
+     its evaluation is memoized with replay data, so a sibling set one
+     positional move away is delta-costed against it. *)
+  mutable last : Pattern.t list option;
   mutable ban_rev : ban_entry list;
   mutable visited : int;
   mutable p_span : int;
@@ -88,6 +92,7 @@ let make_session ev inc =
   {
     ev;
     tbl = Hashtbl.create 64;
+    last = None;
     ban_rev = [];
     visited = 0;
     p_span = 0;
@@ -130,6 +135,29 @@ let emit_counters s =
 
 let key_of set =
   String.concat "|" (List.sort String.compare (List.map Pattern.to_string set))
+
+(* Is [set] exactly one positional move away from [prev]: one in-place
+   replacement at a single index (a swap), or [prev] with one pattern
+   appended (a grow)?  Only such moves are delta-costed, because the delta
+   path builds the moved set by in-place replacement / appending — for a
+   positional single-diff that reconstruction IS the canonical chosen
+   order (chosen sets never hold duplicate patterns), so the
+   cost-canonicalization contract in the header note is preserved. *)
+let positional_move prev set =
+  let eq a b = Pattern.compare a b = 0 in
+  let rec go swap p s =
+    match (p, s) with
+    | [], [] -> swap
+    | [], [ a ] -> ( match swap with None -> Some (`Grow a) | Some _ -> None)
+    | x :: p', y :: s' ->
+        if eq x y then go swap p' s'
+        else (
+          match swap with
+          | None -> go (Some (`Swap (x, y))) p' s'
+          | Some _ -> None)
+    | _ -> None
+  in
+  go None prev set
 
 (* The canonical candidate order: descending size, spelling to break ties.
    A proper subpattern is strictly smaller, so this is a linear extension
@@ -237,7 +265,7 @@ let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
       suffix_maxmult.(i).(c) <- max pmult.(i).(c) suffix_maxmult.(i + 1).(c)
     done
   done;
-  let master = Eval.make g in
+  let master = Eval.make ~delta:true g in
   let lb_cp = Levels.lower_bound_cycles (Eval.levels master) in
   let evaluate s set =
     if set <> [] then begin
@@ -251,8 +279,19 @@ let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
       | Some _ when pruning.prune_ban -> s.p_ban <- s.p_ban + 1
       | _ ->
           s.eval_count <- s.eval_count + 1;
+          let cost_set () =
+            match s.last with
+            | Some prev -> (
+                match positional_move prev set with
+                | Some (`Swap (r, a)) ->
+                    Eval.cycles_delta ?priority s.ev ~removed:r ~prev ~added:a
+                | Some (`Grow a) ->
+                    Eval.cycles_delta ?priority s.ev ~prev ~added:a
+                | None -> Eval.cycles ?priority s.ev set)
+            | None -> Eval.cycles ?priority s.ev set
+          in
           let bound =
-            match Eval.cycles ?priority s.ev set with
+            match cost_set () with
             | c ->
                 if c < s.inc then begin
                   s.inc <- c;
@@ -261,6 +300,7 @@ let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
                 Cost c
             | exception Eval.Unschedulable _ -> Infeasible
           in
+          s.last <- Some set;
           if known = None then begin
             Hashtbl.replace s.tbl key bound;
             s.ban_rev <- { banned = set; bound } :: s.ban_rev
@@ -375,7 +415,7 @@ let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
   let g_stats = ref (stats_of_session seed_s) in
   let g_capped = ref false in
   let run_root inc i =
-    let s = make_session (Eval.make g) inc in
+    let s = make_session (Eval.make ~delta:true g) inc in
     extend s i [] [] Color.Set.empty 0 0;
     emit_counters s;
     {

@@ -1,7 +1,13 @@
 module Json = Mps_util.Json
 
 type source = Builtin of string | Dfg_text of string | Dot_text of string
-type command = Select | Schedule | Pipeline | Certify | Portfolio | Stats
+type command = Select | Schedule | Pipeline | Certify | Portfolio | Edit | Stats
+
+type edit =
+  | Add_node of { node : string; color : string }
+  | Remove_node of string
+  | Add_edge of string * string
+  | Remove_edge of string * string
 
 let command_to_string = function
   | Select -> "select"
@@ -9,6 +15,7 @@ let command_to_string = function
   | Pipeline -> "pipeline"
   | Certify -> "certify"
   | Portfolio -> "portfolio"
+  | Edit -> "edit"
   | Stats -> "stats"
 
 let command_of_string = function
@@ -17,6 +24,7 @@ let command_of_string = function
   | "pipeline" -> Some Pipeline
   | "certify" -> Some Certify
   | "portfolio" -> Some Portfolio
+  | "edit" -> Some Edit
   | "stats" -> Some Stats
   | _ -> None
 
@@ -32,10 +40,11 @@ type request = {
   budget : int option;
   max_nodes : int option;
   patterns : string list;
+  edits : edit list;
 }
 
 let make ?id ?source ?capacity ?span ?pdef ?priority ?(cluster = false) ?budget
-    ?max_nodes ?(patterns = []) command =
+    ?max_nodes ?(patterns = []) ?(edits = []) command =
   {
     id;
     command;
@@ -48,6 +57,7 @@ let make ?id ?source ?capacity ?span ?pdef ?priority ?(cluster = false) ?budget
     budget;
     max_nodes;
     patterns;
+    edits;
   }
 
 type error = { err_id : Json.t option; message : string }
@@ -64,6 +74,34 @@ let request_to_json r =
   | Some (Dfg_text t) -> add "dfg" (Json.Str t)
   | Some (Dot_text t) -> add "dot" (Json.Str t)
   | None -> ());
+  if r.edits <> [] then
+    add "edits"
+      (Json.Arr
+         (List.map
+            (fun e ->
+              Json.Obj
+                (match e with
+                | Add_node { node; color } ->
+                    [
+                      ("op", Json.Str "add_node");
+                      ("node", Json.Str node);
+                      ("color", Json.Str color);
+                    ]
+                | Remove_node n ->
+                    [ ("op", Json.Str "remove_node"); ("node", Json.Str n) ]
+                | Add_edge (s, d) ->
+                    [
+                      ("op", Json.Str "add_edge");
+                      ("src", Json.Str s);
+                      ("dst", Json.Str d);
+                    ]
+                | Remove_edge (s, d) ->
+                    [
+                      ("op", Json.Str "remove_edge");
+                      ("src", Json.Str s);
+                      ("dst", Json.Str d);
+                    ]))
+            r.edits));
   let opts = ref [] in
   let addo k v = opts := (k, v) :: !opts in
   (match r.capacity with Some c -> addo "capacity" (num c) | None -> ());
@@ -111,7 +149,9 @@ let request_of_json j =
         match
           List.find_opt
             (fun (k, _) ->
-              not (List.mem k [ "id"; "cmd"; "graph"; "dfg"; "dot"; "options" ]))
+              not
+                (List.mem k
+                   [ "id"; "cmd"; "graph"; "dfg"; "dot"; "options"; "edits" ]))
             fields
         with
         | Some (k, _) -> fail (Printf.sprintf "unknown request field %S" k)
@@ -149,6 +189,68 @@ let request_of_json j =
             Ok (Some (wrap s))
         | _ :: _ :: _, _ ->
             fail "give exactly one of \"graph\", \"dfg\", \"dot\""
+      in
+      (* Edit operations: each is a strict little object — an "op" tag plus
+         exactly the keys that op takes, same rejection discipline as the
+         request itself. *)
+      let edit_of_json j =
+        match j with
+        | Json.Obj o -> (
+            let str key op =
+              match List.assoc_opt key o with
+              | Some (Json.Str s) -> Ok s
+              | Some _ ->
+                  fail (Printf.sprintf "edit %S: %S must be a string" op key)
+              | None -> fail (Printf.sprintf "edit %S needs %S" op key)
+            in
+            let only op keys =
+              match
+                List.find_opt (fun (k, _) -> not (List.mem k keys)) o
+              with
+              | Some (k, _) ->
+                  fail (Printf.sprintf "edit %S: unknown key %S" op k)
+              | None -> Ok ()
+            in
+            let* op = str "op" "edit" in
+            match op with
+            | "add_node" ->
+                let* () = only op [ "op"; "node"; "color" ] in
+                let* node = str "node" op in
+                let* color = str "color" op in
+                Ok (Add_node { node; color })
+            | "remove_node" ->
+                let* () = only op [ "op"; "node" ] in
+                let* node = str "node" op in
+                Ok (Remove_node node)
+            | "add_edge" | "remove_edge" ->
+                let* () = only op [ "op"; "src"; "dst" ] in
+                let* src = str "src" op in
+                let* dst = str "dst" op in
+                Ok
+                  (if op = "add_edge" then Add_edge (src, dst)
+                   else Remove_edge (src, dst))
+            | other -> fail (Printf.sprintf "unknown edit op %S" other))
+        | _ -> fail "each edit must be a JSON object"
+      in
+      let* edits =
+        match List.assoc_opt "edits" fields with
+        | None -> Ok []
+        | Some (Json.Arr items) ->
+            List.fold_left
+              (fun acc v ->
+                let* acc = acc in
+                let* e = edit_of_json v in
+                Ok (e :: acc))
+              (Ok []) items
+            |> fun r -> ( let* ) r (fun l -> Ok (List.rev l))
+        | Some _ -> fail "\"edits\" must be an array of edit objects"
+      in
+      let* () =
+        match (command, edits) with
+        | Edit, [] -> fail "\"edit\" needs a non-empty \"edits\" array"
+        | Edit, _ :: _ -> Ok ()
+        | _, _ :: _ -> fail "\"edits\" is only valid with cmd \"edit\""
+        | _, [] -> Ok ()
       in
       let* opts =
         match List.assoc_opt "options" fields with
@@ -214,6 +316,7 @@ let request_of_json j =
           budget;
           max_nodes;
           patterns;
+          edits;
         }
   | _ -> Error { err_id = None; message = "request must be a JSON object" }
 

@@ -4,10 +4,15 @@
     object; the response to it is likewise one line.  The grammar:
 
     {v
-    request  = { "id"?: any, "cmd": string, GRAPH?, "options"?: OPTIONS }
+    request  = { "id"?: any, "cmd": string, GRAPH?, "edits"?: [EDIT],
+                 "options"?: OPTIONS }
     GRAPH    = "graph": string      -- a built-in workload name
              | "dfg": string        -- DFG text ("node ..." / "edge ..." lines)
              | "dot": string        -- the Graphviz DOT subset Dfg_parse accepts
+    EDIT     = { "op": "add_node", "node": string, "color": string }
+             | { "op": "remove_node", "node": string }
+             | { "op": "add_edge", "src": string, "dst": string }
+             | { "op": "remove_edge", "src": string, "dst": string }
     OPTIONS  = { "capacity"?: int, "span"?: int, "pdef"?: int,
                  "priority"?: "f1"|"f2", "cluster"?: bool, "budget"?: int,
                  "max_nodes"?: int, "patterns"?: [string] }
@@ -17,9 +22,12 @@
     clients can correlate out-of-band.  ["span"] and ["budget"] accept a
     negative value meaning {e unlimited}; omitted options fall back to the
     same defaults the one-shot CLI uses.  [cmd] is one of [select],
-    [schedule], [pipeline], [certify], [portfolio], [stats]; every command
-    except [stats] requires exactly one graph field, and [stats] takes
-    none.
+    [schedule], [pipeline], [certify], [portfolio], [edit], [stats]; every
+    command except [stats] requires exactly one graph field, and [stats]
+    takes none.  ["edits"] names nodes by their graph names; it is
+    required (non-empty) for [edit] and rejected for every other command,
+    and each edit object is decoded as strictly as the request itself —
+    unknown keys and unknown ops fail with the request's [id] echoed.
 
     Responses are built by {!Server}; this module only owns their error
     shape ({!error_response}) and the request codec.  The codec is strict:
@@ -33,7 +41,14 @@ type source =
   | Dfg_text of string  (** Inline DFG text. *)
   | Dot_text of string  (** Inline Graphviz DOT (the accepted subset). *)
 
-type command = Select | Schedule | Pipeline | Certify | Portfolio | Stats
+type command = Select | Schedule | Pipeline | Certify | Portfolio | Edit | Stats
+
+type edit =
+  | Add_node of { node : string; color : string }
+      (** Add a fresh node with the given (single-character) color. *)
+  | Remove_node of string  (** Remove the node and every incident edge. *)
+  | Add_edge of string * string  (** [src -> dst]; both must exist. *)
+  | Remove_edge of string * string
 
 val command_to_string : command -> string
 val command_of_string : string -> command option
@@ -50,6 +65,7 @@ type request = {
   budget : int option;  (** Raw wire value: negative means unlimited. *)
   max_nodes : int option;
   patterns : string list;  (** [schedule] only; [[]] = run selection. *)
+  edits : edit list;  (** [edit] only: non-empty iff [command] is {!Edit}. *)
 }
 
 val make :
@@ -63,6 +79,7 @@ val make :
   ?budget:int ->
   ?max_nodes:int ->
   ?patterns:string list ->
+  ?edits:edit list ->
   command ->
   request
 (** A request with every unspecified option omitted from the wire. *)

@@ -148,6 +148,8 @@ let describe_exn = function
   | C.Eval.Unschedulable colors ->
       "patterns cannot cover colors: "
       ^ String.concat ", " (List.map C.Color.to_string colors)
+  | C.Dfg.Cycle names ->
+      "edit closes a cycle: " ^ String.concat " -> " names
   | Invalid_argument m | Failure m -> m
   | exn -> Printexc.to_string exn
 
@@ -219,6 +221,20 @@ let run_command sess (r : P.request) g =
           ("gap_percent", Json.Num cert.C.Pipeline.gap_percent);
         ]
         @ certificate_json cert.C.Pipeline.exact,
+        warm )
+  | P.Edit ->
+      Obs.count "serve.edit" 1;
+      let e', pats, patched, res, warm =
+        Session.edit sess (Option.get g) ~options ~edits:r.P.edits
+      in
+      let g' = Session.graph e' in
+      ( [
+          ("fingerprint", Json.Str (Session.fingerprint e'));
+          ("patterns", patterns_json pats);
+          ("patched", Json.Bool patched);
+          ("dfg", Json.Str (C.Dfg_parse.to_string g'));
+        ]
+        @ schedule_json g' res.C.Eval.schedule,
         warm )
   | P.Portfolio ->
       let e = entry () in

@@ -13,6 +13,11 @@ type entry = {
          universe exactly like [Multi_pattern.schedule]'s. *)
   e_families : (string, family) Hashtbl.t;
   e_bans : (string, C.Exact.ban_entry list) Hashtbl.t;
+  (* Families migrated onto this entry by [edit] instead of classified:
+     the patched pattern set, whether coverage needed patching, and the
+     delta-enabled costing context — keyed like ban lists (classification
+     parameters + pdef + priority decide the selection being migrated). *)
+  e_migrated : (string, C.Pattern.t list * bool * C.Eval.t) Hashtbl.t;
   mutable e_evals : C.Eval.t list;  (* Every context owned, newest first. *)
 }
 
@@ -21,15 +26,23 @@ type t = {
   entries : (string, entry) Hashtbl.t;
   mutable entry_list : entry list;  (* Interning order, newest first. *)
   mutable requests : int;
+  mutable s_classifications : int;  (* Cold classifications ever computed. *)
 }
 
 let create ?pool () =
-  { s_pool = pool; entries = Hashtbl.create 16; entry_list = []; requests = 0 }
+  {
+    s_pool = pool;
+    entries = Hashtbl.create 16;
+    entry_list = [];
+    requests = 0;
+    s_classifications = 0;
+  }
 
 let pool t = t.s_pool
 let graph_count t = List.length t.entry_list
 let request_count t = t.requests
 let note_request t = t.requests <- t.requests + 1
+let classification_count t = t.s_classifications
 
 let intern t g =
   let key = Digest.to_hex (Digest.string (C.Dfg_parse.to_string g)) in
@@ -43,6 +56,7 @@ let intern t g =
           e_plain = None;
           e_families = Hashtbl.create 4;
           e_bans = Hashtbl.create 4;
+          e_migrated = Hashtbl.create 4;
           e_evals = [];
         }
       in
@@ -80,6 +94,7 @@ let family t e ~capacity ~span_limit ~budget =
   match Hashtbl.find_opt e.e_families key with
   | Some f -> (f, true)
   | None ->
+      t.s_classifications <- t.s_classifications + 1;
       let universe = C.Universe.create () in
       let classify =
         C.Classify.compute ?pool:t.s_pool ?span_limit ?budget ~capacity
@@ -204,3 +219,129 @@ let certify t dfg ~options ?max_nodes () =
   in
   Hashtbl.replace e.e_bans key (prior @ cert.C.Pipeline.exact.C.Exact.bans);
   (cert, warm)
+
+(* ---- online rescheduling ---- *)
+
+(* Name-based graph surgery: rebuild through [Dfg.of_alist] so node ids are
+   reassigned canonically (list order) and cycles are rejected at build
+   time.  Every precondition failure is a [Failure] with the offending
+   name, which the server reports as a normal request error. *)
+let apply_edits g edits =
+  let nodes0 =
+    List.map (fun i -> (C.Dfg.name g i, C.Dfg.color g i)) (C.Dfg.nodes g)
+  in
+  let edges0 =
+    List.map (fun (a, b) -> (C.Dfg.name g a, C.Dfg.name g b)) (C.Dfg.edges g)
+  in
+  let has_node nodes n = List.exists (fun (m, _) -> String.equal m n) nodes in
+  let has_edge edges a b =
+    List.exists (fun (x, y) -> String.equal x a && String.equal y b) edges
+  in
+  let apply (nodes, edges) = function
+    | Protocol.Add_node { node; color } ->
+        if has_node nodes node then
+          failwith (Printf.sprintf "edit: node %S already exists" node);
+        if String.length color <> 1 then
+          failwith
+            (Printf.sprintf "edit: color %S must be a single character" color);
+        (nodes @ [ (node, C.Color.of_char color.[0]) ], edges)
+    | Protocol.Remove_node n ->
+        if not (has_node nodes n) then
+          failwith (Printf.sprintf "edit: unknown node %S" n);
+        ( List.filter (fun (m, _) -> not (String.equal m n)) nodes,
+          List.filter
+            (fun (a, b) -> not (String.equal a n || String.equal b n))
+            edges )
+    | Protocol.Add_edge (a, b) ->
+        if not (has_node nodes a) then
+          failwith (Printf.sprintf "edit: unknown node %S" a);
+        if not (has_node nodes b) then
+          failwith (Printf.sprintf "edit: unknown node %S" b);
+        if String.equal a b then
+          failwith (Printf.sprintf "edit: self-edge on %S" a);
+        if has_edge edges a b then
+          failwith (Printf.sprintf "edit: edge %s -> %s already exists" a b);
+        (nodes, edges @ [ (a, b) ])
+    | Protocol.Remove_edge (a, b) ->
+        if not (has_edge edges a b) then
+          failwith (Printf.sprintf "edit: no edge %s -> %s" a b);
+        ( nodes,
+          List.filter
+            (fun (x, y) -> not (String.equal x a && String.equal y b))
+            edges )
+  in
+  let nodes, edges = List.fold_left apply (nodes0, edges0) edits in
+  if nodes = [] then failwith "edit: the edited graph has no nodes";
+  C.Dfg.of_alist nodes edges
+
+let edit t dfg ~options ~edits =
+  let e_base, _ = intern t dfg in
+  let f, warm = family_of_options t e_base ~options in
+  let g' = apply_edits dfg edits in
+  let e', _ = intern t g' in
+  let key = ban_key ~options in
+  let pats, patched, ev =
+    match Hashtbl.find_opt e'.e_migrated key with
+    | Some m -> m
+    | None ->
+        (* Migrate the base family instead of re-classifying the edited
+           graph: the selection computed on the cached base classification
+           carries over, and colors the edit introduced (or uncovered) are
+           patched with fabricated patterns — the same shape as Fig. 7's
+           coverage fallback, capacity colors at a time. *)
+        let selected =
+          C.Select.select ~params:options.C.Pipeline.selection
+            ~pdef:options.C.Pipeline.pdef f.classify
+        in
+        let covered =
+          List.fold_left
+            (fun acc p -> C.Color.Set.union acc (C.Pattern.color_set p))
+            C.Color.Set.empty selected
+        in
+        let missing =
+          List.filter
+            (fun c -> not (C.Color.Set.mem c covered))
+            (C.Dfg.colors g')
+        in
+        let capacity = options.C.Pipeline.capacity in
+        let rec chunk = function
+          | [] -> []
+          | cs ->
+              let rec split k = function
+                | x :: tl when k > 0 ->
+                    let a, b = split (k - 1) tl in
+                    (x :: a, b)
+                | rest -> ([], rest)
+              in
+              let head, rest = split capacity cs in
+              C.Pattern.of_colors head :: chunk rest
+        in
+        let fabricated = chunk missing in
+        let pats = selected @ fabricated in
+        let ev = C.Eval.make ~delta:true g' in
+        e'.e_evals <- ev :: e'.e_evals;
+        let m = (pats, fabricated <> [], ev) in
+        Hashtbl.replace e'.e_migrated key m;
+        m
+  in
+  (* Cost the migrated set as a grow chain so every extension is a delta
+     move against the memoized prefix: the first costing of an edited
+     graph exercises the suffix-replay machinery, a repeat request is all
+     cache hits.  Intermediate prefixes may not cover every color yet —
+     their Unschedulable is expected and ignored; the full set covers all
+     colors by construction, so the final evaluation cannot fail. *)
+  let priority = options.C.Pipeline.priority in
+  (match pats with
+  | [] -> failwith "edit: no patterns to migrate"
+  | first :: rest ->
+      (try ignore (C.Eval.cycles ~priority ev [ first ])
+       with C.Eval.Unschedulable _ -> ());
+      ignore
+        (List.fold_left
+           (fun prev p ->
+             (try ignore (C.Eval.cycles_delta ~priority ev ~prev ~added:p)
+              with C.Eval.Unschedulable _ -> ());
+             prev @ [ p ])
+           [ first ] rest));
+  let result = C.Eval.schedule ~priority ev ~patterns:pats in
+  (e', pats, patched, result, warm)

@@ -41,6 +41,11 @@ val pool : t -> Core.Pool.t option
 val graph_count : t -> int
 val request_count : t -> int
 
+val classification_count : t -> int
+(** How many cold classifications the session has ever computed — the
+    number {!edit} is designed to keep flat: a warm edit migrates the base
+    family instead of classifying the edited graph. *)
+
 val note_request : t -> unit
 (** Counts one protocol request against {!request_count}; the server
     calls it once per line, the session never guesses. *)
@@ -139,3 +144,32 @@ val certify :
 (** {!Core.Pipeline.certify} through the session, with the same ban-list
     reuse as {!exact}.  Takes the bare graph for the same reason as
     {!pipeline}. *)
+
+val apply_edits : Core.Dfg.t -> Protocol.edit list -> Core.Dfg.t
+(** The graph after the edits, applied in order by node name and rebuilt
+    through {!Core.Dfg.of_alist} (ids reassigned in list order; surviving
+    base nodes first, added nodes after, both in original order).
+    @raise Failure on a precondition violation (duplicate node, unknown
+    name, duplicate or missing edge, self-edge, multi-character color, or
+    an empty result).
+    @raise Core.Dfg.Cycle if an added edge closes a cycle. *)
+
+val edit :
+  t ->
+  Core.Dfg.t ->
+  options:Core.Pipeline.options ->
+  edits:Protocol.edit list ->
+  entry * Core.Pattern.t list * bool * Core.Eval.result * bool
+(** Online rescheduling: applies the edits to the base graph, interns the
+    edited graph under its own fingerprint, and schedules it {e without a
+    cold re-classification} — the pattern set selected on the (cached)
+    base classification migrates over, with fabricated patterns patching
+    any colors the edit left uncovered (capacity colors at a time, the
+    Fig. 7 fallback shape).  The migrated set is costed on a
+    delta-recording context as a grow chain — each extension a suffix
+    replay against the memoized prefix — then scheduled in full fidelity
+    for the response rows.  Returns (edited entry, patterns actually
+    scheduled, whether coverage was patched, the schedule, warm bit of
+    the {e base} family).  Migrated artifacts are cached per (edited
+    graph, search family): repeating an edit request is pure cache hits.
+    @raise Failure / @raise Core.Dfg.Cycle as {!apply_edits}. *)

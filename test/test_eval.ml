@@ -6,7 +6,10 @@
    exactly [Schedule.cycles] of [Multi_pattern.schedule] — under both
    pattern priorities, through the id-based entry point, on cache misses
    and on cache hits alike — and fails identically (same [Unschedulable]
-   colors) on sets that do not cover the graph.  On top of that, the
+   colors) on sets that do not cover the graph.  [Eval.cycles_delta] must
+   return exactly what [Eval.cycles] returns on the moved set for any
+   walk of swap and grow moves, with exact hit/fallback accounting, on
+   recording and non-recording contexts alike.  On top of that, the
    portfolio built on a shared context must stay byte-identical between
    --jobs 1 and --jobs 4. *)
 
@@ -123,6 +126,98 @@ let unschedulable_match seed =
       (not (Select.covers_all_colors g patterns))
       && full <> None && fast = full
 
+(* --- delta evaluation -------------------------------------------------
+
+   [Eval.cycles_delta] must be a perfect stand-in for [Eval.cycles] on the
+   moved set: same cycle counts, same [Unschedulable] colors, for any walk
+   of random swap and grow moves, under both priorities, whether or not
+   the context records replay data.  The walk mixes covering and
+   non-covering replacement patterns so both outcomes are exercised; a
+   failed move keeps the previous set so the walk always continues from a
+   memoized state, like a rejected annealing move. *)
+
+let outcome f = match f () with c -> Ok c | exception Eval.Unschedulable cs -> Error cs
+
+(* One random move walk driven through [Eval.cycles_delta] on [evd] and
+   re-costed as a plain [Eval.cycles] of the moved list on [evf]; returns
+   false on the first disagreement. *)
+let walk_matches ~seed ~priority evd evf g =
+  let rng = Rng.create ~seed in
+  let colors = Dfg.colors g in
+  let pool =
+    Array.init 8 (fun _ ->
+        Pattern.random rng ~colors ~size:(1 + Rng.int rng capacity))
+  in
+  let prev = ref (Random_select.select rng ~colors ~capacity ~pdef:3) in
+  let ok = ref true in
+  for _ = 1 to 12 do
+    let added = Rng.choice rng pool in
+    let removed, next =
+      if Rng.bool rng || List.length !prev >= 6 then begin
+        let slot = Rng.int rng (List.length !prev) in
+        ( Some (List.nth !prev slot),
+          List.mapi (fun i p -> if i = slot then added else p) !prev )
+      end
+      else (None, !prev @ [ added ])
+    in
+    let d =
+      outcome (fun () ->
+          Eval.cycles_delta ~priority ?removed evd ~prev:!prev ~added)
+    in
+    let f = outcome (fun () -> Eval.cycles ~priority evf next) in
+    if d <> f then ok := false;
+    match d with Ok _ -> prev := next | Error _ -> ()
+  done;
+  !ok
+
+(* Replaying a suffix returns exactly what a full evaluation returns, for
+   every move of every walk, under both priorities.  (The swapped-in
+   element replaces the first occurrence of the removed pattern, which may
+   differ from the mutated slot when the set holds duplicates — the memo
+   key is an order-insensitive multiset, so the cycle counts still must
+   agree.) *)
+let delta_matches_full seed =
+  let g = random_graph ~seed in
+  List.for_all
+    (fun priority ->
+      walk_matches ~seed ~priority (Eval.make ~delta:true g) (Eval.make g) g)
+    [ Mp.F1; Mp.F2 ]
+
+(* A context made without [~delta] must give the same answers through
+   [cycles_delta] — every miss a counted fallback, nothing recorded —
+   while the recording context splits its misses exactly into hits and
+   fallbacks and saves at least one cycle per hit.  Both contexts see the
+   same move stream, so their cache accounting must agree too. *)
+let delta_accounting seed =
+  let g = random_graph ~seed in
+  let evd = Eval.make ~delta:true g in
+  let evoff = Eval.make g in
+  walk_matches ~seed ~priority:Mp.F2 evd evoff g
+  &&
+  let dh, df, ds = Eval.delta_stats evd in
+  let oh, of_, os = Eval.delta_stats evoff in
+  let dhits, dmisses = Eval.cache_stats evd in
+  let ohits, omisses = Eval.cache_stats evoff in
+  (* The off context went through plain [cycles]: no delta traffic. *)
+  oh = 0 && of_ = 0 && os = 0
+  (* Same stream, multiset-keyed caches: identical hit/miss splits. *)
+  && (dhits, dmisses) = (ohits, omisses)
+  (* Every delta-path miss resolved as a hit or a fallback, never both. *)
+  && dh + df = dmisses
+  && ds >= dh
+
+(* The same walk driven entirely through [cycles_delta] on a context made
+   without [~delta]: no replay data exists, so every miss is a counted
+   full-evaluation fallback, and nothing is ever saved. *)
+let delta_off_is_all_fallbacks seed =
+  let g = random_graph ~seed in
+  let ev = Eval.make g in
+  walk_matches ~seed ~priority:Mp.F2 ev (Eval.make g) g
+  &&
+  let h, f, s = Eval.delta_stats ev in
+  let _, misses = Eval.cache_stats ev in
+  h = 0 && s = 0 && f = misses && f > 0
+
 (* The portfolio costs every strategy on one shared context after the
    fan-in; spreading the strategy work over domains must not move a
    single byte of the ranking. *)
@@ -157,6 +252,15 @@ let () =
         [
           qtest "hits return identical counts; stats advance exactly"
             seed_gen cache_hits_are_identical;
+        ] );
+      ( "delta evaluation",
+        [
+          qtest "cycles_delta = cycles over random move walks, F1 and F2"
+            seed_gen delta_matches_full;
+          qtest "hit/fallback accounting is exact and additive" seed_gen
+            delta_accounting;
+          qtest "a non-recording context answers identically, all fallbacks"
+            seed_gen delta_off_is_all_fallbacks;
         ] );
       ( "determinism",
         [

@@ -34,11 +34,25 @@ let random_dfg_text ~seed = Core.Dfg_parse.to_string (random_graph ~seed)
 
 (* --- protocol round-trip ------------------------------------------------ *)
 
+let edit_gen =
+  let open QCheck2.Gen in
+  let name = oneofl [ "a1"; "b2"; "x9" ] in
+  oneof
+    [
+      map2
+        (fun node color -> Protocol.Add_node { node; color })
+        name
+        (oneofl [ "a"; "b"; "c" ]);
+      map (fun n -> Protocol.Remove_node n) name;
+      map2 (fun s d -> Protocol.Add_edge (s, d)) name name;
+      map2 (fun s d -> Protocol.Remove_edge (s, d)) name name;
+    ]
+
 let request_gen =
   let open QCheck2.Gen in
   let command =
     oneofl
-      Protocol.[ Select; Schedule; Pipeline; Certify; Portfolio; Stats ]
+      Protocol.[ Select; Schedule; Pipeline; Certify; Portfolio; Edit; Stats ]
   in
   let source cmd =
     match cmd with
@@ -64,10 +78,15 @@ let request_gen =
   opt (oneofl [ -1; 1000; 5_000_000 ]) >>= fun budget ->
   opt (oneofl [ 100; 1_000_000 ]) >>= fun max_nodes ->
   list_size (0 -- 3) (oneofl [ "aabcc"; "abc"; "aa" ]) >>= fun patterns ->
+  (* The codec requires a non-empty edits array exactly for [edit]. *)
+  (match command with
+  | Protocol.Edit -> list_size (1 -- 3) edit_gen
+  | _ -> return [])
+  >>= fun edits ->
   opt (map (fun n -> Json.Num (float_of_int n)) (0 -- 99)) >>= fun id ->
   return
     (Protocol.make ?id ?source ?capacity ?span ?pdef ?priority ~cluster
-       ?budget ?max_nodes ~patterns command)
+       ?budget ?max_nodes ~patterns ~edits command)
 
 let request_roundtrip r =
   match Protocol.request_of_line (Protocol.request_to_line r) with
@@ -156,8 +175,6 @@ let serve_matches_select seed =
   string_list (member_exn "select" "patterns" resp)
   = List.map Pattern.to_string direct
 
-(* --- warm = cold --------------------------------------------------------- *)
-
 (* Everything that legitimately differs between a cold and a warm answer:
    the warm bit, the cache stats, and (for certify) the search accounting
    the ban reuse changes.  The scheduling *results* must be identical. *)
@@ -168,6 +185,69 @@ let strip_volatile = function
            (fun (k, _) -> not (List.mem k [ "warm"; "stats"; "search" ]))
            fields)
   | j -> j
+
+(* --- online edits -------------------------------------------------------- *)
+
+let as_bool what = function
+  | Json.Bool b -> b
+  | _ -> Alcotest.failf "%s: expected a boolean" what
+
+(* An [edit] answer must describe exactly the graph [Session.apply_edits]
+   builds, schedule it completely, and never re-classify: the session's
+   cold-classification count stays where the base request left it, and
+   repeating the edit is pure cache traffic with an identical answer. *)
+let serve_edit_matches seed =
+  let g = random_graph ~seed in
+  let text = Core.Dfg_parse.to_string g in
+  let sess = Session.create () in
+  let select_line =
+    Json.to_line
+      (Json.Obj [ ("cmd", Json.Str "select"); ("dfg", Json.Str text) ])
+  in
+  ignore (parse_ok "edit warm-up" (Server.handle_line sess select_line));
+  let n0 = Session.classification_count sess in
+  let nodes = Core.Dfg.nodes g in
+  let anchor = Core.Dfg.name g (List.hd nodes) in
+  let color =
+    String.make 1 (Core.Color.to_char (Core.Dfg.color g (List.hd nodes)))
+  in
+  let edits =
+    [
+      Protocol.Add_node { node = "zz9"; color };
+      Protocol.Add_edge (anchor, "zz9");
+    ]
+  in
+  let line =
+    Protocol.request_to_line
+      (Protocol.make ~source:(Protocol.Dfg_text text) ~edits Protocol.Edit)
+  in
+  let resp = parse_ok "edit" (Server.handle_line sess line) in
+  let g' = Session.apply_edits g edits in
+  let expected_text = Core.Dfg_parse.to_string g' in
+  (match member_exn "edit" "dfg" resp with
+  | Json.Str s ->
+      if s <> expected_text then
+        QCheck2.Test.fail_reportf "edited dfg mismatch:\n%s\nvs\n%s" s
+          expected_text
+  | _ -> Alcotest.fail "edit: \"dfg\" must be a string");
+  let scheduled =
+    match member_exn "edit" "rows" resp with
+    | Json.Arr rows ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Json.Arr ns -> acc + List.length ns
+            | _ -> Alcotest.fail "edit: schedule row must be an array")
+          0 rows
+    | _ -> Alcotest.fail "edit: \"rows\" must be an array"
+  in
+  let repeat = parse_ok "edit repeat" (Server.handle_line sess line) in
+  scheduled = Core.Dfg.node_count g'
+  && as_bool "warm" (member_exn "edit" "warm" resp)
+  && Session.classification_count sess = n0
+  && strip_volatile repeat = strip_volatile resp
+
+(* --- warm = cold --------------------------------------------------------- *)
 
 let warm_equals_cold seed =
   let text = random_dfg_text ~seed in
@@ -240,6 +320,8 @@ let jobs_identical seed =
            [ ("id", Json.Num 3.); ("cmd", Json.Str "certify"); ("dfg", Json.Str text) ]);
       "{\"cmd\":\"portfolio\",\"graph\":\"fig4\"}";
       "definitely not json";
+      "{\"id\":4,\"cmd\":\"edit\",\"graph\":\"3dft\",\"edits\":[{\"op\":\"add_node\",\"node\":\"z1\",\"color\":\"c\"},{\"op\":\"add_edge\",\"src\":\"b1\",\"dst\":\"z1\"}]}";
+      "{\"id\":5,\"cmd\":\"edit\",\"graph\":\"3dft\",\"edits\":[{\"op\":\"add_node\",\"node\":\"z1\",\"color\":\"c\"},{\"op\":\"add_edge\",\"src\":\"b1\",\"dst\":\"z1\"}]}";
       "{\"cmd\":\"stats\"}";
     ]
   in
@@ -282,6 +364,17 @@ let test_malformed_keeps_session_alive () =
     "{\"cmd\":\"schedule\",\"graph\":\"3dft\",\"options\":{\"patterns\":[\"aa\"]}}";
   expect_error "oversized pattern"
     "{\"cmd\":\"schedule\",\"graph\":\"3dft\",\"options\":{\"patterns\":[\"aaaaaaaa\"]}}";
+  expect_error "edit without edits" "{\"cmd\":\"edit\",\"graph\":\"3dft\"}";
+  expect_error "edit with empty edits"
+    "{\"cmd\":\"edit\",\"graph\":\"3dft\",\"edits\":[]}";
+  expect_error "edits on a non-edit cmd"
+    "{\"cmd\":\"select\",\"graph\":\"3dft\",\"edits\":[{\"op\":\"remove_node\",\"node\":\"a2\"}]}";
+  expect_error "unknown edit op"
+    "{\"cmd\":\"edit\",\"graph\":\"3dft\",\"edits\":[{\"op\":\"rename\",\"node\":\"a2\"}]}";
+  expect_error "unknown edit key"
+    "{\"cmd\":\"edit\",\"graph\":\"3dft\",\"edits\":[{\"op\":\"remove_node\",\"name\":\"a2\"}]}";
+  expect_error "edit names an unknown node"
+    "{\"cmd\":\"edit\",\"graph\":\"3dft\",\"edits\":[{\"op\":\"remove_node\",\"node\":\"zzz\"}]}";
   (* After all of that, the session still answers. *)
   let resp =
     parse_ok "post-error select"
@@ -292,15 +385,25 @@ let test_malformed_keeps_session_alive () =
     [ "aabcc"; "aaaaa"; "aaacc"; "aabbc" ]
     (string_list (member_exn "select" "patterns" resp))
 
-(* The id is echoed even when the request is rejected after parsing. *)
+(* The id is echoed even when the request is rejected after parsing —
+   including rejections inside the edits array. *)
 let test_error_echoes_id () =
   let sess = Session.create () in
-  let resp = Server.handle_line sess "{\"id\":\"q7\",\"cmd\":\"select\"}" in
-  match Json.parse resp with
-  | Ok j ->
-      Alcotest.(check bool) "id echoed" true
-        (Json.member "id" j = Some (Json.Str "q7"))
-  | Error m -> Alcotest.failf "bad response JSON: %s" m
+  let check_id what line expected =
+    let resp = Server.handle_line sess line in
+    match Json.parse resp with
+    | Ok j ->
+        Alcotest.(check bool) (what ^ ": id echoed") true
+          (Json.member "id" j = Some expected)
+    | Error m -> Alcotest.failf "%s: bad response JSON: %s" what m
+  in
+  check_id "missing graph" "{\"id\":\"q7\",\"cmd\":\"select\"}" (Json.Str "q7");
+  check_id "bad edit op"
+    "{\"id\":8,\"cmd\":\"edit\",\"graph\":\"3dft\",\"edits\":[{\"op\":\"nope\"}]}"
+    (Json.Num 8.);
+  check_id "bad edit key"
+    "{\"id\":9,\"cmd\":\"edit\",\"graph\":\"3dft\",\"edits\":[{\"op\":\"add_edge\",\"src\":\"b1\",\"to\":\"a2\"}]}"
+    (Json.Num 9.)
 
 (* Per-request cache stats are deltas; session stats are cumulative. *)
 let test_cache_stats_accumulate () =
@@ -342,6 +445,12 @@ let () =
             serve_matches_pipeline;
           qtest ~count:10 "serve select = Select.select" seed_gen
             serve_matches_select;
+        ] );
+      ( "online edits",
+        [
+          qtest ~count:8
+            "edit answers apply_edits' graph without re-classifying" seed_gen
+            serve_edit_matches;
         ] );
       ( "warm state",
         [
