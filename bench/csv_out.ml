@@ -140,36 +140,46 @@ let exact_gap_csv path =
     ];
   Csv.save ~path csv
 
-(* One full pipeline run per workload under an Obs collector, every counter
-   as one CSV row — work-size metrics (antichains enumerated, candidates
-   scored, schedule cycles) to plot against the timing benchmarks. *)
+(* One full pipeline run per (workload, strategy) under an Obs collector,
+   every counter as one CSV row — work-size metrics (antichains enumerated,
+   candidates scored, schedule cycles) to plot against the timing
+   benchmarks.  Workloads are the base Suite corpus; the auto runs add the
+   select.auto.* decision counters next to the eq8 baseline. *)
 let obs_counters_csv path =
   let csv =
     Csv.create
-      ~header:[ "workload"; "counter"; "kind"; "samples"; "total"; "min"; "max" ]
+      ~header:
+        [ "workload"; "strategy"; "counter"; "kind"; "samples"; "total";
+          "min"; "max" ]
   in
   List.iter
     (fun (name, g) ->
-      let obs = Obs.create () in
-      let (_ : Pipeline.t) = Obs.run obs (fun () -> Pipeline.run g) in
       List.iter
-        (fun (c : Obs.counter) ->
-          Csv.add_row csv
-            [
-              name;
-              c.Obs.name;
-              (match c.Obs.kind with Obs.Sum -> "sum" | Obs.Dist -> "dist");
-              string_of_int c.Obs.samples;
-              string_of_int c.Obs.total;
-              string_of_int c.Obs.vmin;
-              string_of_int c.Obs.vmax;
-            ])
-        (Obs.counters obs))
-    [
-      ("3dft", Pg.fig2_3dft ());
-      ("w5dft", Program.dfg (Dft.winograd5 ()));
-      ("fft8", Program.dfg (Dft.radix2_fft ~n:8));
-    ];
+        (fun (sname, strategy) ->
+          let obs = Obs.create () in
+          let options = { Pipeline.default_options with Pipeline.strategy } in
+          let (_ : Pipeline.t) =
+            Obs.run obs (fun () -> Pipeline.run ~options g)
+          in
+          List.iter
+            (fun (c : Obs.counter) ->
+              Csv.add_row csv
+                [
+                  name;
+                  sname;
+                  c.Obs.name;
+                  (match c.Obs.kind with Obs.Sum -> "sum" | Obs.Dist -> "dist");
+                  string_of_int c.Obs.samples;
+                  string_of_int c.Obs.total;
+                  string_of_int c.Obs.vmin;
+                  string_of_int c.Obs.vmax;
+                ])
+            (Obs.counters obs))
+        [
+          ("eq8", Core.Auto.Paper);
+          ("auto", Core.Auto.Auto Core.Auto.builtin_rules);
+        ])
+    (Core.Suite.graphs ());
   Csv.save ~path csv
 
 let run_all () =

@@ -12,8 +12,9 @@
      mpsched workload   NAME             -- dump a built-in workload as a graph file
 
    GRAPH is a DFG text file ("node <name> <color>" / "edge <src> <dst>"
-   lines), a Graphviz .dot file in the subset Dfg_parse accepts, or one of
-   the built-in names (3dft, fig4, w3dft, w5dft, fft8, dct8).
+   lines), a Graphviz .dot file in the subset Dfg_parse accepts, or any
+   name from the built-in workload corpus (3dft, fig4, fft8, dct8, ... —
+   `mpsched workload` with no valid name lists all of them).
 
    Most phase subcommands take --stats (per-phase timing/counter summary on
    stderr) and --trace FILE (Chrome trace-event JSON); neither changes the
@@ -83,6 +84,42 @@ let or_fail = function
   | Error m ->
       prerr_endline ("mpsched: " ^ m);
       exit 1
+
+(* --strategy / --rules: the selector choice shared by select and
+   pipeline.  The rule table defaults to the compiled-in one; --rules
+   loads an alternative through the validating loader. *)
+
+let strategy_arg =
+  Arg.(
+    value & opt string "eq8"
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Selection strategy: $(b,eq8) (the paper's Eq. 8/9 heuristic, \
+           the default) or $(b,auto) (per-graph dispatch of one portfolio \
+           backend from the graph's feature vector).")
+
+let rules_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"FILE"
+        ~doc:
+          "Rule-table JSON for $(b,--strategy auto), as written by \
+           $(b,bench --fit-selector); omitted, the compiled-in table is \
+           used.")
+
+let strategy_of strategy rules =
+  let loaded =
+    match rules with
+    | None -> None
+    | Some path -> (
+        match C.Auto.load path with
+        | Ok r -> Some r
+        | Error m -> or_fail (Error (Printf.sprintf "--rules %s: %s" path m)))
+  in
+  match C.Auto.strategy_of_string ?rules:loaded strategy with
+  | Ok st -> st
+  | Error m -> or_fail (Error m)
 
 (* -p PATTERN operands, validated against the machine capacity so an
    oversized spelling fails with a clear message instead of scheduling
@@ -238,8 +275,10 @@ let print_exact_stats (ct : C.Exact.certificate) =
     (List.length ct.C.Exact.bans)
 
 let select_cmd =
-  let run spec capacity span pdef verbose certify jobs stats trace_out =
+  let run spec capacity span pdef strategy rules verbose certify jobs stats
+      trace_out =
     let g = or_fail (load_graph spec) in
+    let strategy = strategy_of strategy rules in
     with_obs stats trace_out @@ fun () ->
     with_session jobs @@ fun sess ->
     let entry, _ = Session.intern sess g in
@@ -253,20 +292,36 @@ let select_cmd =
         span_limit = span_of span;
         pdef;
         enumeration_budget = None;
+        strategy;
       }
     in
-    let report, _ = Session.select_report sess entry ~options:sel_options in
-    List.iteri
-      (fun i step ->
-        Printf.printf "%d: %s%s  (priority %.2f)\n" (i + 1)
-          (C.Pattern.to_string step.C.Select.chosen)
-          (if step.C.Select.fallback then " [fallback]" else "")
-          step.C.Select.priority;
-        if verbose then
-          List.iter
-            (fun (p, f) -> Printf.printf "     %-8s %.2f\n" (C.Pattern.to_string p) f)
-            step.C.Select.priorities)
-      report.C.Select.steps;
+    (match strategy with
+    | C.Auto.Paper ->
+        let report, _ =
+          Session.select_report sess entry ~options:sel_options
+        in
+        List.iteri
+          (fun i step ->
+            Printf.printf "%d: %s%s  (priority %.2f)\n" (i + 1)
+              (C.Pattern.to_string step.C.Select.chosen)
+              (if step.C.Select.fallback then " [fallback]" else "")
+              step.C.Select.priority;
+            if verbose then
+              List.iter
+                (fun (p, f) ->
+                  Printf.printf "     %-8s %.2f\n" (C.Pattern.to_string p) f)
+                step.C.Select.priorities)
+          report.C.Select.steps
+    | C.Auto.Auto table ->
+        let o, _ =
+          Session.auto_select sess entry ~options:sel_options ~rules:table
+        in
+        Printf.printf "backend: %s  (rule %d: %s)\n" o.C.Auto.backend
+          o.C.Auto.rule_index o.C.Auto.rule.C.Auto.provenance;
+        Printf.printf "patterns: %s\n" (pattern_list o.C.Auto.patterns);
+        if o.C.Auto.cycles = max_int then print_endline "unschedulable"
+        else Printf.printf "%d cycles\n" o.C.Auto.cycles;
+        if verbose then Format.printf "%a@." C.Features.pp o.C.Auto.features);
     if certify then begin
       let options =
         {
@@ -308,8 +363,9 @@ let select_cmd =
   Cmd.v
     (Cmd.info "select" ~doc:"Run the pattern selection algorithm (§5.2)")
     Term.(
-      const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ verbose
-      $ certify $ jobs_arg $ stats_arg $ trace_out_arg)
+      const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg
+      $ strategy_arg $ rules_arg $ verbose $ certify $ jobs_arg $ stats_arg
+      $ trace_out_arg)
 
 (* --- exact --- *)
 
@@ -424,8 +480,9 @@ let schedule_cmd =
 (* --- pipeline --- *)
 
 let pipeline_cmd =
-  let run spec capacity span pdef cluster jobs stats trace_out =
+  let run spec capacity span pdef strategy rules cluster jobs stats trace_out =
     let g = or_fail (load_graph spec) in
+    let strategy = strategy_of strategy rules in
     with_obs stats trace_out @@ fun () ->
     let options =
       {
@@ -434,11 +491,17 @@ let pipeline_cmd =
         span_limit = span_of span;
         pdef;
         cluster;
+        strategy;
       }
     in
     let t =
       with_session jobs (fun sess -> fst (Session.pipeline sess g ~options))
     in
+    (match t.C.Pipeline.auto with
+    | Some o ->
+        Printf.printf "auto: dispatched %s  (rule %d: %s)\n" o.C.Auto.backend
+          o.C.Auto.rule_index o.C.Auto.rule.C.Auto.provenance
+    | None -> ());
     Format.printf "%a@." C.Pipeline.pp_summary t;
     Format.printf "%a@." (C.Schedule.pp t.C.Pipeline.graph) t.C.Pipeline.schedule
   in
@@ -448,8 +511,9 @@ let pipeline_cmd =
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Full flow: select, schedule, configuration report")
     Term.(
-      const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ cluster
-      $ jobs_arg $ stats_arg $ trace_out_arg)
+      const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg
+      $ strategy_arg $ rules_arg $ cluster $ jobs_arg $ stats_arg
+      $ trace_out_arg)
 
 (* --- portfolio --- *)
 

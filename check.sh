@@ -3,8 +3,10 @@
 # the observability no-perturbation gate, the serve smoke gate (golden
 # stream, error recovery, --jobs invariance, warm >= 3x cold), the delta
 # smoke gate (suffix replay leaves counters and the serve edit stream
-# byte-identical at any --jobs), the exact-search smoke gate, and the
-# scaling benchmark in smoke mode at --jobs 1 and --jobs 4.
+# byte-identical at any --jobs), the selector gate (auto smoke, counter
+# jobs-invariance, rules-file round-trip, regret/speedup in release), the
+# exact-search smoke gate, and the scaling benchmark in smoke mode at
+# --jobs 1 and --jobs 4.
 #
 #   ./check.sh          # the whole gate
 #   ./check.sh --fast   # build + tests only
@@ -146,6 +148,48 @@ if ! cmp -s test/cli/serve_smoke.expected "$tmp1"; then
 fi
 echo "  ok: serve edit stream at --jobs 4 matches the committed golden"
 
+say "selector: auto smoke, --stats jobs invariance, rules-file round-trip"
+# --strategy auto must dispatch a backend on the paper graphs, its
+# select.auto.* counter rows must be byte-identical at --jobs 1 and
+# --jobs 4, and loading the checked-in rule file must reproduce the
+# compiled-in table's decision exactly.
+dune exec --no-build bin/mpsched.exe -- select 3dft --strategy auto > "$tmp1"
+if ! grep -q '^backend:' "$tmp1"; then
+  echo "FAIL: select --strategy auto printed no backend decision" >&2
+  cat "$tmp1" >&2
+  exit 1
+fi
+if ! dune exec --no-build bin/mpsched.exe -- pipeline fig4 --strategy auto \
+    | grep -q '^auto: dispatched'; then
+  echo "FAIL: pipeline --strategy auto printed no auto dispatch line" >&2
+  exit 1
+fi
+echo "  ok: auto dispatches on 3dft and fig4"
+dune exec --no-build bin/mpsched.exe -- select 3dft --strategy auto \
+  --stats --jobs 1 2>&1 >/dev/null | grep '| select\.auto' > "$tmp1"
+dune exec --no-build bin/mpsched.exe -- select 3dft --strategy auto \
+  --stats --jobs 4 2>&1 >/dev/null | grep '| select\.auto' > "$tmp4"
+if ! cmp -s "$tmp1" "$tmp4"; then
+  echo "FAIL: select.auto.* counters differ between --jobs 1 and --jobs 4" >&2
+  diff "$tmp1" "$tmp4" >&2
+  exit 1
+fi
+if ! grep -q 'select\.auto\.requests' "$tmp1"; then
+  echo "FAIL: --stats shows no select.auto.requests counter" >&2
+  cat "$tmp1" >&2
+  exit 1
+fi
+echo "  ok: select.auto.* counters identical across --jobs"
+dune exec --no-build bin/mpsched.exe -- select 3dft --strategy auto > "$tmp1"
+dune exec --no-build bin/mpsched.exe -- select 3dft --strategy auto \
+  --rules results/selector_rules.json > "$tmp4"
+if ! cmp -s "$tmp1" "$tmp4"; then
+  echo "FAIL: --rules results/selector_rules.json diverges from builtin" >&2
+  diff "$tmp1" "$tmp4" >&2
+  exit 1
+fi
+echo "  ok: checked-in rule file loads and matches the compiled-in table"
+
 say "serve throughput benchmark (smoke: warm >= 3x cold at --jobs 4)"
 # Exits 1 if any generated request fails, the response stream differs
 # between --jobs 1 and --jobs 4, or the warm repeat-graph mix falls under
@@ -172,6 +216,13 @@ say "eval-ops microbenchmark (smoke, release profile)"
 # the delta move stream falls under 3x faster than warm full re-evaluation
 # (with any hit/fallback/cache miscount on the stream also fatal).
 dune exec --no-build --profile release bench/main.exe -- --eval-ops --smoke
+
+say "selector regret gate (smoke, release profile)"
+# Exits 1 if the checked-in rule file diverges from the compiled-in table,
+# an auto decision is not its portfolio entry verbatim (same pattern list,
+# same cycles), median regret over the base corpus exceeds 5%, or auto
+# saves less than 3x the full portfolio's selection wall-clock.
+dune exec --no-build --profile release bench/main.exe -- --selector --smoke
 
 say "scaling benchmark (smoke, --jobs 1)"
 dune exec --no-build bench/main.exe -- --scaling --smoke --jobs 1

@@ -59,6 +59,8 @@ module Beam = Mps_select.Beam
 module Shared = Mps_select.Shared
 module Priority_variants = Mps_select.Priority_variants
 module Portfolio = Mps_select.Portfolio
+module Features = Mps_select.Features
+module Auto = Mps_select.Auto
 
 (* Expression frontend (Transformation phase, [3]) *)
 module Opcode = Mps_frontend.Opcode
@@ -83,6 +85,7 @@ module Cordic = Mps_workloads.Cordic
 module Ofdm = Mps_workloads.Ofdm
 module Loops = Mps_workloads.Loops
 module Random_dag = Mps_workloads.Random_dag
+module Suite = Mps_workloads.Suite
 
 (* Montium tile model (§1, Fig. 1) *)
 module Tile = Mps_montium.Tile

@@ -5,6 +5,8 @@ module Enumerate = Mps_antichain.Enumerate
 module Classify = Mps_antichain.Classify
 module Select = Mps_select.Select
 module Exact = Mps_select.Exact
+module Auto = Mps_select.Auto
+module Features = Mps_select.Features
 module Mp = Mps_scheduler.Multi_pattern
 module Eval = Mps_scheduler.Eval
 module Schedule = Mps_scheduler.Schedule
@@ -24,6 +26,7 @@ type options = {
   span_limit : int option;
   enumeration_budget : int option;
   selection : Select.params;
+  strategy : Auto.strategy;
   priority : Mp.pattern_priority;
   cluster : bool;
   tile : Tile.t;
@@ -37,6 +40,7 @@ let default_options =
     span_limit = Some 1;
     enumeration_budget = Some 5_000_000;
     selection = Select.default_params;
+    strategy = Auto.Paper;
     priority = Mp.F2;
     cluster = false;
     tile = Tile.default;
@@ -53,6 +57,7 @@ type t = {
   truncated : bool;
   patterns : Pattern.t list;
   selection_report : Select.report;
+  auto : Auto.outcome option;
   schedule : Schedule.t;
   cycles : int;
   config : Config_space.t;
@@ -69,16 +74,29 @@ let validate_options ~who options =
    classified graph sharing the classification's universe; the schedule it
    produces is identical to a fresh context's (see {!Mps_scheduler.Eval}),
    only the per-graph analyses are amortized. *)
-let classified_core ~options ~clustering ~eval classify =
+let classified_core ~options ~clustering ~eval ~features classify =
   let graph = Classify.graph classify in
   let universe = Classify.universe classify in
-  let selection_report =
-    Select.select_report ~params:options.selection ~pdef:options.pdef classify
+  (* The evaluation context is built before selection so the auto strategy
+     can reuse its analyses for feature extraction and cost its backend's
+     set on it; building it never emits observability events, so the Paper
+     path is byte-identical to the old build-after-selection order. *)
+  let ev = match eval with Some ev -> ev | None -> Eval.make ~universe graph in
+  let selection_report, auto =
+    match options.strategy with
+    | Auto.Paper ->
+        ( Select.select_report ~params:options.selection ~pdef:options.pdef
+            classify,
+          None )
+    | Auto.Auto rules ->
+        let outcome =
+          Auto.select ~rules ?features ~eval:ev ~pdef:options.pdef classify
+        in
+        ({ Select.patterns = outcome.Auto.patterns; steps = [] }, Some outcome)
   in
   let patterns = selection_report.Select.patterns in
   (* Full-fidelity schedule through an evaluation context — the same
      engine every search strategy costs candidates on. *)
-  let ev = match eval with Some ev -> ev | None -> Eval.make ~universe graph in
   let { Mp.schedule; _ } =
     Eval.schedule ~priority:options.priority ev ~patterns
   in
@@ -92,6 +110,7 @@ let classified_core ~options ~clustering ~eval classify =
     truncated = Classify.truncated classify;
     patterns;
     selection_report;
+    auto;
     schedule;
     cycles = Schedule.cycles schedule;
     config =
@@ -99,10 +118,11 @@ let classified_core ~options ~clustering ~eval classify =
           Config_space.of_schedule ~tile:options.tile schedule);
   }
 
-let run_classified ?(options = default_options) ?clustering ?eval classify =
+let run_classified ?(options = default_options) ?clustering ?eval ?features
+    classify =
   validate_options ~who:"Pipeline.run_classified" options;
   Obs.span "pipeline" @@ fun () ->
-  classified_core ~options ~clustering ~eval classify
+  classified_core ~options ~clustering ~eval ~features classify
 
 let run ?pool ?(options = default_options) dfg =
   validate_options ~who:"Pipeline.run" options;
@@ -131,7 +151,7 @@ let run ?pool ?(options = default_options) dfg =
         Pool.with_pool ~jobs:options.jobs (fun p -> classify_with (Some p))
     | None -> classify_with None
   in
-  classified_core ~options ~clustering ~eval:None classify
+  classified_core ~options ~clustering ~eval:None ~features:None classify
 
 type certification = {
   heuristic : Pattern.t list;

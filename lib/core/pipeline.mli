@@ -18,6 +18,10 @@ type options = {
           width); when hit, {!t.truncated} is set and selection works on
           the visited prefix. *)
   selection : Mps_select.Select.params;
+  strategy : Mps_select.Auto.strategy;
+      (** Which selector runs: [Paper] (the default) is the faithful
+          Eq. 8/9 heuristic; [Auto rules] dispatches one portfolio backend
+          per graph from its feature vector ({!Mps_select.Auto}). *)
   priority : Mps_scheduler.Multi_pattern.pattern_priority;
   cluster : bool;  (** Fuse multiply-accumulate pairs first. *)
   tile : Mps_montium.Tile.t;
@@ -29,8 +33,8 @@ type options = {
 
 val default_options : options
 (** capacity 5, pdef 4, span limit 1, a 5-million-antichain enumeration
-    budget, paper selection params, F2 priority, no clustering, default
-    tile, jobs 1. *)
+    budget, paper selection params, [Paper] strategy, F2 priority, no
+    clustering, default tile, jobs 1. *)
 
 type t = {
   options : options;
@@ -45,6 +49,12 @@ type t = {
   truncated : bool;  (** The enumeration budget cut pattern generation short. *)
   patterns : Mps_pattern.Pattern.t list;  (** The selected patterns. *)
   selection_report : Mps_select.Select.report;
+      (** Eq. 8/9 step log when [strategy] is [Paper]; under [Auto] the
+          report carries the dispatched backend's patterns with an empty
+          step list (the decision evidence lives in {!t.auto}). *)
+  auto : Mps_select.Auto.outcome option;
+      (** The auto-selector's decision (matched rule, features, backend)
+          when [strategy] is [Auto]; [None] under [Paper]. *)
   schedule : Mps_scheduler.Schedule.t;
   cycles : int;
   config : Mps_montium.Config_space.t;
@@ -62,6 +72,7 @@ val run_classified :
   ?options:options ->
   ?clustering:Mps_clustering.Cluster.t ->
   ?eval:Mps_scheduler.Eval.t ->
+  ?features:Mps_select.Features.t ->
   Mps_antichain.Classify.t ->
   t
 (** The flow from an already-computed classification on: selection,
@@ -73,7 +84,10 @@ val run_classified :
     {!t.clustering} verbatim for callers that clustered upstream; [eval]
     reuses a warm evaluation context for the classified graph (it must
     share the classification's universe) instead of building one — the
-    schedule is identical either way. *)
+    schedule is identical either way.  [features], meaningful only under
+    an [Auto] strategy, is a pre-extracted feature vector for the
+    classified graph (the serve session passes its fingerprint-keyed
+    cache); when absent the auto path derives it from [eval]'s analyses. *)
 
 type certification = {
   heuristic : Mps_pattern.Pattern.t list;

@@ -467,11 +467,15 @@ let finish e =
   | Cycles c -> c
   | Failed colors -> raise (Unschedulable colors)
 
-(* [ids] are key-arena ids, in the caller's pattern order (which decides
-   score ties exactly as the list scheduler's pattern order does). *)
+(* [ids] are key-arena ids, in the caller's pattern order.  The key MUST
+   preserve that order: list position decides score ties in the scheduler,
+   so two orderings of the same multiset can legitimately produce
+   different schedules (harvest:greedy vs variant:raw-count on dct8 — 24
+   vs 25 cycles — caught by the auto-selector's identity gate).  An
+   earlier revision sorted here and made those orderings collide. *)
 let key_of_ids priority ids =
   (match priority with F1 -> 0 | F2 -> 1)
-  :: List.sort Int.compare (List.map Pattern.Id.to_int ids)
+  :: List.map Pattern.Id.to_int ids
 
 let cache_hit t e =
   t.hits <- t.hits + 1;

@@ -19,10 +19,12 @@
 
     {2 The memo cache}
 
-    The cache key is the canonical sorted multiset of pattern ids (interned
-    in a private arena owned by the context) plus the pattern priority, so
-    logically-equal pattern sets hit whatever order or [Pattern.t] copies
-    the caller holds.  Hits and misses are reported through the
+    The cache key is the pattern-id {e list} (interned in a private arena
+    owned by the context, so [Pattern.t] copies don't matter) plus the
+    pattern priority.  Order is part of the key on purpose: list position
+    decides score ties in the scheduler, so two orderings of one multiset
+    can produce different schedules and must not share an entry.  Hits and
+    misses are reported through the
     [eval.cache.hits] / [eval.cache.misses] counters, and a hit {e replays}
     the counter aggregates of the evaluation it skips
     ([schedule.ready]/[schedule.placed]/[schedule.cycles], via
@@ -93,8 +95,8 @@ val node_priority : t -> Node_priority.t
 val cycles :
   ?priority:pattern_priority -> t -> Mps_pattern.Pattern.t list -> int
 (** Schedule length of the pattern set on the context's graph — the fast
-    path: dense-array list scheduling, memoized per (sorted pattern
-    multiset, priority).  Exactly
+    path: dense-array list scheduling, memoized per (pattern list,
+    priority).  Exactly
     [Schedule.cycles (Multi_pattern.schedule ~patterns g).schedule], with
     the same tie-breaking (earliest pattern in the given order wins equal
     scores).

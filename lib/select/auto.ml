@@ -1,0 +1,326 @@
+module Pattern = Mps_pattern.Pattern
+module Classify = Mps_antichain.Classify
+module Eval = Mps_scheduler.Eval
+module Obs = Mps_obs.Obs
+module Json = Mps_util.Json
+
+type op = Le | Gt
+
+type cond = { feature : string; op : op; threshold : float }
+
+type rule = { conds : cond list; backend : string; provenance : string }
+
+type rules = rule list
+
+(* Fit on the bench corpus by `bench --fit-selector` (results/selector_rules.json
+   is the serialized mirror; `bench --selector` gates that the two agree).
+   Reading the table: the fit found graph size alone separates the corpus —
+   harvest:greedy wins the small kernels (its exhaustive greedy harvest is
+   near-exact there) and the very largest (where beam's pool bookkeeping
+   stops paying), while beam takes the mid-size band where local search
+   recovers what one greedy pass misses. *)
+let builtin_rules =
+  [
+    {
+      conds = [ { feature = "edges"; op = Le; threshold = 39.5 } ];
+      backend = "harvest:greedy";
+      provenance =
+        "3dft adv-mono adv-rainbow adv-wide dft4 fig4 horner16 iir4 mm222 \
+         mm232 w3dft";
+    };
+    {
+      conds = [ { feature = "edges"; op = Le; threshold = 248. } ];
+      backend = "beam";
+      provenance = "adv-big adv-deep adv-dense dct8 fft8 fir16 fir8 w5dft";
+    };
+    { conds = []; backend = "harvest:greedy"; provenance = "default: fft16" };
+  ]
+
+let op_to_string = function Le -> "le" | Gt -> "gt"
+
+let op_of_string = function
+  | "le" -> Ok Le
+  | "gt" -> Ok Gt
+  | s -> Error (Printf.sprintf "unknown op %S (want \"le\" or \"gt\")" s)
+
+let validate rules =
+  let rec go i = function
+    | [] -> Error "empty rule table"
+    | [ { conds = []; _ } ] -> Ok rules
+    | [ _ ] -> Error (Printf.sprintf "rule %d: last rule must be unconditional" i)
+    | { conds = []; _ } :: _ :: _ ->
+        Error
+          (Printf.sprintf
+             "rule %d: unconditional rule before the end is unreachable below" i)
+    | _ :: rest -> go (i + 1) rest
+  in
+  let check_rule i r =
+    if not (List.mem r.backend Portfolio.strategy_names) then
+      Error (Printf.sprintf "rule %d: unknown backend %S" i r.backend)
+    else
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+              if List.mem c.feature Features.names then Ok ()
+              else Error (Printf.sprintf "rule %d: unknown feature %S" i c.feature))
+        (Ok ()) r.conds
+  in
+  let rec check i = function
+    | [] -> go 0 rules
+    | r :: rest -> ( match check_rule i r with Ok () -> check (i + 1) rest | Error e -> Error e)
+  in
+  check 0 rules
+
+let cond_to_json c =
+  Json.Obj
+    [
+      ("feature", Json.Str c.feature);
+      ("op", Json.Str (op_to_string c.op));
+      ("threshold", Json.Num c.threshold);
+    ]
+
+let to_json rules =
+  Json.Obj
+    [
+      ("version", Json.Num 1.0);
+      ("features", Json.Arr (List.map (fun n -> Json.Str n) Features.names));
+      ( "backends",
+        Json.Arr (List.map (fun n -> Json.Str n) Portfolio.strategy_names) );
+      ( "rules",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("if", Json.Arr (List.map cond_to_json r.conds));
+                   ("backend", Json.Str r.backend);
+                   ("provenance", Json.Str r.provenance);
+                 ])
+             rules) );
+    ]
+
+let ( let* ) = Result.bind
+
+let cond_of_json j =
+  match (Json.member "feature" j, Json.member "op" j, Json.member "threshold" j) with
+  | Some (Json.Str feature), Some (Json.Str op), Some (Json.Num threshold) ->
+      let* op = op_of_string op in
+      Ok { feature; op; threshold }
+  | _ -> Error "condition must be {\"feature\":str,\"op\":str,\"threshold\":num}"
+
+let rule_of_json j =
+  match (Json.member "if" j, Json.member "backend" j, Json.member "provenance" j) with
+  | Some (Json.Arr conds), Some (Json.Str backend), Some (Json.Str provenance) ->
+      let* conds =
+        List.fold_left
+          (fun acc c ->
+            let* acc = acc in
+            let* c = cond_of_json c in
+            Ok (c :: acc))
+          (Ok []) conds
+      in
+      Ok { conds = List.rev conds; backend; provenance }
+  | _ ->
+      Error "rule must be {\"if\":[cond,...],\"backend\":str,\"provenance\":str}"
+
+let of_json j =
+  match Json.member "rules" j with
+  | Some (Json.Arr rules) ->
+      let* rules =
+        List.fold_left
+          (fun acc r ->
+            let* acc = acc in
+            let* r = rule_of_json r in
+            Ok (r :: acc))
+          (Ok []) rules
+      in
+      validate (List.rev rules)
+  | Some _ -> Error "\"rules\" must be an array"
+  | None -> Error "missing \"rules\" member"
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> (
+      match Json.parse text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok j -> (
+          match of_json j with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok rules -> Ok rules))
+
+(* {1 Selection} *)
+
+type outcome = {
+  backend : string;
+  rule_index : int;
+  rule : rule;
+  features : Features.t;
+  patterns : Pattern.t list;
+  cycles : int;
+}
+
+let cond_holds features c =
+  match Features.get features c.feature with
+  | None -> false
+  | Some v -> ( match c.op with Le -> v <= c.threshold | Gt -> v > c.threshold)
+
+let match_rule rules features =
+  let rec go i = function
+    | [] -> assert false (* validate: terminal rule is unconditional *)
+    | r :: rest ->
+        if List.for_all (cond_holds features) r.conds then (i, r)
+        else go (i + 1) rest
+  in
+  go 0 rules
+
+let select ?(rules = builtin_rules) ?features ?eval ?beam_width ~pdef classify =
+  if pdef < 1 then invalid_arg "Auto.select: pdef must be >= 1";
+  (match validate rules with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Auto.select: invalid rule table: " ^ e));
+  Obs.span "auto" @@ fun () ->
+  let g = Classify.graph classify in
+  let features =
+    match (features, eval) with
+    | Some f, _ -> f
+    | None, Some e ->
+        Features.extract_with ~levels:(Eval.levels e)
+          ~reachability:(Eval.reachability e) g
+    | None, None -> Features.extract g
+  in
+  let rule_index, rule = match_rule rules features in
+  let thunk =
+    match List.assoc_opt rule.backend (Portfolio.strategies ?beam_width ~pdef classify) with
+    | Some t -> t
+    | None -> assert false (* validate: backend is a strategy_names member *)
+  in
+  let patterns, known = thunk () in
+  let cycles =
+    match known with
+    | Some c -> c
+    | None ->
+        if patterns = [] then max_int
+        else
+          let ectx = match eval with Some e -> e | None -> Eval.make g in
+          (match Eval.cycles ectx patterns with
+          | c -> c
+          | exception Eval.Unschedulable _ -> max_int)
+  in
+  Obs.count "select.auto.requests" 1;
+  Obs.observe "select.auto.rule" rule_index;
+  if cycles <> max_int then Obs.observe "select.auto.cycles" cycles;
+  Obs.count ("select.auto.backend." ^ rule.backend) 1;
+  { backend = rule.backend; rule_index; rule; features; patterns; cycles }
+
+(* {1 Strategy choice} *)
+
+type strategy = Paper | Auto of rules
+
+let strategy_of_string ?(rules = builtin_rules) = function
+  | "paper" | "eq8" -> Ok Paper
+  | "auto" -> Ok (Auto rules)
+  | s -> Error (Printf.sprintf "unknown strategy %S (want \"eq8\" or \"auto\")" s)
+
+(* {1 Offline fitting} *)
+
+type example = {
+  name : string;
+  example_features : Features.t;
+  costs : (string * int) list;
+}
+
+let acceptable_backends tolerance ex =
+  let best =
+    List.fold_left (fun acc (_, c) -> min acc c) max_int ex.costs
+  in
+  if best = max_int then List.map fst ex.costs
+  else
+    let limit = float_of_int best *. (1.0 +. tolerance) in
+    List.filter_map
+      (fun (b, c) ->
+        if c <> max_int && float_of_int c <= limit then Some b else None)
+      ex.costs
+
+let fit ?(tolerance = 0.05) examples =
+  if examples = [] then invalid_arg "Auto.fit: empty example list";
+  let acc_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ex -> Hashtbl.replace acc_tbl ex.name (acceptable_backends tolerance ex))
+    examples;
+  let accepts ex backend = List.mem backend (Hashtbl.find acc_tbl ex.name) in
+  let feature_of ex name =
+    match Features.get ex.example_features name with
+    | Some v -> v
+    | None -> assert false
+  in
+  let provenance_of covered =
+    String.concat " " (List.sort compare (List.map (fun ex -> ex.name) covered))
+  in
+  (* The best pure single-condition rule on [remaining], walking candidates
+     in tie-break order (portfolio backend order, feature order, Le before
+     Gt, ascending threshold) and keeping only strictly better coverage. *)
+  let best_pure remaining =
+    let best = ref None in
+    let consider backend cond =
+      let covered = List.filter (fun ex -> cond_holds ex.example_features cond) remaining in
+      if covered <> [] && List.for_all (fun ex -> accepts ex backend) covered then
+        let n = List.length covered in
+        match !best with
+        | Some (_, _, m) when m >= n -> ()
+        | _ -> best := Some ({ conds = [ cond ]; backend; provenance = provenance_of covered }, covered, n)
+    in
+    List.iter
+      (fun backend ->
+        List.iter
+          (fun feature ->
+            let values =
+              List.map (fun ex -> feature_of ex feature) remaining
+              |> List.sort_uniq compare
+            in
+            let thresholds =
+              let rec mids = function
+                | a :: (b :: _ as rest) -> ((a +. b) /. 2.0) :: mids rest
+                | _ -> []
+              in
+              mids values
+            in
+            List.iter
+              (fun op ->
+                List.iter
+                  (fun threshold -> consider backend { feature; op; threshold })
+                  thresholds)
+              [ Le; Gt ])
+          Features.names)
+      Portfolio.strategy_names;
+    !best
+  in
+  let default_rule remaining =
+    let pool = if remaining = [] then examples else remaining in
+    let backend =
+      List.fold_left
+        (fun acc backend ->
+          let n = List.length (List.filter (fun ex -> accepts ex backend) pool) in
+          match acc with
+          | Some (_, m) when m >= n -> acc
+          | _ -> Some (backend, n))
+        None Portfolio.strategy_names
+      |> Option.get |> fst
+    in
+    { conds = []; backend; provenance = "default: " ^ provenance_of pool }
+  in
+  let rec go remaining acc =
+    match remaining with
+    | [] -> List.rev (default_rule remaining :: acc)
+    | _ -> (
+        match best_pure remaining with
+        | None -> List.rev (default_rule remaining :: acc)
+        | Some (rule, covered, _) ->
+            let rest =
+              List.filter (fun ex -> not (List.memq ex covered)) remaining
+            in
+            go rest (rule :: acc))
+  in
+  go examples []

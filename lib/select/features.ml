@@ -1,0 +1,126 @@
+module Dfg = Mps_dfg.Dfg
+module Levels = Mps_dfg.Levels
+module Reachability = Mps_dfg.Reachability
+module Json = Mps_util.Json
+
+type t = {
+  nodes : int;
+  edges : int;
+  colors : int;
+  max_color_share : float;
+  depth : int;
+  max_width : int;
+  mean_width : float;
+  width_histogram : (int * int) list;
+  parallelism : float;
+  antichain_log2 : float;
+}
+
+(* log2 (2^w - 1), computed without overflow for any level width: for w
+   beyond float precision the -1 is invisible and the answer is just w. *)
+let log2_pow2m1 w =
+  if w <= 0 then 0.0
+  else if w >= 53 then float_of_int w
+  else log ((2.0 ** float_of_int w) -. 1.0) /. log 2.0
+
+(* log2 (2^a + 2^b) via the larger exponent, stable for far-apart terms. *)
+let log2_add a b =
+  let hi = Float.max a b and lo = Float.min a b in
+  if hi -. lo > 60.0 then hi
+  else hi +. (log (1.0 +. (2.0 ** (lo -. hi))) /. log 2.0)
+
+let extract_with ~levels ~reachability g =
+  let n = Dfg.node_count g in
+  let counts = Dfg.color_counts g in
+  let max_count = List.fold_left (fun acc (_, c) -> max acc c) 0 counts in
+  let depth = Levels.asap_max levels + 1 in
+  let widths = Array.make (max depth 1) 0 in
+  Dfg.iter_nodes (fun id -> let l = Levels.asap levels id in
+                            widths.(l) <- widths.(l) + 1) g;
+  let hist = Hashtbl.create 8 in
+  Array.iter
+    (fun w ->
+      if w > 0 then
+        Hashtbl.replace hist w (1 + Option.value ~default:0 (Hashtbl.find_opt hist w)))
+    widths;
+  let width_histogram =
+    Hashtbl.fold (fun w c acc -> (w, c) :: acc) hist []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let levels_used = List.fold_left (fun acc (_, c) -> acc + c) 0 width_histogram in
+  let max_width = List.fold_left (fun acc (w, _) -> max acc w) 0 width_histogram in
+  let mean_width =
+    if levels_used = 0 then 0.0 else float_of_int n /. float_of_int levels_used
+  in
+  let pairs = n * (n - 1) / 2 in
+  let parallelism =
+    if pairs = 0 then 0.0
+    else
+      float_of_int (pairs - Reachability.comparable_pairs reachability)
+      /. float_of_int pairs
+  in
+  let antichain_log2 =
+    Array.fold_left
+      (fun acc w -> if w = 0 then acc else log2_add acc (log2_pow2m1 w))
+      neg_infinity widths
+    |> fun x -> if x = neg_infinity then 0.0 else x
+  in
+  {
+    nodes = n;
+    edges = Dfg.edge_count g;
+    colors = List.length counts;
+    max_color_share =
+      (if n = 0 then 0.0 else float_of_int max_count /. float_of_int n);
+    depth = (if n = 0 then 0 else depth);
+    max_width;
+    mean_width;
+    width_histogram;
+    parallelism;
+    antichain_log2;
+  }
+
+let extract g =
+  extract_with ~levels:(Levels.compute g)
+    ~reachability:(Reachability.compute g) g
+
+let names =
+  [
+    "nodes"; "edges"; "colors"; "max_color_share"; "depth"; "max_width";
+    "mean_width"; "parallelism"; "antichain_log2";
+  ]
+
+let to_assoc t =
+  [
+    ("nodes", float_of_int t.nodes);
+    ("edges", float_of_int t.edges);
+    ("colors", float_of_int t.colors);
+    ("max_color_share", t.max_color_share);
+    ("depth", float_of_int t.depth);
+    ("max_width", float_of_int t.max_width);
+    ("mean_width", t.mean_width);
+    ("parallelism", t.parallelism);
+    ("antichain_log2", t.antichain_log2);
+  ]
+
+let get t name = List.assoc_opt name (to_assoc t)
+
+let to_json t =
+  Json.Obj
+    (List.map (fun (k, v) -> (k, Json.Num v)) (to_assoc t)
+    @ [
+        ( "width_histogram",
+          Json.Arr
+            (List.map
+               (fun (w, c) ->
+                 Json.Arr [ Json.Num (float_of_int w); Json.Num (float_of_int c) ])
+               t.width_histogram) );
+      ])
+
+let pp ppf t =
+  let pp_one i (k, v) =
+    if i > 0 then Format.fprintf ppf " ";
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Format.fprintf ppf "%s=%d" k (int_of_float v)
+    else Format.fprintf ppf "%s=%.4f" k v
+  in
+  List.iteri pp_one (to_assoc t)

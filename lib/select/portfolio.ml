@@ -12,48 +12,77 @@ type entry = {
 
 type outcome = { best : entry; all : entry list }
 
-let run ?pool ?(beam_width = 4) ?annealing ~pdef classify =
+(* Each strategy is one thunk producing its pattern set: independent of
+   the others, so the set runs unchanged on one domain or many.  List
+   order is the tie-break order (cheaper strategies first), and the pool
+   returns results in submission order, so ranking is identical however
+   the work is spread.  The searches that already cost their own result
+   (beam, annealing) return the known cycle count; every other set is
+   costed after the fan-in.  This registry is also the auto-selector's
+   backend space ({!Auto}): dispatching one named thunk from here is what
+   guarantees auto returns some portfolio member's exact result. *)
+let strategies ?(beam_width = 4) ~pdef classify :
+    (string * (unit -> Pattern.t list * int option)) list =
+  let g = Classify.graph classify in
+  let capacity = Classify.capacity classify in
+  [ ("eq8", fun () -> (Select.select ~pdef classify, None)) ]
+  @ List.filter_map
+      (fun v ->
+        if v.Priority_variants.name = "paper" then None
+        else
+          Some
+            ( "variant:" ^ v.Priority_variants.name,
+              fun () -> (Priority_variants.select v ~pdef classify, None) ))
+      Priority_variants.all
+  @ [
+      ("greedy-count", fun () -> (Greedy_cover.select ~pdef classify, None));
+      ( "harvest:greedy",
+        fun () ->
+          ( Pattern_source.harvest ~method_:Pattern_source.Greedy ~capacity ~pdef
+              g,
+            None ) );
+      ( "harvest:fds",
+        fun () ->
+          ( Pattern_source.harvest ~method_:Pattern_source.Force_directed
+              ~capacity ~pdef g,
+            None ) );
+      ( "beam",
+        fun () ->
+          let b = Beam.search ~width:beam_width ~pdef classify in
+          (b.Beam.patterns, Some b.Beam.cycles) );
+    ]
+
+let strategy_names =
+  [
+    "eq8"; "variant:linear-size"; "variant:raw-count"; "variant:coverage-gap";
+    "variant:sqrt-damping"; "greedy-count"; "harvest:greedy"; "harvest:fds";
+    "beam";
+  ]
+
+let cost_entry ectx (strategy, patterns, known) =
+  let cycles =
+    match known with
+    | Some c -> c
+    | None ->
+        if patterns = [] then max_int
+        else (
+          match Eval.cycles ectx patterns with
+          | c -> c
+          | exception Eval.Unschedulable _ -> max_int)
+  in
+  { strategy; patterns; cycles }
+
+let run ?pool ?beam_width ?annealing ~pdef classify =
   if pdef < 1 then invalid_arg "Portfolio.run: pdef must be >= 1";
   Obs.span "portfolio" @@ fun () ->
   let g = Classify.graph classify in
-  let capacity = Classify.capacity classify in
-  (* Each strategy is one thunk producing its pattern set: independent of
-     the others, so the set runs unchanged on one domain or many.  Thunk
-     order is the tie-break order (cheaper strategies first), and the pool
-     returns results in submission order, so ranking is identical however
-     the work is spread.  The searches that already cost their own result
-     (beam, annealing) return the known cycle count; every other set is
-     costed after the fan-in, on one shared evaluation context in
-     submission order — strategies that agree on a pattern set then share
-     one schedule through the memo cache, and the cache itself stays
-     single-domain. *)
   let tasks : (unit -> string * Pattern.t list * int option) list =
-    [ (fun () -> ("eq8", Select.select ~pdef classify, None)) ]
-    @ List.filter_map
-        (fun v ->
-          if v.Priority_variants.name = "paper" then None
-          else
-            Some
-              (fun () ->
-                ( "variant:" ^ v.Priority_variants.name,
-                  Priority_variants.select v ~pdef classify,
-                  None )))
-        Priority_variants.all
-    @ [
-        (fun () -> ("greedy-count", Greedy_cover.select ~pdef classify, None));
-        (fun () ->
-          ( "harvest:greedy",
-            Pattern_source.harvest ~method_:Pattern_source.Greedy ~capacity ~pdef g,
-            None ));
-        (fun () ->
-          ( "harvest:fds",
-            Pattern_source.harvest ~method_:Pattern_source.Force_directed ~capacity
-              ~pdef g,
-            None ));
-        (fun () ->
-          let b = Beam.search ~width:beam_width ~pdef classify in
-          ("beam", b.Beam.patterns, Some b.Beam.cycles));
-      ]
+    List.map
+      (fun (name, thunk) ->
+        fun () ->
+          let patterns, known = thunk () in
+          (name, patterns, known))
+      (strategies ?beam_width ~pdef classify)
     @
     match annealing with
     | None -> []
@@ -70,23 +99,12 @@ let run ?pool ?(beam_width = 4) ?annealing ~pdef classify =
     | Some pool -> Pool.map pool ~f:(fun task -> task ()) tasks
     | None -> List.map (fun task -> task ()) tasks
   in
+  (* Un-costed sets are costed post-fan-in on one shared evaluation
+     context in submission order — strategies that agree on a pattern set
+     share one schedule through the memo cache, and the cache itself
+     stays single-domain. *)
   let ectx = Eval.make g in
-  let candidates =
-    List.map
-      (fun (strategy, patterns, known) ->
-        let cycles =
-          match known with
-          | Some c -> c
-          | None ->
-              if patterns = [] then max_int
-              else (
-                match Eval.cycles ectx patterns with
-                | c -> c
-                | exception Eval.Unschedulable _ -> max_int)
-        in
-        { strategy; patterns; cycles })
-      produced
-  in
+  let candidates = List.map (cost_entry ectx) produced in
   let ranked = List.stable_sort (fun a b -> compare a.cycles b.cycles) candidates in
   match ranked with
   | best :: _ -> { best; all = ranked }

@@ -22,6 +22,25 @@ type outcome = {
   all : entry list;  (** Every strategy's result, best first. *)
 }
 
+val strategies :
+  ?beam_width:int ->
+  pdef:int ->
+  Mps_antichain.Classify.t ->
+  (string * (unit -> Mps_pattern.Pattern.t list * int option)) list
+(** The portfolio's default strategy registry: name plus a thunk producing
+    the pattern set and, for searches that already cost their own result
+    (beam), the known cycle count.  List order is the portfolio tie-break
+    order (cheaper strategies first).  Annealing is not in the registry —
+    it needs a caller-owned generator and stays an option of {!run}.
+
+    This is also the backend space of the auto-selector ({!Auto}): auto
+    dispatches exactly one named thunk from here, so its answer is always
+    some portfolio member's exact result.  [beam_width] defaults to 4. *)
+
+val strategy_names : string list
+(** The registry's names in registry order, without running anything —
+    what rule files are validated against. *)
+
 val run :
   ?pool:Mps_exec.Pool.t ->
   ?beam_width:int ->

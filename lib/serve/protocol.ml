@@ -36,6 +36,7 @@ type request = {
   span : int option;
   pdef : int option;
   priority : string option;
+  strategy : string option;
   cluster : bool;
   budget : int option;
   max_nodes : int option;
@@ -43,8 +44,9 @@ type request = {
   edits : edit list;
 }
 
-let make ?id ?source ?capacity ?span ?pdef ?priority ?(cluster = false) ?budget
-    ?max_nodes ?(patterns = []) ?(edits = []) command =
+let make ?id ?source ?capacity ?span ?pdef ?priority ?strategy
+    ?(cluster = false) ?budget ?max_nodes ?(patterns = []) ?(edits = [])
+    command =
   {
     id;
     command;
@@ -53,6 +55,7 @@ let make ?id ?source ?capacity ?span ?pdef ?priority ?(cluster = false) ?budget
     span;
     pdef;
     priority;
+    strategy;
     cluster;
     budget;
     max_nodes;
@@ -108,6 +111,7 @@ let request_to_json r =
   (match r.span with Some s -> addo "span" (num s) | None -> ());
   (match r.pdef with Some p -> addo "pdef" (num p) | None -> ());
   (match r.priority with Some p -> addo "priority" (Json.Str p) | None -> ());
+  (match r.strategy with Some s -> addo "strategy" (Json.Str s) | None -> ());
   if r.cluster then addo "cluster" (Json.Bool true);
   (match r.budget with Some b -> addo "budget" (num b) | None -> ());
   (match r.max_nodes with Some m -> addo "max_nodes" (num m) | None -> ());
@@ -260,8 +264,8 @@ let request_of_json j =
       in
       let known =
         [
-          "capacity"; "span"; "pdef"; "priority"; "cluster"; "budget";
-          "max_nodes"; "patterns";
+          "capacity"; "span"; "pdef"; "priority"; "strategy"; "cluster";
+          "budget"; "max_nodes"; "patterns";
         ]
       in
       let* () =
@@ -283,6 +287,15 @@ let request_of_json j =
         | None | Some "f1" | Some "f2" -> Ok p
         | Some other ->
             fail (Printf.sprintf "priority must be \"f1\" or \"f2\", not %S" other)
+      in
+      let* strategy =
+        let* s = lift (opt_field "\"strategy\"" as_string opts "strategy") in
+        match s with
+        | None | Some "eq8" | Some "auto" -> Ok s
+        | Some other ->
+            fail
+              (Printf.sprintf "strategy must be \"eq8\" or \"auto\", not %S"
+                 other)
       in
       let* cluster =
         match List.assoc_opt "cluster" opts with
@@ -312,6 +325,7 @@ let request_of_json j =
           span;
           pdef;
           priority;
+          strategy;
           cluster;
           budget;
           max_nodes;

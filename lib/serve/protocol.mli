@@ -14,7 +14,8 @@
              | { "op": "add_edge", "src": string, "dst": string }
              | { "op": "remove_edge", "src": string, "dst": string }
     OPTIONS  = { "capacity"?: int, "span"?: int, "pdef"?: int,
-                 "priority"?: "f1"|"f2", "cluster"?: bool, "budget"?: int,
+                 "priority"?: "f1"|"f2", "strategy"?: "eq8"|"auto",
+                 "cluster"?: bool, "budget"?: int,
                  "max_nodes"?: int, "patterns"?: [string] }
     v}
 
@@ -61,6 +62,10 @@ type request = {
   span : int option;  (** Raw wire value: negative means unlimited. *)
   pdef : int option;
   priority : string option;  (** Validated: ["f1"] or ["f2"]. *)
+  strategy : string option;
+      (** Validated: ["eq8"] (the paper heuristic, the default) or
+          ["auto"] (per-graph backend dispatch, [select]/[pipeline]
+          only — the session reuses its warm feature vector). *)
   cluster : bool;
   budget : int option;  (** Raw wire value: negative means unlimited. *)
   max_nodes : int option;
@@ -75,6 +80,7 @@ val make :
   ?span:int ->
   ?pdef:int ->
   ?priority:string ->
+  ?strategy:string ->
   ?cluster:bool ->
   ?budget:int ->
   ?max_nodes:int ->

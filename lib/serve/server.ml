@@ -3,24 +3,24 @@ module Json = Mps_util.Json
 module P = Protocol
 module Obs = C.Obs
 
+(* Built-in graph names are the workload corpus ({!Core.Suite}): the same
+   names the selector was fit on and the benches quote. *)
 let builtins =
-  [
-    ("3dft", fun () -> C.Paper_graphs.fig2_3dft ());
-    ("fig4", fun () -> C.Paper_graphs.fig4_small ());
-    ("w3dft", fun () -> C.Program.dfg (C.Dft.winograd3 ()));
-    ("w5dft", fun () -> C.Program.dfg (C.Dft.winograd5 ()));
-    ("fft8", fun () -> C.Program.dfg (C.Dft.radix2_fft ~n:8));
-    ("dct8", fun () -> C.Program.dfg (C.Kernels.dct8 ()));
-  ]
+  List.map
+    (fun (e : C.Suite.entry) -> (e.C.Suite.name, e.C.Suite.build))
+    (C.Suite.corpus ~full:true ())
 
 let resolve_source = function
   | P.Builtin name -> (
-      match List.assoc_opt name builtins with
-      | Some f -> Ok (f ())
+      match C.Suite.find name with
+      | Some e -> Ok (e.C.Suite.build ())
       | None ->
           Error
             (Printf.sprintf "unknown built-in graph %S (have: %s)" name
-               (String.concat ", " (List.map fst builtins))))
+               (String.concat ", "
+                  (List.map
+                     (fun (e : C.Suite.entry) -> e.C.Suite.name)
+                     (C.Suite.corpus ~full:true ())))))
   | P.Dfg_text text | P.Dot_text text -> (
       match C.Dfg_parse.of_string text with
       | g -> Ok g
@@ -62,6 +62,15 @@ let options_of_request (r : P.request) =
       | Some "f1" -> C.Multi_pattern.F1
       | Some "f2" -> C.Multi_pattern.F2
       | _ -> d.C.Pipeline.priority);
+    strategy =
+      (* The codec already rejected anything but "eq8"/"auto", so a parse
+         failure here is unreachable; fall back to the default strategy. *)
+      (match r.P.strategy with
+      | None -> d.C.Pipeline.strategy
+      | Some s -> (
+          match C.Auto.strategy_of_string s with
+          | Ok st -> st
+          | Error _ -> d.C.Pipeline.strategy));
     cluster = r.P.cluster;
   }
 
@@ -101,6 +110,18 @@ let steps_json (report : C.Select.report) =
              ("fallback", Json.Bool st.C.Select.fallback);
            ])
        report.C.Select.steps)
+
+(* The auto-selector's decision evidence: which backend, which rule fired
+   (index + its fit provenance), and the feature vector it read. *)
+let auto_json (o : C.Auto.outcome) =
+  ( "auto",
+    Json.Obj
+      [
+        ("backend", Json.Str o.C.Auto.backend);
+        ("rule", num o.C.Auto.rule_index);
+        ("provenance", Json.Str o.C.Auto.rule.C.Auto.provenance);
+        ("features", C.Features.to_json o.C.Auto.features);
+      ] )
 
 let certificate_json (ct : C.Exact.certificate) =
   let s = ct.C.Exact.stats in
@@ -163,20 +184,32 @@ let run_command sess (r : P.request) g =
   in
   match r.P.command with
   | P.Stats -> assert false (* handled by [execute] *)
-  | P.Select ->
+  | P.Select -> (
       let e = entry () in
-      let report, warm = Session.select_report sess e ~options in
-      let cycles =
-        match Session.set_cycles sess e ~options report.C.Select.patterns with
-        | c -> c
-        | exception C.Eval.Unschedulable _ -> max_int
-      in
-      ( [
-          ("patterns", patterns_json report.C.Select.patterns);
-          ("steps", steps_json report);
-          ("cycles", cycles_json cycles);
-        ],
-        warm )
+      match options.C.Pipeline.strategy with
+      | C.Auto.Paper ->
+          let report, warm = Session.select_report sess e ~options in
+          let cycles =
+            match
+              Session.set_cycles sess e ~options report.C.Select.patterns
+            with
+            | c -> c
+            | exception C.Eval.Unschedulable _ -> max_int
+          in
+          ( [
+              ("patterns", patterns_json report.C.Select.patterns);
+              ("steps", steps_json report);
+              ("cycles", cycles_json cycles);
+            ],
+            warm )
+      | C.Auto.Auto rules ->
+          let o, warm = Session.auto_select sess e ~options ~rules in
+          ( [
+              ("patterns", patterns_json o.C.Auto.patterns);
+              ("cycles", cycles_json o.C.Auto.cycles);
+              auto_json o;
+            ],
+            warm ))
   | P.Schedule ->
       let e = entry () in
       let pats =
@@ -191,7 +224,10 @@ let run_command sess (r : P.request) g =
         warm )
   | P.Pipeline ->
       let t, warm = Session.pipeline sess (Option.get g) ~options in
-      ( [
+      ( (match t.C.Pipeline.auto with
+        | Some o -> [ auto_json o ]
+        | None -> [])
+        @ [
           ("patterns", patterns_json t.C.Pipeline.patterns);
           ("pattern_pool", num t.C.Pipeline.pattern_pool);
           ("antichains", num t.C.Pipeline.antichains);

@@ -37,9 +37,10 @@
     [serve.warm] and [serve.cold] counters. *)
 
 val builtins : (string * (unit -> Core.Dfg.t)) list
-(** The built-in workload table ([3dft], [fig4], [w3dft], [w5dft],
-    [fft8], [dct8]) — shared with the CLI's GRAPH argument so the wire
-    protocol and the command line accept the same names. *)
+(** The built-in workload table — the full {!Core.Suite} corpus, in
+    corpus order — shared with the CLI's GRAPH argument so the wire
+    protocol, the command line and the benches all accept the same
+    names. *)
 
 val resolve_source : Protocol.source -> (Core.Dfg.t, string) result
 (** A request's graph: built-in lookup, or DFG/DOT text through

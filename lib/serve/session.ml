@@ -19,6 +19,9 @@ type entry = {
      parameters + pdef + priority decide the selection being migrated). *)
   e_migrated : (string, C.Pattern.t list * bool * C.Eval.t) Hashtbl.t;
   mutable e_evals : C.Eval.t list;  (* Every context owned, newest first. *)
+  (* The auto-selector's feature vector depends only on the graph, so it
+     is cached once per fingerprint and shared by every family. *)
+  mutable e_features : C.Features.t option;
 }
 
 type t = {
@@ -58,6 +61,7 @@ let intern t g =
           e_bans = Hashtbl.create 4;
           e_migrated = Hashtbl.create 4;
           e_evals = [];
+          e_features = None;
         }
       in
       Hashtbl.replace t.entries key e;
@@ -148,6 +152,29 @@ let select_report t e ~options =
       ~pdef:options.C.Pipeline.pdef f.classify,
     warm )
 
+(* Warm per-graph feature vector: extracted once per fingerprint,
+   reusing a family context's analyses when a family already exists. *)
+let features e ~eval =
+  match e.e_features with
+  | Some fv -> fv
+  | None ->
+      let fv =
+        match eval with
+        | Some ev ->
+            C.Features.extract_with ~levels:(C.Eval.levels ev)
+              ~reachability:(C.Eval.reachability ev) e.e_graph
+        | None -> C.Features.extract e.e_graph
+      in
+      e.e_features <- Some fv;
+      fv
+
+let auto_select t e ~options ~rules =
+  let f, warm = family_of_options t e ~options in
+  let fv = features e ~eval:(Some f.f_eval) in
+  ( C.Auto.select ~rules ~features:fv ~eval:f.f_eval
+      ~pdef:options.C.Pipeline.pdef f.classify,
+    warm )
+
 let set_cycles t e ~options patterns =
   let f, _ = family_of_options t e ~options in
   C.Eval.cycles ~priority:options.C.Pipeline.priority f.f_eval patterns
@@ -157,8 +184,13 @@ let schedule t e ~options ?(trace = false) ~patterns () =
   | [] ->
       let f, warm = family_of_options t e ~options in
       let pats =
-        C.Select.select ~params:options.C.Pipeline.selection
-          ~pdef:options.C.Pipeline.pdef f.classify
+        match options.C.Pipeline.strategy with
+        | C.Auto.Paper ->
+            C.Select.select ~params:options.C.Pipeline.selection
+              ~pdef:options.C.Pipeline.pdef f.classify
+        | C.Auto.Auto rules ->
+            let outcome, _ = auto_select t e ~options ~rules in
+            outcome.C.Auto.patterns
       in
       let r =
         C.Eval.schedule ~priority:options.C.Pipeline.priority ~trace f.f_eval
@@ -184,8 +216,14 @@ let pipeline t dfg ~options =
   in
   let e, _ = intern t graph in
   let f, warm = family_of_options t e ~options in
+  let fv =
+    match options.C.Pipeline.strategy with
+    | C.Auto.Paper -> None
+    | C.Auto.Auto _ -> Some (features e ~eval:(Some f.f_eval))
+  in
   let r =
-    C.Pipeline.run_classified ~options ?clustering ~eval:f.f_eval f.classify
+    C.Pipeline.run_classified ~options ?clustering ~eval:f.f_eval ?features:fv
+      f.classify
   in
   (r, warm)
 

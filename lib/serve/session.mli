@@ -91,6 +91,19 @@ val classification :
 val select_report :
   t -> entry -> options:Core.Pipeline.options -> Core.Select.report * bool
 
+val auto_select :
+  t ->
+  entry ->
+  options:Core.Pipeline.options ->
+  rules:Core.Auto.rules ->
+  Core.Auto.outcome * bool
+(** The auto-selector on the entry's warm family: the feature vector is
+    extracted once per fingerprint (graphs share it across families —
+    features depend only on the graph) from the family context's cached
+    analyses, and the dispatched backend is costed on the same context.
+    The outcome is identical to a cold {!Core.Auto.select} with the same
+    rules. *)
+
 val set_cycles :
   t -> entry -> options:Core.Pipeline.options -> Core.Pattern.t list -> int
 (** Cycles of a pattern set on the entry's graph, through the family's
@@ -106,8 +119,9 @@ val schedule :
   unit ->
   Core.Pattern.t list * Core.Eval.result * bool
 (** With [patterns = []], runs selection first (classifying under the
-    options) and schedules the selected set; otherwise schedules the
-    given set on a plain per-entry context exactly as
+    options; [options.strategy] decides between the paper heuristic and
+    {!auto_select}) and schedules the selected set; otherwise schedules
+    the given set on a plain per-entry context exactly as
     {!Core.Multi_pattern.schedule} would.  Returns the patterns actually
     scheduled. *)
 

@@ -73,8 +73,10 @@ let cycles_match_schedule seed =
     sets
 
 (* Re-asking a context answers from the memo cache — same counts, hits
-   advancing by exactly one per lookup, misses frozen.  The cache key is
-   a canonical multiset, so a permuted set must also hit. *)
+   advancing by exactly one per lookup, misses frozen.  Order is part of
+   the key (list position decides score ties in the scheduler), so a
+   permuted set is its own entry: it must agree with the full-fidelity
+   path on the permuted order, not necessarily with the original. *)
 let cache_hits_are_identical seed =
   let g = random_graph ~seed in
   let sets = random_sets ~seed g in
@@ -84,11 +86,14 @@ let cache_hits_are_identical seed =
   let h0, m0 = Eval.cache_stats ev in
   let second = List.map (Eval.cycles ev) sets in
   let h1, m1 = Eval.cache_stats ev in
-  let reversed = List.map (fun ps -> Eval.cycles ev (List.rev ps)) sets in
-  let h2, m2 = Eval.cache_stats ev in
-  first = second && reversed = first
-  && m1 = m0 && h1 = h0 + n
-  && m2 = m1 && h2 = h1 + n
+  let reversed_ok =
+    List.for_all
+      (fun ps ->
+        let rev = List.rev ps in
+        Eval.cycles ev rev = Mp.cycles ~patterns:rev g)
+      sets
+  in
+  first = second && reversed_ok && m1 = m0 && h1 = h0 + n
 
 (* The id-based entry point (what the searches use) agrees with the
    pattern-based one on a context sharing the caller's universe. *)
@@ -154,9 +159,23 @@ let walk_matches ~seed ~priority evd evf g =
     let added = Rng.choice rng pool in
     let removed, next =
       if Rng.bool rng || List.length !prev >= 6 then begin
+        (* Mirror [cycles_delta]'s semantics exactly: the replacement
+           lands at the FIRST occurrence of the removed pattern.  Order
+           is part of the memo key and of the schedule (list position
+           decides ties), so mutating a later duplicate slot would be a
+           genuinely different set. *)
         let slot = Rng.int rng (List.length !prev) in
-        ( Some (List.nth !prev slot),
-          List.mapi (fun i p -> if i = slot then added else p) !prev )
+        let p = List.nth !prev slot in
+        let replaced = ref false in
+        ( Some p,
+          List.map
+            (fun q ->
+              if (not !replaced) && Pattern.equal q p then begin
+                replaced := true;
+                added
+              end
+              else q)
+            !prev )
       end
       else (None, !prev @ [ added ])
     in
@@ -171,11 +190,7 @@ let walk_matches ~seed ~priority evd evf g =
   !ok
 
 (* Replaying a suffix returns exactly what a full evaluation returns, for
-   every move of every walk, under both priorities.  (The swapped-in
-   element replaces the first occurrence of the removed pattern, which may
-   differ from the mutated slot when the set holds duplicates — the memo
-   key is an order-insensitive multiset, so the cycle counts still must
-   agree.) *)
+   every move of every walk, under both priorities. *)
 let delta_matches_full seed =
   let g = random_graph ~seed in
   List.for_all
@@ -200,7 +215,7 @@ let delta_accounting seed =
   let ohits, omisses = Eval.cache_stats evoff in
   (* The off context went through plain [cycles]: no delta traffic. *)
   oh = 0 && of_ = 0 && os = 0
-  (* Same stream, multiset-keyed caches: identical hit/miss splits. *)
+  (* Same stream, same list-keyed caches: identical hit/miss splits. *)
   && (dhits, dmisses) = (ohits, omisses)
   (* Every delta-path miss resolved as a hit or a fallback, never both. *)
   && dh + df = dmisses
