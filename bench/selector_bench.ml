@@ -1,8 +1,9 @@
 (* Selector bench: fit and gate the per-graph strategy auto-selection
    (ROADMAP item 4) against the brute portfolio on the named corpus.
 
-     dune exec bench/main.exe -- --fit-selector   (full corpus: fit the
-               rule table, print it, rewrite results/selector_rules.json)
+     dune exec bench/main.exe -- --fit-selector   (full corpus + huge
+               tier: fit the rule table, print it, rewrite
+               results/selector_rules.json)
      dune exec bench/main.exe -- --selector [--smoke]
 
    The --selector pass replays the full portfolio once per corpus
@@ -70,6 +71,7 @@ type row = {
 }
 
 let examples ~full () =
+  let huge = full in
   List.map
     (fun (e : Suite.entry) ->
       let g = e.Suite.build () in
@@ -83,10 +85,10 @@ let examples ~full () =
             (fun (en : Portfolio.entry) -> (en.Portfolio.strategy, en.Portfolio.cycles))
             outcome.Portfolio.all;
       })
-    (Suite.corpus ~full ())
+    (Suite.corpus ~full ~huge ())
 
 let fit () =
-  Printf.printf "\n=== Selector fit (full corpus) ===\n%!";
+  Printf.printf "\n=== Selector fit (full corpus + huge tier) ===\n%!";
   let rules = Auto.fit (examples ~full:true ()) in
   List.iteri
     (fun i (r : Auto.rule) ->
@@ -203,7 +205,7 @@ let run ?(smoke = false) () =
           row.backend row.rule_index row.auto_cycles row.best_cycles
           row.regret_percent row.portfolio_s row.auto_s;
         row)
-      (Suite.corpus ~full ())
+      (Suite.corpus ~full ~huge:full ())
   in
   let med = median (List.map (fun r -> r.regret_percent) rows) in
   let sum f = List.fold_left (fun acc r -> acc +. f r) 0. rows in

@@ -1,0 +1,241 @@
+(* Multi-process scaling: the shard worker fleet against the best
+   single-process configuration on the huge workload tier.
+
+     dune exec bench/main.exe -- --scaling [--smoke] [--jobs N]
+
+   For every huge workload the harness runs the classify+portfolio sweep
+   four ways — sequentially, on an in-process --jobs pool, and on worker
+   fleets of growing size — and requires every result bit-identical to
+   the sequential one (hard gate, exit 1).  In full mode the exact
+   branch-and-bound joins on the chain-like workload, certificate
+   compared field by field.
+
+   The speedup gate (best fleet >= 2x the best single-process config) is
+   enforced only when the host actually has as many cores as the largest
+   fleet; on smaller hosts the ratio prints with a core-count note, like
+   the domain-scaling bench.  The line starting with '{' is
+   machine-readable JSON; BENCH_shard.json holds a full (non-smoke) run,
+   and results/shard_scaling.csv the per-workload rows. *)
+
+module Suite = Core.Suite
+module Enumerate = Core.Enumerate
+module Classify = Core.Classify
+module Portfolio = Core.Portfolio
+module Pattern = Core.Pattern
+module Pool = Core.Pool
+module Exact = Core.Exact
+module Engine = Mps_shard.Engine
+module Csv = Mps_util.Csv
+
+let capacity = Core.Paper_graphs.montium_capacity
+let worker_argv = [| Sys.executable_name; "--shard-worker" |]
+let procs_list = [ 1; 2; 4 ]
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Everything the determinism gate compares, in a shape polymorphic [=]
+   compares structurally (same idiom as the domain-scaling bench). *)
+type sweep_result = {
+  sw_name : string;
+  sw_antichains : int;
+  sw_entries : (string * string list * int) list;
+}
+
+let sweep ?pool ?engine (name, graph) =
+  let ctx = Enumerate.make_ctx graph in
+  let cls, outcome =
+    match engine with
+    | Some eng ->
+        let cls = Engine.classify eng ~span_limit:1 ~capacity ctx in
+        (cls, Engine.portfolio eng ~pdef:4 cls)
+    | None ->
+        let cls = Classify.compute ?pool ~span_limit:1 ~capacity ctx in
+        (cls, Portfolio.run ?pool ~pdef:4 cls)
+  in
+  {
+    sw_name = name;
+    sw_antichains = Classify.total_antichains cls;
+    sw_entries =
+      List.map
+        (fun e ->
+          ( e.Portfolio.strategy,
+            List.map Pattern.to_string e.Portfolio.patterns,
+            e.Portfolio.cycles ))
+        outcome.Portfolio.all;
+  }
+
+type row = {
+  r_name : string;
+  r_seq_s : float;
+  r_jobs_s : float;
+  r_procs_s : (int * float) list;
+  r_ok : bool;
+}
+
+let certificate_digest (ct : Exact.certificate) =
+  ( List.map Pattern.to_string ct.Exact.optimal,
+    ct.Exact.optimal_cycles,
+    ct.Exact.stats.Exact.nodes_visited,
+    List.length ct.Exact.bans,
+    ct.Exact.proven )
+
+let run ?(smoke = false) ?(jobs = 4) () =
+  let cores = Domain.recommended_domain_count () in
+  let max_procs = List.fold_left max 1 procs_list in
+  Printf.printf
+    "\n\
+     === Multi-process scaling: worker fleet vs in-process --jobs %d (host \
+     cores: %d) ===\n"
+    jobs cores;
+  let workloads =
+    let names =
+      if smoke then [ "huge-grid"; "huge-deep" ]
+      else [ "huge-grid"; "huge-wide"; "huge-deep" ]
+    in
+    List.map
+      (fun n ->
+        match Suite.find n with
+        | Some e -> (n, e.Suite.build ())
+        | None -> failwith ("missing huge workload " ^ n))
+      names
+  in
+  let engines = List.map (fun p -> (p, Engine.create ~procs:p ~argv:worker_argv)) procs_list in
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> List.iter (fun (_, e) -> Engine.shutdown e) engines)
+      (fun () ->
+        List.map
+          (fun w ->
+            let r_seq, t_seq = wall (fun () -> sweep w) in
+            let r_jobs, t_jobs =
+              Pool.with_pool ~jobs (fun pool ->
+                  wall (fun () -> sweep ~pool w))
+            in
+            let procs_runs =
+              List.map
+                (fun (p, eng) ->
+                  let r, t = wall (fun () -> sweep ~engine:eng w) in
+                  (p, r, t))
+                engines
+            in
+            let ok =
+              r_jobs = r_seq
+              && List.for_all (fun (_, r, _) -> r = r_seq) procs_runs
+            in
+            Printf.printf "  %-10s seq %7.3f s   jobs%d %7.3f s  " (fst w)
+              t_seq jobs t_jobs;
+            List.iter
+              (fun (p, _, t) -> Printf.printf " procs%d %7.3f s " p t)
+              procs_runs;
+            Printf.printf " %s\n" (if ok then "ok" else "MISMATCH");
+            {
+              r_name = fst w;
+              r_seq_s = t_seq;
+              r_jobs_s = t_jobs;
+              r_procs_s = List.map (fun (p, _, t) -> (p, t)) procs_runs;
+              r_ok = ok;
+            })
+          workloads)
+  in
+  if List.exists (fun r -> not r.r_ok) rows then begin
+    Printf.printf
+      "DETERMINISM MISMATCH: a fleet result differs from the sequential sweep\n";
+    exit 1
+  end;
+  Printf.printf
+    "  determinism: every fleet size identical to sequential (%d workloads)\n"
+    (List.length rows);
+  (* Exact branch-and-bound over the fleet: certificate parity on the
+     chain-like workload (full runs only; the search is seconds, not
+     milliseconds). *)
+  let exact_ok =
+    if smoke then true
+    else begin
+      let name = "huge-deep" in
+      let g =
+        match Suite.find name with
+        | Some e -> e.Suite.build ()
+        | None -> assert false
+      in
+      let cls = Classify.compute ~span_limit:1 ~capacity (Enumerate.make_ctx g) in
+      let seq_ct, t_seq = wall (fun () -> Exact.search ~pdef:4 cls) in
+      let shard_ct, t_shard =
+        Engine.with_engine ~procs:max_procs ~argv:worker_argv (fun eng ->
+            let scls =
+              Engine.classify eng ~span_limit:1 ~capacity (Enumerate.make_ctx g)
+            in
+            wall (fun () -> Engine.exact eng ~pdef:4 scls))
+      in
+      let ok = certificate_digest seq_ct = certificate_digest shard_ct in
+      Printf.printf "  exact %-6s seq %7.3f s   procs%d %7.3f s  %s\n" name
+        t_seq max_procs t_shard
+        (if ok then "certificate identical" else "CERTIFICATE MISMATCH");
+      ok
+    end
+  in
+  if not exact_ok then exit 1;
+  (* Speedup: best fleet against best single-process configuration. *)
+  let best_single r = Float.min r.r_seq_s r.r_jobs_s in
+  let best_fleet r =
+    List.fold_left
+      (fun acc (p, t) -> if p > 1 then Float.min acc t else acc)
+      Float.infinity r.r_procs_s
+  in
+  let agg_single = List.fold_left (fun a r -> a +. best_single r) 0. rows in
+  let agg_fleet = List.fold_left (fun a r -> a +. best_fleet r) 0. rows in
+  let speedup = if agg_fleet > 0. then agg_single /. agg_fleet else Float.nan in
+  Printf.printf "  fleet speedup over best single-process: %.2fx\n" speedup;
+  if cores >= max_procs && speedup < 2.0 then begin
+    Printf.printf
+      "REGRESSION: fleet under the 2x speedup gate with %d cores available\n"
+      cores;
+    exit 1
+  end;
+  if cores < max_procs then
+    Printf.printf
+      "  note: host has %d core(s) for %d workers; the 2x gate needs >= %d \
+       cores and is informational here\n"
+      cores max_procs max_procs;
+  if not smoke then begin
+    let csv =
+      Csv.create
+        ~header:[ "workload"; "mode"; "wall_s"; "speedup_vs_best_single" ]
+    in
+    List.iter
+      (fun r ->
+        let single = best_single r in
+        let add mode t =
+          Csv.add_row csv
+            [
+              r.r_name; mode;
+              Printf.sprintf "%.4f" t;
+              Printf.sprintf "%.2f" (if t > 0. then single /. t else Float.nan);
+            ]
+        in
+        add "seq" r.r_seq_s;
+        add (Printf.sprintf "jobs%d" jobs) r.r_jobs_s;
+        List.iter (fun (p, t) -> add (Printf.sprintf "procs%d" p) t) r.r_procs_s)
+      rows;
+    Csv.save ~path:"results/shard_scaling.csv" csv;
+    Printf.printf "wrote results/shard_scaling.csv\n"
+  end;
+  let json_rows =
+    String.concat ","
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "{\"graph\":\"%s\",\"seq_s\":%.4f,\"jobs%d_s\":%.4f,%s}" r.r_name
+             r.r_seq_s jobs r.r_jobs_s
+             (String.concat ","
+                (List.map
+                   (fun (p, t) -> Printf.sprintf "\"procs%d_s\":%.4f" p t)
+                   r.r_procs_s)))
+         rows)
+  in
+  Printf.printf
+    "{\"bench\":\"shard\",\"smoke\":%b,\"cores\":%d,\"jobs\":%d,\
+     \"fleet_speedup\":%.2f,\"workloads\":[%s]}\n"
+    smoke cores jobs speedup json_rows

@@ -23,6 +23,8 @@
 module C = Core
 module Session = Mps_serve.Session
 module Server = Mps_serve.Server
+module Engine = Mps_shard.Engine
+module Transport = Mps_shard.Transport
 open Cmdliner
 
 (* One table for the wire protocol and the command line: GRAPH accepts
@@ -144,6 +146,53 @@ let with_jobs jobs f =
    goldens pin it). *)
 let with_session jobs f =
   with_jobs jobs (fun pool -> f (Session.create ?pool ()))
+
+(* --procs N: the sharded phases fan out over N worker OS processes (the
+   hidden `mpsched worker` entrypoint) through the shard engine, plugged
+   into the session as execution backends.  The engine's fan-in is
+   submission-ordered and its task layout procs-invariant, so output stays
+   byte-identical to --procs 1 — check.sh diffs exactly that. *)
+
+let procs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "procs" ] ~docv:"PROCS"
+        ~doc:
+          "Worker OS processes for the sharded phases (classification, \
+           portfolio, exact search).  1 (default) runs in-process; results \
+           are byte-identical for every value.  Composes with --jobs \
+           (domains inside each process are independent of the process \
+           fan-out).")
+
+let worker_argv = [| Sys.executable_name; "worker" |]
+
+let backends_of_engine eng =
+  {
+    Session.bk_classify =
+      Some
+        (fun ~universe ~span_limit ~budget ~capacity ctx ->
+          Engine.classify eng ~universe ?span_limit ?budget ~capacity ctx);
+    bk_portfolio =
+      Some
+        (fun ~budget ~pdef classify ->
+          Engine.portfolio eng ?budget ~pdef classify);
+    bk_exact =
+      Some
+        (fun ~priority ~pruning ~max_nodes ~seeds ~bans ~budget ~pdef classify ->
+          Engine.exact eng ~priority ?pruning ?max_nodes ~seeds ~bans ?budget
+            ~pdef classify);
+  }
+
+let with_session_procs jobs procs f =
+  if procs < 1 then or_fail (Error "--procs must be >= 1");
+  if procs = 1 then with_session jobs f
+  else
+    with_jobs jobs (fun pool ->
+        Engine.with_engine ~procs ~argv:worker_argv (fun eng ->
+            match f (Session.create ?pool ~backends:(backends_of_engine eng) ()) with
+            | r -> r
+            | exception Mps_shard.Fleet.Worker_failed m ->
+                or_fail (Error ("shard: " ^ m))))
 
 (* --stats / --trace: observability flags shared by the phase subcommands.
    The summary goes to stderr and the trace to a file, so the primary
@@ -275,12 +324,12 @@ let print_exact_stats (ct : C.Exact.certificate) =
     (List.length ct.C.Exact.bans)
 
 let select_cmd =
-  let run spec capacity span pdef strategy rules verbose certify jobs stats
-      trace_out =
+  let run spec capacity span pdef strategy rules verbose certify jobs procs
+      stats trace_out =
     let g = or_fail (load_graph spec) in
     let strategy = strategy_of strategy rules in
     with_obs stats trace_out @@ fun () ->
-    with_session jobs @@ fun sess ->
+    with_session_procs jobs procs @@ fun sess ->
     let entry, _ = Session.intern sess g in
     (* The phase commands classify unbudgeted, as they always did;
        certification below uses the pipeline default budget — two distinct
@@ -364,16 +413,17 @@ let select_cmd =
     (Cmd.info "select" ~doc:"Run the pattern selection algorithm (§5.2)")
     Term.(
       const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg
-      $ strategy_arg $ rules_arg $ verbose $ certify $ jobs_arg $ stats_arg
-      $ trace_out_arg)
+      $ strategy_arg $ rules_arg $ verbose $ certify $ jobs_arg $ procs_arg
+      $ stats_arg $ trace_out_arg)
 
 (* --- exact --- *)
 
 let exact_cmd =
-  let run spec capacity span pdef max_nodes no_prune jobs stats trace_out =
+  let run spec capacity span pdef max_nodes no_prune jobs procs stats trace_out
+      =
     let g = or_fail (load_graph spec) in
     with_obs stats trace_out @@ fun () ->
-    with_session jobs @@ fun sess ->
+    with_session_procs jobs procs @@ fun sess ->
     let entry, _ = Session.intern sess g in
     let options =
       {
@@ -421,7 +471,7 @@ let exact_cmd =
           classified pool")
     Term.(
       const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ max_nodes
-      $ no_prune $ jobs_arg $ stats_arg $ trace_out_arg)
+      $ no_prune $ jobs_arg $ procs_arg $ stats_arg $ trace_out_arg)
 
 (* --- schedule --- *)
 
@@ -480,7 +530,8 @@ let schedule_cmd =
 (* --- pipeline --- *)
 
 let pipeline_cmd =
-  let run spec capacity span pdef strategy rules cluster jobs stats trace_out =
+  let run spec capacity span pdef strategy rules cluster jobs procs stats
+      trace_out =
     let g = or_fail (load_graph spec) in
     let strategy = strategy_of strategy rules in
     with_obs stats trace_out @@ fun () ->
@@ -495,7 +546,8 @@ let pipeline_cmd =
       }
     in
     let t =
-      with_session jobs (fun sess -> fst (Session.pipeline sess g ~options))
+      with_session_procs jobs procs (fun sess ->
+          fst (Session.pipeline sess g ~options))
     in
     (match t.C.Pipeline.auto with
     | Some o ->
@@ -512,16 +564,16 @@ let pipeline_cmd =
     (Cmd.info "pipeline" ~doc:"Full flow: select, schedule, configuration report")
     Term.(
       const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg
-      $ strategy_arg $ rules_arg $ cluster $ jobs_arg $ stats_arg
+      $ strategy_arg $ rules_arg $ cluster $ jobs_arg $ procs_arg $ stats_arg
       $ trace_out_arg)
 
 (* --- portfolio --- *)
 
 let portfolio_cmd =
-  let run spec capacity span pdef jobs stats trace_out =
+  let run spec capacity span pdef jobs procs stats trace_out =
     let g = or_fail (load_graph spec) in
     with_obs stats trace_out @@ fun () ->
-    with_session jobs (fun sess ->
+    with_session_procs jobs procs (fun sess ->
         let entry, _ = Session.intern sess g in
         let options =
           {
@@ -553,7 +605,7 @@ let portfolio_cmd =
        ~doc:"Try every selection strategy and keep the winner (parallel with --jobs)")
     Term.(
       const run $ graph_arg $ capacity_arg $ span_arg $ pdef_arg $ jobs_arg
-      $ stats_arg $ trace_out_arg)
+      $ procs_arg $ stats_arg $ trace_out_arg)
 
 (* --- optimal --- *)
 
@@ -822,20 +874,81 @@ let tracecheck_cmd =
 (* --- serve --- *)
 
 let serve_cmd =
-  let run use_stdin jobs batch stats trace_out =
-    if not use_stdin then
-      or_fail (Error "serve: pass --stdin (the only transport so far)");
-    with_obs stats trace_out @@ fun () ->
-    with_session jobs @@ fun sess ->
-    Server.run ~batch sess stdin stdout;
-    if stats then begin
-      let hits, misses = Session.session_cache_stats sess in
-      Printf.eprintf
-        "serve: %d requests over %d graphs, eval cache %d hits / %d misses\n"
-        (Session.request_count sess)
-        (Session.graph_count sess)
-        hits misses
-    end
+  let print_session_stats sess =
+    let hits, misses = Session.session_cache_stats sess in
+    Printf.eprintf
+      "serve: %d requests over %d graphs, eval cache %d hits / %d misses\n"
+      (Session.request_count sess)
+      (Session.graph_count sess)
+      hits misses
+  in
+  let run use_stdin listen connect jobs batch stats trace_out =
+    match (use_stdin, listen, connect) with
+    | _, _, Some path ->
+        (* Client mode: forward stdin's request lines to a listening
+           server and print its response lines — the socket counterpart
+           of piping into --stdin. *)
+        let t =
+          match Transport.connect_unix ~path with
+          | t -> t
+          | exception Unix.Unix_error (e, _, _) ->
+              or_fail
+                (Error
+                   (Printf.sprintf "serve --connect %s: %s" path
+                      (Unix.error_message e)))
+        in
+        (* The server reads ahead in batches, so pipeline: send every
+           request first, half-close to mark the end, then drain the
+           responses (one line per request, in order). *)
+        let _, oc = Transport.channels t in
+        let rec send_all n =
+          match input_line stdin with
+          | line ->
+              output_string oc line;
+              output_char oc '\n';
+              send_all (if String.trim line = "" then n else n + 1)
+          | exception End_of_file -> n
+        in
+        let sent = send_all 0 in
+        Transport.shutdown_send t;
+        for _ = 1 to sent do
+          match Transport.recv t with
+          | Ok j -> print_endline (C.Json.to_line j)
+          | Error m -> or_fail (Error ("serve --connect: " ^ m))
+        done;
+        Transport.close t
+    | _, Some path, None ->
+        (* Socket transport: one warm session shared by every connection,
+           served one connection at a time (the session is single-writer
+           state).  Runs until killed; the socket file is unlinked on
+           bind, not on exit. *)
+        with_obs stats trace_out @@ fun () ->
+        with_session jobs @@ fun sess ->
+        let fd =
+          match Transport.listen_unix ~path with
+          | fd -> fd
+          | exception Unix.Unix_error (e, _, _) ->
+              or_fail
+                (Error
+                   (Printf.sprintf "serve --listen %s: %s" path
+                      (Unix.error_message e)))
+        in
+        let rec accept_loop () =
+          let conn = Transport.accept_unix fd in
+          let ic, oc = Transport.channels conn in
+          Server.run ~batch sess ic oc;
+          Transport.close conn;
+          if stats then print_session_stats sess;
+          accept_loop ()
+        in
+        accept_loop ()
+    | true, None, None ->
+        with_obs stats trace_out @@ fun () ->
+        with_session jobs @@ fun sess ->
+        Server.run ~batch sess stdin stdout;
+        if stats then print_session_stats sess
+    | false, None, None ->
+        or_fail (Error "serve: pass --stdin, --listen PATH or --connect PATH")
   in
   let use_stdin =
     Arg.(
@@ -844,6 +957,25 @@ let serve_cmd =
           ~doc:
             "Serve line-delimited JSON requests from standard input, one \
              response line per request on standard output.")
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"PATH"
+          ~doc:
+            "Serve the same protocol on a Unix-domain socket at $(docv): \
+             one warm session shared by every connection, connections \
+             served in arrival order until the process is killed.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:
+            "Client mode: forward request lines from standard input to the \
+             server listening at $(docv) and print its responses.")
   in
   let batch =
     Arg.(
@@ -857,9 +989,12 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Persistent scheduling service: line-delimited JSON requests on \
-          stdin, warm classification/eval/ban caches across requests, \
-          byte-identical responses for every --jobs value")
-    Term.(const run $ use_stdin $ jobs_arg $ batch $ stats_arg $ trace_out_arg)
+          stdin (--stdin) or a Unix-domain socket (--listen), warm \
+          classification/eval/ban caches across requests, byte-identical \
+          responses for every --jobs value")
+    Term.(
+      const run $ use_stdin $ listen $ connect $ jobs_arg $ batch $ stats_arg
+      $ trace_out_arg)
 
 (* --- workload --- *)
 
@@ -881,6 +1016,13 @@ let workload_cmd =
     Term.(const run $ name_arg)
 
 let () =
+  (* Hidden worker entrypoint: `mpsched worker` is what --procs spawns
+     (requests on stdin, responses on stdout).  Dispatched before cmdliner
+     so it never shows up in help or completions. *)
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "worker" then begin
+    Mps_shard.Worker.run stdin stdout;
+    exit 0
+  end;
   let info =
     Cmd.info "mpsched" ~version:"1.0.0"
       ~doc:"Multi-pattern scheduling and pattern selection for the Montium (IPDPS 2006)"

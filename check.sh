@@ -5,8 +5,10 @@
 # smoke gate (suffix replay leaves counters and the serve edit stream
 # byte-identical at any --jobs), the selector gate (auto smoke, counter
 # jobs-invariance, rules-file round-trip, regret/speedup in release), the
-# exact-search smoke gate, and the scaling benchmark in smoke mode at
-# --jobs 1 and --jobs 4.
+# exact-search smoke gate, the shard gate (--procs fleet byte-identical to
+# single-process on the huge suite, worker-crash recovery, socket serve
+# matching the stdin golden), and the scaling benchmark in smoke mode at
+# --jobs 1 and --jobs 4 plus once in release (multi-process rows included).
 #
 #   ./check.sh          # the whole gate
 #   ./check.sh --fast   # build + tests only
@@ -224,11 +226,76 @@ say "selector regret gate (smoke, release profile)"
 # saves less than 3x the full portfolio's selection wall-clock.
 dune exec --no-build --profile release bench/main.exe -- --selector --smoke
 
+say "shard: mpsched output must be byte-identical for any --procs"
+# The worker fleet's fan-in is submission-ordered, so every command must
+# produce the same bytes on a 1-worker and a 4-worker fleet — including a
+# huge-suite graph and a procs x jobs cross.
+for spec in "select huge-grid" "pipeline huge-deep" "portfolio huge-grid" \
+            "exact 3dft" "select huge-deep --certify"; do
+  # shellcheck disable=SC2086
+  dune exec --no-build bin/mpsched.exe -- $spec --procs 1 > "$tmp1"
+  # shellcheck disable=SC2086
+  dune exec --no-build bin/mpsched.exe -- $spec --procs 4 > "$tmp4"
+  if ! cmp -s "$tmp1" "$tmp4"; then
+    echo "FAIL: mpsched $spec differs between --procs 1 and --procs 4" >&2
+    diff "$tmp1" "$tmp4" | head -20 >&2
+    exit 1
+  fi
+  echo "  ok: mpsched $spec"
+done
+dune exec --no-build bin/mpsched.exe -- select huge-grid --jobs 1 > "$tmp1"
+dune exec --no-build bin/mpsched.exe -- select huge-grid --jobs 4 --procs 4 \
+  > "$tmp4"
+if ! cmp -s "$tmp1" "$tmp4"; then
+  echo "FAIL: select huge-grid differs between --jobs 1 and --jobs 4 --procs 4" >&2
+  diff "$tmp1" "$tmp4" | head -20 >&2
+  exit 1
+fi
+echo "  ok: --procs x --jobs cross byte-identical"
+# A worker killed mid-batch must surface as a clean error, never a hang.
+if MPS_SHARD_CRASH=2 timeout 60 dune exec --no-build bin/mpsched.exe -- \
+    select huge-grid --procs 2 > /dev/null 2> "$tmp1"; then
+  echo "FAIL: mpsched succeeded despite a crashed shard worker" >&2
+  exit 1
+fi
+if ! grep -q "shard:" "$tmp1"; then
+  echo "FAIL: crashed worker did not produce a shard error message" >&2
+  cat "$tmp1" >&2
+  exit 1
+fi
+echo "  ok: worker crash surfaces as a clean error"
+
+say "serve socket: --listen/--connect must match the --stdin golden"
+sock="${TMPDIR:-/tmp}/mps-check-$$.sock"
+dune exec --no-build bin/mpsched.exe -- serve --listen "$sock" &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+if [ ! -S "$sock" ]; then
+  echo "FAIL: serve --listen never created $sock" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+dune exec --no-build bin/mpsched.exe -- serve --connect "$sock" \
+  < test/cli/serve_requests.txt > "$tmp1"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+rm -f "$sock"
+if ! cmp -s test/cli/serve_smoke.expected "$tmp1"; then
+  echo "FAIL: socket serve diverged from test/cli/serve_smoke.expected" >&2
+  diff test/cli/serve_smoke.expected "$tmp1" | head -20 >&2
+  exit 1
+fi
+echo "  ok: socket stream matches the committed golden"
+
 say "scaling benchmark (smoke, --jobs 1)"
 dune exec --no-build bench/main.exe -- --scaling --smoke --jobs 1
 
 say "scaling benchmark (smoke, --jobs 4)"
 dune exec --no-build bench/main.exe -- --scaling --smoke --jobs 4
+
+say "scaling benchmark (smoke, release profile, multi-process rows)"
+dune exec --no-build --profile release bench/main.exe -- --scaling --smoke
 
 say "all checks passed"
 STAGE="done"

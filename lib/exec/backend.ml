@@ -1,0 +1,10 @@
+type t = Sequential | Domains of Pool.t
+
+let of_pool = function
+  | Some p when Pool.jobs p > 1 -> Domains p
+  | _ -> Sequential
+
+let map t ~f tasks =
+  match t with
+  | Sequential -> List.map f tasks
+  | Domains p -> Pool.map p ~f tasks

@@ -1,0 +1,25 @@
+(** Where a batch of independent tasks runs: inline on the submitting
+    domain, or fanned out over a {!Pool} of worker domains.
+
+    This is the seam the execution layer exposes downward: everything
+    that fans work out ({!Pool.map} call sites) can be written against
+    [Backend.map] and stay agnostic of the parallelism mechanism.  The
+    third implementation — a fleet of worker OS processes — cannot live
+    here (it needs the full library to run tasks remotely), so it plugs
+    in one level up: [Mps_shard.Engine] drives the same submission-order
+    contract through explicit [runner] hooks ({!Mps_select.Exact.search})
+    and chunk fan-ins ({!Mps_antichain.Classify.of_buckets}).  All three
+    return results in submission order, so callers are byte-identical
+    whatever backend executes them. *)
+
+type t =
+  | Sequential  (** Run tasks inline, in submission order. *)
+  | Domains of Pool.t  (** Fan out over the pool's worker domains. *)
+
+val of_pool : Pool.t option -> t
+(** [Domains p] when a pool with [jobs > 1] is given, else [Sequential]
+    (a one-job pool gains nothing over inline execution). *)
+
+val map : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** Results in submission order; exceptions propagate as the earliest
+    failing task's ({!Pool.map}'s contract, trivially true inline). *)

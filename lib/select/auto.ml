@@ -12,13 +12,16 @@ type rule = { conds : cond list; backend : string; provenance : string }
 
 type rules = rule list
 
-(* Fit on the bench corpus by `bench --fit-selector` (results/selector_rules.json
-   is the serialized mirror; `bench --selector` gates that the two agree).
-   Reading the table: the fit found graph size alone separates the corpus —
-   harvest:greedy wins the small kernels (its exhaustive greedy harvest is
-   near-exact there) and the very largest (where beam's pool bookkeeping
-   stops paying), while beam takes the mid-size band where local search
-   recovers what one greedy pass misses. *)
+(* Fit on the bench corpus (huge tier included) by `bench --fit-selector`
+   (results/selector_rules.json is the serialized mirror; `bench
+   --selector` gates that the two agree).  Reading the table:
+   harvest:greedy wins the small kernels (its exhaustive greedy harvest
+   is near-exact there); beam takes the mid-size band where local search
+   recovers what one greedy pass misses; above that, the sharded-regime
+   graphs split on color balance — with no strongly dominant color
+   (huge-grid, fft16, fir16) the greedy harvest stays competitive, while
+   the dominant-color chain-like huge-deep falls through to eq8's
+   frequency heuristic. *)
 let builtin_rules =
   [
     {
@@ -29,11 +32,18 @@ let builtin_rules =
          mm232 w3dft";
     };
     {
-      conds = [ { feature = "edges"; op = Le; threshold = 248. } ];
+      conds = [ { feature = "nodes"; op = Le; threshold = 150.5 } ];
       backend = "beam";
-      provenance = "adv-big adv-deep adv-dense dct8 fft8 fir16 fir8 w5dft";
+      provenance =
+        "adv-big adv-deep adv-dense dct8 fft8 fir8 huge-wide w5dft";
     };
-    { conds = []; backend = "harvest:greedy"; provenance = "default: fft16" };
+    {
+      conds =
+        [ { feature = "max_color_share"; op = Le; threshold = 0.608870395344 } ];
+      backend = "harvest:greedy";
+      provenance = "fft16 fir16 huge-grid";
+    };
+    { conds = []; backend = "eq8"; provenance = "default: huge-deep" };
   ]
 
 let op_to_string = function Le -> "le" | Gt -> "gt"

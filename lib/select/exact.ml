@@ -189,11 +189,23 @@ let canonical_order classify set =
   Array.iteri (fun i p -> Hashtbl.replace h (Pattern.to_string p) i) pool;
   order_by (fun p -> Hashtbl.find_opt h (Pattern.to_string p)) set
 
-let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
-    ?(seeds = []) ?(bans = []) ~pdef classify =
+(* Everything the per-root tasks share, prepared once: the candidate
+   order, prune tables, prior-ban table, and the closures running one
+   root subtree or the sequential seed phase.  A [plan] is buildable in
+   any process from the same classification + arguments and yields
+   bit-identical [task_result]s — pool order, dominance, and the prior
+   table are all pattern-level, never raw universe ids — which is what
+   lets a shard worker re-derive the coordinator's plan locally. *)
+type plan = {
+  pl_np : int;
+  pl_seed : Pattern.t list list -> session;
+  pl_run_root : inc:int -> int -> task_result;
+}
+
+let make_plan ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
+    ?(bans = []) ~pdef classify =
   if pdef < 1 then invalid_arg "Exact.search: pdef must be >= 1";
   if max_nodes < 1 then invalid_arg "Exact.search: max_nodes must be >= 1";
-  Obs.span "exact" @@ fun () ->
   (* Warm start from a previous certificate's ban list: every prior entry
      is a proven fact about its set (cost in canonical order, or
      infeasibility), so a completion that hits the table is pruned without
@@ -394,27 +406,27 @@ let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
   (* Seeds are costed canonically — deterministic whatever order the
      caller's strategy emitted them in. *)
   let canonical_seed set = order_by pool_index set in
-  (* Sequential seed phase: the root node's own completion (the pure
-     fabrication), then the warm-start incumbents. *)
-  let seed_s = make_session master max_int in
-  (* The prior incumbent is the earliest cheapest prior set — exactly the
-     optimum the producing search reported (its ban list is in discovery
-     order and the incumbent only ever improved strictly), so a warm
-     re-search returns the same optimal set when nothing beats it. *)
-  (match prior_best with
-  | Some (c, set) ->
-      seed_s.inc <- c;
-      seed_s.best <- Some set
-  | None -> ());
-  seed_s.visited <- 1;
-  consider seed_s [] Color.Set.empty 0;
-  List.iter (fun set -> evaluate seed_s (canonical_seed set)) seeds;
-  emit_counters seed_s;
-  let g_inc = ref seed_s.inc in
-  let g_best = ref (match seed_s.best with Some set -> set | None -> []) in
-  let g_stats = ref (stats_of_session seed_s) in
-  let g_capped = ref false in
-  let run_root inc i =
+  let seed seeds =
+    (* Sequential seed phase: the root node's own completion (the pure
+       fabrication), then the warm-start incumbents. *)
+    let seed_s = make_session master max_int in
+    (* The prior incumbent is the earliest cheapest prior set — exactly
+       the optimum the producing search reported (its ban list is in
+       discovery order and the incumbent only ever improved strictly), so
+       a warm re-search returns the same optimal set when nothing beats
+       it. *)
+    (match prior_best with
+    | Some (c, set) ->
+        seed_s.inc <- c;
+        seed_s.best <- Some set
+    | None -> ());
+    seed_s.visited <- 1;
+    consider seed_s [] Color.Set.empty 0;
+    List.iter (fun set -> evaluate seed_s (canonical_seed set)) seeds;
+    emit_counters seed_s;
+    seed_s
+  in
+  let run_root ~inc i =
     let s = make_session (Eval.make ~delta:true g) inc in
     extend s i [] [] Color.Set.empty 0 0;
     emit_counters s;
@@ -424,6 +436,32 @@ let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
       t_bans = List.rev s.ban_rev;
       t_capped = s.capped;
     }
+  in
+  { pl_np = np; pl_seed = seed; pl_run_root = run_root }
+
+let plan_roots plan = plan.pl_np
+
+let run_task plan ~inc root =
+  if root < 0 || root >= plan.pl_np then
+    invalid_arg "Exact.run_task: root out of range";
+  plan.pl_run_root ~inc root
+
+let search ?pool ?runner ?priority ?pruning ?max_nodes ?(seeds = []) ?bans
+    ~pdef classify =
+  Obs.span "exact" @@ fun () ->
+  let plan = make_plan ?priority ?pruning ?max_nodes ?bans ~pdef classify in
+  let np = plan.pl_np in
+  let seed_s = plan.pl_seed seeds in
+  let g_inc = ref seed_s.inc in
+  let g_best = ref (match seed_s.best with Some set -> set | None -> []) in
+  let g_stats = ref (stats_of_session seed_s) in
+  let g_capped = ref false in
+  let run_batch inc batch =
+    match runner with
+    | Some r -> r ~inc batch
+    | None -> (
+        let f i = plan.pl_run_root ~inc i in
+        match pool with Some p -> Pool.map p ~f batch | None -> List.map f batch)
   in
   let rec batches = function
     | [] -> []
@@ -440,11 +478,7 @@ let search ?pool ?priority ?(pruning = all_pruning) ?(max_nodes = 1_000_000)
   let results_rev = ref [] in
   List.iter
     (fun batch ->
-      let inc = !g_inc in
-      let f i = run_root inc i in
-      let rs =
-        match pool with Some p -> Pool.map p ~f batch | None -> List.map f batch
-      in
+      let rs = run_batch !g_inc batch in
       List.iter
         (fun r ->
           g_stats := add_stats !g_stats r.t_stats;

@@ -8,7 +8,7 @@ module Obs = C.Obs
 let builtins =
   List.map
     (fun (e : C.Suite.entry) -> (e.C.Suite.name, e.C.Suite.build))
-    (C.Suite.corpus ~full:true ())
+    (C.Suite.corpus ~full:true ~huge:true ())
 
 let resolve_source = function
   | P.Builtin name -> (
@@ -20,7 +20,7 @@ let resolve_source = function
                (String.concat ", "
                   (List.map
                      (fun (e : C.Suite.entry) -> e.C.Suite.name)
-                     (C.Suite.corpus ~full:true ())))))
+                     (C.Suite.corpus ~full:true ~huge:true ())))))
   | P.Dfg_text text | P.Dot_text text -> (
       match C.Dfg_parse.of_string text with
       | g -> Ok g

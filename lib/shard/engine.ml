@@ -1,0 +1,192 @@
+module Json = Mps_util.Json
+module Obs = Core.Obs
+module Enumerate = Core.Enumerate
+module Classify = Core.Classify
+module Exact = Core.Exact
+module Eval = Core.Eval
+module Portfolio = Core.Portfolio
+module Dfg_parse = Core.Dfg_parse
+
+type t = {
+  fleet : Fleet.t;
+  mutable f_line : string option;  (* installed family, as its wire line *)
+  mutable p_line : string option;  (* installed plan, ditto *)
+}
+
+let create ~procs ~argv = { fleet = Fleet.create ~procs ~argv; f_line = None; p_line = None }
+let procs t = Fleet.procs t.fleet
+let shutdown t = Fleet.shutdown t.fleet
+
+let with_engine ~procs ~argv f =
+  let t = create ~procs ~argv in
+  match f t with
+  | r ->
+      shutdown t;
+      r
+  | exception e ->
+      (try shutdown t with _ -> ());
+      raise e
+
+(* Fixed chunking: up to 32 contiguous root ranges, a layout that depends
+   only on the node count — never on [procs] — so the task list (and with
+   it every counter and result) is procs-invariant. *)
+let chunk_count = 32
+
+let ranges n =
+  let k = min chunk_count (max 1 n) in
+  List.filter
+    (fun (lo, hi) -> lo < hi)
+    (List.init k (fun i -> (i * n / k, (i + 1) * n / k)))
+
+(* Family/plan installs are fingerprinted on their wire line: re-running
+   on the same instance re-broadcasts nothing. *)
+let ensure t ~get ~set req =
+  let line = Json.to_line (Protocol.request_to_json req) in
+  if get t <> Some line then begin
+    Fleet.broadcast t.fleet req;
+    Obs.count "shard.inits" 1;
+    set t (Some line)
+  end
+
+let ensure_family t ~graph ~capacity ~span_limit ~budget =
+  let req =
+    Protocol.Family
+      {
+        Protocol.f_graph = Dfg_parse.to_string graph;
+        f_capacity = capacity;
+        f_span = span_limit;
+        f_budget = budget;
+      }
+  in
+  let before = t.f_line in
+  ensure t
+    ~get:(fun t -> t.f_line)
+    ~set:(fun t v -> t.f_line <- v)
+    req;
+  (* A new family invalidates any installed plan. *)
+  if t.f_line <> before then t.p_line <- None
+
+let ensure_plan t ~pdef ~priority ~pruning ~max_nodes ~bans =
+  let req =
+    Protocol.Plan
+      {
+        Protocol.p_pdef = pdef;
+        p_priority = priority;
+        p_pruning = pruning;
+        p_max_nodes = max_nodes;
+        p_bans = bans;
+      }
+  in
+  ensure t
+    ~get:(fun t -> t.p_line)
+    ~set:(fun t v -> t.p_line <- v)
+    req
+
+let count t ?span_limit ~max_size ctx =
+  let graph = Enumerate.ctx_graph ctx in
+  ensure_family t ~graph ~capacity:max_size ~span_limit ~budget:None;
+  Obs.span "enumerate" @@ fun () ->
+  let n = Core.Dfg.node_count graph in
+  let chunks =
+    Fleet.map t.fleet
+      ~encode:(fun (lo, hi) ->
+        Protocol.Count
+          { Protocol.c_lo = lo; c_hi = hi; c_size = max_size; c_span = span_limit })
+      ~decode:(fun fields ->
+        Protocol.as_int "count value" (Protocol.field "count" fields "value"))
+      (ranges n)
+  in
+  List.fold_left ( + ) 0 chunks
+
+let classify t ?universe ?span_limit ?budget ~capacity ctx =
+  let graph = Enumerate.ctx_graph ctx in
+  ensure_family t ~graph ~capacity ~span_limit ~budget;
+  let n = Core.Dfg.node_count graph in
+  let chunks = ranges n in
+  let buckets =
+    Fleet.map t.fleet
+      ~encode:(fun (lo, hi) -> Protocol.Classify { Protocol.k_lo = lo; k_hi = hi })
+      ~decode:(fun fields ->
+        match Protocol.field "classify" fields "bucket" with
+        | Json.Null -> None
+        | Json.Obj bfields -> Some (Protocol.bucket_of_fields bfields)
+        | _ -> raise (Protocol.Malformed "bucket must be null or an object"))
+      chunks
+  in
+  Obs.count "shard.classify.chunks" (List.length chunks);
+  let over =
+    List.exists Option.is_none buckets
+    ||
+    match budget with
+    | None -> false
+    | Some b ->
+        List.fold_left
+          (fun acc -> function
+            | Some bk -> acc + bk.Classify.bk_total
+            | None -> acc)
+          0 buckets
+        > b
+  in
+  if over then
+    (* Over budget: the sharded walk is only optimistic.  Re-run the
+       budgeted sequential walk, which is the canonical truncated result
+       (same contract as Classify.compute's parallel path). *)
+    Classify.compute ?universe ?span_limit ?budget ~capacity ctx
+  else
+    Classify.of_buckets ?universe ?span_limit ~capacity ctx
+      (List.map Option.get buckets)
+
+let portfolio t ?(beam_width = 4) ?budget ~pdef classify =
+  if pdef < 1 then invalid_arg "Engine.portfolio: pdef must be >= 1";
+  ensure_family t
+    ~graph:(Classify.graph classify)
+    ~capacity:(Classify.capacity classify)
+    ~span_limit:(Classify.span_limit classify)
+    ~budget;
+  Obs.span "portfolio" @@ fun () ->
+  let names = Portfolio.strategy_names in
+  Obs.count "portfolio.strategies" (List.length names);
+  let rows =
+    Fleet.map t.fleet
+      ~encode:(fun name ->
+        Protocol.Strategy
+          { Protocol.s_name = name; s_pdef = pdef; s_beam_width = beam_width })
+      ~decode:(fun fields ->
+        let patterns =
+          Protocol.patterns_of_json "patterns"
+            (Protocol.field "strategy" fields "patterns")
+        in
+        let known =
+          match Protocol.field "strategy" fields "known" with
+          | Json.Null -> None
+          | j -> Some (Protocol.as_int "known" j)
+        in
+        (patterns, known))
+      names
+  in
+  Portfolio.of_produced classify
+    (List.map2 (fun name (patterns, known) -> (name, patterns, known)) names rows)
+
+let exact t ?priority ?pruning ?max_nodes ?seeds ?bans ?budget ~pdef classify =
+  ensure_family t
+    ~graph:(Classify.graph classify)
+    ~capacity:(Classify.capacity classify)
+    ~span_limit:(Classify.span_limit classify)
+    ~budget;
+  ensure_plan t ~pdef
+    ~priority:(Option.value priority ~default:Eval.F2)
+    ~pruning:(Option.value pruning ~default:Exact.all_pruning)
+    ~max_nodes:(Option.value max_nodes ~default:1_000_000)
+    ~bans:(Option.value bans ~default:[]);
+  let runner ~inc roots =
+    Obs.count "shard.exact.batches" 1;
+    Fleet.map t.fleet
+      ~encode:(fun root ->
+        Protocol.Exact_task { Protocol.e_root = root; e_inc = inc })
+      ~decode:(fun fields ->
+        match Protocol.field "exact" fields "task" with
+        | Json.Obj tfields -> Protocol.task_result_of_fields tfields
+        | _ -> raise (Protocol.Malformed "task must be an object"))
+      roots
+  in
+  Exact.search ~runner ?priority ?pruning ?max_nodes ?seeds ?bans ~pdef classify

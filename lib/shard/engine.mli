@@ -1,0 +1,84 @@
+(** The sharding engine: library operations fanned out over a worker fleet.
+
+    One engine owns one {!Fleet} and exposes the operations [mpsched
+    --procs N] shards: antichain counting, classification, the portfolio,
+    and the exact branch-and-bound.  Each op broadcasts the instance state
+    (the {e family}: graph + classification parameters; for exact, also
+    the {e plan}) once — fingerprinted on the wire line, so repeat calls
+    on the same instance broadcast nothing — then distributes fixed-layout
+    task chunks and merges results in submission order.
+
+    {2 Determinism}
+
+    The chunk layout depends only on the instance (node count, strategy
+    registry, candidate pool) — never on the fleet size — and the fan-in
+    is submission-ordered, so every result, counter and certificate is
+    byte-identical for every [--procs] value, and identical to the
+    in-process [--jobs] paths.  Counters emitted by workers replay into
+    the coordinator's collector in submission order; the engine adds
+    [shard.tasks], [shard.inits], [shard.classify.chunks] and
+    [shard.exact.batches], all procs-invariant by construction.
+
+    A crashed or misbehaving worker raises {!Fleet.Worker_failed} after
+    the whole fleet is killed — never a hang. *)
+
+type t
+
+val create : procs:int -> argv:string array -> t
+(** Spawns the fleet; [argv] is the worker command line (e.g.
+    [[|exe; "worker"|]]).  @raise Invalid_argument when [procs < 1]. *)
+
+val procs : t -> int
+val shutdown : t -> unit
+
+val with_engine : procs:int -> argv:string array -> (t -> 'a) -> 'a
+(** [create] / run / [shutdown], killing the fleet on exceptions. *)
+
+val count :
+  t -> ?span_limit:int -> max_size:int -> Core.Enumerate.ctx -> int
+(** Sharded {!Core.Enumerate.count}: root ranges fan out, chunk counts
+    sum.  Runs under an ["enumerate"] span. *)
+
+val classify :
+  t ->
+  ?universe:Core.Universe.t ->
+  ?span_limit:int ->
+  ?budget:int ->
+  capacity:int ->
+  Core.Enumerate.ctx ->
+  Core.Classify.t
+(** Sharded {!Core.Classify.compute}: chunk buckets merge through
+    {!Core.Classify.of_buckets} in root order, reproducing the sequential
+    classification bit for bit (including universe id assignment).  With a
+    [budget] the sharded walk is optimistic: when any chunk alone, or the
+    chunks' sum, exceeds it, the canonical budgeted {e sequential} walk
+    runs instead — truncated classifications are byte-identical too. *)
+
+val portfolio :
+  t ->
+  ?beam_width:int ->
+  ?budget:int ->
+  pdef:int ->
+  Core.Classify.t ->
+  Core.Portfolio.outcome
+(** Sharded {!Core.Portfolio.run}: one task per registry strategy, ranked
+    by {!Core.Portfolio.of_produced}.  [budget] is the enumeration budget
+    the classification was computed under, so workers rebuild the same
+    (possibly truncated) classification.  @raise Invalid_argument if
+    [pdef < 1]. *)
+
+val exact :
+  t ->
+  ?priority:Core.Eval.pattern_priority ->
+  ?pruning:Core.Exact.pruning ->
+  ?max_nodes:int ->
+  ?seeds:Core.Pattern.t list list ->
+  ?bans:Core.Exact.ban_entry list ->
+  ?budget:int ->
+  pdef:int ->
+  Core.Classify.t ->
+  Core.Exact.certificate
+(** Sharded {!Core.Exact.search}: the search's batches execute on the
+    fleet via its runner hook, incumbent frozen per batch exactly as the
+    in-process pool path does, so the certificate is identical for every
+    [--procs]/[--jobs] combination. *)

@@ -1,0 +1,107 @@
+module Json = Mps_util.Json
+module Obs = Core.Obs
+
+exception Worker_failed of string
+
+type t = { workers : Transport.t array; mutable alive : bool }
+
+let create ~procs ~argv =
+  if procs < 1 then invalid_arg "Fleet.create: procs must be >= 1";
+  { workers = Array.init procs (fun _ -> Transport.spawn argv); alive = true }
+
+let procs t = Array.length t.workers
+let pids t = Array.to_list (Array.map (fun w -> Transport.pid w) t.workers)
+
+(* A dead or misbehaving worker poisons the whole fleet: every sibling is
+   SIGKILLed so nothing blocks on a half-gone pipeline, then the caller
+   sees one exception. *)
+let fail t msg =
+  if t.alive then begin
+    t.alive <- false;
+    Array.iter Transport.kill t.workers
+  end;
+  raise (Worker_failed msg)
+
+let send t w req =
+  try Transport.send t.workers.(w) (Protocol.request_to_json req)
+  with Sys_error e -> fail t (Printf.sprintf "worker %d: write failed: %s" w e)
+
+(* The next response from worker [w], unwrapped to its payload fields.
+   Workers answer strictly in request order, so FIFO reads per worker are
+   the whole sequencing story. *)
+let recv_fields t w =
+  match Transport.recv t.workers.(w) with
+  | Error e -> fail t (Printf.sprintf "worker %d: %s" w e)
+  | Ok (Json.Obj fields) -> (
+      match List.assoc_opt "ok" fields with
+      | Some (Json.Bool true) -> fields
+      | Some (Json.Bool false) ->
+          let msg =
+            match List.assoc_opt "error" fields with
+            | Some (Json.Str m) -> m
+            | _ -> "unknown error"
+          in
+          fail t (Printf.sprintf "worker %d: %s" w msg)
+      | _ -> fail t (Printf.sprintf "worker %d: response missing \"ok\"" w))
+  | Ok _ -> fail t (Printf.sprintf "worker %d: response must be an object" w)
+
+let broadcast t req =
+  let p = procs t in
+  for w = 0 to p - 1 do
+    send t w req
+  done;
+  for w = 0 to p - 1 do
+    ignore (recv_fields t w)
+  done
+
+let map t ~encode ~decode tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let p = procs t in
+  (* Task i belongs to worker (i mod p); the window keeps exactly one
+     outstanding task per worker, and results are read back in submission
+     order — worker (i mod p)'s next unread response IS task i.  Counters
+     replay before decode so the merge order equals submission order. *)
+  for i = 0 to min p n - 1 do
+    send t (i mod p) (encode tasks.(i))
+  done;
+  let results = Array.make n None in
+  for i = 0 to n - 1 do
+    let w = i mod p in
+    let fields = recv_fields t w in
+    (match List.assoc_opt "counters" fields with
+    | Some c -> (
+        try Protocol.replay_counters c
+        with Protocol.Malformed m ->
+          fail t (Printf.sprintf "worker %d: %s" w m))
+    | None -> ());
+    (match decode fields with
+    | r -> results.(i) <- Some r
+    | exception Protocol.Malformed m ->
+        fail t (Printf.sprintf "worker %d: %s" w m));
+    if i + p < n then send t w (encode tasks.(i + p))
+  done;
+  Obs.count "shard.tasks" n;
+  Array.to_list
+    (Array.map
+       (function Some r -> r | None -> assert false (* all slots filled *))
+       results)
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Array.iter Transport.close t.workers
+  end
+
+let with_fleet ~procs ~argv f =
+  let t = create ~procs ~argv in
+  match f t with
+  | r ->
+      shutdown t;
+      r
+  | exception e ->
+      if t.alive then begin
+        t.alive <- false;
+        Array.iter Transport.kill t.workers
+      end;
+      raise e

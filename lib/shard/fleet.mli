@@ -1,0 +1,48 @@
+(** A fleet of worker processes with deterministic submission-order fan-in.
+
+    [map] distributes tasks round-robin — task [i] to worker [i mod procs],
+    a window of one outstanding task per worker — and reads results back
+    strictly in submission order, replaying each response's counters into
+    the ambient collector before decoding.  Workers answer their own
+    requests in FIFO order, so the fan-in sequence (and therefore every
+    counter merge and every result list) is a pure function of the task
+    list, independent of worker timing: output is byte-identical for every
+    [--procs] value.
+
+    Any worker failure — crash, EOF, malformed frame, error response —
+    SIGKILLs the whole fleet and raises {!Worker_failed}; nothing hangs on
+    a half-dead pipeline. *)
+
+type t
+
+exception Worker_failed of string
+
+val create : procs:int -> argv:string array -> t
+(** Spawns [procs] workers running [argv] (e.g.
+    [[|Sys.executable_name; "worker"|]]).
+    @raise Invalid_argument when [procs < 1]. *)
+
+val procs : t -> int
+
+val pids : t -> int option list
+(** Worker pids, for diagnostics. *)
+
+val broadcast : t -> Protocol.request -> unit
+(** Sends one request to every worker and waits for every acknowledgement
+    (family/plan installs). *)
+
+val map :
+  t ->
+  encode:('a -> Protocol.request) ->
+  decode:((string * Mps_util.Json.t) list -> 'b) ->
+  'a list ->
+  'b list
+(** Results in submission order; counts the batch under [shard.tasks].
+    [decode] receives the payload fields of a success response and may
+    raise {!Protocol.Malformed}. *)
+
+val shutdown : t -> unit
+(** Graceful: close every worker's stdin (they exit on EOF) and reap. *)
+
+val with_fleet : procs:int -> argv:string array -> (t -> 'a) -> 'a
+(** [create] / run / [shutdown], killing the fleet if the body raises. *)

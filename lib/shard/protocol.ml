@@ -1,0 +1,389 @@
+(* Wire codecs for the worker protocol: line-delimited JSON, one request
+   or response per line, in the serve protocol's framing.
+
+   Everything crossing the boundary is pattern-level — canonical pattern
+   spellings, node ids, counts — never universe ids, so a worker can
+   rebuild bit-identical state from a frame whatever interning order its
+   own process used.  Responses carry the task's counters as precomputed
+   aggregates; the coordinator replays them through [Obs.merge] in
+   submission order, which keeps counter tables byte-identical to the
+   in-process run. *)
+
+module Json = Mps_util.Json
+module Pattern = Core.Pattern
+module Obs = Core.Obs
+module Exact = Core.Exact
+module Classify = Core.Classify
+module Eval = Core.Eval
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+let num n = Json.Num (float_of_int n)
+
+let as_int what = function
+  | Json.Num f when Float.is_integer f && Float.abs f <= 1e15 -> int_of_float f
+  | _ -> fail "%s must be an integer" what
+
+let as_str what = function Json.Str s -> s | _ -> fail "%s must be a string" what
+let as_arr what = function Json.Arr l -> l | _ -> fail "%s must be an array" what
+
+let field what fields key =
+  match List.assoc_opt key fields with
+  | Some v -> v
+  | None -> fail "%s: missing %S" what key
+
+let int_field what fields key = as_int (what ^ "." ^ key) (field what fields key)
+
+(* An optional int is wired as -1 (budgets and span limits are never
+   negative). *)
+let opt_to_num = function None -> num (-1) | Some v -> num v
+let opt_of_num what j = match as_int what j with -1 -> None | v -> Some v
+
+(* {2 Patterns, bans, priorities} *)
+
+let patterns_to_json ps =
+  Json.Arr (List.map (fun p -> Json.Str (Pattern.to_string p)) ps)
+
+let patterns_of_json what j =
+  List.map (fun s -> Pattern.of_string (as_str what s)) (as_arr what j)
+
+let priority_to_string = function Eval.F1 -> "f1" | Eval.F2 -> "f2"
+
+let priority_of_string = function
+  | "f1" -> Eval.F1
+  | "f2" -> Eval.F2
+  | s -> fail "unknown priority %S" s
+
+let bound_to_json = function
+  | Exact.Infeasible -> Json.Null
+  | Exact.Cost c -> num c
+
+let bound_of_json = function
+  | Json.Null -> Exact.Infeasible
+  | j -> Exact.Cost (as_int "bound" j)
+
+let bans_to_json bans =
+  Json.Arr
+    (List.map
+       (fun (e : Exact.ban_entry) ->
+         Json.Obj
+           [
+             ("set", patterns_to_json e.Exact.banned);
+             ("cost", bound_to_json e.Exact.bound);
+           ])
+       bans)
+
+let bans_of_json j =
+  List.map
+    (fun e ->
+      match e with
+      | Json.Obj fields ->
+          {
+            Exact.banned = patterns_of_json "ban set" (field "ban" fields "set");
+            bound = bound_of_json (field "ban" fields "cost");
+          }
+      | _ -> fail "ban entry must be an object")
+    (as_arr "bans" j)
+
+(* {2 Counters} *)
+
+let counters_to_json cs =
+  Json.Arr
+    (List.map
+       (fun (c : Obs.counter) ->
+         Json.Arr
+           [
+             Json.Str c.Obs.name;
+             Json.Str (match c.Obs.kind with Obs.Sum -> "sum" | Obs.Dist -> "dist");
+             num c.Obs.samples;
+             num c.Obs.total;
+             num c.Obs.vmin;
+             num c.Obs.vmax;
+           ])
+       cs)
+
+let replay_counters j =
+  List.iter
+    (fun row ->
+      match as_arr "counter" row with
+      | [ name; kind; samples; total; vmin; vmax ] ->
+          let kind =
+            match as_str "counter kind" kind with
+            | "sum" -> Obs.Sum
+            | "dist" -> Obs.Dist
+            | k -> fail "unknown counter kind %S" k
+          in
+          Obs.merge (as_str "counter name" name) kind
+            ~samples:(as_int "samples" samples)
+            ~total:(as_int "total" total) ~vmin:(as_int "vmin" vmin)
+            ~vmax:(as_int "vmax" vmax)
+      | _ -> fail "counter row must have 6 members")
+    (as_arr "counters" j)
+
+(* {2 Requests} *)
+
+type family = {
+  f_graph : string;  (* Dfg_parse text *)
+  f_capacity : int;
+  f_span : int option;
+  f_budget : int option;
+}
+
+type plan = {
+  p_pdef : int;
+  p_priority : Eval.pattern_priority;
+  p_pruning : Exact.pruning;
+  p_max_nodes : int;
+  p_bans : Exact.ban_entry list;
+}
+
+type count_req = { c_lo : int; c_hi : int; c_size : int; c_span : int option }
+type classify_req = { k_lo : int; k_hi : int }
+type strategy_req = { s_name : string; s_pdef : int; s_beam_width : int }
+type exact_req = { e_root : int; e_inc : int }
+
+type request =
+  | Family of family
+  | Plan of plan
+  | Count of count_req
+  | Classify of classify_req
+  | Strategy of strategy_req
+  | Exact_task of exact_req
+
+let request_to_json = function
+  | Family f ->
+      Json.Obj
+        [
+          ("op", Json.Str "family");
+          ("graph", Json.Str f.f_graph);
+          ("capacity", num f.f_capacity);
+          ("span", opt_to_num f.f_span);
+          ("budget", opt_to_num f.f_budget);
+        ]
+  | Plan p ->
+      Json.Obj
+        [
+          ("op", Json.Str "plan");
+          ("pdef", num p.p_pdef);
+          ("priority", Json.Str (priority_to_string p.p_priority));
+          ( "pruning",
+            Json.Arr
+              (List.map
+                 (fun b -> Json.Bool b)
+                 [
+                   p.p_pruning.Exact.prune_span;
+                   p.p_pruning.Exact.prune_color;
+                   p.p_pruning.Exact.prune_ban;
+                   p.p_pruning.Exact.prune_dominance;
+                 ]) );
+          ("max_nodes", num p.p_max_nodes);
+          ("bans", bans_to_json p.p_bans);
+        ]
+  | Count c ->
+      Json.Obj
+        [
+          ("op", Json.Str "count");
+          ("lo", num c.c_lo);
+          ("hi", num c.c_hi);
+          ("size", num c.c_size);
+          ("span", opt_to_num c.c_span);
+        ]
+  | Classify k ->
+      Json.Obj
+        [ ("op", Json.Str "classify"); ("lo", num k.k_lo); ("hi", num k.k_hi) ]
+  | Strategy s ->
+      Json.Obj
+        [
+          ("op", Json.Str "strategy");
+          ("name", Json.Str s.s_name);
+          ("pdef", num s.s_pdef);
+          ("beam_width", num s.s_beam_width);
+        ]
+  | Exact_task e ->
+      (* No incumbent yet is [max_int], which does not survive the float
+         wire format — it travels as null. *)
+      Json.Obj
+        [
+          ("op", Json.Str "exact");
+          ("root", num e.e_root);
+          ("inc", if e.e_inc = max_int then Json.Null else num e.e_inc);
+        ]
+
+let request_of_json j =
+  match j with
+  | Json.Obj fields -> (
+      match as_str "op" (field "request" fields "op") with
+      | "family" ->
+          Family
+            {
+              f_graph = as_str "graph" (field "family" fields "graph");
+              f_capacity = int_field "family" fields "capacity";
+              f_span = opt_of_num "span" (field "family" fields "span");
+              f_budget = opt_of_num "budget" (field "family" fields "budget");
+            }
+      | "plan" ->
+          let pruning =
+            match as_arr "pruning" (field "plan" fields "pruning") with
+            | [ Json.Bool s; Json.Bool c; Json.Bool b; Json.Bool d ] ->
+                {
+                  Exact.prune_span = s;
+                  prune_color = c;
+                  prune_ban = b;
+                  prune_dominance = d;
+                }
+            | _ -> fail "pruning must be 4 booleans"
+          in
+          Plan
+            {
+              p_pdef = int_field "plan" fields "pdef";
+              p_priority =
+                priority_of_string (as_str "priority" (field "plan" fields "priority"));
+              p_pruning = pruning;
+              p_max_nodes = int_field "plan" fields "max_nodes";
+              p_bans = bans_of_json (field "plan" fields "bans");
+            }
+      | "count" ->
+          Count
+            {
+              c_lo = int_field "count" fields "lo";
+              c_hi = int_field "count" fields "hi";
+              c_size = int_field "count" fields "size";
+              c_span = opt_of_num "span" (field "count" fields "span");
+            }
+      | "classify" ->
+          Classify
+            {
+              k_lo = int_field "classify" fields "lo";
+              k_hi = int_field "classify" fields "hi";
+            }
+      | "strategy" ->
+          Strategy
+            {
+              s_name = as_str "name" (field "strategy" fields "name");
+              s_pdef = int_field "strategy" fields "pdef";
+              s_beam_width = int_field "strategy" fields "beam_width";
+            }
+      | "exact" ->
+          Exact_task
+            {
+              e_root = int_field "exact" fields "root";
+              e_inc =
+                (match field "exact" fields "inc" with
+                | Json.Null -> max_int
+                | j -> as_int "exact.inc" j);
+            }
+      | op -> fail "unknown op %S" op)
+  | _ -> fail "request must be a JSON object"
+
+(* {2 Responses} *)
+
+let ok_response ?(fields = []) ~counters () =
+  Json.Obj
+    ((("ok", Json.Bool true) :: fields)
+    @ [ ("counters", counters_to_json counters) ])
+
+let error_response msg =
+  Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+
+(* Classification buckets: entries as [spelling, count, [[node, freq], ...]]
+   in first-visit order. *)
+
+let bucket_to_json (bk : Classify.bucket) =
+  Json.Obj
+    [
+      ("total", num bk.Classify.bk_total);
+      ( "entries",
+        Json.Arr
+          (List.map
+             (fun (e : Classify.bucket_entry) ->
+               Json.Arr
+                 [
+                   Json.Str (Pattern.to_string e.Classify.be_pattern);
+                   num e.Classify.be_count;
+                   Json.Arr
+                     (List.map
+                        (fun (n, c) -> Json.Arr [ num n; num c ])
+                        e.Classify.be_freq);
+                 ])
+             bk.Classify.bk_entries) );
+    ]
+
+let bucket_of_fields fields =
+  let entries =
+    List.map
+      (fun e ->
+        match as_arr "bucket entry" e with
+        | [ spelling; count; freq ] ->
+            {
+              Classify.be_pattern = Pattern.of_string (as_str "pattern" spelling);
+              be_count = as_int "count" count;
+              be_freq =
+                List.map
+                  (fun row ->
+                    match as_arr "freq row" row with
+                    | [ n; c ] -> (as_int "node" n, as_int "freq" c)
+                    | _ -> fail "freq row must be [node, count]")
+                  (as_arr "freq" freq);
+            }
+        | _ -> fail "bucket entry must be [pattern, count, freq]")
+      (as_arr "entries" (field "bucket" fields "entries"))
+  in
+  { Classify.bk_entries = entries; bk_total = int_field "bucket" fields "total" }
+
+(* Exact task results. *)
+
+let stats_to_json (s : Exact.stats) =
+  Json.Arr
+    (List.map num
+       [
+         s.Exact.nodes_visited;
+         s.Exact.pruned_span;
+         s.Exact.pruned_color;
+         s.Exact.pruned_ban;
+         s.Exact.pruned_dominance;
+         s.Exact.evaluated;
+       ])
+
+let stats_of_json j =
+  match as_arr "stats" j with
+  | [ v; ps; pc; pb; pd; ev ] ->
+      {
+        Exact.nodes_visited = as_int "visited" v;
+        pruned_span = as_int "pruned_span" ps;
+        pruned_color = as_int "pruned_color" pc;
+        pruned_ban = as_int "pruned_ban" pb;
+        pruned_dominance = as_int "pruned_dominance" pd;
+        evaluated = as_int "evaluated" ev;
+      }
+  | _ -> fail "stats must have 6 members"
+
+let task_result_to_json (r : Exact.task_result) =
+  Json.Obj
+    [
+      ( "best",
+        match r.Exact.t_best with
+        | None -> Json.Null
+        | Some (c, set) -> Json.Arr [ num c; patterns_to_json set ] );
+      ("stats", stats_to_json r.Exact.t_stats);
+      ("bans", bans_to_json r.Exact.t_bans);
+      ("capped", Json.Bool r.Exact.t_capped);
+    ]
+
+let task_result_of_fields fields =
+  let best =
+    match field "task" fields "best" with
+    | Json.Null -> None
+    | Json.Arr [ c; set ] ->
+        Some (as_int "best cycles" c, patterns_of_json "best set" set)
+    | _ -> fail "best must be null or [cycles, patterns]"
+  in
+  match List.assoc_opt "capped" fields with
+  | Some (Json.Bool capped) ->
+      {
+        Exact.t_best = best;
+        t_stats = stats_of_json (field "task" fields "stats");
+        t_bans = bans_of_json (field "task" fields "bans");
+        t_capped = capped;
+      }
+  | _ -> fail "task: missing or non-boolean \"capped\""

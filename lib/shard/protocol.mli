@@ -1,0 +1,96 @@
+(** Wire codecs for the shard worker protocol.
+
+    One request or response per line, in the serve protocol's
+    line-delimited JSON framing.  Everything crossing the boundary is
+    pattern-level — canonical spellings, node ids, counts — never raw
+    universe ids, so a worker rebuilds bit-identical state regardless of
+    its own interning order.  Responses carry the task's counters as
+    precomputed aggregates which the coordinator replays through
+    {!Core.Obs.merge} in submission order, keeping counter tables
+    byte-identical to the in-process run. *)
+
+exception Malformed of string
+(** A frame that does not decode.  Raised by every [_of_json] below; the
+    fleet turns it into {!Fleet.Worker_failed}. *)
+
+(** {2 JSON helpers} (shared with {!Fleet}/{!Engine} decode paths) *)
+
+val num : int -> Mps_util.Json.t
+val as_int : string -> Mps_util.Json.t -> int
+val as_str : string -> Mps_util.Json.t -> string
+val as_arr : string -> Mps_util.Json.t -> Mps_util.Json.t list
+
+val field :
+  string -> (string * Mps_util.Json.t) list -> string -> Mps_util.Json.t
+(** [field what fields key] — the field or [Malformed "what: missing key"]. *)
+
+(** {2 Requests} *)
+
+type family = {
+  f_graph : string;  (** {!Core.Dfg_parse} text. *)
+  f_capacity : int;
+  f_span : int option;
+  f_budget : int option;
+}
+(** Instance state shared by every task family: graph plus classification
+    parameters.  Broadcast once per instance; workers derive their own
+    classification from it lazily. *)
+
+type plan = {
+  p_pdef : int;
+  p_priority : Core.Eval.pattern_priority;
+  p_pruning : Core.Exact.pruning;
+  p_max_nodes : int;
+  p_bans : Core.Exact.ban_entry list;
+}
+(** Exact-search plan parameters, broadcast separately from {!family} so a
+    plan change (new ban list, different pdef) does not force workers to
+    rebuild their classification. *)
+
+type count_req = { c_lo : int; c_hi : int; c_size : int; c_span : int option }
+type classify_req = { k_lo : int; k_hi : int }
+type strategy_req = { s_name : string; s_pdef : int; s_beam_width : int }
+type exact_req = { e_root : int; e_inc : int }
+
+type request =
+  | Family of family
+  | Plan of plan
+  | Count of count_req
+  | Classify of classify_req
+  | Strategy of strategy_req
+  | Exact_task of exact_req
+
+val request_to_json : request -> Mps_util.Json.t
+val request_of_json : Mps_util.Json.t -> request
+
+(** {2 Responses}
+
+    Success: [{"ok": true, ...payload, "counters": [...]}].
+    Failure: [{"ok": false, "error": msg}]. *)
+
+val ok_response :
+  ?fields:(string * Mps_util.Json.t) list ->
+  counters:Core.Obs.counter list ->
+  unit ->
+  Mps_util.Json.t
+
+val error_response : string -> Mps_util.Json.t
+
+val replay_counters : Mps_util.Json.t -> unit
+(** Folds a response's counter rows into the ambient collector via
+    {!Core.Obs.merge}, in row order. *)
+
+(** {2 Payload codecs} *)
+
+val patterns_to_json : Core.Pattern.t list -> Mps_util.Json.t
+val patterns_of_json : string -> Mps_util.Json.t -> Core.Pattern.t list
+
+val bucket_to_json : Core.Classify.bucket -> Mps_util.Json.t
+
+val bucket_of_fields :
+  (string * Mps_util.Json.t) list -> Core.Classify.bucket
+
+val task_result_to_json : Core.Exact.task_result -> Mps_util.Json.t
+
+val task_result_of_fields :
+  (string * Mps_util.Json.t) list -> Core.Exact.task_result

@@ -1,0 +1,111 @@
+module Json = Mps_util.Json
+
+type t = {
+  t_pid : int option;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+(* A write to a dead worker must surface as an EPIPE [Sys_error] the
+   fleet can catch, not a fatal SIGPIPE.  Idempotent, and a no-op on
+   platforms without the signal. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let of_channels ic oc = { t_pid = None; ic; oc; closed = false }
+
+let spawn argv =
+  ignore_sigpipe ();
+  (* cloexec: a later-spawned sibling must not inherit this worker's pipe
+     ends, or closing our write end would never deliver EOF (and a
+     graceful shutdown would deadlock in waitpid).  create_process dup2s
+     the child's own ends onto its stdio, which clears the flag there. *)
+  let req_read, req_write = Unix.pipe ~cloexec:true () in
+  let resp_read, resp_write = Unix.pipe ~cloexec:true () in
+  let pid = Unix.create_process argv.(0) argv req_read resp_write Unix.stderr in
+  Unix.close req_read;
+  Unix.close resp_write;
+  {
+    t_pid = Some pid;
+    ic = Unix.in_channel_of_descr resp_read;
+    oc = Unix.out_channel_of_descr req_write;
+    closed = false;
+  }
+
+let pid t = t.t_pid
+let channels t = (t.ic, t.oc)
+
+let send t j =
+  output_string t.oc (Json.to_line j);
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t =
+  match input_line t.ic with
+  | exception End_of_file -> Error "unexpected end of stream"
+  | exception Sys_error e -> Error ("read failed: " ^ e)
+  | line -> (
+      match Json.parse line with
+      | Ok j -> Ok j
+      | Error e -> Error ("bad frame: " ^ e))
+
+let reap = function
+  | None -> ()
+  | Some pid -> ( try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try close_out t.oc with Sys_error _ -> ());
+    reap t.t_pid;
+    (* Sockets share one fd between both channels: the second close may
+       report EBADF, which is exactly the already-closed case. *)
+    try close_in t.ic with Sys_error _ -> ()
+  end
+
+let kill t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.t_pid with
+    | Some pid -> ( try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    | None -> ());
+    reap t.t_pid;
+    close_out_noerr t.oc;
+    close_in_noerr t.ic
+  end
+
+(* Half-close for sockets: deliver EOF to the peer while keeping our read
+   side open for its remaining responses.  (Pipes get the same effect from
+   [close]'s close_out, because read and write are separate fds there.) *)
+let shutdown_send t =
+  flush t.oc;
+  try Unix.shutdown (Unix.descr_of_out_channel t.oc) Unix.SHUTDOWN_SEND
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let listen_unix ~path =
+  ignore_sigpipe ();
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  fd
+
+let wrap_socket fd =
+  {
+    t_pid = None;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    closed = false;
+  }
+
+let accept_unix fd =
+  let conn, _ = Unix.accept fd in
+  wrap_socket conn
+
+let connect_unix ~path =
+  ignore_sigpipe ();
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  wrap_socket fd

@@ -1,0 +1,62 @@
+(** Line-delimited JSON frames over a process boundary.
+
+    One [t] is one peer: a worker process spawned over a pipe pair, an
+    accepted socket connection, or a pair of already-open channels.  The
+    framing is the serve protocol's — one {!Mps_util.Json} value per
+    line — so the same helpers back the shard worker fleet and the
+    [mpsched serve --listen] socket transport.
+
+    SIGPIPE is set to ignore on the first spawn/listen/connect, so a
+    write to a dead peer surfaces as a [Sys_error] (which {!Fleet} turns
+    into {!Fleet.Worker_failed}) instead of killing the process. *)
+
+type t
+
+val spawn : string array -> t
+(** Forks [argv] as a child process with a pipe pair: our sends arrive on
+    its stdin, its stdout arrives on our {!recv}.  stderr is inherited.
+    @raise Unix.Unix_error when the executable cannot be spawned. *)
+
+val of_channels : in_channel -> out_channel -> t
+(** Wraps existing channels (no owned process). *)
+
+val pid : t -> int option
+(** The child's pid for {!spawn} transports; [None] otherwise. *)
+
+val channels : t -> in_channel * out_channel
+(** The raw channel pair, for callers that speak a different line protocol
+    over the same connection (the serve socket transport hands these to
+    {!Mps_serve.Server.run}-style loops). *)
+
+val send : t -> Mps_util.Json.t -> unit
+(** One value, one line, flushed.  @raise Sys_error on a broken pipe. *)
+
+val recv : t -> (Mps_util.Json.t, string) result
+(** The next line parsed as JSON; [Error] on end-of-stream or a parse
+    failure (a crashed or misbehaving peer, never a protocol state). *)
+
+val close : t -> unit
+(** Graceful shutdown: closes our write end (the peer sees EOF and
+    exits), waits for a spawned child, closes the read end.  Idempotent. *)
+
+val kill : t -> unit
+(** Hard shutdown: SIGKILL + reap for a spawned child, then close both
+    channels.  For failure paths where the peer may never answer again.
+    Idempotent. *)
+
+(** {2 Unix-domain sockets} — the [mpsched serve --listen] transport. *)
+
+val shutdown_send : t -> unit
+(** Half-close (sockets): flush and deliver EOF to the peer while keeping
+    the read side open — how a pipelined client says "no more requests"
+    and still collects every response. *)
+
+val listen_unix : path:string -> Unix.file_descr
+(** Binds and listens on a Unix-domain socket, unlinking a stale file at
+    [path] first.  @raise Unix.Unix_error on bind failure. *)
+
+val accept_unix : Unix.file_descr -> t
+(** Blocks for one connection and wraps it. *)
+
+val connect_unix : path:string -> t
+(** Client side: connects to a listening socket. *)

@@ -1,0 +1,171 @@
+module Json = Mps_util.Json
+module Obs = Core.Obs
+module Enumerate = Core.Enumerate
+module Classify = Core.Classify
+module Exact = Core.Exact
+module Portfolio = Core.Portfolio
+module Dfg_parse = Core.Dfg_parse
+
+(* Shared state across task ops.  The classification and the exact plan
+   are forced lazily and BARE — with no ambient collector — because the
+   coordinator already accounted for its own classify/plan work; only the
+   per-task op bodies run under a collector, and those counters travel
+   back in the response. *)
+type family = {
+  w_ctx : Enumerate.ctx;
+  w_capacity : int;
+  w_span : int option;
+  w_budget : int option;
+}
+
+type state = {
+  mutable fam : family option;
+  mutable classification : Classify.t Lazy.t;
+  mutable plan : Exact.plan Lazy.t;
+}
+
+let no_family () = failwith "no family installed (missing \"family\" request)"
+let no_plan () = failwith "no plan installed (missing \"plan\" request)"
+
+let the_family st =
+  match st.fam with Some f -> f | None -> no_family ()
+
+let install_family st (f : Protocol.family) =
+  let graph = Dfg_parse.of_string f.Protocol.f_graph in
+  let fam =
+    {
+      w_ctx = Enumerate.make_ctx graph;
+      w_capacity = f.Protocol.f_capacity;
+      w_span = f.Protocol.f_span;
+      w_budget = f.Protocol.f_budget;
+    }
+  in
+  st.fam <- Some fam;
+  st.classification <-
+    lazy
+      (Classify.compute ?span_limit:fam.w_span ?budget:fam.w_budget
+         ~capacity:fam.w_capacity fam.w_ctx);
+  st.plan <- lazy (no_plan ())
+
+let install_plan st (p : Protocol.plan) =
+  let classification = st.classification in
+  st.plan <-
+    lazy
+      (Exact.make_plan ~priority:p.Protocol.p_priority
+         ~pruning:p.Protocol.p_pruning ~max_nodes:p.Protocol.p_max_nodes
+         ~bans:p.Protocol.p_bans ~pdef:p.Protocol.p_pdef
+         (Lazy.force classification))
+
+(* Runs one task body under a fresh collector and exports its counters. *)
+let with_counters f =
+  let c = Obs.create () in
+  let r = Obs.run c f in
+  (r, Obs.counters c)
+
+let handle st req =
+  match req with
+  | Protocol.Family f ->
+      install_family st f;
+      Protocol.ok_response ~counters:[] ()
+  | Protocol.Plan p ->
+      install_plan st p;
+      Protocol.ok_response ~counters:[] ()
+  | Protocol.Count c ->
+      let fam = the_family st in
+      let n, counters =
+        with_counters (fun () ->
+            Enumerate.count_roots ?span_limit:c.Protocol.c_span
+              ~max_size:c.Protocol.c_size fam.w_ctx ~lo:c.Protocol.c_lo
+              ~hi:c.Protocol.c_hi)
+      in
+      Protocol.ok_response
+        ~fields:[ ("value", Protocol.num n) ]
+        ~counters ()
+  | Protocol.Classify k ->
+      let fam = the_family st in
+      let bucket, counters =
+        with_counters (fun () ->
+            Classify.bucket_roots ?span_limit:fam.w_span ?budget:fam.w_budget
+              ~capacity:fam.w_capacity fam.w_ctx ~lo:k.Protocol.k_lo
+              ~hi:k.Protocol.k_hi)
+      in
+      let bucket_json =
+        match bucket with
+        | None -> Json.Null
+        | Some bk -> Protocol.bucket_to_json bk
+      in
+      Protocol.ok_response ~fields:[ ("bucket", bucket_json) ] ~counters ()
+  | Protocol.Strategy s ->
+      let classification = Lazy.force st.classification in
+      let (patterns, known), counters =
+        with_counters (fun () ->
+            Portfolio.run_named ~beam_width:s.Protocol.s_beam_width
+              ~pdef:s.Protocol.s_pdef classification s.Protocol.s_name)
+      in
+      Protocol.ok_response
+        ~fields:
+          [
+            ("patterns", Protocol.patterns_to_json patterns);
+            ( "known",
+              match known with None -> Json.Null | Some c -> Protocol.num c );
+          ]
+        ~counters ()
+  | Protocol.Exact_task e ->
+      let plan = Lazy.force st.plan in
+      let result, counters =
+        with_counters (fun () ->
+            Exact.run_task plan ~inc:e.Protocol.e_inc e.Protocol.e_root)
+      in
+      Protocol.ok_response
+        ~fields:[ ("task", Protocol.task_result_to_json result) ]
+        ~counters ()
+
+let is_task_op = function
+  | Protocol.Count _ | Protocol.Classify _ | Protocol.Strategy _
+  | Protocol.Exact_task _ ->
+      true
+  | Protocol.Family _ | Protocol.Plan _ -> false
+
+let run ic oc =
+  let st =
+    { fam = None; classification = lazy (no_family ()); plan = lazy (no_plan ()) }
+  in
+  let crash_at =
+    match Sys.getenv_opt "MPS_SHARD_CRASH" with
+    | Some s -> int_of_string_opt s
+    | None -> None
+  in
+  let tasks_done = ref 0 in
+  let respond j =
+    output_string oc (Json.to_line j);
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        let resp =
+          match Json.parse line with
+          | Error e -> Protocol.error_response ("bad frame: " ^ e)
+          | Ok j -> (
+              match Protocol.request_of_json j with
+              | exception Protocol.Malformed m -> Protocol.error_response m
+              | req -> (
+                  (match crash_at with
+                  | Some n when is_task_op req ->
+                      incr tasks_done;
+                      if !tasks_done = n then exit 3
+                  | _ -> ());
+                  match handle st req with
+                  | resp -> resp
+                  | exception Protocol.Malformed m -> Protocol.error_response m
+                  | exception Invalid_argument m -> Protocol.error_response m
+                  | exception Failure m -> Protocol.error_response m
+                  | exception e ->
+                      Protocol.error_response (Printexc.to_string e)))
+        in
+        respond resp;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,24 @@
+(** The shard worker: serves {!Protocol} requests over a channel pair.
+
+    A worker is a plain OS process (spawned as [mpsched worker] or the
+    test/bench binaries' hidden worker mode) that loops reading one
+    request per line and writing one response per line.  It holds the
+    broadcast {!Protocol.family} (graph + classification parameters) and
+    {!Protocol.plan} state; the classification and the exact-search plan
+    are forced lazily and {e bare} — no ambient collector — so only the
+    per-task counters travel back in responses, in the task's own frame.
+
+    Determinism contract: a worker computes each task with the same
+    sequential code paths the coordinator would use in-process
+    ({!Core.Enumerate.count_roots}, {!Core.Classify.bucket_roots},
+    {!Core.Portfolio.run_named}, {!Core.Exact.run_task}), so responses
+    are bit-identical to local execution.
+
+    Fault injection for tests: when [MPS_SHARD_CRASH=n] is set in the
+    environment, the worker exits with status 3 instead of answering its
+    [n]-th task request (family/plan broadcasts do not count). *)
+
+val run : in_channel -> out_channel -> unit
+(** Serves until end-of-stream on the input channel.  Per-request
+    failures (malformed frames, invalid arguments) are answered with
+    error responses; the loop keeps serving. *)

@@ -20,14 +20,16 @@ type entry = {
   blurb : string;  (** One line for tables and docs. *)
 }
 
-val corpus : ?full:bool -> unit -> entry list
+val corpus : ?full:bool -> ?huge:bool -> unit -> entry list
 (** The corpus in fixed, documented order.  The base list (default) is
     sized for smoke gates; [full] appends the larger instances the
     offline fit also sees (bigger FFT/matmul, a direct DFT, wider random
-    suites).  Names are unique across both. *)
+    suites); [huge] appends the layered-random huge tier that the
+    sharded backends ([mpsched --procs], the multi-process scaling
+    bench) are measured on.  Names are unique across all three. *)
 
 val find : string -> entry option
-(** Lookup by name over the [full] corpus. *)
+(** Lookup by name over the whole corpus, huge tier included. *)
 
-val graphs : ?full:bool -> unit -> (string * Mps_dfg.Dfg.t) list
+val graphs : ?full:bool -> ?huge:bool -> unit -> (string * Mps_dfg.Dfg.t) list
 (** [corpus] with every graph built — the convenient form for benches. *)

@@ -1,0 +1,262 @@
+(* Shard fleet: forked worker processes must be invisible.  Sharded
+   counting, classification, portfolio and exact search are byte-identical
+   to the in-process library at every fleet size; a crashed worker
+   surfaces as [Worker_failed] with the whole fleet killed (never a
+   hang); and the counter stream — shard.* rows included — is a pure
+   function of the instance, not of --procs. *)
+
+module Pattern = Mps_pattern.Pattern
+module Enumerate = Mps_antichain.Enumerate
+module Classify = Mps_antichain.Classify
+module Portfolio = Mps_select.Portfolio
+module Exact = Mps_select.Exact
+module Random_dag = Mps_workloads.Random_dag
+module Obs = Mps_obs.Obs
+module Engine = Mps_shard.Engine
+module Fleet = Mps_shard.Fleet
+
+(* The test binary doubles as its own shard worker: the engine re-runs
+   [Sys.executable_name --shard-worker], which must be intercepted here,
+   before alcotest ever parses argv. *)
+let () =
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "--shard-worker" then (
+    Mps_shard.Worker.run stdin stdout;
+    exit 0)
+
+let worker_argv = [| Sys.executable_name; "--shard-worker" |]
+
+(* One long-lived engine per fleet size, shared by every property: reuse
+   also exercises the family re-broadcast path (a new graph per qcheck
+   iteration), and spawning a fleet per iteration would dominate the
+   suite's runtime.  Properties must drive every fleet size through the
+   same op sequence, so the engines' broadcast histories stay in sync
+   (the counter-invariance property depends on that). *)
+let engines : (int, Engine.t) Hashtbl.t = Hashtbl.create 4
+
+let engine procs =
+  match Hashtbl.find_opt engines procs with
+  | Some e -> e
+  | None ->
+      let e = Engine.create ~procs ~argv:worker_argv in
+      Hashtbl.replace engines procs e;
+      e
+
+let () = at_exit (fun () -> Hashtbl.iter (fun _ e -> Engine.shutdown e) engines)
+
+let fleet_sizes = [ 1; 3 ]
+
+let qtest ?(count = 6) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let seed_gen = QCheck2.Gen.(1 -- 1000)
+let capacity = 3
+
+let graph ~seed =
+  let params =
+    {
+      Random_dag.default_params with
+      Random_dag.layers = 2 + (seed mod 3);
+      width = 2 + (seed mod 2);
+    }
+  in
+  Random_dag.generate ~params ~seed ()
+
+let classify_seq g = Classify.compute ~capacity (Enumerate.make_ctx g)
+
+(* Fingerprints: structural content only — pattern spellings, counts and
+   frequency vectors — never universe ids or physical identity. *)
+let classification_fp cls =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "total=%d;trunc=%b;"
+       (Classify.total_antichains cls)
+       (Classify.truncated cls));
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Printf.sprintf "%s:%d:[%s];" (Pattern.to_string p)
+           (Classify.count cls p)
+           (String.concat ","
+              (List.map string_of_int
+                 (Array.to_list (Classify.node_frequency cls p))))))
+    (Classify.patterns cls);
+  Buffer.contents b
+
+let outcome_fp (o : Portfolio.outcome) =
+  String.concat ";"
+    (List.map
+       (fun (e : Portfolio.entry) ->
+         Printf.sprintf "%s=%d:%s" e.Portfolio.strategy e.Portfolio.cycles
+           (String.concat "," (List.map Pattern.to_string e.Portfolio.patterns)))
+       (o.Portfolio.best :: o.Portfolio.all))
+
+let certificate_fp (ct : Exact.certificate) =
+  let pats ps = String.concat "," (List.map Pattern.to_string ps) in
+  let entry e =
+    Printf.sprintf "%s=%s" (pats e.Exact.banned)
+      (match e.Exact.bound with
+      | Exact.Infeasible -> "inf"
+      | Exact.Cost c -> string_of_int c)
+  in
+  let s = ct.Exact.stats in
+  Printf.sprintf "%s/%d/%d/%d/%d/%d/%d/%d/%b/%s" (pats ct.Exact.optimal)
+    ct.Exact.optimal_cycles s.Exact.nodes_visited s.Exact.pruned_span
+    s.Exact.pruned_color s.Exact.pruned_ban s.Exact.pruned_dominance
+    s.Exact.evaluated ct.Exact.proven
+    (String.concat ";" (List.map entry ct.Exact.bans))
+
+let counters_fp c =
+  String.concat ";"
+    (List.map
+       (fun (ct : Obs.counter) ->
+         Printf.sprintf "%s/%d/%d/%d/%d" ct.Obs.name ct.Obs.samples
+           ct.Obs.total ct.Obs.vmin ct.Obs.vmax)
+       (Obs.counters c))
+
+(* Sharded antichain count = sequential count, at every fleet size. *)
+let count_matches_sequential seed =
+  let g = graph ~seed in
+  let ctx = Enumerate.make_ctx g in
+  let expect = Enumerate.count ~max_size:capacity ctx in
+  List.for_all
+    (fun procs -> Engine.count (engine procs) ~max_size:capacity ctx = expect)
+    fleet_sizes
+
+(* Sharded classification reproduces the sequential one structurally:
+   same patterns, counts, frequency vectors, total. *)
+let classification_identical seed =
+  let g = graph ~seed in
+  let ctx = Enumerate.make_ctx g in
+  let expect = classification_fp (classify_seq g) in
+  List.for_all
+    (fun procs ->
+      classification_fp (Engine.classify (engine procs) ~capacity ctx)
+      = expect)
+    fleet_sizes
+
+(* An over-budget instance falls back to the canonical budgeted
+   sequential walk: truncated classifications are identical too. *)
+let budget_fallback_identical seed =
+  let g = graph ~seed in
+  let ctx = Enumerate.make_ctx g in
+  let budget = 3 + (seed mod 8) in
+  let expect =
+    classification_fp
+      (Classify.compute ~budget ~capacity (Enumerate.make_ctx g))
+  in
+  List.for_all
+    (fun procs ->
+      classification_fp (Engine.classify (engine procs) ~budget ~capacity ctx)
+      = expect)
+    fleet_sizes
+
+(* Sharded portfolio: same ranking, same pattern sets, same cycles as the
+   in-process registry run. *)
+let portfolio_identical seed =
+  let g = graph ~seed in
+  let ctx = Enumerate.make_ctx g in
+  let pdef = 2 + (seed mod 2) in
+  let expect = outcome_fp (Portfolio.run ~pdef (classify_seq g)) in
+  List.for_all
+    (fun procs ->
+      let eng = engine procs in
+      let cls = Engine.classify eng ~capacity ctx in
+      outcome_fp (Engine.portfolio eng ~pdef cls) = expect)
+    fleet_sizes
+
+(* Sharded exact search: the whole certificate — optimal set, node
+   counters, ban list, proven flag — matches the in-process search. *)
+let exact_identical seed =
+  let g = graph ~seed in
+  let ctx = Enumerate.make_ctx g in
+  let pdef = 2 + (seed mod 2) in
+  let expect = certificate_fp (Exact.search ~pdef (classify_seq g)) in
+  List.for_all
+    (fun procs ->
+      let eng = engine procs in
+      let cls = Engine.classify eng ~capacity ctx in
+      certificate_fp (Engine.exact eng ~pdef cls) = expect)
+    fleet_sizes
+
+(* The full counter stream (shard.* rows and replayed worker counters
+   alike) is procs-invariant: fixed chunk layout + submission-order
+   replay make the merge sequence a pure function of the instance. *)
+let counters_invariant seed =
+  let g = graph ~seed in
+  let run procs =
+    let c = Obs.create () in
+    Obs.run c (fun () ->
+        let ctx = Enumerate.make_ctx g in
+        let eng = engine procs in
+        let cls = Engine.classify eng ~capacity ctx in
+        ignore (Engine.portfolio eng ~pdef:3 cls);
+        ignore (Engine.exact eng ~pdef:2 cls));
+    counters_fp c
+  in
+  let fps = List.map run fleet_sizes in
+  let has_shard fp =
+    let rec find i =
+      i + 6 <= String.length fp
+      && (String.sub fp i 6 = "shard." || find (i + 1))
+    in
+    find 0
+  in
+  List.for_all (fun fp -> fp = List.hd fps && has_shard fp) fps
+
+(* A worker that dies mid-batch must kill the fleet and raise — a clean
+   error, never a hang on a half-dead pipeline. *)
+let crash_recovers () =
+  Unix.putenv "MPS_SHARD_CRASH" "2";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "MPS_SHARD_CRASH" "")
+    (fun () ->
+      let g = graph ~seed:42 in
+      let ctx = Enumerate.make_ctx g in
+      match
+        Engine.with_engine ~procs:2 ~argv:worker_argv (fun eng ->
+            Engine.classify eng ~capacity ctx)
+      with
+      | _ -> Alcotest.fail "crashed worker raised nothing"
+      | exception Fleet.Worker_failed _ -> ())
+
+(* After the crash above, a fresh fleet must still work (nothing leaked
+   into the environment or the process table). *)
+let crash_then_fresh_fleet () =
+  let g = graph ~seed:42 in
+  let ctx = Enumerate.make_ctx g in
+  let expect = classification_fp (classify_seq g) in
+  let got =
+    Engine.with_engine ~procs:2 ~argv:worker_argv (fun eng ->
+        classification_fp (Engine.classify eng ~capacity ctx))
+  in
+  Alcotest.(check string) "classification after crash" expect got
+
+let bad_procs () =
+  match Engine.create ~procs:0 ~argv:worker_argv with
+  | _ -> Alcotest.fail "procs:0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "engine",
+        [
+          qtest "sharded count = sequential" seed_gen count_matches_sequential;
+          qtest "sharded classification = sequential" seed_gen
+            classification_identical;
+          qtest "budgeted classification falls back identically" seed_gen
+            budget_fallback_identical;
+          qtest "sharded portfolio = in-process" seed_gen portfolio_identical;
+          qtest "sharded exact certificate = in-process" seed_gen
+            exact_identical;
+          qtest "counter stream procs-invariant" seed_gen counters_invariant;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "worker crash raises Worker_failed" `Quick
+            crash_recovers;
+          Alcotest.test_case "fresh fleet after a crash" `Quick
+            crash_then_fresh_fleet;
+          Alcotest.test_case "procs < 1 rejected" `Quick bad_procs;
+        ] );
+    ]
